@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test test-fast bench experiments examples all
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/detector_zoo.py
+	$(PYTHON) examples/atomic_commit.py
+	$(PYTHON) examples/replicated_kv_store.py
+	$(PYTHON) examples/consensus_showdown.py
+	$(PYTHON) examples/weakest_detector_tour.py
+
+all: test experiments bench

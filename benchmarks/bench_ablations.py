@@ -1,0 +1,105 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation sweeps one knob of an algorithm and reports the cost
+curve in `extra_info` — the data behind the defaults:
+
+* consensus retry pacing (leader re-examination interval);
+* Figure 3 gossip cadence (sample/gossip frequency vs extraction
+  latency);
+* Figure 3 prefix stride (Σ-extraction fidelity vs cost).
+"""
+
+import pytest
+
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.detectors import PsiOracle, omega_sigma_oracle
+from repro.core.detectors.psi import OMEGA_SIGMA_BRANCH
+from repro.core.failure_pattern import FailurePattern
+from repro.core.specs import check_psi
+from repro.protocols.base import CoreComponent
+from repro.qc.extract_psi import PsiExtraction
+from repro.qc.psi_qc import PsiQCCore
+from repro.sim.probes import OutputRecorder
+from repro.sim.system import SystemBuilder, decided
+
+
+@pytest.mark.parametrize("retry_interval", [2, 8, 32])
+def test_ablation_consensus_retry_interval(benchmark, retry_interval):
+    """Leader pacing: too eager wastes messages on duelling ballots,
+    too lazy inflates latency."""
+
+    def run():
+        proposals = {p: f"v{p}" for p in range(4)}
+        return (
+            SystemBuilder(n=4, seed=3, horizon=80_000)
+            .pattern(FailurePattern(4, {0: 40}))
+            .detector(omega_sigma_oracle())
+            .component(
+                "consensus",
+                consensus_component(
+                    lambda pid: OmegaSigmaConsensusCore(
+                        proposals[pid], retry_interval=retry_interval
+                    )
+                ),
+            )
+            .build()
+            .run(stop_when=decided("consensus"))
+        )
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert trace.all_correct_decided("consensus")
+    benchmark.extra_info["messages"] = trace.messages_sent
+    benchmark.extra_info["latency_steps"] = trace.decision_latency("consensus")
+
+
+def _extraction_run(sample_every, gossip_every, prefix_stride, horizon=14_000):
+    system = (
+        SystemBuilder(n=3, seed=1, horizon=horizon)
+        .pattern(FailurePattern.crash_free(3))
+        .detector(PsiOracle(branch=OMEGA_SIGMA_BRANCH))
+        .component(
+            "xpsi",
+            lambda pid: CoreComponent(
+                PsiExtraction(
+                    qc_factory=lambda: PsiQCCore(),
+                    sample_every=sample_every,
+                    gossip_every=gossip_every,
+                    prefix_stride=prefix_stride,
+                )
+            ),
+        )
+        .component("probe", lambda pid: OutputRecorder("xpsi", "psi-x"))
+        .build()
+    )
+    trace = system.run()
+    verdict = check_psi(trace.annotations["psi-x"], trace.pattern)
+    switch_times = []
+    for pid in range(3):
+        core = system.component_at(pid, "xpsi").core
+        if core.branch is not None:
+            switch_times.append(core.sigma_rounds)
+    return trace, verdict, switch_times
+
+
+@pytest.mark.parametrize("gossip_every", [2, 8, 24])
+def test_ablation_extraction_gossip_cadence(benchmark, gossip_every):
+    """Gossip cadence: rare gossip stalls the simulation forest (paths
+    wait for knowledge), eager gossip floods the network."""
+    trace, verdict, _ = benchmark.pedantic(
+        lambda: _extraction_run(2, gossip_every, 10), rounds=1, iterations=1
+    )
+    assert verdict.ok, verdict.violations
+    benchmark.extra_info["messages"] = trace.messages_sent
+
+
+@pytest.mark.parametrize("prefix_stride", [4, 16, 64])
+def test_ablation_extraction_prefix_stride(benchmark, prefix_stride):
+    """Σ-extraction prefix stride: 1 replays every prefix (the paper's
+    C exactly); larger strides subsample C for speed.  The emitted
+    quorums must satisfy Σ at every stride."""
+    trace, verdict, rounds = benchmark.pedantic(
+        lambda: _extraction_run(2, 4, prefix_stride), rounds=1, iterations=1
+    )
+    assert verdict.ok, verdict.violations
+    benchmark.extra_info["sigma_rounds"] = sum(rounds)

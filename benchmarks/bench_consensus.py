@@ -1,0 +1,41 @@
+"""Benchmarks for E3 (consensus crossover) and consensus scaling."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_once
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.environment import CrashFreeEnvironment
+from repro.experiments.e03_consensus import run as run_e03
+from repro.sim.system import SystemBuilder, decided
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+
+
+def test_e03_consensus_table(benchmark):
+    """E3: (Omega,Sigma) everywhere vs Omega+majorities crossover."""
+    run_experiment_once(benchmark, run_e03, seed=0, n=5)
+
+
+def _consensus_run(n, seed=0):
+    proposals = {p: f"v{p}" for p in range(n)}
+    trace = (
+        SystemBuilder(n=n, seed=seed, horizon=80_000)
+        .environment(CrashFreeEnvironment(n))
+        .detector(omega_sigma_oracle())
+        .component(
+            "consensus",
+            consensus_component(lambda pid: OmegaSigmaConsensusCore(proposals[pid])),
+        )
+        .build()
+        .run(stop_when=decided("consensus"))
+    )
+    assert trace.all_correct_decided("consensus")
+    return trace
+
+
+@pytest.mark.parametrize("n", [3, 5, 9, 13])
+def test_consensus_scaling(benchmark, n):
+    """Wall time and message volume of one decision as n grows."""
+    trace = benchmark.pedantic(lambda: _consensus_run(n), rounds=1, iterations=1)
+    benchmark.extra_info["messages"] = trace.messages_sent
+    benchmark.extra_info["latency_steps"] = trace.decision_latency("consensus")

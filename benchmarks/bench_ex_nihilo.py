@@ -1,0 +1,13 @@
+"""Benchmarks for E8 (Σ ex nihilo) and E9 (heartbeat detectors)."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments.e08_sigma_ex_nihilo import run as run_e08
+from repro.experiments.e09_heartbeats import run as run_e09
+
+
+def test_e08_sigma_ex_nihilo_table(benchmark):
+    run_experiment_once(benchmark, run_e08, seed=0, n=5)
+
+
+def test_e09_heartbeats_table(benchmark):
+    run_experiment_once(benchmark, run_e09, seed=0)

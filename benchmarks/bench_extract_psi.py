@@ -1,0 +1,13 @@
+"""Benchmark for E5: the Figure 3 Ψ-extraction pipeline.
+
+This is the heaviest experiment in the suite (DAG gossip + simulation
+forest + real executions + Ω/Σ loops, four scenarios); it runs one
+timed round.
+"""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments.e05_extract_psi import run as run_e05
+
+
+def test_e05_extract_psi_table(benchmark):
+    run_experiment_once(benchmark, run_e05, seed=1)

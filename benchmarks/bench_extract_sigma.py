@@ -1,0 +1,8 @@
+"""Benchmark for E2: the Figure 1 Σ-extraction pipeline."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments.e02_extract_sigma import run as run_e02
+
+
+def test_e02_extract_sigma_table(benchmark):
+    run_experiment_once(benchmark, run_e02, seed=0, n=4)

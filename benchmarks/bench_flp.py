@@ -1,0 +1,8 @@
+"""Benchmark for E12: the staged FLP adversary."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments.e12_flp import run as run_e12
+
+
+def test_e12_flp_table(benchmark):
+    run_experiment_once(benchmark, run_e12, seed=0, n=3)

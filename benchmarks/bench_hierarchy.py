@@ -1,0 +1,8 @@
+"""Benchmark for E13: the detector-hierarchy reduction table."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments.e13_hierarchy import run as run_e13
+
+
+def test_e13_hierarchy_table(benchmark):
+    run_experiment_once(benchmark, run_e13, seed=0)

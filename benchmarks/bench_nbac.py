@@ -1,0 +1,13 @@
+"""Benchmarks for E6 (NBAC ⇔ QC + FS) and E7 ((Ψ, FS)-NBAC sweep)."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments.e06_equivalence import run as run_e06
+from repro.experiments.e07_nbac import run as run_e07
+
+
+def test_e06_equivalence_table(benchmark):
+    run_experiment_once(benchmark, run_e06, seed=0)
+
+
+def test_e07_nbac_table(benchmark):
+    run_experiment_once(benchmark, run_e07, seed=0, n=4)

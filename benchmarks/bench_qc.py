@@ -1,0 +1,8 @@
+"""Benchmark for E4: Figure 2's Ψ-based quittable consensus."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments.e04_qc import run as run_e04
+
+
+def test_e04_qc_table(benchmark):
+    run_experiment_once(benchmark, run_e04, seed=0, n=4)

@@ -1,0 +1,56 @@
+"""Benchmarks for E1 (registers) plus ABD micro-costs."""
+
+import pytest
+
+from benchmarks.conftest import run_experiment_once
+from repro.core.detectors import SigmaOracle
+from repro.core.failure_pattern import FailurePattern
+from repro.experiments.e01_register import run as run_e01
+from repro.registers.abd import RegisterBank
+from repro.registers.quorums import MajorityQuorums, SigmaQuorums
+from repro.registers.workload import RegisterWorkload, workload_quiescent
+from repro.sim.system import SystemBuilder
+
+
+def test_e01_register_table(benchmark):
+    """E1: the full majority-vs-Sigma register table."""
+    run_experiment_once(benchmark, run_e01, seed=0, n=5)
+
+
+def _abd_run(n, quorums, detector):
+    builder = (
+        SystemBuilder(n=n, seed=1, horizon=120_000)
+        .pattern(FailurePattern.crash_free(n))
+        .component("reg", lambda pid: RegisterBank(quorums, record_ops=True))
+        .component(
+            "workload",
+            lambda pid: RegisterWorkload(
+                registers=("x",), ops_per_process=6, seed=1
+            ),
+        )
+    )
+    if detector is not None:
+        builder.detector(detector)
+    trace = builder.build().run(stop_when=workload_quiescent())
+    assert trace.stop_reason == "stop-condition"
+    return trace
+
+
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_abd_majority_ops(benchmark, n):
+    """ABD/majority: full workload wall time as n grows."""
+    trace = benchmark.pedantic(
+        lambda: _abd_run(n, MajorityQuorums(), None), rounds=1, iterations=1
+    )
+    assert len(trace.completed_operations("reg")) == 6 * n
+
+
+@pytest.mark.parametrize("n", [3, 5, 7])
+def test_abd_sigma_ops(benchmark, n):
+    """ABD/Sigma: same workload through the Sigma-quorum path."""
+    trace = benchmark.pedantic(
+        lambda: _abd_run(n, SigmaQuorums(lambda d: d), SigmaOracle()),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(trace.completed_operations("reg")) == 6 * n

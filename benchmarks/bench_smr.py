@@ -1,0 +1,13 @@
+"""Benchmarks for E10 (multivalued) and E11 (SMR registers)."""
+
+from benchmarks.conftest import run_experiment_once
+from repro.experiments.e10_multivalued import run as run_e10
+from repro.experiments.e11_smr import run as run_e11
+
+
+def test_e10_multivalued_table(benchmark):
+    run_experiment_once(benchmark, run_e10, seed=0, n=4)
+
+
+def test_e11_smr_table(benchmark):
+    run_experiment_once(benchmark, run_e11, seed=0, n=3)

@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Every experiment (DESIGN.md §4) gets a benchmark that times its full
+regeneration and asserts the table still matches the paper's claims —
+so `pytest benchmarks/ --benchmark-only` is simultaneously a perf
+baseline and an end-to-end regression gate.
+
+Most experiment benches run a single round (they are multi-second,
+deterministic, and time-stable); micro-benchmarks of the simulator
+substrate use pytest-benchmark's default calibration.
+"""
+
+import pytest
+
+
+def run_experiment_once(benchmark, experiment_fn, **kwargs):
+    """Benchmark one experiment round and assert its verdict."""
+    result = benchmark.pedantic(
+        lambda: experiment_fn(**kwargs), rounds=1, iterations=1
+    )
+    assert result.ok, f"{result.experiment_id} mismatched: {result.rows}"
+    return result

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Four ways to agree: a consensus algorithm showdown.
+
+The library implements four generations of consensus, spanning the
+paper's result and its classical context:
+
+* **(Ω, Σ)** — the paper's weakest-detector algorithm (any environment);
+* **Chandra–Toueg ◇S** [4] — the 1996 classic (majority-correct only);
+* **registers + Ω** [19] — shared-memory consensus over the ABD-over-Σ
+  emulation, the paper's own composition route;
+* **Ben-Or** — randomized, detector-free (majority-correct only).
+
+This example runs all four on the same crash scenario and prints a
+comparison; then re-runs the majority-bound ones in a minority-correct
+scenario to show exactly where they stop and (Ω, Σ) keeps going.
+
+Run:  python examples/consensus_showdown.py   (takes ~10s)
+"""
+
+from repro import (
+    FailurePattern,
+    SystemBuilder,
+    check_consensus,
+    consensus_component,
+    decided,
+    omega_sigma_oracle,
+)
+from repro.analysis.stats import format_table
+from repro.consensus.ben_or import BenOrConsensusCore
+from repro.consensus.chandra_toueg import ChandraTouegConsensusCore
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.consensus.shared_memory import (
+    BankRegisterSpace,
+    SharedMemoryConsensus,
+)
+from repro.core.detectors import omega_sigma_oracle as os_oracle
+from repro.core.detectors.eventually_strong import EventuallyStrongOracle
+from repro.registers.abd import RegisterBank
+from repro.registers.quorums import SigmaQuorums
+
+N = 5
+
+
+def run_omega_sigma(pattern, proposals, seed):
+    return (
+        SystemBuilder(n=N, seed=seed, horizon=150_000)
+        .pattern(pattern)
+        .detector(omega_sigma_oracle())
+        .component(
+            "consensus",
+            consensus_component(lambda pid: OmegaSigmaConsensusCore(proposals[pid])),
+        )
+        .build()
+        .run(stop_when=decided("consensus"))
+    )
+
+
+def run_chandra_toueg(pattern, proposals, seed):
+    return (
+        SystemBuilder(n=N, seed=seed, horizon=150_000)
+        .pattern(pattern)
+        .detector(EventuallyStrongOracle())
+        .component(
+            "consensus",
+            consensus_component(
+                lambda pid: ChandraTouegConsensusCore(proposals[pid])
+            ),
+        )
+        .build()
+        .run(stop_when=decided("consensus"))
+    )
+
+
+def run_shared_memory(pattern, proposals, seed):
+    return (
+        SystemBuilder(n=N, seed=seed, horizon=400_000)
+        .pattern(pattern)
+        .detector(os_oracle())
+        .component("reg", lambda pid: RegisterBank(SigmaQuorums()))
+        .component(
+            "consensus",
+            lambda pid: SharedMemoryConsensus(
+                proposals[pid],
+                lambda c: BankRegisterSpace(c._host.component("reg")),
+            ),
+        )
+        .build()
+        .run(stop_when=decided("consensus"))
+    )
+
+
+def run_ben_or(pattern, proposals_binary, seed):
+    return (
+        SystemBuilder(n=N, seed=seed, horizon=200_000)
+        .pattern(pattern)
+        .component(
+            "consensus",
+            consensus_component(
+                lambda pid: BenOrConsensusCore(
+                    proposals_binary[pid], coin_seed=seed
+                )
+            ),
+        )
+        .build()
+        .run(stop_when=decided("consensus"))
+    )
+
+
+ALGORITHMS = [
+    ("(Omega,Sigma)  [this paper]", run_omega_sigma, False),
+    ("Chandra-Toueg <>S  [1996]", run_chandra_toueg, False),
+    ("registers + Omega  [19]", run_shared_memory, False),
+    ("Ben-Or  [1983, coins]", run_ben_or, True),
+]
+
+
+def showdown(title, pattern, seed):
+    print(f"--- {title}: {pattern} ---")
+    proposals = {p: f"v{p}" for p in range(N)}
+    binary = {p: p % 2 for p in range(N)}
+    rows = []
+    for name, runner, is_binary in ALGORITHMS:
+        trace = runner(pattern, binary if is_binary else proposals, seed)
+        verdict = check_consensus(
+            trace, binary if is_binary else proposals, "consensus"
+        )
+        decided_ok = verdict.termination
+        rows.append(
+            [
+                name,
+                "decided" if decided_ok else "BLOCKED",
+                "yes" if (verdict.agreement and verdict.validity) else "NO",
+                trace.decision_latency("consensus") or "-",
+                trace.messages_sent,
+            ]
+        )
+    print(format_table(
+        ["algorithm", "liveness", "safe", "latency", "messages"], rows
+    ))
+    print()
+    return rows
+
+
+def main() -> None:
+    showdown(
+        "Scenario A: one early crash (majority correct)",
+        FailurePattern(N, {0: 20}),
+        seed=1,
+    )
+    rows = showdown(
+        "Scenario B: three early crashes (majority LOST)",
+        FailurePattern(N, {0: 1, 1: 3, 2: 5}),
+        seed=2,
+    )
+    outcome = {name: liveness for name, liveness, *_ in rows}
+    assert outcome["(Omega,Sigma)  [this paper]"] == "decided"
+    assert outcome["registers + Omega  [19]"] == "decided"
+    print("Scenario B is the paper's territory: the majority-bound")
+    print("classics (CT's ◇S, Ben-Or's coins) block — safely! — while")
+    print("both Σ-powered routes still decide: the direct (Ω, Σ)")
+    print("algorithm and the paper's own composition, registers-over-Σ")
+    print("plus Ω.  That gap is what 'weakest failure detector for")
+    print("consensus in every environment' buys.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e .`` works on environments without the
+``wheel`` package (legacy editable installs go through ``setup.py
+develop``, which needs no wheel building).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""Analysis: problem-level property verdicts and run statistics.
+
+* :mod:`repro.analysis.properties` — transcriptions of the problem
+  specifications (consensus §4.1, QC §5, NBAC §7.1) into checkers over
+  run traces;
+* :mod:`repro.analysis.stats` — cost metrics (messages, steps,
+  latency) and small experiment-table helpers.
+"""
+
+from repro.analysis.properties import (
+    ProblemVerdict,
+    check_consensus,
+    check_qc,
+    check_nbac,
+)
+from repro.analysis.stats import run_metrics, aggregate
+
+__all__ = [
+    "ProblemVerdict",
+    "check_consensus",
+    "check_qc",
+    "check_nbac",
+    "run_metrics",
+    "aggregate",
+]

@@ -1,0 +1,100 @@
+"""Run validity: the conditions Section 2 imposes on ⟨F, H, I, S, T⟩.
+
+"A number of straightforward conditions are imposed on the components
+of runs ... processes don't take steps after crashing, ... correct
+processes take infinitely many steps and messages are not lost."  The
+simulator is *supposed* to enforce these by construction; this checker
+re-derives them from a recorded trace, so the enforcement itself is
+under test (and any future scheduler/network extension that breaks the
+model gets caught by the validity suite rather than by a mysterious
+algorithm failure).
+
+Finitisations: "infinitely many steps" becomes a minimum step share for
+every correct process under a fair scheduler; "messages are not lost"
+becomes a bound on how long a fair run may leave the oldest pending
+message undelivered (both skipped when the run used an unfair
+adversary on purpose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.sim.trace import RunTrace
+
+
+@dataclass
+class RunValidityVerdict:
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_run_validity(
+    trace: RunTrace,
+    fair: bool = True,
+    min_step_share: float = 0.2,
+) -> RunValidityVerdict:
+    """Check the model's run conditions on a recorded trace.
+
+    ``fair`` asserts the liveness-flavoured clauses too (step shares);
+    pass False for runs driven by deliberately unfair adversaries.
+    ``min_step_share`` is the finitised "infinitely many steps": every
+    correct process must take at least this fraction of its fair share
+    (``steps / n``) of the steps.
+    """
+    violations: List[str] = []
+    pattern = trace.pattern
+
+    # (1) Times strictly increase along the schedule.
+    last_time = 0
+    for step in trace.steps:
+        if step.time <= last_time:
+            violations.append(
+                f"non-increasing step time {step.time} after {last_time}"
+            )
+            break
+        last_time = step.time
+
+    # (2) No process steps at or after its crash time.
+    for step in trace.steps:
+        if pattern.crashed(step.pid, step.time):
+            violations.append(
+                f"crashed process {step.pid} took a step at t={step.time} "
+                f"(crashed at {pattern.crash_time(step.pid)})"
+            )
+            break
+
+    # (3) Causality: every received message was sent strictly earlier.
+    for step in trace.steps:
+        if step.message is not None and step.message.send_time >= step.time:
+            violations.append(
+                f"message received at t={step.time} was sent at "
+                f"t={step.message.send_time}"
+            )
+            break
+
+    # (4) Conservation: deliveries never exceed sends.
+    if trace.messages_delivered > trace.messages_sent:
+        violations.append(
+            f"delivered {trace.messages_delivered} > sent "
+            f"{trace.messages_sent}"
+        )
+
+    if fair and trace.steps:
+        # (5) Every correct process keeps taking steps.  Only sensible
+        # over the window where it was schedulable alongside everyone.
+        total = len(trace.steps)
+        fair_share = total / pattern.n
+        for pid in pattern.correct:
+            taken = trace.step_count(pid)
+            if taken < fair_share * min_step_share:
+                violations.append(
+                    f"correct process {pid} took only {taken} of "
+                    f"{total} steps (fair share ~{fair_share:.0f})"
+                )
+
+    return RunValidityVerdict(ok=not violations, violations=violations)

@@ -1,0 +1,34 @@
+"""Consensus (Section 4) and its substrates.
+
+* :mod:`repro.consensus.interface` — the problem specification
+  (Termination, Uniform Agreement, Validity) and shared helpers;
+* :mod:`repro.consensus.paxos` — (Ω, Σ)-based message-passing consensus
+  (the sufficiency half of Corollary 4);
+* :mod:`repro.consensus.multi` — multi-instance consensus (used by the
+  binary→multivalued transformation, state-machine replication and the
+  NBAC→FS extraction);
+* :mod:`repro.consensus.shared_memory` — the Lo–Hadzilacos route:
+  consensus from registers + Ω [19], run either over instant registers
+  or the full ABD-over-Σ message-passing stack;
+* :mod:`repro.consensus.multivalued` — binary→multivalued consensus
+  (the [20] substrate invoked by footnote 6);
+* :mod:`repro.consensus.replicated_object` — registers (and arbitrary
+  objects) from consensus via state-machine replication [17, 21], the
+  substrate behind Corollary 3.
+"""
+
+from repro.consensus.paxos import OmegaSigmaConsensusCore, omega_of, sigma_of
+from repro.consensus.multi import MultiConsensusCore
+from repro.consensus.chandra_toueg import ChandraTouegConsensusCore
+from repro.consensus.ben_or import BenOrConsensusCore
+from repro.consensus.interface import consensus_component
+
+__all__ = [
+    "OmegaSigmaConsensusCore",
+    "MultiConsensusCore",
+    "ChandraTouegConsensusCore",
+    "BenOrConsensusCore",
+    "consensus_component",
+    "omega_of",
+    "sigma_of",
+]

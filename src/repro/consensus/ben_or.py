@@ -1,0 +1,151 @@
+"""Ben-Or's randomized binary consensus — the other way around FLP.
+
+The paper circumvents FLP [8] with failure detector oracles; the other
+classical escape hatch is randomization.  Ben-Or's algorithm (1983)
+solves binary consensus with no detector at all, a correct majority,
+and local coins — terminating with probability 1 rather than
+deterministically.  Including it makes experiment E12's triptych
+complete: no help ⇒ stuck; oracle ⇒ deterministic termination;
+coins ⇒ probabilistic termination.
+
+Per round ``r`` (n processes, majority correct, f < n/2):
+
+* **Report**: broadcast ``(R, r, est)``; collect ``n - f`` reports.
+  If more than ``n/2`` carry the same ``v``, propose ``v``, else ⊥.
+* **Propose**: broadcast ``(P, r, proposal)``; collect ``n - f``.
+  If at least ``f + 1`` carry the same non-⊥ ``v`` — **decide v**
+  (two different values can never both clear f+1 out of n-f, and any
+  process's next-round estimate is forced to v);
+  else if any non-⊥ ``v`` arrives, adopt ``est = v``;
+  else flip a local coin.
+
+A decider broadcasts its decision (plus one final round of messages is
+already in flight), so everyone terminates.
+
+Coins are drawn from a deterministic per-(process, round) stream so
+runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from repro.protocols.base import ProtocolCore
+from repro.sim.rng import derive_seed
+from repro.sim.tasklets import WaitUntil
+
+
+class BenOrConsensusCore(ProtocolCore):
+    """Randomized binary consensus (crash model, f < n/2, no detector).
+
+    Parameters
+    ----------
+    proposal:
+        0 or 1.
+    f:
+        Resilience bound; defaults to ``(n - 1) // 2`` at start.
+    coin_seed:
+        Seed of the deterministic coin stream.
+    """
+
+    def __init__(self, proposal: Optional[int] = None, f: Optional[int] = None,
+                 coin_seed: int = 0):
+        super().__init__()
+        if proposal is not None and proposal not in (0, 1):
+            raise ValueError("Ben-Or is binary: propose 0 or 1")
+        self.proposal = proposal
+        self._f = f
+        self.coin_seed = coin_seed
+        self.round = 0
+        self.rounds_used = 0
+        self.coin_flips = 0
+        self._reports: Dict[int, Dict[int, int]] = {}
+        self._proposals: Dict[int, Dict[int, Optional[int]]] = {}
+
+    def propose(self, value: int) -> None:
+        if value not in (0, 1):
+            raise ValueError("Ben-Or is binary: propose 0 or 1")
+        if self.proposal is None:
+            self.proposal = value
+
+    def start(self) -> None:
+        if self._f is None:
+            self._f = (self.n - 1) // 2
+        self.spawn(self._run(), name=f"benor@{self.pid}")
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == "R":
+            _, r, value = payload
+            self._reports.setdefault(r, {})[sender] = value
+        elif kind == "P":
+            _, r, value = payload
+            self._proposals.setdefault(r, {})[sender] = value
+        elif kind == "D":
+            _, value = payload
+            if not self.decided:
+                self.decide(value)
+        else:
+            raise ValueError(f"unknown Ben-Or message {payload!r}")
+
+    def _coin(self, r: int) -> int:
+        self.coin_flips += 1
+        return random.Random(
+            derive_seed(self.coin_seed, f"coin-{self.pid}-{r}")
+        ).randint(0, 1)
+
+    def _run(self):
+        yield WaitUntil(lambda: self.proposal is not None)
+        est = self.proposal
+        quorum = self.n - self._f
+        while not self.decided:
+            self.round += 1
+            r = self.round
+            self.rounds_used = r
+
+            # Report phase.
+            self.broadcast(("R", r, est))
+            reports = self._reports.setdefault(r, {})
+            yield WaitUntil(
+                lambda: self.decided or len(reports) >= quorum
+            )
+            if self.decided:
+                return
+            counts = {0: 0, 1: 0}
+            for v in reports.values():
+                counts[v] += 1
+            if counts[0] * 2 > self.n:
+                my_prop: Optional[int] = 0
+            elif counts[1] * 2 > self.n:
+                my_prop = 1
+            else:
+                my_prop = None
+
+            # Propose phase.
+            self.broadcast(("P", r, my_prop))
+            proposals = self._proposals.setdefault(r, {})
+            yield WaitUntil(
+                lambda: self.decided or len(proposals) >= quorum
+            )
+            if self.decided:
+                return
+            tallies = {0: 0, 1: 0}
+            for v in proposals.values():
+                if v is not None:
+                    tallies[v] += 1
+            decided_value = None
+            for v in (0, 1):
+                if tallies[v] >= self._f + 1:
+                    decided_value = v
+            if decided_value is not None:
+                self.broadcast(("D", decided_value))
+                if not self.decided:
+                    self.decide(decided_value)
+                return
+            if tallies[0] > 0:
+                est = 0
+            elif tallies[1] > 0:
+                est = 1
+            else:
+                est = self._coin(r)

@@ -1,0 +1,169 @@
+"""The Chandra–Toueg ◇S consensus algorithm [4] — the paper's baseline.
+
+This is the algorithm the reproduced paper generalises: consensus with
+the eventually-strong detector ◇S and a *correct majority*.  Rotating
+coordinator, four phases per round ``r`` (coordinator ``c = r mod n``):
+
+1. everyone sends its timestamped estimate to ``c``;
+2. ``c`` gathers a majority of estimates and adopts one with the
+   highest timestamp;
+3. everyone waits for ``c``'s proposal *or* suspects ``c`` via ◇S —
+   replying ack (adopting the proposal, timestamping it ``r``) or nack;
+4. on a majority of acks ``c`` reliably broadcasts the decision; any
+   nack sends ``c`` (and everyone) to round ``r + 1``.
+
+Safety is the locking argument: a decided value was adopted by a
+majority at some round, and every later coordinator's majority of
+estimates intersects it, so the highest-timestamp estimate is the
+locked value.  Liveness needs the majority (phases 2/4 block without
+one) and ◇S's weak accuracy (an eventually-unsuspected correct
+coordinator whose round goes through).
+
+Contrast with :mod:`repro.consensus.paxos`: same safety skeleton, but
+quorums are hard-wired majorities and coordination rotates instead of
+following Ω — which is exactly why it stops at majority-correct
+environments and the paper's (Ω, Σ) algorithm does not (experiment E3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set, Tuple
+
+from repro.protocols.base import ProtocolCore
+from repro.protocols.broadcast import ReliableBroadcastCore
+from repro.sim.tasklets import WaitSteps, WaitUntil
+
+
+class ChandraTouegConsensusCore(ProtocolCore):
+    """Consensus from ◇S + a correct majority.
+
+    The detector value is expected to be a ◇S suspicion set
+    (``frozenset`` of pids); ``suspects_extract`` adapts other shapes.
+    """
+
+    RB_TAG = "rb"
+
+    def __init__(
+        self,
+        proposal: Any = None,
+        suspects_extract=None,
+    ):
+        super().__init__()
+        self.proposal = proposal
+        self._suspects = suspects_extract or (
+            lambda d: d if isinstance(d, frozenset) else frozenset()
+        )
+        # Estimate state: (value, timestamp of adopting round).
+        self.estimate: Any = None
+        self.estimate_ts = 0
+        self.round = 0
+        # Per-round coordinator state.
+        self._estimates: Dict[int, Dict[int, Tuple[Any, int]]] = {}
+        self._acks: Dict[int, Set[int]] = {}
+        self._nacks: Dict[int, Set[int]] = {}
+        self._proposals_seen: Dict[int, Any] = {}
+        self.rounds_used = 0
+
+    def propose(self, value: Any) -> None:
+        if value is None:
+            raise ValueError("proposals must be non-None")
+        if self.proposal is None:
+            self.proposal = value
+
+    def start(self) -> None:
+        rb = ReliableBroadcastCore()
+        self.add_child(self.RB_TAG, rb)
+        rb.on_deliver(self._on_decide_delivered)
+        self.spawn(self._run(), name=f"ct@{self.pid}")
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, payload: Any) -> None:
+        if self.route_to_children(sender, payload):
+            return
+        kind = payload[0]
+        if kind == "EST":  # phase 1: estimate to coordinator
+            _, r, value, ts = payload
+            self._estimates.setdefault(r, {})[sender] = (value, ts)
+        elif kind == "PROP":  # phase 2->3: coordinator's proposal
+            _, r, value = payload
+            self._proposals_seen.setdefault(r, value)
+        elif kind == "ACK":
+            _, r = payload
+            self._acks.setdefault(r, set()).add(sender)
+        elif kind == "NACK":
+            _, r = payload
+            self._nacks.setdefault(r, set()).add(sender)
+        else:
+            raise ValueError(f"unknown CT message {payload!r}")
+
+    def _on_decide_delivered(self, origin: int, body: Any) -> None:
+        kind, value = body
+        if kind == "DECIDE" and not self.decided:
+            self.decide(value)
+
+    # ------------------------------------------------------------------
+    # The round loop
+    # ------------------------------------------------------------------
+    def _majority(self) -> int:
+        return self.n // 2 + 1
+
+    def _run(self):
+        yield WaitUntil(lambda: self.proposal is not None)
+        self.estimate = self.proposal
+        self.estimate_ts = 0
+        while not self.decided:
+            self.round += 1
+            r = self.round
+            self.rounds_used = r
+            coordinator = r % self.n
+
+            # Phase 1: send the current estimate to the coordinator.
+            self.send(coordinator, ("EST", r, self.estimate, self.estimate_ts))
+
+            if coordinator == self.pid:
+                self.spawn(self._coordinate(r), name=f"ct-coord@{self.pid}-r{r}")
+
+            # Phase 3: wait for the proposal or suspicion of c.
+            outcome = yield WaitUntil(
+                lambda: self.decided
+                or (r in self._proposals_seen and ("prop",))
+                or (coordinator in self._suspects(self.detector()) and ("susp",))
+            )
+            if self.decided:
+                return
+            if outcome == ("prop",):
+                value = self._proposals_seen[r]
+                self.estimate = value
+                self.estimate_ts = r
+                self.send(coordinator, ("ACK", r))
+            else:
+                self.send(coordinator, ("NACK", r))
+            # A fresh round begins immediately; pacing keeps nack storms
+            # from flooding an unlucky coordinator.
+            yield WaitSteps(2)
+
+    def _coordinate(self, r: int):
+        """Phases 2 and 4 of round r, run by its coordinator."""
+        majority = self._majority()
+        estimates = self._estimates.setdefault(r, {})
+        yield WaitUntil(
+            lambda: self.decided or len(estimates) >= majority
+        )
+        if self.decided:
+            return
+        value = max(estimates.values(), key=lambda vt: vt[1])[0]
+        self.broadcast(("PROP", r, value))
+        acks = self._acks.setdefault(r, set())
+        nacks = self._nacks.setdefault(r, set())
+        yield WaitUntil(
+            lambda: self.decided
+            or len(acks) >= majority
+            or bool(nacks)
+        )
+        if self.decided:
+            return
+        if len(acks) >= majority:
+            rb: ReliableBroadcastCore = self.child(self.RB_TAG)  # type: ignore[assignment]
+            rb.rbroadcast(("DECIDE", value))

@@ -1,0 +1,38 @@
+"""The consensus problem (Section 4.1) and wiring helpers.
+
+Each process invokes PROPOSE(v) which returns a value, subject to:
+
+* **Termination** — if every correct process proposes, every correct
+  process eventually returns a value;
+* **Uniform Agreement** — no two processes (correct or faulty) return
+  different values;
+* **Validity** — a returned value was proposed by some process.
+
+The paper states binary consensus (v ∈ {0, 1}); all implementations
+here are natively multivalued (any hashable value), which subsumes it.
+The separate binary→multivalued transformation of [20] is reproduced in
+:mod:`repro.consensus.multivalued` as a substrate in its own right.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.protocols.base import CoreComponent, ProtocolCore
+
+
+def consensus_component(
+    core_factory: Callable[[int], ProtocolCore],
+) -> Callable[[int], CoreComponent]:
+    """Wrap a consensus-core factory as a component factory.
+
+    ``core_factory(pid)`` must return an unattached core whose decision
+    is the process's consensus output; the wrapping component records it
+    in the run trace, where :func:`repro.analysis.properties.check_consensus`
+    picks it up.
+    """
+
+    def factory(pid: int) -> CoreComponent:
+        return CoreComponent(core_factory(pid))
+
+    return factory

@@ -1,0 +1,45 @@
+"""Multi-instance consensus.
+
+Several reductions in the paper consume consensus as a *service* with
+many independent instances: state-machine replication decides one
+command per slot [17, 21], the binary→multivalued transformation [20]
+runs one instance per candidate round, and the NBAC→FS extraction runs
+NBAC instances "repeatedly (forever)".  :class:`MultiConsensusCore`
+specialises the generic :class:`~repro.protocols.multi.MultiInstanceCore`
+to lazily-created :class:`OmegaSigmaConsensusCore` children.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.protocols.multi import MultiInstanceCore
+
+
+class MultiConsensusCore(MultiInstanceCore):
+    """An unbounded family of consensus instances.
+
+    Parameters
+    ----------
+    instance_factory:
+        Builds the core for one instance; defaults to
+        :class:`OmegaSigmaConsensusCore` with no initial proposal (the
+        instance acts as acceptor until :meth:`propose` supplies one).
+    """
+
+    def __init__(
+        self,
+        instance_factory: Optional[Callable[[str], OmegaSigmaConsensusCore]] = None,
+    ):
+        super().__init__(
+            instance_factory or (lambda tag: OmegaSigmaConsensusCore())
+        )
+
+    def propose(self, key: Any, value: Any) -> Generator:
+        """Tasklet: propose ``value`` in instance ``key``; returns the
+        decision (use as ``decision = yield from multi.propose(k, v)``)."""
+        inst = self.instance(key)
+        inst.propose(value)  # type: ignore[attr-defined]
+        _, decision = yield inst.wait_decided()
+        return decision

@@ -1,0 +1,106 @@
+"""Binary → multivalued consensus — the [20] substrate.
+
+Footnote 6 of the paper: "by using the technique of [20] one can
+transform any binary QC algorithm into a multivalued one".  This module
+reproduces the consensus version of that transformation: given a
+*binary* consensus service (instances deciding only 0/1), build
+multivalued consensus.
+
+Construction (candidate-election variant):
+
+1. every process reliably disseminates its proposal ``(VAL, pid, v)``;
+2. rounds ``k = 0, 1, 2, ...`` consider candidate ``i = k mod n``;
+   each process proposes 1 to binary instance ``k`` iff it has received
+   candidate ``i``'s value — and *before* proposing 1 it re-broadcasts
+   that value to everyone (the echo);
+3. the first instance to decide 1 elects its candidate: every process
+   waits for (and, by the echo, eventually holds) that candidate's
+   value and returns it.
+
+Why it is correct:
+
+* **Validity** — the decision is some process's disseminated proposal.
+* **Agreement** — all processes follow the same sequence of binary
+  decisions and stop at the first 1.
+* **Termination** — the echo precedes any 1-proposal, and in our model
+  a message once *sent* is delivered to every correct process even if
+  the sender then crashes; so a decided 1 implies everyone eventually
+  holds the candidate's value.  Conversely, eventually every correct
+  process holds every correct process's value, so some round's instance
+  receives only 1-proposals and binary validity forces a 1.
+
+The binary instances come from a sibling
+:class:`~repro.consensus.multi.MultiConsensusCore` — but any binary
+consensus implementation with the standard interface works, which is
+the point of the transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.consensus.multi import MultiConsensusCore
+from repro.protocols.base import ProtocolCore
+from repro.sim.tasklets import WaitUntil
+
+
+class MultivaluedFromBinaryCore(ProtocolCore):
+    """Multivalued consensus over a binary consensus service.
+
+    Parameters
+    ----------
+    proposal:
+        This process's (arbitrary, hashable) proposal.
+    max_rounds:
+        Safety valve on candidate rounds (0 = unbounded).
+    """
+
+    BINARY_TAG = "bin"
+
+    def __init__(self, proposal: Any, max_rounds: int = 0):
+        super().__init__()
+        if proposal is None:
+            raise ValueError("proposals must be non-None")
+        self.proposal = proposal
+        self.max_rounds = max_rounds
+        self._values: Dict[int, Any] = {}
+        self.rounds_used = 0
+
+    def start(self) -> None:
+        self.add_child(self.BINARY_TAG, MultiConsensusCore())
+        self.broadcast(("VAL", self.pid, self.proposal))
+        self._values[self.pid] = self.proposal
+        self.spawn(self._run(), name=f"mv@{self.pid}")
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if self.route_to_children(sender, payload):
+            return
+        kind = payload[0]
+        if kind == "VAL":
+            _, origin, value = payload
+            self._values.setdefault(origin, value)
+        else:
+            raise ValueError(f"unknown multivalued message {payload!r}")
+
+    def _run(self):
+        binary: MultiConsensusCore = self.child(self.BINARY_TAG)  # type: ignore[assignment]
+        k = 0
+        while self.max_rounds == 0 or k < self.max_rounds:
+            candidate = k % self.n
+            if candidate in self._values:
+                # Echo before voting 1: once this step's sends are out,
+                # every correct process will eventually hold the value.
+                self.broadcast(("VAL", candidate, self._values[candidate]))
+                my_bit = 1
+            else:
+                my_bit = 0
+            bit = yield from binary.propose(k, my_bit)
+            k += 1
+            self.rounds_used = k
+            if bit == 1:
+                value = yield WaitUntil(
+                    lambda c=candidate: c in self._values
+                    and (True, self._values[c])
+                )
+                self.decide(value[1])
+                return

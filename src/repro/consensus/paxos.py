@@ -1,0 +1,239 @@
+"""(Ω, Σ)-based consensus — the sufficiency half of Corollary 4.
+
+The paper obtains "(Ω, Σ) solves consensus in every environment" by
+composition: Σ implements registers (Theorem 1) and registers + Ω solve
+consensus [19].  That composed route is reproduced in
+:mod:`repro.consensus.shared_memory`.  This module implements the
+*direct* message-passing algorithm implicit in the same result — a
+Paxos-style ballot protocol in which:
+
+* **Ω** tells a process whether it should act as leader (coordinate a
+  ballot), and
+* **Σ** tells a leader when it has heard from enough processes: a phase
+  completes once the responder set contains some currently-output
+  quorum.  Σ's perpetual Intersection property gives exactly the
+  phase-1/phase-2 quorum intersection that Paxos safety needs, and its
+  eventual Completeness gives liveness (eventually quorums contain only
+  correct — hence responsive — processes).
+
+Safety holds under any schedule and any number of crashes; termination
+needs Ω to stabilise and Σ to become complete, which the oracles
+guarantee in every environment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.core.detector import BOTTOM, is_omega_sigma_value
+from repro.protocols.base import ProtocolCore
+from repro.sim.tasklets import WaitSteps, WaitUntil
+
+
+def omega_of(d: Any) -> Optional[int]:
+    """Extract the Ω component from a detector value, if present."""
+    if is_omega_sigma_value(d):
+        return d[0]
+    if isinstance(d, int):
+        return d
+    return None
+
+
+def sigma_of(d: Any) -> Optional[FrozenSet[int]]:
+    """Extract the Σ component from a detector value, if present."""
+    if is_omega_sigma_value(d):
+        return d[1]
+    if isinstance(d, frozenset):
+        return d
+    return None
+
+
+class OmegaSigmaConsensusCore(ProtocolCore):
+    """Multivalued consensus from (Ω, Σ).
+
+    Parameters
+    ----------
+    proposal:
+        This process's proposal; may be None and supplied later via
+        :meth:`propose` (the process acts as acceptor meanwhile).
+    omega_extract / sigma_extract:
+        How to read Ω and Σ out of the process's detector value.  The
+        defaults understand the ``(leader, quorum)`` product encoding
+        and ``BOTTOM``/unrelated values (yielding None, which simply
+        pauses leadership/quorum progress) — this is what lets the very
+        same core run under the Ψ detector inside Figure 2's QC
+        algorithm, where (Ω, Σ) only becomes available after Ψ's switch.
+    retry_interval:
+        Local steps a non-leader (or a nacked leader) waits before
+        re-examining leadership.
+    """
+
+    def __init__(
+        self,
+        proposal: Any = None,
+        omega_extract: Callable[[Any], Optional[int]] = omega_of,
+        sigma_extract: Callable[[Any], Optional[FrozenSet[int]]] = sigma_of,
+        retry_interval: int = 8,
+    ):
+        super().__init__()
+        self.proposal = proposal
+        self._omega_extract = omega_extract
+        self._sigma_extract = sigma_extract
+        self.retry_interval = retry_interval
+
+        # Acceptor state.
+        self.promised: int = -1
+        self.accepted: Optional[Tuple[int, Any]] = None  # (ballot, value)
+
+        # Leader (per-attempt) state.
+        self._attempt = 0
+        self._p1b: Dict[int, Optional[Tuple[int, Any]]] = {}
+        self._p2b: Set[int] = set()
+        self._nacked = False
+
+        # Statistics for the benchmark harness.
+        self.ballots_started = 0
+        self._forwarded_to: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def propose(self, value: Any) -> None:
+        """Supply the proposal (enables leadership)."""
+        if value is None:
+            raise ValueError("proposals must be non-None")
+        if self.proposal is None:
+            self.proposal = value
+
+    def start(self) -> None:
+        self.spawn(self._leader_loop(), name="paxos-leader")
+
+    # ------------------------------------------------------------------
+    # Detector access
+    # ------------------------------------------------------------------
+    def _leader(self) -> Optional[int]:
+        return self._omega_extract(self.detector())
+
+    def _quorum(self) -> Optional[FrozenSet[int]]:
+        return self._sigma_extract(self.detector())
+
+    def _quorum_reached(self, responders: Set[int]) -> bool:
+        quorum = self._quorum()
+        return quorum is not None and quorum <= responders
+
+    # ------------------------------------------------------------------
+    # Leader protocol
+    # ------------------------------------------------------------------
+    def _leader_loop(self):
+        while not self.decided:
+            if self.proposal is None or self._leader() != self.pid:
+                # Liveness: the Ω-leader may have no proposal of its own
+                # in this instance (e.g. an SMR slot it is not bidding
+                # for).  Forward ours so it can coordinate on our
+                # behalf; validity is preserved since the adopted value
+                # is still some process's proposal.  Links are reliable,
+                # so one forward per observed leader suffices — naive
+                # periodic re-forwarding floods a stable leader's inbox
+                # and starves every other protocol sharing it.
+                leader = self._leader()
+                if (
+                    self.proposal is not None
+                    and leader is not None
+                    and leader != self.pid
+                    and leader != self._forwarded_to
+                ):
+                    self._forwarded_to = leader
+                    self.send(leader, ("FWD", self.proposal))
+                yield WaitSteps(self.retry_interval)
+                continue
+
+            self._attempt += 1
+            self.ballots_started += 1
+            ballot = self._attempt * self.n + self.pid
+            self._p1b = {}
+            self._p2b = set()
+            self._nacked = False
+
+            self.broadcast(("P1A", ballot))
+            yield WaitUntil(
+                lambda: self.decided
+                or self._nacked
+                or self._quorum_reached(set(self._p1b))
+            )
+            if self.decided:
+                return
+            if self._nacked:
+                yield WaitSteps(self.retry_interval + self.pid + 1)
+                continue
+
+            accepted = [a for a in self._p1b.values() if a is not None]
+            if accepted:
+                value = max(accepted, key=lambda a: a[0])[1]
+            else:
+                value = self.proposal
+
+            self.broadcast(("P2A", ballot, value))
+            yield WaitUntil(
+                lambda: self.decided
+                or self._nacked
+                or self._quorum_reached(self._p2b)
+            )
+            if self.decided:
+                return
+            if self._nacked:
+                yield WaitSteps(self.retry_interval + self.pid + 1)
+                continue
+
+            # Chosen: a Σ-quorum accepted (ballot, value).  Announce and
+            # decide in the same atomic step, so either everyone hears
+            # it or the leader never decided.
+            self.broadcast(("DECIDE", value))
+            if not self.decided:
+                self.decide(value)
+            return
+
+    # ------------------------------------------------------------------
+    # Acceptor protocol
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == "P1A":
+            _, ballot = payload
+            if ballot > self.promised:
+                self.promised = ballot
+                self.send(sender, ("P1B", ballot, self.accepted))
+            else:
+                self.send(sender, ("NACK", ballot))
+        elif kind == "P2A":
+            _, ballot, value = payload
+            if ballot >= self.promised:
+                self.promised = ballot
+                self.accepted = (ballot, value)
+                self.send(sender, ("P2B", ballot))
+            else:
+                self.send(sender, ("NACK", ballot))
+        elif kind == "P1B":
+            _, ballot, accepted = payload
+            if ballot == self._current_ballot():
+                self._p1b[sender] = accepted
+        elif kind == "P2B":
+            _, ballot = payload
+            if ballot == self._current_ballot():
+                self._p2b.add(sender)
+        elif kind == "NACK":
+            _, ballot = payload
+            if ballot == self._current_ballot():
+                self._nacked = True
+        elif kind == "FWD":
+            _, value = payload
+            if self.proposal is None:
+                self.proposal = value
+        elif kind == "DECIDE":
+            _, value = payload
+            if not self.decided:
+                self.decide(value)
+        else:
+            raise ValueError(f"unknown consensus message {payload!r}")
+
+    def _current_ballot(self) -> int:
+        return self._attempt * self.n + self.pid

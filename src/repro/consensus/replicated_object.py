@@ -1,0 +1,187 @@
+"""Objects (and in particular registers) from consensus — SMR [17, 21].
+
+Corollary 3 leans on Lamport's state-machine approach: "by using
+consensus we can implement any object, and in particular registers".
+This module makes that executable: a :class:`ReplicatedStateMachine`
+decides one command per slot using a consensus instance per slot, and
+every process applies the agreed log to a deterministic object.
+
+:class:`ReplicatedRegisterCore` specialises the machine to a read/write
+register and records invocation/response intervals so the
+linearizability checker can certify the emulation — which is exactly
+the step the paper uses to turn "D solves consensus" into "D implements
+registers" (and thence, via Figure 1, into "D yields Σ").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.consensus.multi import MultiConsensusCore
+from repro.protocols.base import CoreComponent, ProtocolCore
+from repro.sim.tasklets import WaitSteps, WaitUntil
+
+
+class StateMachine:
+    """A deterministic object: ``apply(command) -> response``."""
+
+    def apply(self, command: Any) -> Any:
+        raise NotImplementedError
+
+
+class RegisterMachine(StateMachine):
+    """A read/write register as a state machine."""
+
+    def __init__(self, initial: Any = None):
+        self.value = initial
+
+    def apply(self, command: Any) -> Any:
+        kind = command[0]
+        if kind == "write":
+            self.value = command[1]
+            return "ok"
+        if kind == "read":
+            return self.value
+        raise ValueError(f"unknown register command {command!r}")
+
+
+class ReplicatedStateMachine(ProtocolCore):
+    """SMR over per-slot consensus instances.
+
+    Commands are submitted locally via :meth:`execute` (a tasklet
+    generator); the machine proposes the command for successive slots
+    until it is decided into the log, then waits for the log to apply
+    up to that point and returns the response.
+
+    Every process applies the same log prefix to its own machine
+    replica, so responses are consistent across processes — the
+    linearization order *is* the log order.
+    """
+
+    CONSENSUS_TAG = "slots"
+
+    def __init__(self, machine_factory: Callable[[], StateMachine]):
+        super().__init__()
+        self.machine_factory = machine_factory
+        self.machine: StateMachine = None  # type: ignore[assignment]
+        self.log: List[Any] = []
+        self.responses: List[Any] = []
+        self._next_cmd_seq = 0
+
+    def start(self) -> None:
+        self.machine = self.machine_factory()
+        self.add_child(self.CONSENSUS_TAG, MultiConsensusCore())
+        self.spawn(self._apply_loop(), name=f"smr-apply@{self.pid}")
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if not self.route_to_children(sender, payload):
+            raise ValueError(f"unknown SMR message {payload!r}")
+
+    # ------------------------------------------------------------------
+    # Log construction
+    # ------------------------------------------------------------------
+    def _consensus(self) -> MultiConsensusCore:
+        return self.child(self.CONSENSUS_TAG)  # type: ignore[return-value]
+
+    def _apply_loop(self):
+        """Applies decided slots in order, forever."""
+        consensus = self._consensus()
+        slot = 0
+        while True:
+            inst = consensus.instance(slot)
+            _, tagged = yield inst.wait_decided()
+            self.log.append(tagged)
+            # Log entries are (origin pid, origin seq, command).
+            self.responses.append(self.machine.apply(tagged[2]))
+            slot += 1
+
+    def execute(self, command: Any) -> Generator:
+        """Tasklet: agree on a slot for ``command``, apply, return the
+        response — ``resp = yield from smr.execute(cmd)``."""
+        self._next_cmd_seq += 1
+        tagged = (self.pid, self._next_cmd_seq, command)
+        consensus = self._consensus()
+        slot = len(self.log)
+        while True:
+            decided_cmd = yield from consensus.propose(slot, tagged)
+            if decided_cmd == tagged:
+                break
+            slot += 1
+        # Wait until the apply loop has processed our slot.
+        yield WaitUntil(lambda: len(self.responses) > slot)
+        return self.responses[slot]
+
+
+class ReplicatedRegisterClient(ProtocolCore):
+    """A register client speaking to a hosted replicated state machine.
+
+    Issues a scripted sequence of read/write operations, recording
+    intervals for the linearizability checker via the host component's
+    context (the :class:`~repro.protocols.base.CoreComponent` trace
+    hookup records decisions; operations are recorded explicitly here).
+    """
+
+    SMR_TAG = "smr"
+
+    def __init__(self, script: List[Tuple[str, Any]], record_component: str = "smrreg"):
+        super().__init__()
+        self.script = list(script)
+        self.record_component = record_component
+        self.results: List[Any] = []
+        self.done = False
+        self._record_op: Optional[Callable[..., Any]] = None
+        self._complete_op: Optional[Callable[..., Any]] = None
+
+    def set_recorders(self, new_operation, complete_operation) -> None:
+        """Wire trace recording (done by the hosting component)."""
+        self._record_op = new_operation
+        self._complete_op = complete_operation
+
+    def start(self) -> None:
+        self.add_child(
+            self.SMR_TAG, ReplicatedStateMachine(lambda: RegisterMachine())
+        )
+        self.spawn(self._run(), name=f"smr-client@{self.pid}")
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if not self.route_to_children(sender, payload):
+            raise ValueError(f"unknown client message {payload!r}")
+
+    def _run(self):
+        smr: ReplicatedStateMachine = self.child(self.SMR_TAG)  # type: ignore[assignment]
+        for kind, arg in self.script:  # noqa: B007 - sequential script
+            yield WaitSteps(2)
+            if kind == "write":
+                record = (
+                    self._record_op(self.record_component, "write", ("r", arg))
+                    if self._record_op
+                    else None
+                )
+                yield from smr.execute(("write", arg))
+                result: Any = "ok"
+            else:
+                record = (
+                    self._record_op(self.record_component, "read", ("r",))
+                    if self._record_op
+                    else None
+                )
+                result = yield from smr.execute(("read",))
+            if record is not None:
+                self._complete_op(record, result)
+            self.results.append((kind, result))
+        self.done = True
+
+
+class SMRRegisterComponent(CoreComponent):
+    """Hosts a :class:`ReplicatedRegisterClient` with trace-recorded
+    register operations (component name ``smrreg``)."""
+
+    name = "smrreg"
+
+    def __init__(self, script: List[Tuple[str, Any]]):
+        super().__init__(ReplicatedRegisterClient(script, record_component=self.name))
+
+    def on_start(self) -> None:
+        client: ReplicatedRegisterClient = self.core  # type: ignore[assignment]
+        client.set_recorders(self.ctx.new_operation, self.ctx.complete_operation)
+        super().on_start()

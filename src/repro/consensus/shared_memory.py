@@ -1,0 +1,200 @@
+"""Consensus from registers + Ω — the Lo–Hadzilacos route [19].
+
+Corollary 2's proof is compositional: Σ implements registers (Theorem
+1), and "using registers and Ω we can solve consensus in any
+environment [19]".  This module reproduces the second leg as a
+round-based algorithm over an abstract *register space*:
+
+* rounds ``r = 1, 2, ...``; in each round the process that Ω names
+  leader publishes its estimate in a leader register ``L[r]``;
+* every process adopts ``L[r]`` (waiting until it is written or the
+  leader changes) and feeds it to a *commit-adopt* object ``CA_r``
+  built from single-writer registers (Gafni's construction);
+* a ``commit`` grade decides; the decision is published in a register
+  ``D`` so laggards terminate.
+
+Safety: commit-adopt agreement forces every estimate leaving round
+``r`` to equal a committed value, and only processes that traversed
+round ``r`` can write ``L[r+1]``, so all later inputs equal it too.
+Liveness: once Ω stabilises, a single correct leader writes every
+``L[r]``, all inputs agree, and commit-adopt must commit.
+
+The register space is pluggable:
+
+* :class:`InstantRegisterSpace` — magically atomic shared cells, for
+  unit-testing the consensus logic in isolation;
+* :class:`BankRegisterSpace` — the full message-passing stack: each
+  read/write goes through the ABD-over-Σ emulation, making the
+  composite a genuine "(Ω, Σ) solves consensus" executable proof.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.consensus.paxos import omega_of
+from repro.registers.abd import RegisterBank
+from repro.sim.process import Component
+from repro.sim.tasklets import WaitSteps
+
+
+class RegisterSpace(ABC):
+    """Named atomic registers exposed as tasklet-generator operations."""
+
+    @abstractmethod
+    def read(self, name: Any) -> Generator: ...
+
+    @abstractmethod
+    def write(self, name: Any, value: Any) -> Generator: ...
+
+
+class InstantRegisterSpace(RegisterSpace):
+    """Atomic-by-construction shared cells (test substrate).
+
+    All processes must share the same instance; each operation
+    completes within the invoking step, which trivially linearizes.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[Any, Any] = {}
+
+    def read(self, name: Any) -> Generator:
+        return self._cells.get(name)
+        yield  # pragma: no cover - makes this a generator
+
+    def write(self, name: Any, value: Any) -> Generator:
+        self._cells[name] = value
+        return "ok"
+        yield  # pragma: no cover - makes this a generator
+
+
+class BankRegisterSpace(RegisterSpace):
+    """Register space backed by a sibling :class:`RegisterBank`."""
+
+    def __init__(self, bank: RegisterBank, prefix: str = "sm"):
+        self.bank = bank
+        self.prefix = prefix
+
+    def read(self, name: Any) -> Generator:
+        value = yield from self.bank.read((self.prefix, name))
+        return value
+
+    def write(self, name: Any, value: Any) -> Generator:
+        result = yield from self.bank.write((self.prefix, name), value)
+        return result
+
+
+def commit_adopt(
+    space: RegisterSpace, instance: Any, pid: int, n: int, value: Any
+) -> Generator:
+    """Gafni's commit-adopt from single-writer registers.
+
+    Returns ``(grade, value)`` with grade "commit" or "adopt":
+
+    * if all participants propose ``v``, everyone commits ``v``;
+    * if anyone commits ``v``, everyone commits or adopts ``v``.
+    """
+    yield from space.write(("CA-A", instance, pid), value)
+    seen_a = []
+    for j in range(n):
+        cell = yield from space.read(("CA-A", instance, j))
+        if cell is not None:
+            seen_a.append(cell)
+    if all(v == value for v in seen_a):
+        yield from space.write(("CA-B", instance, pid), ("commit", value))
+    else:
+        yield from space.write(("CA-B", instance, pid), ("adopt", value))
+    seen_b = []
+    for j in range(n):
+        cell = yield from space.read(("CA-B", instance, j))
+        if cell is not None:
+            seen_b.append(cell)
+    commits = [v for flag, v in seen_b if flag == "commit"]
+    if commits:
+        if all(flag == "commit" and v == commits[0] for flag, v in seen_b):
+            return ("commit", commits[0])
+        return ("adopt", commits[0])
+    return ("adopt", value)
+
+
+class SharedMemoryConsensus(Component):
+    """Round-based consensus from a register space and Ω.
+
+    Parameters
+    ----------
+    proposal:
+        This process's proposal.
+    space_factory:
+        ``space_factory(self)`` returns the :class:`RegisterSpace` to
+        run over (called at start so it can look up sibling
+        components).
+    omega_extract:
+        How to read the leader out of the detector value.
+    poll_interval:
+        Local steps between re-polls while waiting on ``L[r]``.
+    """
+
+    name = "smcons"
+
+    def __init__(
+        self,
+        proposal: Any,
+        space_factory: Callable[["SharedMemoryConsensus"], RegisterSpace],
+        omega_extract: Callable[[Any], Optional[int]] = omega_of,
+        poll_interval: int = 2,
+    ):
+        super().__init__()
+        if proposal is None:
+            raise ValueError("proposals must be non-None")
+        self.proposal = proposal
+        self.space_factory = space_factory
+        self.omega_extract = omega_extract
+        self.poll_interval = poll_interval
+        self.rounds_used = 0
+
+    def on_start(self) -> None:
+        self.spawn(self._run(), name=f"smcons@{self.pid}")
+
+    def on_message(self, sender: int, payload: Any, meta: Dict[str, Any]) -> None:
+        raise RuntimeError("shared-memory consensus exchanges no direct messages")
+
+    def _run(self):
+        space = self.space_factory(self)
+        est = self.proposal
+        r = 0
+        while True:
+            r += 1
+            self.rounds_used = r
+            decided_value = yield from space.read(("D",))
+            if decided_value is not None:
+                self.decide(decided_value)
+                return
+
+            leader = self.omega_extract(self.detector())
+            if leader == self.pid:
+                yield from space.write(("L", r), est)
+
+            # Wait for the round's leader value, the leader to change,
+            # or a decision to appear.
+            round_input = est
+            while True:
+                lval = yield from space.read(("L", r))
+                if lval is not None:
+                    round_input = lval
+                    break
+                decided_value = yield from space.read(("D",))
+                if decided_value is not None:
+                    self.decide(decided_value)
+                    return
+                if self.omega_extract(self.detector()) != leader:
+                    break
+                yield WaitSteps(self.poll_interval)
+
+            grade, est = yield from commit_adopt(
+                space, r, self.pid, self.n, round_input
+            )
+            if grade == "commit":
+                yield from space.write(("D",), est)
+                self.decide(est)
+                return

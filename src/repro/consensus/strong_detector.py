@@ -1,0 +1,105 @@
+"""Consensus from the strong detector S — any number of crashes [4].
+
+Chandra–Toueg's S-based algorithm is the classical proof that consensus
+tolerates ``n - 1`` crashes *given a strong enough oracle*; the paper
+reproduced here shows how little oracle is actually needed ((Ω, Σ)).
+Running both side by side locates the price: S's perpetual weak
+accuracy cannot be implemented under asynchrony at all, while Σ is free
+under a majority and Ω needs only partial synchrony.
+
+The algorithm (set-flooding, three phases):
+
+* **Phase 1** — ``n - 1`` asynchronous rounds; in each, broadcast the
+  *newly learned* proposal pairs and wait, for every process ``q``, to
+  either receive q's round message or see q suspected (a resolved
+  suspicion is latched — S may flicker on unprotected processes).
+* **Phase 2** — broadcast the full proposal set; wait likewise; take
+  the intersection of all received sets.  The never-suspected process
+  threads through every wait, which forces all intersections equal.
+* **Phase 3** — decide the value of the smallest pid in the final set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Set, Tuple
+
+from repro.protocols.base import ProtocolCore
+from repro.sim.tasklets import WaitUntil
+
+Pair = Tuple[int, Any]  # (origin pid, proposed value)
+
+
+class StrongConsensusCore(ProtocolCore):
+    """Consensus from S, resilient to ``n - 1`` crashes.
+
+    The detector value is expected to be an S suspicion set.
+    """
+
+    def __init__(self, proposal: Any = None, suspects_extract=None):
+        super().__init__()
+        self.proposal = proposal
+        self._suspects = suspects_extract or (
+            lambda d: d if isinstance(d, frozenset) else frozenset()
+        )
+        self._p1: Dict[int, Dict[int, FrozenSet[Pair]]] = {}
+        self._p2: Dict[int, FrozenSet[Pair]] = {}
+        # Latched per-wait suspicion resolutions (S may flicker).
+        self._latched: Dict[Any, Set[int]] = {}
+
+    def propose(self, value: Any) -> None:
+        if value is None:
+            raise ValueError("proposals must be non-None")
+        if self.proposal is None:
+            self.proposal = value
+
+    def start(self) -> None:
+        self.spawn(self._run(), name=f"s-cons@{self.pid}")
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        kind = payload[0]
+        if kind == "P1":
+            _, r, pairs = payload
+            self._p1.setdefault(r, {})[sender] = pairs
+        elif kind == "P2":
+            _, pairs = payload
+            self._p2[sender] = pairs
+        else:
+            raise ValueError(f"unknown S-consensus message {payload!r}")
+
+    # ------------------------------------------------------------------
+    def _resolved(self, key: Any, received: Dict[int, Any]) -> bool:
+        """Every process either responded or has been seen suspected."""
+        latched = self._latched.setdefault(key, set())
+        latched |= self._suspects(self.detector())
+        return all(
+            q == self.pid or q in received or q in latched
+            for q in range(self.n)
+        )
+
+    def _run(self):
+        yield WaitUntil(lambda: self.proposal is not None)
+        known: Set[Pair] = {(self.pid, self.proposal)}
+        fresh: Set[Pair] = set(known)
+
+        # Phase 1: n - 1 rounds of flooding the newly learned pairs.
+        for r in range(1, self.n):
+            self.broadcast(("P1", r, frozenset(fresh)))
+            received = self._p1.setdefault(r, {})
+            yield WaitUntil(lambda r=r, recv=received: self._resolved(("p1", r), recv))
+            snapshot = dict(received)
+            fresh = set()
+            for pairs in snapshot.values():
+                fresh |= set(pairs) - known
+            known |= fresh
+
+        # Phase 2: exchange full sets; intersect what arrived.
+        self.broadcast(("P2", frozenset(known)))
+        yield WaitUntil(lambda: self._resolved("p2", self._p2))
+        final = frozenset(known)
+        for pairs in dict(self._p2).values():
+            final &= pairs
+
+        # Phase 3: deterministic choice from the agreed set.
+        assert final, "intersection cannot be empty: it contains the never-suspected process's pairs"
+        origin, value = min(final, key=lambda pair: pair[0])
+        self.decide(value)

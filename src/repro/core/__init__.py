@@ -1,0 +1,29 @@
+"""Core model: failure patterns, environments, detector histories and specs.
+
+This package is a direct transcription of Section 2 of the paper
+(Delporte-Gallet et al., PODC 2004): failure patterns ``F``, failure
+detector histories ``H``, failure detectors ``D`` as maps from patterns to
+sets of histories, and environments ``E`` as sets of failure patterns.
+"""
+
+from repro.core.failure_pattern import FailurePattern
+from repro.core.environment import (
+    Environment,
+    CrashFreeEnvironment,
+    FCrashEnvironment,
+    MajorityCorrectEnvironment,
+    OrderedCrashEnvironment,
+    ExplicitEnvironment,
+)
+from repro.core.history import FailureDetectorHistory
+
+__all__ = [
+    "FailurePattern",
+    "Environment",
+    "CrashFreeEnvironment",
+    "FCrashEnvironment",
+    "MajorityCorrectEnvironment",
+    "OrderedCrashEnvironment",
+    "ExplicitEnvironment",
+    "FailureDetectorHistory",
+]

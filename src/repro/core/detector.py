@@ -1,0 +1,116 @@
+"""Failure detector base class and shared value vocabulary.
+
+A failure detector ``D`` with range ``R`` maps each failure pattern ``F``
+to a set of histories ``D(F)`` (Section 2).  An *oracle* detector in this
+reproduction is a sampler of that set: given a concrete failure pattern,
+a horizon, and a seeded RNG, it produces one admissible history
+``H ∈ D(F)``.
+
+Value vocabulary used across the library:
+
+* Ω values are process ids (``int``);
+* Σ values are ``frozenset`` quorums of process ids;
+* FS values are the strings :data:`GREEN` and :data:`RED`;
+* (Ω, Σ) product values are ``(leader, quorum)`` tuples;
+* Ψ values are :data:`BOTTOM` during the initial period, then either an
+  FS value or an (Ω, Σ) value, depending on the branch Ψ commits to.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, FrozenSet, Tuple
+
+from repro.core.failure_pattern import FailurePattern
+from repro.core.history import FailureDetectorHistory
+
+GREEN = "green"
+RED = "red"
+
+
+class _Bottom:
+    """The ⊥ value output by Ψ during its initial period."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+BOTTOM = _Bottom()
+
+
+def is_fs_value(value: Any) -> bool:
+    """Whether ``value`` is in the range of FS."""
+    return value in (GREEN, RED)
+
+
+def is_omega_sigma_value(value: Any) -> bool:
+    """Whether ``value`` is in the range of the product (Ω, Σ)."""
+    return (
+        isinstance(value, tuple)
+        and len(value) == 2
+        and isinstance(value[0], int)
+        and isinstance(value[1], frozenset)
+    )
+
+
+OmegaSigmaValue = Tuple[int, FrozenSet[int]]
+
+
+class FailureDetector(ABC):
+    """An oracle that samples a history ``H ∈ D(F)``.
+
+    Subclasses implement :meth:`build_history`.  The returned history must
+    satisfy the detector's defining properties for the given pattern;
+    :mod:`repro.core.specs` provides checkers that the test suite runs
+    against every oracle.
+    """
+
+    #: Human-readable detector name (e.g. ``"Sigma"``) for traces/reports.
+    name: str = "D"
+
+    @abstractmethod
+    def build_history(
+        self,
+        pattern: FailurePattern,
+        horizon: int,
+        rng: random.Random,
+    ) -> FailureDetectorHistory:
+        """Sample one admissible history for ``pattern`` up to ``horizon``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+#: Default cap on how long after the last crash an oracle may stay noisy.
+DEFAULT_STABILIZATION_SPAN = 200
+
+
+def sample_stabilization_time(
+    rng: random.Random,
+    pattern: FailurePattern,
+    horizon: int,
+    span: int = DEFAULT_STABILIZATION_SPAN,
+) -> int:
+    """A stabilization time for "eventually forever" properties.
+
+    Eventual detector properties only promise good behaviour *after some
+    time*.  Oracles sample that time so that it falls after the last
+    crash (eventual properties typically cannot stabilise while the set
+    of alive processes is still shrinking), with at most ``span`` extra
+    steps of noise — bounded so that algorithms whose liveness waits on
+    stabilization make progress well inside typical horizons.
+    """
+    crash_times = [t for t in pattern.crash_times.values()]
+    earliest = (max(crash_times) + 1) if crash_times else 0
+    latest = min(max(earliest, horizon // 2), earliest + span)
+    if latest <= earliest:
+        return earliest
+    return rng.randint(earliest, latest)

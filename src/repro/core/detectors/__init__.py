@@ -1,0 +1,39 @@
+"""Oracle implementations of the paper's failure detectors.
+
+Each oracle samples one admissible history ``H ∈ D(F)`` for a concrete
+failure pattern ``F``:
+
+* :class:`~repro.core.detectors.omega.OmegaOracle` — Ω, eventual leader;
+* :class:`~repro.core.detectors.sigma.SigmaOracle` — Σ, quorums;
+* :class:`~repro.core.detectors.fs.FSOracle` — FS, failure signal;
+* :class:`~repro.core.detectors.psi.PsiOracle` — Ψ, the weakest detector
+  for quittable consensus;
+* :class:`~repro.core.detectors.perfect.PerfectOracle` /
+  :class:`~repro.core.detectors.perfect.EventuallyPerfectOracle` — the
+  classical P and ◇P baselines;
+* :class:`~repro.core.detectors.combined.ProductOracle` — the product
+  (D, D') used for (Ω, Σ) and (Ψ, FS).
+"""
+
+from repro.core.detectors.omega import OmegaOracle
+from repro.core.detectors.sigma import SigmaOracle, MajoritySigmaOracle
+from repro.core.detectors.fs import FSOracle
+from repro.core.detectors.psi import PsiOracle
+from repro.core.detectors.perfect import PerfectOracle, EventuallyPerfectOracle
+from repro.core.detectors.eventually_strong import EventuallyStrongOracle
+from repro.core.detectors.strong import StrongOracle
+from repro.core.detectors.combined import ProductOracle, omega_sigma_oracle
+
+__all__ = [
+    "OmegaOracle",
+    "SigmaOracle",
+    "MajoritySigmaOracle",
+    "FSOracle",
+    "PsiOracle",
+    "PerfectOracle",
+    "EventuallyPerfectOracle",
+    "EventuallyStrongOracle",
+    "StrongOracle",
+    "ProductOracle",
+    "omega_sigma_oracle",
+]

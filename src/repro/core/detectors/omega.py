@@ -1,0 +1,82 @@
+"""The leader failure detector Ω.
+
+Definition (Section 2): the range of Ω is Pi, and ``H ∈ Ω(F)`` iff there
+is a correct process ``p`` such that every correct process eventually
+outputs ``p`` forever:
+
+    ∃p ∈ correct(F)  ∀q ∈ correct(F)  ∃t  ∀t' ≥ t : H(q, t') = p.
+
+Before the stabilization time the output is unconstrained (it may name
+crashed processes, and different processes may disagree); the oracle
+deliberately emits such noise so that algorithms are exercised against
+the full adversarial latitude the definition allows.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.core.detector import FailureDetector, sample_stabilization_time
+from repro.core.failure_pattern import FailurePattern
+from repro.core.history import FailureDetectorHistory
+
+
+class OmegaOracle(FailureDetector):
+    """Samples histories of Ω.
+
+    Parameters
+    ----------
+    noisy:
+        When true (default), pre-stabilization outputs are sampled
+        adversarially: each process flips between random (possibly
+        faulty) leaders.  When false, the oracle outputs the eventual
+        leader from time 0 — the "benign" history useful in unit tests.
+    leader:
+        Force the eventual leader to a specific correct process.  By
+        default the oracle picks the smallest correct pid.
+    """
+
+    name = "Omega"
+
+    def __init__(self, noisy: bool = True, leader: int | None = None):
+        self.noisy = noisy
+        self.leader = leader
+
+    def build_history(
+        self,
+        pattern: FailurePattern,
+        horizon: int,
+        rng: random.Random,
+    ) -> FailureDetectorHistory:
+        if not pattern.correct:
+            raise ValueError("Omega requires at least one correct process")
+        if self.leader is not None:
+            if self.leader not in pattern.correct:
+                raise ValueError(
+                    f"forced leader {self.leader} is not correct in {pattern!r}"
+                )
+            leader = self.leader
+        else:
+            leader = min(pattern.correct)
+
+        if not self.noisy:
+            return FailureDetectorHistory(
+                pattern.n, horizon, lambda pid, t: leader
+            )
+
+        # Per-process stabilization times and pre-stabilization noise.
+        stab: Dict[int, int] = {}
+        noise_seed = rng.randrange(2**62)
+        for pid in pattern.processes:
+            stab[pid] = sample_stabilization_time(rng, pattern, horizon)
+
+        def value(pid: int, t: int) -> int:
+            if t >= stab[pid]:
+                return leader
+            # Deterministic pseudo-noise: any process id is admissible
+            # before stabilization, including faulty ones.
+            mix = hash((noise_seed, pid, t // 7))
+            return mix % pattern.n
+
+        return FailureDetectorHistory(pattern.n, horizon, value)

@@ -1,0 +1,138 @@
+"""The quorum failure detector Σ.
+
+Definition (Section 2): the range of Σ is ``2^Pi``, and ``H ∈ Σ(F)`` iff
+
+* **Intersection** (perpetual): any two quorums output at any times by
+  any processes intersect:
+  ``∀p, p'  ∀t, t' : H(p, t) ∩ H(p', t') ≠ ∅``;
+* **Completeness** (eventual): eventually every quorum output at a
+  correct process contains only correct processes:
+  ``∀p ∈ correct(F)  ∃t  ∀t' ≥ t : H(p, t') ⊆ correct(F)``.
+
+Two oracles are provided:
+
+* :class:`SigmaOracle` works in *every* environment.  It keeps the
+  perpetual intersection property by threading a common correct
+  "kernel" process through every quorum; before stabilization the rest
+  of the quorum is noise (may include faulty processes), afterwards it
+  is a subset of the correct processes.
+* :class:`MajoritySigmaOracle` outputs majority quorums, which intersect
+  pairwise by counting.  It is only admissible in majority-correct
+  environments (completeness needs a fully-correct majority) and
+  mirrors the paper's remark that Σ comes "for free" there.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List
+
+from repro.core.detector import FailureDetector, sample_stabilization_time
+from repro.core.failure_pattern import FailurePattern
+from repro.core.history import FailureDetectorHistory
+
+
+class SigmaOracle(FailureDetector):
+    """Samples histories of Σ, valid in any environment.
+
+    Every emitted quorum contains a fixed correct *kernel* process, which
+    enforces Intersection at all times; Completeness is achieved by
+    shrinking quorums to subsets of ``correct(F)`` after a sampled
+    stabilization time.
+    """
+
+    name = "Sigma"
+
+    def __init__(self, noisy: bool = True, kernel: int | None = None):
+        self.noisy = noisy
+        self.kernel = kernel
+
+    def build_history(
+        self,
+        pattern: FailurePattern,
+        horizon: int,
+        rng: random.Random,
+    ) -> FailureDetectorHistory:
+        if not pattern.correct:
+            raise ValueError("Sigma requires at least one correct process")
+        if self.kernel is not None:
+            if self.kernel not in pattern.correct:
+                raise ValueError(
+                    f"kernel {self.kernel} is not correct in {pattern!r}"
+                )
+            kernel = self.kernel
+        else:
+            kernel = min(pattern.correct)
+
+        correct = sorted(pattern.correct)
+        everyone = list(pattern.processes)
+
+        if not self.noisy:
+            stable = frozenset(correct)
+            return FailureDetectorHistory(
+                pattern.n, horizon, lambda pid, t: stable
+            )
+
+        stab: Dict[int, int] = {
+            pid: sample_stabilization_time(rng, pattern, horizon)
+            for pid in pattern.processes
+        }
+        noise_seed = rng.randrange(2**62)
+
+        def value(pid: int, t: int) -> FrozenSet[int]:
+            mix = random.Random(hash((noise_seed, pid, t // 5)))
+            if t >= stab[pid]:
+                # Subset of correct processes, always containing kernel.
+                k = mix.randint(1, len(correct))
+                quorum = set(mix.sample(correct, k))
+            else:
+                # Arbitrary noise, possibly including faulty processes.
+                k = mix.randint(1, len(everyone))
+                quorum = set(mix.sample(everyone, k))
+            quorum.add(kernel)
+            return frozenset(quorum)
+
+        return FailureDetectorHistory(pattern.n, horizon, value)
+
+
+class MajoritySigmaOracle(FailureDetector):
+    """Σ via majorities; admissible only when a majority is correct.
+
+    Any two majorities of Pi intersect, giving Intersection without a
+    designated kernel.  Completeness holds because after stabilization
+    the oracle emits majorities drawn from ``correct(F)``, which exist
+    exactly when a majority of processes is correct.
+    """
+
+    name = "Sigma(majority)"
+
+    def build_history(
+        self,
+        pattern: FailurePattern,
+        horizon: int,
+        rng: random.Random,
+    ) -> FailureDetectorHistory:
+        majority = pattern.n // 2 + 1
+        correct = sorted(pattern.correct)
+        if len(correct) < majority:
+            raise ValueError(
+                "MajoritySigmaOracle needs a correct majority; "
+                f"only {len(correct)}/{pattern.n} correct in {pattern!r}"
+            )
+        everyone = list(pattern.processes)
+        stab: Dict[int, int] = {
+            pid: sample_stabilization_time(rng, pattern, horizon)
+            for pid in pattern.processes
+        }
+        noise_seed = rng.randrange(2**62)
+
+        def value(pid: int, t: int) -> FrozenSet[int]:
+            mix = random.Random(hash((noise_seed, pid, t // 5)))
+            if t >= stab[pid]:
+                pool: List[int] = correct
+            else:
+                pool = everyone
+            k = mix.randint(majority, len(pool)) if len(pool) >= majority else majority
+            return frozenset(mix.sample(pool, min(k, len(pool))))
+
+        return FailureDetectorHistory(pattern.n, horizon, value)

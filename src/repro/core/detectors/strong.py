@@ -1,0 +1,82 @@
+"""The strong detector S — perpetual weak accuracy.
+
+S (Chandra–Toueg [4]) outputs suspicion sets subject to:
+
+* **Strong completeness** — eventually every faulty process is
+  permanently suspected by every correct process;
+* **(Perpetual) weak accuracy** — some correct process is *never*
+  suspected by anyone, from time 0.
+
+The perpetual clause is what ◇S relaxes.  Its payoff: with S,
+consensus is solvable with *any* number of crashes — like the paper's
+(Ω, Σ) — but S is far more than the weakest detector for the job (it
+cannot be implemented under asynchrony even with a correct majority,
+whereas (Ω, Σ)'s components can).  Experiment E3's table shows both
+surviving f = n - 1 while the eventual-only baselines stop at the
+majority line.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet
+
+from repro.core.detector import FailureDetector
+from repro.core.failure_pattern import FailurePattern
+from repro.core.history import FailureDetectorHistory
+
+
+class StrongOracle(FailureDetector):
+    """Samples histories of S.
+
+    One correct process is protected from time 0 at every module;
+    everything else enjoys the definition's full slack — arbitrary
+    (even flickering) wrong suspicions of other correct processes,
+    bounded detection delays for crashed ones.
+    """
+
+    name = "S"
+
+    def __init__(self, protect: int | None = None, noisy: bool = True):
+        self.protect = protect
+        self.noisy = noisy
+
+    def build_history(
+        self,
+        pattern: FailurePattern,
+        horizon: int,
+        rng: random.Random,
+    ) -> FailureDetectorHistory:
+        if not pattern.correct:
+            raise ValueError("S requires at least one correct process")
+        if self.protect is not None:
+            if self.protect not in pattern.correct:
+                raise ValueError(
+                    f"protected process {self.protect} is not correct"
+                )
+            protected = self.protect
+        else:
+            protected = min(pattern.correct)
+
+        detect: Dict[tuple, int] = {}
+        for observer in pattern.processes:
+            for victim, crash_t in pattern.crash_times.items():
+                detect[(observer, victim)] = crash_t + rng.randint(0, 40)
+        noise_seed = rng.randrange(2**62)
+
+        def value(pid: int, t: int) -> FrozenSet[int]:
+            suspects = {
+                victim
+                for victim in pattern.faulty
+                if t >= detect[(pid, victim)]
+            }
+            if self.noisy:
+                mix = random.Random(hash((noise_seed, pid, t // 5)))
+                for q in pattern.correct:
+                    if q not in (pid, protected) and mix.random() < 0.2:
+                        suspects.add(q)
+            suspects.discard(protected)
+            suspects.discard(pid)
+            return frozenset(suspects)
+
+        return FailureDetectorHistory(pattern.n, horizon, value)

@@ -1,0 +1,196 @@
+"""Environments: sets of failure patterns.
+
+Formally an *environment* ``E`` is a set of failure patterns (Section 2):
+the patterns under which an algorithm of interest is required to work.
+The paper's headline results hold "for all environments"; this module
+provides the concrete environment families used by the experiments:
+
+* :class:`CrashFreeEnvironment` — no process ever crashes;
+* :class:`FCrashEnvironment` — at most ``f`` crashes, arbitrary timing
+  (``f = n - 1`` is the wait-free / "any number of crashes" environment);
+* :class:`MajorityCorrectEnvironment` — fewer than ``n/2`` crashes, the
+  classical setting of [Attiya-Bar-Noy-Dolev] and [Chandra-Toueg];
+* :class:`OrderedCrashEnvironment` — "process p never fails before q",
+  one of the paper's examples of a non-standard environment;
+* :class:`ExplicitEnvironment` — an explicit finite set of patterns.
+
+Each environment doubles as a *sampler*: :meth:`Environment.sample`
+draws a pattern from the environment using a seeded RNG, which is how the
+simulation harness instantiates runs.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.failure_pattern import FailurePattern
+
+
+class Environment(ABC):
+    """A set of failure patterns over ``n`` processes, with a sampler."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError(f"need at least one process, got n={n}")
+        self.n = n
+
+    @abstractmethod
+    def contains(self, pattern: FailurePattern) -> bool:
+        """Membership test: is ``pattern`` in this environment?"""
+
+    @abstractmethod
+    def sample(self, rng: random.Random, horizon: int) -> FailurePattern:
+        """Draw a pattern from the environment.
+
+        ``horizon`` bounds crash times so that crashes land inside the
+        finite window a simulation will actually observe.
+        """
+
+    def validate(self, pattern: FailurePattern) -> FailurePattern:
+        """Return ``pattern`` if it belongs to the environment, else raise."""
+        if pattern.n != self.n:
+            raise ValueError(
+                f"pattern is over {pattern.n} processes, environment over {self.n}"
+            )
+        if not self.contains(pattern):
+            raise ValueError(f"{pattern!r} is not in environment {self!r}")
+        return pattern
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n})"
+
+
+def _sample_crash_times(
+    rng: random.Random, victims: Sequence[int], horizon: int
+) -> dict[int, int]:
+    """Uniform crash times in ``[0, horizon)`` for each victim."""
+    upper = max(1, horizon)
+    return {pid: rng.randrange(upper) for pid in victims}
+
+
+class CrashFreeEnvironment(Environment):
+    """The environment containing only the failure-free pattern."""
+
+    def contains(self, pattern: FailurePattern) -> bool:
+        return pattern.n == self.n and pattern.is_crash_free()
+
+    def sample(self, rng: random.Random, horizon: int) -> FailurePattern:
+        return FailurePattern.crash_free(self.n)
+
+
+class FCrashEnvironment(Environment):
+    """At most ``f`` processes crash, at arbitrary times.
+
+    ``f = n - 1`` is the paper's "regardless of the number of faulty
+    processes" setting (at least one process must be correct for any of
+    the problems to be meaningful).
+    """
+
+    def __init__(self, n: int, f: int):
+        super().__init__(n)
+        if not 0 <= f <= n - 1:
+            raise ValueError(f"f must be in [0, n-1], got f={f}, n={n}")
+        self.f = f
+
+    def contains(self, pattern: FailurePattern) -> bool:
+        return pattern.n == self.n and len(pattern.faulty) <= self.f
+
+    def sample(self, rng: random.Random, horizon: int) -> FailurePattern:
+        k = rng.randint(0, self.f)
+        victims = rng.sample(range(self.n), k)
+        return FailurePattern(self.n, _sample_crash_times(rng, victims, horizon))
+
+    def __repr__(self) -> str:
+        return f"FCrashEnvironment(n={self.n}, f={self.f})"
+
+
+class MajorityCorrectEnvironment(Environment):
+    """Fewer than ``n/2`` processes crash — the classical CT/ABD setting."""
+
+    def __init__(self, n: int):
+        super().__init__(n)
+        self.f = (n - 1) // 2
+
+    def contains(self, pattern: FailurePattern) -> bool:
+        return pattern.n == self.n and len(pattern.faulty) <= self.f
+
+    def sample(self, rng: random.Random, horizon: int) -> FailurePattern:
+        k = rng.randint(0, self.f)
+        victims = rng.sample(range(self.n), k)
+        return FailurePattern(self.n, _sample_crash_times(rng, victims, horizon))
+
+
+class OrderedCrashEnvironment(Environment):
+    """Patterns in which ``first`` never fails before ``second``.
+
+    This is the paper's example of an environment that constrains the
+    *timing*, not just the count, of crashes: every pattern either keeps
+    ``first`` correct, or crashes ``first`` no earlier than ``second``.
+    At most ``f`` crashes overall.
+    """
+
+    def __init__(self, n: int, first: int, second: int, f: Optional[int] = None):
+        super().__init__(n)
+        if first == second:
+            raise ValueError("first and second must be distinct processes")
+        for pid in (first, second):
+            if not 0 <= pid < n:
+                raise ValueError(f"unknown process {pid}")
+        self.first = first
+        self.second = second
+        self.f = n - 1 if f is None else f
+
+    def contains(self, pattern: FailurePattern) -> bool:
+        if pattern.n != self.n or len(pattern.faulty) > self.f:
+            return False
+        t_first = pattern.crash_time(self.first)
+        if t_first is None:
+            return True
+        t_second = pattern.crash_time(self.second)
+        return t_second is not None and t_first >= t_second
+
+    def sample(self, rng: random.Random, horizon: int) -> FailurePattern:
+        for _ in range(64):
+            k = rng.randint(0, self.f)
+            victims = rng.sample(range(self.n), k)
+            pattern = FailurePattern(
+                self.n, _sample_crash_times(rng, victims, horizon)
+            )
+            if self.contains(pattern):
+                return pattern
+        # Fall back to a pattern that trivially satisfies the order.
+        return FailurePattern.crash_free(self.n)
+
+    def __repr__(self) -> str:
+        return (
+            f"OrderedCrashEnvironment(n={self.n}, first={self.first}, "
+            f"second={self.second}, f={self.f})"
+        )
+
+
+class ExplicitEnvironment(Environment):
+    """An explicit, finite set of failure patterns."""
+
+    def __init__(self, n: int, patterns: Iterable[FailurePattern]):
+        super().__init__(n)
+        self._patterns: List[FailurePattern] = list(patterns)
+        if not self._patterns:
+            raise ValueError("an environment must contain at least one pattern")
+        for p in self._patterns:
+            if p.n != n:
+                raise ValueError(f"pattern {p!r} is not over n={n} processes")
+
+    @property
+    def patterns(self) -> Sequence[FailurePattern]:
+        return tuple(self._patterns)
+
+    def contains(self, pattern: FailurePattern) -> bool:
+        return pattern in self._patterns
+
+    def sample(self, rng: random.Random, horizon: int) -> FailurePattern:
+        return rng.choice(self._patterns)
+
+    def __repr__(self) -> str:
+        return f"ExplicitEnvironment(n={self.n}, |patterns|={len(self._patterns)})"

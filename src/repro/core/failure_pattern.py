@@ -1,0 +1,153 @@
+"""Failure patterns.
+
+A *failure pattern* is a function ``F : T -> 2^Pi`` where ``F(t)`` is the
+set of processes that have crashed through time ``t`` (Section 2 of the
+paper).  Crashed processes do not recover, so ``F`` is monotone:
+``F(t) ⊆ F(t + 1)``.
+
+In this reproduction time is a discrete global clock ``t = 0, 1, 2, ...``
+(the paper's clock is likewise discrete and inaccessible to processes).
+A :class:`FailurePattern` is represented compactly by a crash time per
+process: ``crash_times[p] = t`` means ``p ∈ F(t')`` for all ``t' >= t``.
+Processes absent from ``crash_times`` never crash.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+
+
+class FailurePattern:
+    """An immutable crash schedule over processes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of processes in the system (``|Pi|``).
+    crash_times:
+        Mapping ``pid -> time`` of the first instant at which the process
+        is crashed.  A process with no entry is correct.
+
+    Examples
+    --------
+    >>> f = FailurePattern(3, {2: 10})
+    >>> f.crashed(2, 9), f.crashed(2, 10)
+    (False, True)
+    >>> sorted(f.correct)
+    [0, 1]
+    >>> sorted(f.faulty)
+    [2]
+    """
+
+    __slots__ = ("_n", "_crash_times", "_faulty", "_correct")
+
+    def __init__(self, n: int, crash_times: Optional[Mapping[int, int]] = None):
+        if n <= 0:
+            raise ValueError(f"need at least one process, got n={n}")
+        crash_times = dict(crash_times or {})
+        for pid, t in crash_times.items():
+            if not 0 <= pid < n:
+                raise ValueError(f"crash of unknown process {pid} (n={n})")
+            if t < 0:
+                raise ValueError(f"negative crash time {t} for process {pid}")
+        self._n = n
+        self._crash_times: Dict[int, int] = crash_times
+        self._faulty: FrozenSet[int] = frozenset(crash_times)
+        self._correct: FrozenSet[int] = frozenset(
+            p for p in range(n) if p not in crash_times
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of processes in the system."""
+        return self._n
+
+    @property
+    def processes(self) -> range:
+        """The process ids ``0 .. n-1`` (the set Pi)."""
+        return range(self._n)
+
+    @property
+    def faulty(self) -> FrozenSet[int]:
+        """``faulty(F)``: processes that crash at some time in this pattern."""
+        return self._faulty
+
+    @property
+    def correct(self) -> FrozenSet[int]:
+        """``correct(F) = Pi - faulty(F)``."""
+        return self._correct
+
+    @property
+    def crash_times(self) -> Mapping[int, int]:
+        """Read-only view of the per-process crash times."""
+        return dict(self._crash_times)
+
+    # ------------------------------------------------------------------
+    # The function F(t)
+    # ------------------------------------------------------------------
+    def crashed_at(self, t: int) -> FrozenSet[int]:
+        """``F(t)``: the set of processes crashed through time ``t``."""
+        return frozenset(
+            p for p, ct in self._crash_times.items() if ct <= t
+        )
+
+    def crashed(self, pid: int, t: int) -> bool:
+        """Whether process ``pid`` is crashed at time ``t``."""
+        ct = self._crash_times.get(pid)
+        return ct is not None and ct <= t
+
+    def alive_at(self, t: int) -> FrozenSet[int]:
+        """Processes not yet crashed at time ``t`` (they may crash later)."""
+        return frozenset(p for p in range(self._n) if not self.crashed(p, t))
+
+    def first_crash_time(self) -> Optional[int]:
+        """The first ``t`` with ``F(t) != {}``, or ``None`` if crash-free."""
+        if not self._crash_times:
+            return None
+        return min(self._crash_times.values())
+
+    def crash_time(self, pid: int) -> Optional[int]:
+        """Crash time of ``pid``, or ``None`` if ``pid`` is correct."""
+        return self._crash_times.get(pid)
+
+    def is_crash_free(self) -> bool:
+        """True iff no process ever crashes (``faulty(F) = {}``)."""
+        return not self._crash_times
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FailurePattern):
+            return NotImplemented
+        return self._n == other._n and self._crash_times == other._crash_times
+
+    def __hash__(self) -> int:
+        return hash((self._n, tuple(sorted(self._crash_times.items()))))
+
+    def __repr__(self) -> str:
+        crashes = ", ".join(
+            f"p{p}@{t}" for p, t in sorted(self._crash_times.items())
+        )
+        return f"FailurePattern(n={self._n}, crashes=[{crashes}])"
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def crash_free(cls, n: int) -> "FailurePattern":
+        """The failure-free pattern on ``n`` processes."""
+        return cls(n, {})
+
+    @classmethod
+    def single_crash(cls, n: int, pid: int, t: int) -> "FailurePattern":
+        """A pattern where only ``pid`` crashes, at time ``t``."""
+        return cls(n, {pid: t})
+
+    @classmethod
+    def crashes(cls, n: int, pairs: Iterable[tuple[int, int]]) -> "FailurePattern":
+        """A pattern from ``(pid, time)`` pairs."""
+        return cls(n, dict(pairs))

@@ -1,0 +1,117 @@
+"""Failure detector histories.
+
+A *failure detector history* with range ``R`` is a function
+``H : Pi x T -> R`` giving the value of each process's failure detector
+module at each time (Section 2).  A run of a simulation only *samples*
+``H`` at the times when processes take steps, so this module provides
+both:
+
+* :class:`FailureDetectorHistory` — a dense history defined at every
+  time step up to a horizon (what oracle detectors generate), and
+* :class:`SampledHistory` — the sparse per-step samples recorded in a
+  run trace (what spec checkers consume).
+
+Both expose the same ``samples_of(pid)`` iteration interface, so the
+property checkers in :mod:`repro.core.specs` work on either.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Tuple
+
+Sample = Tuple[int, Any]  # (time, detector value)
+
+
+class FailureDetectorHistory:
+    """A dense history ``H(p, t)`` backed by a value function.
+
+    Oracle detectors construct these lazily: ``value_fn(pid, t)`` is
+    evaluated on demand and memoised, which keeps horizon-length
+    histories cheap when only step times are queried.
+    """
+
+    def __init__(self, n: int, horizon: int, value_fn: Callable[[int, int], Any]):
+        if n <= 0:
+            raise ValueError(f"need at least one process, got n={n}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.n = n
+        self.horizon = horizon
+        self._value_fn = value_fn
+        self._cache: Dict[Tuple[int, int], Any] = {}
+
+    def value(self, pid: int, t: int) -> Any:
+        """``H(pid, t)``."""
+        if not 0 <= pid < self.n:
+            raise ValueError(f"unknown process {pid}")
+        if t < 0:
+            raise ValueError(f"negative time {t}")
+        key = (pid, t)
+        if key not in self._cache:
+            self._cache[key] = self._value_fn(pid, t)
+        return self._cache[key]
+
+    def samples_of(self, pid: int) -> Iterator[Sample]:
+        """All ``(t, H(pid, t))`` pairs up to the horizon."""
+        for t in range(self.horizon):
+            yield (t, self.value(pid, t))
+
+    def processes(self) -> range:
+        return range(self.n)
+
+
+class SampledHistory:
+    """The sparse detector samples observed in a run.
+
+    Each process contributes the (time, value) pairs at which it actually
+    took steps.  This is the *observable* portion of ``H``; since all the
+    detector specifications quantify over all times, checking them on the
+    sampled subset is a sound (necessary) check, and the simulation's
+    fairness guarantees make it an adequate one.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError(f"need at least one process, got n={n}")
+        self.n = n
+        self._samples: List[List[Sample]] = [[] for _ in range(n)]
+
+    def record(self, pid: int, t: int, value: Any) -> None:
+        """Append the detector value ``pid`` saw at step time ``t``."""
+        if not 0 <= pid < self.n:
+            raise ValueError(f"unknown process {pid}")
+        samples = self._samples[pid]
+        if samples and samples[-1][0] >= t:
+            raise ValueError(
+                f"non-increasing sample time {t} for process {pid} "
+                f"(last was {samples[-1][0]})"
+            )
+        samples.append((t, value))
+
+    def samples_of(self, pid: int) -> Iterator[Sample]:
+        return iter(self._samples[pid])
+
+    def last_value(self, pid: int) -> Any:
+        """The most recent value seen by ``pid`` (None if never stepped)."""
+        samples = self._samples[pid]
+        return samples[-1][1] if samples else None
+
+    def processes(self) -> range:
+        return range(self.n)
+
+    def sample_count(self, pid: int) -> int:
+        return len(self._samples[pid])
+
+    @classmethod
+    def from_pairs(
+        cls, n: int, pairs: Iterable[Tuple[int, int, Any]]
+    ) -> "SampledHistory":
+        """Build from ``(pid, t, value)`` triples (sorted per process)."""
+        hist = cls(n)
+        by_pid: Dict[int, List[Tuple[int, Any]]] = {}
+        for pid, t, value in pairs:
+            by_pid.setdefault(pid, []).append((t, value))
+        for pid, samples in by_pid.items():
+            for t, value in sorted(samples):
+                hist.record(pid, t, value)
+        return hist

@@ -1,0 +1,30 @@
+"""Ex-nihilo failure detector implementations.
+
+The weakest-detector results are sharpened by what can be built *with
+no detector at all* under extra assumptions:
+
+* :mod:`repro.ex_nihilo.sigma_majority` — the paper's §1 observation:
+  in majority-correct environments Σ is free ("each process
+  periodically sends join-quorum messages, and takes as its present
+  quorum any majority of processes that respond") — which is why
+  (Ω, Σ) degenerates to the classical Ω result there;
+* :mod:`repro.ex_nihilo.omega_heartbeat` — Ω from heartbeats with
+  adaptive timeouts, the classic partial-synchrony construction;
+* :mod:`repro.ex_nihilo.fs_heartbeat` — an FS *attempt* from heartbeats
+  with a fixed timeout: its perpetual Accuracy only holds under timing
+  assumptions, and the experiment suite shows delay spikes breaking it
+  — evidence for why FS is irreducible in the asynchronous model;
+* :mod:`repro.ex_nihilo.perfect_synchronous` — likewise for P.
+"""
+
+from repro.ex_nihilo.sigma_majority import SigmaFromMajority
+from repro.ex_nihilo.omega_heartbeat import OmegaFromHeartbeats
+from repro.ex_nihilo.fs_heartbeat import FSFromHeartbeats
+from repro.ex_nihilo.perfect_synchronous import PerfectFromTimeouts
+
+__all__ = [
+    "SigmaFromMajority",
+    "OmegaFromHeartbeats",
+    "FSFromHeartbeats",
+    "PerfectFromTimeouts",
+]

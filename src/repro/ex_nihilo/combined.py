@@ -1,0 +1,44 @@
+"""Composing implemented detectors into product modules.
+
+The (Ω, Σ) consensus algorithm consumes one detector value per step.
+When both components are *implemented* (heartbeat Ω, join-quorum Σ)
+rather than sampled from an oracle, something has to assemble their
+outputs into the product value — that is :class:`ComposedDetector`: a
+component whose ``output()`` is the tuple of its sources' outputs.
+
+With it, the classical result is recovered with no oracle anywhere in
+the system: under a correct majority and benign timing,
+
+    heartbeats → Ω,  join-quorums → Σ,  (Ω, Σ) → consensus
+
+runs end to end on messages alone (test
+``tests/ex_nihilo/test_full_stack.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.sim.process import Component
+
+
+class ComposedDetector(Component):
+    """``output()`` = tuple of sibling components' ``output()``s."""
+
+    name = "composed-detector"
+
+    def __init__(self, sources: Sequence[str]):
+        super().__init__()
+        if not sources:
+            raise ValueError("need at least one source component")
+        self.sources = list(sources)
+
+    def output(self) -> Tuple[Any, ...]:
+        values = tuple(
+            self._host.component(name).output()  # type: ignore[attr-defined]
+            for name in self.sources
+        )
+        return values if len(values) > 1 else values[0]
+
+    def on_message(self, sender: int, payload: Any, meta: Dict[str, Any]) -> None:
+        raise RuntimeError("the composed detector exchanges no messages")

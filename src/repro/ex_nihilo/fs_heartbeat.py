@@ -1,0 +1,50 @@
+"""An FS *attempt* from heartbeats — and why it cannot be perfect.
+
+FS's Accuracy is *perpetual*: red may never appear before a real
+failure.  A timeout-based implementation turns red on the first
+suspicion, so a single delay spike longer than the timeout forges a red
+with no failure — no finite timeout is safe in an asynchronous system.
+That irreducibility is precisely why NBAC's weakest detector (Ψ, FS)
+keeps FS as an explicit oracle component.
+
+The implementation is still useful in both directions:
+
+* under benign timing (uniform short delays) and a conservative
+  timeout, it behaves as FS — red appears only after a crash, and
+  every correct process eventually turns red (a crashed process's
+  heartbeats stop);
+* under :class:`~repro.sim.network.SpikeDelay` the experiment suite
+  measures accuracy-violation rates as the timeout shrinks (E9).
+
+Note the output is *sticky*: once red, forever red (FS completeness
+requires permanence, and the repeated-NBAC emulation of
+:mod:`repro.nbac.to_fs` has the same one-way behaviour).
+"""
+
+from __future__ import annotations
+
+from repro.core.detector import GREEN, RED
+from repro.ex_nihilo.heartbeats import HeartbeatMonitor
+
+
+class FSFromHeartbeats(HeartbeatMonitor):
+    """The failure-signal attempt: red on first suspicion, forever."""
+
+    name = "fs-impl"
+
+    def __init__(self, period: int = 4, initial_timeout: int = 120):
+        # Non-adaptive: FS never un-signals, so doubling is pointless.
+        super().__init__(
+            period=period, initial_timeout=initial_timeout, adaptive=False
+        )
+        self._output = GREEN
+        #: Local step index at which red was first output (experiments).
+        self.red_at_tick = None
+
+    def output(self) -> str:
+        return self._output
+
+    def on_suspect(self, peer: int) -> None:
+        if self._output == GREEN:
+            self._output = RED
+            self.red_at_tick = self._ticks

@@ -1,0 +1,95 @@
+"""Shared heartbeat/suspicion machinery for timing-based detectors.
+
+Every process broadcasts a heartbeat every ``period`` local steps and
+monitors how many of its *own* steps have elapsed since each peer was
+last heard from.  A peer is suspected when that gap exceeds a per-peer
+timeout; hearing from a suspected peer unsuspects it and — in adaptive
+mode — doubles its timeout (the classic partial-synchrony trick: after
+finitely many false suspicions the timeout exceeds the true skew).
+
+In a *fully* asynchronous system no timeout is safe, which is exactly
+why FS and P are irreducible oracles; the experiments use these
+implementations both ways — demonstrating stabilisation under benign
+timing and accuracy violations under delay spikes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Set
+
+from repro.sim.process import Component
+
+
+class HeartbeatMonitor(Component):
+    """Base component: heartbeats out, suspicion bookkeeping in.
+
+    Parameters
+    ----------
+    period:
+        Local steps between heartbeat broadcasts.
+    initial_timeout:
+        Initial per-peer timeout, in local steps.
+    adaptive:
+        Whether to double a peer's timeout on a false suspicion.
+    """
+
+    name = "hb"
+
+    def __init__(
+        self,
+        period: int = 4,
+        initial_timeout: int = 60,
+        adaptive: bool = True,
+    ):
+        super().__init__()
+        self.period = period
+        self.initial_timeout = initial_timeout
+        self.adaptive = adaptive
+        self._since_heard: Dict[int, int] = {}
+        self._timeout: Dict[int, int] = {}
+        self._suspected: Set[int] = set()
+        self._ticks = 0
+        #: Count of unsuspect events (false suspicions), for experiments.
+        self.false_suspicions = 0
+
+    # -- hooks for subclasses -------------------------------------------
+    def on_suspect(self, peer: int) -> None:
+        """Called when ``peer`` becomes suspected."""
+
+    def on_unsuspect(self, peer: int) -> None:
+        """Called when a suspected ``peer`` is heard from again."""
+
+    @property
+    def suspected(self) -> FrozenSet[int]:
+        return frozenset(self._suspected)
+
+    # -- machinery ---------------------------------------------------------
+    def on_start(self) -> None:
+        for q in range(self.n):
+            if q != self.pid:
+                self._since_heard[q] = 0
+                self._timeout[q] = self.initial_timeout
+
+    def on_message(self, sender: int, payload: Any, meta: Dict[str, Any]) -> None:
+        if payload != "hb":
+            raise ValueError(f"unknown heartbeat message {payload!r}")
+        self._since_heard[sender] = 0
+        if sender in self._suspected:
+            self._suspected.discard(sender)
+            self.false_suspicions += 1
+            if self.adaptive:
+                self._timeout[sender] *= 2
+            self.on_unsuspect(sender)
+
+    def on_step(self) -> None:
+        self._ticks += 1
+        if self._ticks % self.period == 0:
+            self.broadcast("hb", include_self=False)
+        for q in list(self._since_heard):
+            self._since_heard[q] += 1
+            if (
+                q not in self._suspected
+                and self._since_heard[q] > self._timeout[q]
+            ):
+                self._suspected.add(q)
+                self.on_suspect(q)

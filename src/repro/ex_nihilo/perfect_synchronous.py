@@ -1,0 +1,44 @@
+"""A perfect-detector attempt from timeouts.
+
+P's strong accuracy — never suspect a process before it crashes — is
+perpetual, so like FS it cannot be implemented in a truly asynchronous
+system: any fixed timeout can be outwaited by a slow scheduler or a
+delay spike.  Under a *synchrony assumption* (delays bounded by a known
+constant, which the simulator's :class:`~repro.sim.network.ConstantDelay`
+or narrow :class:`~repro.sim.network.UniformDelay` provide), a
+sufficiently conservative timeout yields P in practice.
+
+The experiment suite (E9) uses this implementation in both regimes:
+measuring zero accuracy violations under the synchrony assumption, and
+counting forged suspicions as delays break the assumption — the
+executable version of "P is strictly stronger than anything
+implementable ex nihilo".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.ex_nihilo.heartbeats import HeartbeatMonitor
+
+
+class PerfectFromTimeouts(HeartbeatMonitor):
+    """P under a timing assumption: suspected = timed out, permanently.
+
+    Unlike the adaptive Ω monitor, suspicions here are *sticky* (P's
+    output is meant to be monotone: once crashed, forever suspected) and
+    the timeout is fixed — adaptivity cannot help P, because a single
+    pre-adaptation false suspicion already violates strong accuracy.
+    """
+
+    name = "p-impl"
+
+    def __init__(self, period: int = 4, timeout: int = 150):
+        super().__init__(period=period, initial_timeout=timeout, adaptive=False)
+        self._ever_suspected: set[int] = set()
+
+    def output(self) -> FrozenSet[int]:
+        return frozenset(self._ever_suspected)
+
+    def on_suspect(self, peer: int) -> None:
+        self._ever_suspected.add(peer)

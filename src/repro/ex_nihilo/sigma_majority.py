@@ -1,0 +1,83 @@
+"""Σ for free under a correct majority (§1 of the paper).
+
+"In such environments, we can easily implement Σ ex nihilo as follows:
+each process periodically sends 'join-quorum' messages, and takes as
+its present quorum any majority of processes that respond to that
+message.  Thus, to implement registers in environments with a majority
+of correct processes we 'need' something that we can get for free!"
+
+* **Intersection** — every emitted quorum is a majority of Π, and any
+  two majorities intersect, at all times, across all processes.
+* **Completeness** — a crashed process stops responding, so once all
+  faulty processes have crashed, every completed join round's majority
+  consists of processes alive at response time; in a majority-correct
+  environment rounds keep completing and eventually every responder is
+  correct.
+
+Outside majority-correct environments the implementation does not
+*violate* Σ — it simply stops updating (no majority responds), and its
+last output may retain faulty processes forever, failing Completeness.
+Experiment E8 shows exactly that failure mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Set
+
+from repro.sim.process import Component
+from repro.sim.tasklets import WaitSteps, WaitUntil
+
+
+class SigmaFromMajority(Component):
+    """The join-quorum implementation of Σ.
+
+    Parameters
+    ----------
+    period:
+        Local steps between join rounds.
+    """
+
+    name = "sigma-impl"
+
+    def __init__(self, period: int = 6):
+        super().__init__()
+        self.period = period
+        self._output: FrozenSet[int] = frozenset()
+        self._round = 0
+        self._responders: Dict[int, Set[int]] = {}
+        self.rounds_completed = 0
+
+    def output(self) -> FrozenSet[int]:
+        """The current quorum (initially all of Π)."""
+        return self._output
+
+    def on_start(self) -> None:
+        self._output = frozenset(range(self.n))
+        self.spawn(self._join_loop(), name=f"sigma-join@{self.pid}")
+
+    def on_message(self, sender: int, payload: Any, meta: Dict[str, Any]) -> None:
+        kind = payload[0]
+        if kind == "join":
+            self.send(sender, ("join-ack", payload[1]))
+        elif kind == "join-ack":
+            bucket = self._responders.get(payload[1])
+            if bucket is not None:
+                bucket.add(sender)
+        else:
+            raise ValueError(f"unknown join message {payload!r}")
+
+    def _join_loop(self):
+        majority = self.n // 2 + 1
+        while True:
+            self._round += 1
+            rnd = self._round
+            self._responders[rnd] = set()
+            self.broadcast(("join", rnd))
+            responders = self._responders[rnd]
+            collected = yield WaitUntil(
+                lambda: len(responders) >= majority and (True, frozenset(responders))
+            )
+            self._output = collected[1]
+            self.rounds_completed += 1
+            del self._responders[rnd]
+            yield WaitSteps(self.period)

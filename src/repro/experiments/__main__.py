@@ -1,0 +1,56 @@
+"""CLI: regenerate the paper's experiment tables.
+
+Usage::
+
+    python -m repro.experiments              # all experiments
+    python -m repro.experiments E1 E3 E7     # a selection
+    python -m repro.experiments --seed 7 E4  # different seed
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import all_experiments
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the experiment tables of the reproduction.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (E1..E12); default: all",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    registry = all_experiments()
+    wanted = args.experiments or list(registry)
+    unknown = [e for e in wanted if e not in registry]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; have {list(registry)}")
+
+    failures = []
+    for experiment_id in wanted:
+        started = time.time()
+        result = registry[experiment_id](seed=args.seed)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"({elapsed:.1f}s)\n")
+        if not result.ok:
+            failures.append(experiment_id)
+
+    if failures:
+        print(f"MISMATCHES: {failures}", file=sys.stderr)
+        return 1
+    print("all experiment tables match the paper's claims")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

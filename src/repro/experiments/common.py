@@ -1,0 +1,79 @@
+"""Shared experiment plumbing: results, registry, rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.analysis.stats import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's regenerated table plus its overall verdict.
+
+    ``ok`` means every property clause the experiment checks held —
+    the reproduction's analogue of "the figure looks like the paper's".
+    Rows where a *negative* result is expected (e.g. majority-ABD
+    blocking in a minority-correct environment) count as ok when the
+    expected failure occurred.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    ok: bool
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            format_table(self.headers, self.rows),
+            f"verdict: {'OK' if self.ok else 'MISMATCH'}",
+        ]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def experiment(experiment_id: str):
+    """Decorator registering a ``run(seed=...) -> ExperimentResult``."""
+
+    def decorate(fn):
+        _REGISTRY[experiment_id] = fn
+        fn.experiment_id = experiment_id
+        return fn
+
+    return decorate
+
+
+def all_experiments() -> Dict[str, Callable[..., ExperimentResult]]:
+    """The registry, importing every experiment module first."""
+    # Imports are deferred so `import repro` stays light.
+    from repro.experiments import (  # noqa: F401
+        e01_register,
+        e02_extract_sigma,
+        e03_consensus,
+        e04_qc,
+        e05_extract_psi,
+        e06_equivalence,
+        e07_nbac,
+        e08_sigma_ex_nihilo,
+        e09_heartbeats,
+        e10_multivalued,
+        e11_smr,
+        e12_flp,
+        e13_hierarchy,
+    )
+
+    return dict(
+        sorted(_REGISTRY.items(), key=lambda kv: (len(kv[0]), kv[0]))
+    )
+
+
+def verdict_cell(ok: bool) -> str:
+    return "yes" if ok else "NO"

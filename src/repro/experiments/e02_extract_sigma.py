@@ -1,0 +1,95 @@
+"""E2 — Theorem 1 (necessity), Figure 1: extracting Σ from registers.
+
+Runs the Figure 1 transformation against two register black boxes and
+checks the emitted Σ-output histories against Σ's specification:
+
+* ABD-over-Σ (a detector-using implementation) in wait-free
+  environments, and
+* majority-ABD with *no detector anywhere* in majority-correct
+  environments — simultaneously the "Σ for free" demonstration.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.detectors import SigmaOracle
+from repro.core.failure_pattern import FailurePattern
+from repro.core.specs import check_sigma
+from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.registers.abd import RegisterBank
+from repro.registers.extract_sigma import SigmaExtraction, initial_registers
+from repro.registers.participants import ParticipantTracker
+from repro.registers.quorums import MajorityQuorums, SigmaQuorums
+from repro.sim.system import SystemBuilder
+
+
+def _run_case(n, pattern, quorums, detector, seed, horizon=20_000):
+    builder = (
+        SystemBuilder(n=n, seed=seed, horizon=horizon)
+        .pattern(pattern)
+        .component("ptrack", lambda pid: ParticipantTracker())
+        .component(
+            "reg",
+            lambda pid: RegisterBank(quorums, initial=initial_registers(n)),
+        )
+        .component("xsigma", lambda pid: SigmaExtraction())
+    )
+    if detector is not None:
+        builder.detector(detector)
+    system = builder.build()
+    trace = system.run()
+    verdict = check_sigma(trace.annotations["sigma-extraction"], pattern)
+    rounds = [
+        system.component_at(p, "xsigma").rounds_completed
+        for p in pattern.correct
+    ]
+    return verdict, min(rounds) if rounds else 0, trace.messages_sent
+
+
+@experiment("E2")
+def run(seed: int = 0, n: int = 4) -> ExperimentResult:
+    headers = [
+        "register impl", "detector", "crashes", "sigma valid",
+        "holds from", "min rounds", "messages",
+    ]
+    rows: List[list] = []
+    ok = True
+
+    cases = [
+        ("ABD/Sigma", SigmaQuorums(lambda d: d), SigmaOracle(),
+         FailurePattern.crash_free(n)),
+        ("ABD/Sigma", SigmaQuorums(lambda d: d), SigmaOracle(),
+         FailurePattern(n, {pid: 150 + 50 * pid for pid in range(n - 1)})),
+        ("ABD/majority", MajorityQuorums(), None,
+         FailurePattern.crash_free(n)),
+        ("ABD/majority", MajorityQuorums(), None,
+         FailurePattern(n, {n - 1: 200})),
+    ]
+    for label, quorums, detector, pattern in cases:
+        verdict, rounds, msgs = _run_case(n, pattern, quorums, detector, seed)
+        ok = ok and verdict.ok
+        rows.append(
+            [
+                label,
+                "Sigma oracle" if detector else "none (ex nihilo)",
+                len(pattern.faulty),
+                verdict_cell(verdict.ok),
+                verdict.holds_from,
+                rounds,
+                msgs,
+            ]
+        )
+
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Figure 1: emulating Sigma from any register implementation "
+        f"(n={n})",
+        headers=headers,
+        rows=rows,
+        ok=ok,
+        notes=[
+            "Rows 3-4 extract a full Sigma from a detector-free majority-ABD "
+            "— the paper's 'something we can get for free' remark, executed.",
+        ],
+    )

@@ -1,0 +1,135 @@
+"""E3 — Corollaries 2-4: consensus from (Ω, Σ) in every environment.
+
+Two tables in one:
+
+* the sweep — (Ω, Σ) consensus across f = 0 .. n-1 crashes with
+  property verdicts and costs;
+* the crossover — Ω with ex-nihilo majority quorums (the classical
+  Chandra-Toueg setting [4]) vs the full (Ω, Σ): the former loses
+  liveness once a majority can crash, the latter doesn't — precisely
+  why (Ω, Σ) generalises the classical result.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.properties import check_consensus
+from repro.consensus.chandra_toueg import ChandraTouegConsensusCore
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore, omega_of
+from repro.core.detectors import OmegaOracle, omega_sigma_oracle
+from repro.core.detectors.eventually_strong import EventuallyStrongOracle
+from repro.core.detectors.strong import StrongOracle
+from repro.consensus.strong_detector import StrongConsensusCore
+from repro.core.failure_pattern import FailurePattern
+from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.sim.system import SystemBuilder, decided
+
+
+def _omega_only_core(proposal, n):
+    """Consensus attempt from Ω alone + ex-nihilo majority quorums."""
+    core = OmegaSigmaConsensusCore(
+        proposal=proposal,
+        omega_extract=omega_of,
+        sigma_extract=lambda d: None,
+    )
+    core._quorum_reached = lambda responders: len(responders) >= n // 2 + 1
+    return core
+
+
+def _run(n, f, detector, core_factory, seed, horizon=60_000):
+    # Crashes land at the very start of the run: that is the regime in
+    # which quorum availability, not mere crash count, decides liveness
+    # (late crashes let any algorithm finish before losing its quorum).
+    pattern = FailurePattern(n, {pid: 1 + 2 * pid for pid in range(f)})
+    proposals = {p: f"v{p}" for p in range(n)}
+    trace = (
+        SystemBuilder(n=n, seed=seed, horizon=horizon)
+        .pattern(pattern)
+        .detector(detector)
+        .component(
+            "consensus",
+            consensus_component(lambda pid: core_factory(proposals[pid])),
+        )
+        .build()
+        .run(stop_when=decided("consensus"))
+    )
+    verdict = check_consensus(trace, proposals)
+    return trace, verdict
+
+
+@experiment("E3")
+def run(seed: int = 0, n: int = 5) -> ExperimentResult:
+    headers = [
+        "detector", "crashes f", "terminated", "agreement+validity",
+        "latency", "messages", "as expected",
+    ]
+    rows: List[list] = []
+    ok = True
+    majority_limit = (n - 1) // 2
+
+    for f in range(n):
+        for label, detector, factory in (
+            (
+                "(Omega,Sigma)",
+                omega_sigma_oracle(),
+                lambda v: OmegaSigmaConsensusCore(v),
+            ),
+            (
+                "Omega+majorities",
+                OmegaOracle(),
+                lambda v: _omega_only_core(v, n),
+            ),
+            (
+                "CT <>S [4]",
+                EventuallyStrongOracle(),
+                lambda v: ChandraTouegConsensusCore(v),
+            ),
+            (
+                "CT S [4]",
+                StrongOracle(),
+                lambda v: StrongConsensusCore(v),
+            ),
+        ):
+            trace, verdict = _run(n, f, detector, factory, seed)
+            safe = verdict.agreement and verdict.validity
+            if label in ("(Omega,Sigma)", "CT S [4]"):
+                # Both tolerate any number of crashes — but S's
+                # perpetual accuracy is unimplementable, (Omega,Sigma)
+                # is the *weakest* such detector.
+                expected = verdict.ok
+            else:
+                # Both majority-based baselines share the crossover.
+                expected = safe and (
+                    verdict.termination == (f <= majority_limit)
+                )
+            ok = ok and expected
+            rows.append(
+                [
+                    label, f,
+                    verdict_cell(verdict.termination),
+                    verdict_cell(safe),
+                    trace.decision_latency("consensus"),
+                    trace.messages_sent,
+                    verdict_cell(expected),
+                ]
+            )
+
+    return ExperimentResult(
+        experiment_id="E3",
+        title="Consensus: (Omega,Sigma) vs the classical baselines "
+        f"(Omega+majorities, CT <>S, CT S) (n={n})",
+        headers=headers,
+        rows=rows,
+        ok=ok,
+        notes=[
+            f"Expected crossover at f > {majority_limit}: Omega alone (with "
+            "free majority quorums) and the classical Chandra-Toueg <>S "
+            "algorithm [4] both block; (Omega,Sigma) still terminates — "
+            "the generalisation the paper proves.",
+            "CT's S-based algorithm also survives every f, but S's "
+            "perpetual weak accuracy is unimplementable under asynchrony; "
+            "(Omega,Sigma) is the *weakest* detector with this resilience.",
+        ],
+    )

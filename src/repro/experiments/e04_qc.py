@@ -1,0 +1,88 @@
+"""E4 — Theorem 5, Figure 2: solving quittable consensus with Ψ.
+
+Sweeps the branch Ψ commits to and the crash pattern; checks QC's
+Termination / Uniform Agreement / Validity and reports which outcomes
+materialise — proposals on the (Ω, Σ) branch, Q on the FS branch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.properties import check_qc
+from repro.consensus.interface import consensus_component
+from repro.core.detectors import PsiOracle
+from repro.core.detectors.psi import FS_BRANCH, OMEGA_SIGMA_BRANCH
+from repro.core.failure_pattern import FailurePattern
+from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.qc.psi_qc import PsiQCCore
+from repro.qc.spec import Q
+from repro.sim.system import SystemBuilder, decided
+
+
+def _run(n, branch, pattern, seed, horizon=60_000):
+    proposals = {p: f"v{p}" for p in range(n)}
+    trace = (
+        SystemBuilder(n=n, seed=seed, horizon=horizon)
+        .pattern(pattern)
+        .detector(PsiOracle(branch=branch))
+        .component(
+            "qc", consensus_component(lambda pid: PsiQCCore(proposals[pid]))
+        )
+        .build()
+        .run(stop_when=decided("qc"))
+    )
+    return trace, check_qc(trace, proposals, "qc"), proposals
+
+
+@experiment("E4")
+def run(seed: int = 0, n: int = 4) -> ExperimentResult:
+    headers = [
+        "Psi branch", "crashes", "qc valid", "outcome", "latency",
+        "as expected",
+    ]
+    rows: List[list] = []
+    ok = True
+
+    cases = [
+        (OMEGA_SIGMA_BRANCH, FailurePattern.crash_free(n), "proposal"),
+        (OMEGA_SIGMA_BRANCH, FailurePattern(n, {0: 100, 1: 140}), "proposal"),
+        (FS_BRANCH, FailurePattern(n, {0: 100}), "Q"),
+        (FS_BRANCH, FailurePattern(n, {p: 80 + 20 * p for p in range(n - 1)}),
+         "Q"),
+        (None, FailurePattern.crash_free(n), "proposal"),
+    ]
+    for branch, pattern, expected_kind in cases:
+        trace, verdict, proposals = _run(n, branch, pattern, seed)
+        outcomes = {d.value for d in trace.decisions}
+        if expected_kind == "Q":
+            shape_ok = outcomes == {Q}
+            outcome = "Q (quit)"
+        else:
+            shape_ok = all(v in proposals.values() for v in outcomes)
+            outcome = ", ".join(sorted(repr(v) for v in outcomes))
+        expected = verdict.ok and shape_ok
+        ok = ok and expected
+        rows.append(
+            [
+                branch or "oracle-chosen",
+                len(pattern.faulty),
+                verdict_cell(verdict.ok),
+                outcome,
+                trace.decision_latency("qc"),
+                verdict_cell(expected),
+            ]
+        )
+
+    return ExperimentResult(
+        experiment_id="E4",
+        title=f"Figure 2: quittable consensus from Psi (n={n})",
+        headers=headers,
+        rows=rows,
+        ok=ok,
+        notes=[
+            "FS branch ⇒ everyone returns Q (legitimately: a failure "
+            "occurred); (Omega,Sigma) branch ⇒ consensus on a proposal, "
+            "crashes notwithstanding — quitting is an option, never forced.",
+        ],
+    )

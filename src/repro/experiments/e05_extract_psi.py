@@ -1,0 +1,106 @@
+"""E5 — Theorem 6, Figure 3: extracting Ψ from a QC algorithm.
+
+The heaviest experiment: per scenario it runs the complete Figure 3
+pipeline (sample DAG gossip, the n+1-tree simulation forest with real
+executions of A inside a virtual runtime, the real branch-agreement
+execution of A, then the Ω and Σ extraction loops) and checks the
+emitted per-process output streams against Ψ's specification.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.detectors import PsiOracle
+from repro.core.detectors.psi import FS_BRANCH, OMEGA_SIGMA_BRANCH
+from repro.core.failure_pattern import FailurePattern
+from repro.core.specs import check_psi
+from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.protocols.base import CoreComponent
+from repro.qc.extract_psi import PsiExtraction
+from repro.qc.psi_qc import PsiQCCore
+from repro.sim.probes import OutputRecorder
+from repro.sim.system import SystemBuilder
+
+
+def _run(branch, pattern, seed, horizon, prefix_stride=10):
+    system = (
+        SystemBuilder(n=3, seed=seed, horizon=horizon)
+        .pattern(pattern)
+        .detector(PsiOracle(branch=branch))
+        .component(
+            "xpsi",
+            lambda pid: CoreComponent(
+                PsiExtraction(
+                    qc_factory=lambda: PsiQCCore(),
+                    prefix_stride=prefix_stride,
+                )
+            ),
+        )
+        .component("probe", lambda pid: OutputRecorder("xpsi", "psi-x"))
+        .build()
+    )
+    trace = system.run()
+    verdict = check_psi(trace.annotations["psi-x"], pattern)
+    branches = {
+        system.component_at(p, "xpsi").core.branch
+        for p in pattern.correct
+    }
+    sigma_rounds = sum(
+        system.component_at(p, "xpsi").core.sigma_rounds
+        for p in pattern.correct
+    )
+    return verdict, branches, sigma_rounds
+
+
+@experiment("E5")
+def run(seed: int = 1) -> ExperimentResult:
+    headers = [
+        "oracle branch", "crashes", "psi valid", "extracted branch",
+        "sigma rounds", "as expected",
+    ]
+    rows: List[list] = []
+    ok = True
+
+    cases = [
+        (OMEGA_SIGMA_BRANCH, FailurePattern.crash_free(3), 14_000,
+         "omega-sigma"),
+        (OMEGA_SIGMA_BRANCH, FailurePattern(3, {1: 300}), 16_000,
+         "omega-sigma"),
+        (FS_BRANCH, FailurePattern(3, {2: 300}), 8_000, "fs"),
+        (FS_BRANCH, FailurePattern(3, {0: 150, 1: 250}), 8_000, "fs"),
+    ]
+    for branch, pattern, horizon, expected_branch in cases:
+        verdict, branches, rounds = _run(branch, pattern, seed, horizon)
+        branches.discard(None)
+        branch_ok = branches == {expected_branch}
+        expected = verdict.ok and branch_ok
+        ok = ok and expected
+        rows.append(
+            [
+                branch,
+                len(pattern.faulty),
+                verdict_cell(verdict.ok),
+                ",".join(sorted(branches)) or "-",
+                rounds,
+                verdict_cell(expected),
+            ]
+        )
+
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Figure 3: extracting Psi from QC algorithm A (n=3, "
+        "A = Figure 2's Psi-based QC)",
+        headers=headers,
+        rows=rows,
+        ok=ok,
+        notes=[
+            "All correct processes commit to one branch, matching the "
+            "underlying detector's behaviour; on the (Omega,Sigma) branch "
+            "the line 24-32 Sigma loop produces intersecting, eventually "
+            "all-correct quorums.",
+            "Bounded substitution: the line-22 Omega gadget walk is "
+            "replaced by a convergent election over the DAG + real "
+            "executions of A (see extract_psi.py docstring).",
+        ],
+    )

@@ -1,0 +1,110 @@
+"""E9 — heartbeat detectors: stabilisation vs irreducibility.
+
+Two series:
+
+* under benign timing (narrow uniform delays) the heartbeat
+  implementations of Ω, FS and P all satisfy their specs — eventual
+  detectors are *implementable* under partial synchrony;
+* under heavy-tailed delays, shrinking the timeout trades detection
+  latency against forged suspicions: the perpetual-accuracy detectors
+  (FS, P) break, Ω (eventual accuracy) self-heals via adaptive
+  timeouts.  The executable reason FS stays an oracle in (Ψ, FS).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.failure_pattern import FailurePattern
+from repro.core.specs import check_fs, check_omega, check_perfect
+from repro.ex_nihilo.fs_heartbeat import FSFromHeartbeats
+from repro.ex_nihilo.omega_heartbeat import OmegaFromHeartbeats
+from repro.ex_nihilo.perfect_synchronous import PerfectFromTimeouts
+from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.sim.network import SpikeDelay, UniformDelay
+from repro.sim.probes import OutputRecorder
+from repro.sim.system import SystemBuilder
+
+
+def _run(factory, name, checker, pattern, delays, seed, horizon=25_000):
+    system = (
+        SystemBuilder(n=3, seed=seed, horizon=horizon)
+        .pattern(pattern)
+        .delays(delays)
+        .component(name, factory)
+        .component("probe", lambda pid: OutputRecorder(name, "h"))
+        .build()
+    )
+    trace = system.run()
+    return checker(trace.annotations["h"], pattern)
+
+
+@experiment("E9")
+def run(seed: int = 0) -> ExperimentResult:
+    headers = [
+        "detector", "timing", "timeout", "crashes", "spec holds",
+        "as expected",
+    ]
+    rows: List[list] = []
+    ok = True
+    benign = UniformDelay(1, 5)
+    hostile = SpikeDelay(base_hi=5, spike_hi=400, spike_probability=0.05)
+    crash = FailurePattern(3, {2: 400})
+    clean = FailurePattern.crash_free(3)
+
+    cases = [
+        ("Omega/hb", lambda pid: OmegaFromHeartbeats(), check_omega,
+         "omega-impl", benign, crash, 60, True),
+        ("Omega/hb", lambda pid: OmegaFromHeartbeats(initial_timeout=20),
+         check_omega, "omega-impl", hostile, clean, 20, True),
+        ("FS/hb", lambda pid: FSFromHeartbeats(initial_timeout=200),
+         check_fs, "fs-impl", benign, crash, 200, True),
+        ("FS/hb", lambda pid: FSFromHeartbeats(initial_timeout=15),
+         check_fs, "fs-impl", hostile, clean, 15, False),
+        ("P/hb", lambda pid: PerfectFromTimeouts(timeout=250),
+         check_perfect, "p-impl", benign, crash, 250, True),
+        ("P/hb", lambda pid: PerfectFromTimeouts(timeout=12),
+         check_perfect, "p-impl", hostile, clean, 12, False),
+    ]
+    for label, factory, checker, name, delays, pattern, timeout, expect_ok in cases:
+        holds = None
+        if expect_ok:
+            verdict = _run(factory, name, checker, pattern, delays, seed)
+            holds = verdict.ok
+            expected = holds
+        else:
+            # Forgery is probabilistic: accept the expectation if any of
+            # a few seeds breaks the spec.
+            broken = False
+            for s in range(seed, seed + 6):
+                verdict = _run(factory, name, checker, pattern, delays, s)
+                if not verdict.ok:
+                    broken = True
+                    break
+            holds = not broken
+            expected = broken
+        ok = ok and expected
+        rows.append(
+            [
+                label,
+                "benign" if delays is benign else "spiky",
+                timeout,
+                len(pattern.faulty),
+                verdict_cell(bool(holds)),
+                verdict_cell(expected),
+            ]
+        )
+
+    return ExperimentResult(
+        experiment_id="E9",
+        title="Heartbeat implementations: partial synchrony giveth, "
+        "asynchrony taketh away (n=3)",
+        headers=headers,
+        rows=rows,
+        ok=ok,
+        notes=[
+            "Perpetual-accuracy detectors (FS, P) forge outputs under delay "
+            "spikes with tight timeouts; Omega's eventual accuracy "
+            "self-heals by doubling timeouts.",
+        ],
+    )

@@ -1,0 +1,92 @@
+"""E11 — the [17, 21] substrate: registers from consensus via SMR.
+
+Corollary 3 needs "consensus implements registers"; this experiment
+drives scripted clients against the replicated register, certifies the
+recorded history with the linearizability checker, and confirms log
+convergence across replicas.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.consensus.replicated_object import SMRRegisterComponent
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.failure_pattern import FailurePattern
+from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.registers.linearizability import check_linearizable
+from repro.sim.system import SystemBuilder
+
+
+def _run(scripts, pattern, seed, horizon=250_000):
+    builder = (
+        SystemBuilder(n=len(scripts), seed=seed, horizon=horizon)
+        .pattern(pattern)
+        .detector(omega_sigma_oracle())
+        .component("smrreg", lambda pid: SMRRegisterComponent(scripts[pid]))
+    )
+    system = builder.build()
+    trace = system.run(
+        stop_when=lambda s: all(
+            s.component_at(p, "smrreg").core.done for p in s.pattern.correct
+        )
+    )
+    lin = check_linearizable(trace.operations)
+    logs = [
+        system.component_at(p, "smrreg").core.child("smr").log
+        for p in pattern.correct
+    ]
+    shortest = min(len(log) for log in logs)
+    prefix_equal = all(
+        logs[0][:shortest] == log[:shortest] for log in logs
+    )
+    return lin, prefix_equal, shortest, trace
+
+
+@experiment("E11")
+def run(seed: int = 0, n: int = 3) -> ExperimentResult:
+    headers = [
+        "scenario", "crashes", "linearizable", "logs converge",
+        "log length", "slots/sec proxy (msgs)",
+    ]
+    rows: List[list] = []
+    ok = True
+
+    base_script = lambda p: [  # noqa: E731
+        ("write", f"w{p}-1"), ("read", None), ("write", f"w{p}-2"),
+        ("read", None),
+    ]
+    cases = [
+        ("crash-free", FailurePattern.crash_free(n)),
+        ("one crash", FailurePattern(n, {0: 120})),
+        ("two crashes", FailurePattern(n, {0: 120, 1: 200})),
+    ]
+    for label, pattern in cases:
+        scripts = {p: base_script(p) for p in range(n)}
+        lin, converge, log_len, trace = _run(scripts, pattern, seed)
+        expected = lin.ok and converge
+        ok = ok and expected
+        rows.append(
+            [
+                label,
+                len(pattern.faulty),
+                verdict_cell(lin.ok),
+                verdict_cell(converge),
+                log_len,
+                trace.messages_sent,
+            ]
+        )
+
+    return ExperimentResult(
+        experiment_id="E11",
+        title="[17, 21]: a linearizable register from per-slot consensus "
+        f"(n={n})",
+        headers=headers,
+        rows=rows,
+        ok=ok,
+        notes=[
+            "This is the object-from-consensus leg of Corollary 3: any "
+            "detector solving consensus thereby implements registers, and "
+            "so (via Figure 1) yields Sigma.",
+        ],
+    )

@@ -1,0 +1,128 @@
+"""E12 — FLP context [8]: no detector, no consensus (unless you flip coins).
+
+A simulator cannot prove impossibility, but it can stage the adversary
+from the proof: against a *deterministic* detector-free algorithm
+(fixed leader + ex-nihilo majority quorums), starving one process —
+indistinguishable from a crash — or withholding its messages keeps the
+run undecided past any horizon, while the identical scenario with
+(Ω, Σ) terminates.  Ben-Or's randomized algorithm completes the
+triptych: the other classical escape from FLP, terminating with
+probability 1 under the fair schedule with no oracle at all.  Safety is
+checked to survive every one of these adversaries.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.failure_pattern import FailurePattern
+from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.sim.network import HoldingDelivery
+from repro.sim.scheduler import StarvationScheduler
+from repro.sim.system import SystemBuilder, decided
+
+
+def _fixed_leader_core(proposal, n):
+    core = OmegaSigmaConsensusCore(
+        proposal=proposal,
+        omega_extract=lambda d: 0,
+        sigma_extract=lambda d: None,
+    )
+    core._quorum_reached = lambda responders: len(responders) >= n // 2 + 1
+    return core
+
+
+def _run(n, seed, detector, core_factory, scheduler=None, delivery=None,
+         horizon=30_000):
+    proposals = {p: f"v{p}" for p in range(n)}
+    builder = (
+        SystemBuilder(n=n, seed=seed, horizon=horizon)
+        .pattern(FailurePattern.crash_free(n))
+        .component(
+            "consensus",
+            consensus_component(lambda pid: core_factory(proposals[pid])),
+        )
+    )
+    if detector is not None:
+        builder.detector(detector)
+    if scheduler is not None:
+        builder.scheduler(scheduler)
+    if delivery is not None:
+        builder.delivery(delivery)
+    trace = builder.build().run(stop_when=decided("consensus"))
+    agreed = len({repr(d.value) for d in trace.decisions}) <= 1
+    return trace, agreed
+
+
+@experiment("E12")
+def run(seed: int = 0, n: int = 3) -> ExperimentResult:
+    headers = ["algorithm", "adversary", "decided", "safe", "as expected"]
+    rows: List[list] = []
+    ok = True
+
+    adversaries = [
+        ("starve leader", StarvationScheduler({0}), None),
+        ("hold leader's mail", None, HoldingDelivery(lambda m, now: m.dest == 0)),
+        ("fair run", None, None),
+    ]
+    for label, scheduler, delivery in adversaries:
+        # Detector-free attempt.
+        trace, agreed = _run(
+            n, seed, None, lambda v: _fixed_leader_core(v, n),
+            scheduler=scheduler, delivery=delivery,
+        )
+        decided_free = bool(trace.decisions)
+        expected_free = agreed and (decided_free == (label == "fair run"))
+        ok = ok and expected_free
+        rows.append(
+            ["ex-nihilo (no detector)", label, verdict_cell(decided_free),
+             verdict_cell(agreed), verdict_cell(expected_free)]
+        )
+
+        # (Omega, Sigma) and coin-flipping Ben-Or: both escape FLP on
+        # the fair schedule — one with an oracle, one with randomness.
+        if label == "fair run":
+            trace, agreed = _run(
+                n, seed, omega_sigma_oracle(),
+                lambda v: OmegaSigmaConsensusCore(v),
+                scheduler=scheduler, delivery=delivery, horizon=60_000,
+            )
+            expected = agreed and bool(trace.decisions)
+            ok = ok and expected
+            rows.append(
+                ["(Omega,Sigma)", label,
+                 verdict_cell(bool(trace.decisions)),
+                 verdict_cell(agreed), verdict_cell(expected)]
+            )
+
+            from repro.consensus.ben_or import BenOrConsensusCore
+
+            trace, agreed = _run(
+                n, seed, None,
+                lambda v: BenOrConsensusCore(hash(v) % 2, coin_seed=seed),
+                scheduler=scheduler, delivery=delivery, horizon=120_000,
+            )
+            expected = agreed and bool(trace.decisions)
+            ok = ok and expected
+            rows.append(
+                ["Ben-Or (coins, no detector)", label,
+                 verdict_cell(bool(trace.decisions)),
+                 verdict_cell(agreed), verdict_cell(expected)]
+            )
+
+    return ExperimentResult(
+        experiment_id="E12",
+        title="FLP staged: detector-free consensus stalls under the "
+        f"classic adversary (n={n}, crash-free)",
+        headers=headers,
+        rows=rows,
+        ok=ok,
+        notes=[
+            "A starved process is indistinguishable from a crashed one — "
+            "the indistinguishability at the heart of FLP.  Safety never "
+            "breaks; liveness without a detector does.",
+        ],
+    )

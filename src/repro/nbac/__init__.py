@@ -1,0 +1,27 @@
+"""Non-blocking atomic commit (Section 7).
+
+* :mod:`repro.nbac.spec` — the NBAC problem vocabulary;
+* :mod:`repro.nbac.from_qc` — Figure 4: NBAC from QC + FS (Thm 8a);
+* :mod:`repro.nbac.to_qc` — Figure 5: QC from NBAC (Thm 8b);
+* :mod:`repro.nbac.to_fs` — FS from NBAC (Thm 8b, after [5, 11]);
+* :mod:`repro.nbac.psi_fs_nbac` — end-to-end NBAC from (Ψ, FS), the
+  weakest-detector composition of Corollary 10.
+"""
+
+from repro.nbac.spec import YES, NO, COMMIT, ABORT
+from repro.nbac.from_qc import NBACFromQCCore
+from repro.nbac.to_qc import QCFromNBACCore
+from repro.nbac.to_fs import FSFromNBACCore
+from repro.nbac.psi_fs_nbac import psi_fs_nbac_core, psi_fs_oracle
+
+__all__ = [
+    "YES",
+    "NO",
+    "COMMIT",
+    "ABORT",
+    "NBACFromQCCore",
+    "QCFromNBACCore",
+    "FSFromNBACCore",
+    "psi_fs_nbac_core",
+    "psi_fs_oracle",
+]

@@ -1,0 +1,113 @@
+"""Figure 4: using FS to transform QC into NBAC (Theorem 8a).
+
+Transcription of Figure 4, per process ``p``:
+
+1. send the vote to all;
+2. wait until a vote from every process arrived, or FS = red;
+3. propose 1 to QC if all votes arrived and all are Yes, else 0;
+4. Commit iff QC decided 1 (a decision of 0 or Q yields Abort).
+
+Validity follows from QC validity: deciding 1 means some process
+proposed 1, which means that process saw all-Yes votes; deciding 0
+means some process proposed 0, i.e. it saw a No vote or its FS turned
+red — and FS only turns red after a real failure; Q likewise certifies
+a failure.  Termination: a vote from a crashed process may never
+arrive, but then FS eventually turns red at every correct process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.detector import RED
+from repro.nbac.spec import ABORT, COMMIT, NO, YES
+from repro.protocols.base import ProtocolCore
+from repro.qc.spec import Q
+from repro.sim.tasklets import WaitUntil
+
+
+def _identity_fs(d: Any) -> Any:
+    return d
+
+
+class NBACFromQCCore(ProtocolCore):
+    """NBAC built from a QC core and the failure detector FS.
+
+    Parameters
+    ----------
+    vote:
+        "Yes" or "No"; may be supplied later via :meth:`vote_value`.
+    qc_factory:
+        Builds the QC core to run as a child (e.g. a
+        :class:`~repro.qc.psi_qc.PsiQCCore`, or a QC algorithm obtained
+        from another reduction — the theorem quantifies over *any*
+        solution to QC).
+    fs_extract:
+        Pulls the FS component out of the detector value (identity for
+        a plain FS oracle; ``d[1]`` under a (D, FS) product).
+    """
+
+    QC_TAG = "qc"
+
+    def __init__(
+        self,
+        vote: Optional[str] = None,
+        qc_factory: Callable[[], ProtocolCore] = None,  # type: ignore[assignment]
+        fs_extract: Callable[[Any], Any] = _identity_fs,
+    ):
+        super().__init__()
+        if vote is not None and vote not in (YES, NO):
+            raise ValueError(f"vote must be Yes/No, got {vote!r}")
+        if qc_factory is None:
+            raise ValueError("an NBAC-from-QC core needs a qc_factory")
+        self.vote = vote
+        self.qc_factory = qc_factory
+        self.fs_extract = fs_extract
+        self._votes: Dict[int, str] = {}
+        #: What this process proposed to QC (for tests/experiments).
+        self.qc_proposal: Optional[int] = None
+
+    def vote_value(self, vote: str) -> None:
+        if vote not in (YES, NO):
+            raise ValueError(f"vote must be Yes/No, got {vote!r}")
+        if self.vote is None:
+            self.vote = vote
+
+    def start(self) -> None:
+        self.add_child(self.QC_TAG, self.qc_factory())
+        self.spawn(self._run(), name=f"nbac@{self.pid}")
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if self.route_to_children(sender, payload):
+            return
+        kind = payload[0]
+        if kind == "VOTE":
+            self._votes.setdefault(sender, payload[1])
+        else:
+            raise ValueError(f"unknown NBAC message {payload!r}")
+
+    def _fs_red(self) -> bool:
+        return self.fs_extract(self.detector()) == RED
+
+    def _run(self):
+        # Wait for the local vote, then line 1: send it to all.
+        yield WaitUntil(lambda: self.vote is not None)
+        self.broadcast(("VOTE", self.vote))
+        # Line 2: wait for all votes or FS = red.
+        yield WaitUntil(lambda: len(self._votes) == self.n or self._fs_red())
+        # Lines 3-6.
+        if len(self._votes) == self.n and all(
+            v == YES for v in self._votes.values()
+        ):
+            self.qc_proposal = 1
+        else:
+            self.qc_proposal = 0
+        # Line 7: run the QC algorithm.
+        qc = self.child(self.QC_TAG)
+        qc.propose(self.qc_proposal)  # type: ignore[attr-defined]
+        _, decision = yield qc.wait_decided()
+        # Lines 8-11.
+        if decision == 1:
+            self.decide(COMMIT)
+        else:  # 0 or Q
+            self.decide(ABORT)

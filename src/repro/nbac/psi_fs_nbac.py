@@ -1,0 +1,41 @@
+"""End-to-end NBAC from (Ψ, FS) — Corollary 10's sufficiency direction.
+
+The composition is exactly the paper's: (Ψ, FS) includes Ψ, which
+solves QC (Figure 2 / Theorem 5); it also includes FS, so Figure 4
+turns that QC solution into NBAC (Theorem 8a).  This module provides
+the pre-wired core and the matching oracle:
+
+* the detector value is the product ``(psi_value, fs_value)``;
+* the QC child is a :class:`~repro.qc.psi_qc.PsiQCCore` reading the
+  first component;
+* the Figure 4 shell reads the second component.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.detectors.combined import ProductOracle
+from repro.core.detectors.fs import FSOracle
+from repro.core.detectors.psi import PsiOracle
+from repro.nbac.from_qc import NBACFromQCCore
+from repro.qc.psi_qc import PsiQCCore
+
+
+def psi_fs_oracle(
+    branch: Optional[str] = None, noisy: bool = True
+) -> ProductOracle:
+    """The (Ψ, FS) oracle — the weakest failure detector for NBAC."""
+    return ProductOracle(PsiOracle(branch=branch, noisy=noisy), FSOracle())
+
+
+def psi_fs_nbac_core(vote: Optional[str] = None) -> NBACFromQCCore:
+    """An NBAC core solving the problem with (Ψ, FS).
+
+    Wire it to a system whose detector is :func:`psi_fs_oracle`.
+    """
+    return NBACFromQCCore(
+        vote=vote,
+        qc_factory=lambda: PsiQCCore(psi_extract=lambda d: d[0]),
+        fs_extract=lambda d: d[1],
+    )

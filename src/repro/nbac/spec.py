@@ -1,0 +1,25 @@
+"""The non-blocking atomic commit problem (Section 7.1).
+
+Each process invokes VOTE(v), v ∈ {Yes, No}, which returns Commit or
+Abort, subject to:
+
+* **Termination** — if every correct process votes, every correct
+  process eventually returns;
+* **Uniform Agreement** — no two processes return different values;
+* **Validity** — (a) Commit requires that all processes previously
+  voted Yes; (b) Abort requires that some process voted No or a failure
+  previously occurred.
+
+Note the asymmetries against QC the paper stresses (§1): votes are not
+symmetric (one No forces Abort), Abort is sometimes *inevitable* (a
+process crashing before voting), and Abort does not certify a failure
+(it may just mean a No vote) — which is why NBAC and QC are equivalent
+only *modulo* FS (Theorem 8).
+"""
+
+from __future__ import annotations
+
+YES = "Yes"
+NO = "No"
+COMMIT = "Commit"
+ABORT = "Abort"

@@ -1,0 +1,87 @@
+"""FS from NBAC (Theorem 8b, second half, after [5, 11]).
+
+"Processes use the given NBAC algorithm repeatedly (forever), voting
+Yes in each instance.  At each process, the output of FS is initially
+green, and becomes permanently red if and when an instance of NBAC
+returns Abort."
+
+* **Accuracy** — with every process voting Yes in every instance, NBAC
+  validity(b) says an Abort certifies that a failure occurred, so red
+  is only ever output after a failure.
+* **Completeness** — consider an instance started after some process
+  crashed: the crashed process never votes in it, so by validity(a) it
+  cannot Commit, and by Termination it decides — hence Aborts — at
+  every correct process, turning every correct process permanently red.
+
+Each process launches instance ``k + 1`` as soon as its instance ``k``
+decided; instances are hosted by a
+:class:`~repro.protocols.multi.MultiInstanceCore`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.detector import GREEN, RED
+from repro.nbac.spec import ABORT, YES
+from repro.protocols.base import ProtocolCore
+from repro.protocols.multi import MultiInstanceCore
+from repro.sim.tasklets import WaitSteps
+
+
+class FSFromNBACCore(ProtocolCore):
+    """Emulates FS by running NBAC instances forever.
+
+    Parameters
+    ----------
+    nbac_factory:
+        Builds one NBAC instance (called per instance key).
+    pace:
+        Local steps between the decision of one instance and the start
+        of the next (keeps message volume bounded).
+    max_instances:
+        Safety valve for tests (0 = run forever).
+    """
+
+    INSTANCES_TAG = "insts"
+
+    def __init__(
+        self,
+        nbac_factory: Callable[[str], ProtocolCore],
+        pace: int = 4,
+        max_instances: int = 0,
+    ):
+        super().__init__()
+        self.nbac_factory = nbac_factory
+        self.pace = pace
+        self.max_instances = max_instances
+        self._output = GREEN
+        self.instances_run = 0
+
+    def output(self) -> str:
+        """The emulated FS value of this process's module."""
+        return self._output
+
+    def start(self) -> None:
+        self.add_child(
+            self.INSTANCES_TAG, MultiInstanceCore(self.nbac_factory)
+        )
+        self.spawn(self._run(), name=f"fs-from-nbac@{self.pid}")
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if not self.route_to_children(sender, payload):
+            raise ValueError(f"unknown FS-from-NBAC message {payload!r}")
+
+    def _run(self):
+        multi: MultiInstanceCore = self.child(self.INSTANCES_TAG)  # type: ignore[assignment]
+        k = 0
+        while self.max_instances == 0 or k < self.max_instances:
+            inst = multi.instance(k)
+            inst.vote_value(YES)  # type: ignore[attr-defined]
+            _, decision = yield inst.wait_decided()
+            self.instances_run = k + 1
+            if decision == ABORT:
+                self._output = RED
+                return
+            k += 1
+            yield WaitSteps(self.pace)

@@ -1,0 +1,101 @@
+"""Figure 5: transforming NBAC into QC (Theorem 8b, first half).
+
+Transcription of Figure 5, per process ``p``:
+
+1. send the QC proposal to all;
+2. vote Yes in an instance of the given NBAC algorithm;
+3. if NBAC returned Abort, return Q — valid because with all-Yes votes,
+   NBAC validity(b) says Abort certifies that a failure occurred;
+4. otherwise (Commit) wait for every process's proposal and return the
+   smallest.  Commit certifies all processes voted Yes, hence all sent
+   their proposals first (sends precede votes and links are reliable),
+   so the wait terminates and everyone computes the same minimum.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.nbac.spec import ABORT, YES
+from repro.protocols.base import ProtocolCore
+from repro.qc.spec import Q
+from repro.sim.tasklets import WaitUntil
+
+
+def _order_key(value: Any):
+    """Total order on proposals ("smallest proposal received").
+
+    Proposals are arbitrary hashable values in the multivalued setting,
+    so sort by type name then repr — any fixed total order shared by all
+    processes does the job the paper's "smallest" does for binary
+    values.
+    """
+    return (type(value).__name__, repr(value))
+
+
+class QCFromNBACCore(ProtocolCore):
+    """QC built from any NBAC algorithm.
+
+    Parameters
+    ----------
+    proposal:
+        This process's QC proposal; may be supplied later via
+        :meth:`propose`.
+    nbac_factory:
+        Builds the NBAC core run as a child — the theorem quantifies
+        over any solution to NBAC.
+    """
+
+    NBAC_TAG = "nbac"
+
+    def __init__(
+        self,
+        proposal: Any = None,
+        nbac_factory: Callable[[], ProtocolCore] = None,  # type: ignore[assignment]
+    ):
+        super().__init__()
+        if nbac_factory is None:
+            raise ValueError("a QC-from-NBAC core needs an nbac_factory")
+        self.proposal = proposal
+        self.nbac_factory = nbac_factory
+        self._proposals: Dict[int, Any] = {}
+
+    def propose(self, value: Any) -> None:
+        if value is None:
+            raise ValueError("proposals must be non-None")
+        if self.proposal is None:
+            self.proposal = value
+
+    def start(self) -> None:
+        self.add_child(self.NBAC_TAG, self.nbac_factory())
+        self.spawn(self._run(), name=f"qc-from-nbac@{self.pid}")
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if self.route_to_children(sender, payload):
+            return
+        kind = payload[0]
+        if kind == "PROP":
+            self._proposals.setdefault(sender, payload[1])
+        else:
+            raise ValueError(f"unknown QC-from-NBAC message {payload!r}")
+
+    def _run(self):
+        yield WaitUntil(lambda: self.proposal is not None)
+        # Line 1: send v to all.
+        self.broadcast(("PROP", self.proposal))
+        # Line 2: d := VOTE(Yes).
+        nbac = self.child(self.NBAC_TAG)
+        nbac.vote_value(YES)  # type: ignore[attr-defined]
+        _, decision = yield nbac.wait_decided()
+        # Lines 3-4.
+        if decision == ABORT:
+            self.decide(Q)
+            return
+        # Lines 5-7: Commit ⇒ everyone voted Yes ⇒ everyone's proposal
+        # was already sent; wait for all and take the smallest.
+        proposals = yield WaitUntil(
+            lambda: len(self._proposals) == self.n
+            and (True, dict(self._proposals))
+        )
+        _, received = proposals
+        self.decide(min(received.values(), key=_order_key))

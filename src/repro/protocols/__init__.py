@@ -1,0 +1,34 @@
+"""Host-agnostic protocol cores.
+
+The paper's reductions *nest* algorithms: NBAC runs a QC algorithm as a
+subroutine (Figure 4), QC runs a consensus algorithm (Figure 2), and the
+Figure 3 extraction *simulates* whole runs of a QC algorithm inside a
+single real process.  To make that literal, protocol logic here is
+written as :class:`~repro.protocols.base.ProtocolCore` objects that only
+talk to an abstract :class:`~repro.protocols.base.ProtocolContext`
+(send/broadcast, failure detector value, tasklet spawn).  The same core
+object therefore runs:
+
+* inside a real simulated process
+  (:class:`~repro.protocols.base.CoreComponent` adapter),
+* as a nested sub-protocol of another core
+  (:class:`~repro.protocols.base.SubContext` adapter), or
+* inside the CHT virtual runtime of Figure 3
+  (:class:`repro.qc.cht.simulation.VirtualRuntime`).
+"""
+
+from repro.protocols.base import (
+    ProtocolContext,
+    ProtocolCore,
+    CoreComponent,
+    SubContext,
+    NOT_DECIDED,
+)
+
+__all__ = [
+    "ProtocolContext",
+    "ProtocolCore",
+    "CoreComponent",
+    "SubContext",
+    "NOT_DECIDED",
+]

@@ -1,0 +1,244 @@
+"""Protocol cores and their execution contexts.
+
+A :class:`ProtocolCore` is an algorithm in the paper's sense: a
+transition automaton plus tasklets, talking to the outside world only
+through a :class:`ProtocolContext`.  Three context implementations
+exist:
+
+* :class:`ComponentContext` — a real simulated process (wrapped by
+  :class:`CoreComponent`);
+* :class:`SubContext` — a parent core hosting a child core, with
+  payloads wrapped in a routing tag (how Figure 4's NBAC hosts a QC
+  instance which hosts a consensus instance);
+* ``VirtualContext`` in :mod:`repro.qc.cht.simulation` — a simulated
+  process inside the Figure 3 extraction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Generator, List
+
+from repro.sim.process import Component
+from repro.sim.tasklets import WaitUntil
+
+
+class _NotDecided:
+    _instance = None
+
+    def __new__(cls) -> "_NotDecided":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<not decided>"
+
+
+NOT_DECIDED = _NotDecided()
+
+
+class ProtocolContext(ABC):
+    """Everything a protocol core may do to the outside world."""
+
+    pid: int
+    n: int
+
+    @abstractmethod
+    def send(self, dest: int, payload: Any) -> None: ...
+
+    @abstractmethod
+    def broadcast(self, payload: Any) -> None: ...
+
+    @abstractmethod
+    def detector(self) -> Any:
+        """The current failure detector value of this process's module."""
+
+    @abstractmethod
+    def spawn(self, gen: Generator, name: str = "") -> None: ...
+
+
+class ProtocolCore(ABC):
+    """A nestable, host-agnostic algorithm.
+
+    Lifecycle: construct → :meth:`attach` (context injection) →
+    :meth:`start` (once, at the process's first step) →
+    :meth:`on_message` for each received payload.  Cores that terminate
+    with an irrevocable outcome call :meth:`decide`.
+    """
+
+    def __init__(self) -> None:
+        self.ctx: ProtocolContext = None  # type: ignore[assignment]
+        self.decision: Any = NOT_DECIDED
+        self._decide_listeners: List[Callable[[Any], None]] = []
+        self._children: Dict[str, "ProtocolCore"] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self, ctx: ProtocolContext) -> None:
+        self.ctx = ctx
+
+    def start(self) -> None:
+        """Called once before any message is delivered to this core."""
+
+    @abstractmethod
+    def on_message(self, sender: int, payload: Any) -> None: ...
+
+    # -- decisions -----------------------------------------------------------
+    @property
+    def decided(self) -> bool:
+        return self.decision is not NOT_DECIDED
+
+    def decide(self, value: Any) -> None:
+        """Record this core's irrevocable decision (idempotent-hostile:
+        deciding twice is a bug and raises)."""
+        if self.decided:
+            if self.decision == value:
+                return
+            raise RuntimeError(
+                f"{type(self).__name__} at {self.ctx.pid} decided twice: "
+                f"{self.decision!r} then {value!r}"
+            )
+        self.decision = value
+        for listener in self._decide_listeners:
+            listener(value)
+
+    def on_decide(self, listener: Callable[[Any], None]) -> None:
+        self._decide_listeners.append(listener)
+        if self.decided:
+            listener(self.decision)
+
+    def wait_decided(self) -> WaitUntil:
+        """Tasklet wait for this core's decision.
+
+        The decision value itself is sent back into the waiting
+        generator; a falsy decision value (0, Abort-like sentinels) is
+        wrapped so the wait still fires.
+        """
+        return WaitUntil(
+            lambda: (True, self.decision) if self.decided else False
+        )
+
+    # -- nesting -----------------------------------------------------------
+    def add_child(self, tag: str, child: "ProtocolCore") -> "ProtocolCore":
+        """Host ``child`` under routing tag ``tag`` and start it.
+
+        Must be called from :meth:`start` or later (the context must be
+        attached).  Incoming payloads of the form ``(tag, inner)`` must
+        be forwarded via :meth:`route_to_children`.
+        """
+        if tag in self._children:
+            raise ValueError(f"duplicate child tag {tag!r}")
+        child.attach(SubContext(self.ctx, tag))
+        self._children[tag] = child
+        child.start()
+        return child
+
+    def child(self, tag: str) -> "ProtocolCore":
+        return self._children[tag]
+
+    def route_to_children(self, sender: int, payload: Any) -> bool:
+        """Dispatch ``(tag, inner)`` payloads to hosted children.
+
+        Returns True when the payload was consumed by a child.
+        """
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] in self._children
+        ):
+            self._children[payload[0]].on_message(sender, payload[1])
+            return True
+        return False
+
+    # -- conveniences --------------------------------------------------------
+    @property
+    def pid(self) -> int:
+        return self.ctx.pid
+
+    @property
+    def n(self) -> int:
+        return self.ctx.n
+
+    def send(self, dest: int, payload: Any) -> None:
+        self.ctx.send(dest, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        self.ctx.broadcast(payload)
+
+    def detector(self) -> Any:
+        return self.ctx.detector()
+
+    def spawn(self, gen: Generator, name: str = "") -> None:
+        self.ctx.spawn(gen, name)
+
+
+class SubContext(ProtocolContext):
+    """Context a parent core gives to a hosted child: same process, same
+    detector, payloads wrapped as ``(tag, inner)``."""
+
+    def __init__(self, parent: ProtocolContext, tag: str):
+        self.parent = parent
+        self.tag = tag
+        self.pid = parent.pid
+        self.n = parent.n
+
+    def send(self, dest: int, payload: Any) -> None:
+        self.parent.send(dest, (self.tag, payload))
+
+    def broadcast(self, payload: Any) -> None:
+        self.parent.broadcast((self.tag, payload))
+
+    def detector(self) -> Any:
+        return self.parent.detector()
+
+    def spawn(self, gen: Generator, name: str = "") -> None:
+        self.parent.spawn(gen, name or self.tag)
+
+
+class ComponentContext(ProtocolContext):
+    """Adapter: a real :class:`~repro.sim.process.Component` as context."""
+
+    def __init__(self, component: Component):
+        self.component = component
+        self.pid = component.pid
+        self.n = component.n
+
+    def send(self, dest: int, payload: Any) -> None:
+        self.component.send(dest, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        self.component.broadcast(payload)
+
+    def detector(self) -> Any:
+        return self.component.detector()
+
+    def spawn(self, gen: Generator, name: str = "") -> None:
+        self.component.spawn(gen, name)
+
+
+class CoreComponent(Component):
+    """Hosts a root :class:`ProtocolCore` inside a real process.
+
+    The core's decision is recorded in the run trace under this
+    component's name, which is what the problem-level property checkers
+    consume.
+    """
+
+    name = "core"
+
+    def __init__(self, core: ProtocolCore):
+        super().__init__()
+        self.core = core
+
+    def on_start(self) -> None:
+        self.core.attach(ComponentContext(self))
+        self.core.on_decide(lambda value: self.decide(value))
+        self.core.start()
+
+    def on_message(self, sender: int, payload: Any, meta: Dict[str, Any]) -> None:
+        self.core.on_message(sender, payload)
+
+    def output(self) -> Any:
+        """Delegate to the core's emulated-detector output (cores that
+        extract detectors — Figures 1 and 3, FS-from-NBAC — expose one)."""
+        return self.core.output()  # type: ignore[attr-defined]

@@ -1,0 +1,57 @@
+"""Reliable broadcast — the diffusion substrate of the classics.
+
+Chandra–Toueg's consensus algorithm [4] decides via *reliable
+broadcast*: if any process (correct or not) delivers a message, every
+correct process delivers it.  The crash-model implementation is the
+classical echo scheme: on first receipt, relay to everyone, then
+deliver.  A sender that crashes mid-broadcast may reach only some
+processes, but each of those relays to all before delivering, and
+relays from correct processes always complete.
+
+:class:`ReliableBroadcastCore` is a nestable protocol core; hosts
+register a delivery callback and may broadcast any number of tagged
+messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Set, Tuple
+
+from repro.protocols.base import ProtocolCore
+
+MessageId = Tuple[int, int]  # (origin pid, origin sequence)
+
+
+class ReliableBroadcastCore(ProtocolCore):
+    """Echo-based reliable broadcast for crash failures."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_seq = 0
+        self._delivered_ids: Set[MessageId] = set()
+        self._listeners: List[Callable[[int, Any], None]] = []
+        #: Delivered (origin, payload) pairs in delivery order.
+        self.delivered: List[Tuple[int, Any]] = []
+
+    def on_deliver(self, listener: Callable[[int, Any], None]) -> None:
+        """Register a callback invoked as ``listener(origin, payload)``."""
+        self._listeners.append(listener)
+
+    def rbroadcast(self, payload: Any) -> None:
+        """Reliably broadcast ``payload`` (delivered to self too)."""
+        self._next_seq += 1
+        self.broadcast(("RB", (self.pid, self._next_seq), payload))
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        kind, msg_id, body = payload
+        if kind != "RB":
+            raise ValueError(f"unknown broadcast message {payload!r}")
+        if msg_id in self._delivered_ids:
+            return
+        self._delivered_ids.add(msg_id)
+        # Relay before delivering: once anyone delivers, its relay to
+        # every process is already in flight.
+        self.broadcast(("RB", msg_id, body))
+        self.delivered.append((msg_id[0], body))
+        for listener in self._listeners:
+            listener(msg_id[0], body)

@@ -1,0 +1,58 @@
+"""Generic multi-instance protocol hosting.
+
+Several reductions consume an agreement protocol as a repeatable
+service: SMR decides a slot per command, the binary→multivalued
+transformation runs one binary instance per candidate round, and the
+NBAC→FS extraction runs NBAC instances "repeatedly (forever)".
+:class:`MultiInstanceCore` hosts an unbounded, lazily-created family of
+child cores addressed by instance key; peers' messages for an unknown
+instance transparently create a passive instance to receive them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.protocols.base import NOT_DECIDED, ProtocolCore
+
+
+class MultiInstanceCore(ProtocolCore):
+    """An unbounded family of protocol-core instances.
+
+    Parameters
+    ----------
+    instance_factory:
+        ``instance_factory(tag)`` builds one (unattached) child core.
+        Instances must be meaningful when created *passively* — i.e.
+        with no local input yet — because a peer's first message may
+        arrive before the local user invokes the instance.
+    """
+
+    def __init__(self, instance_factory: Callable[[str], ProtocolCore]):
+        super().__init__()
+        self._instance_factory = instance_factory
+
+    def start(self) -> None:
+        pass  # instances are created on demand
+
+    def instance(self, key: Any) -> ProtocolCore:
+        """The instance for ``key``, created (and started) on first use."""
+        tag = f"i{key}"
+        if tag not in self._children:
+            self.add_child(tag, self._instance_factory(tag))
+        return self._children[tag]
+
+    def decision_of(self, key: Any) -> Any:
+        tag = f"i{key}"
+        child = self._children.get(tag)
+        return child.decision if child is not None else NOT_DECIDED
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if not (isinstance(payload, tuple) and len(payload) == 2):
+            raise ValueError(f"malformed multi-instance payload {payload!r}")
+        tag, inner = payload
+        if not (isinstance(tag, str) and tag.startswith("i")):
+            raise ValueError(f"unknown multi-instance tag {tag!r}")
+        if tag not in self._children:
+            self.add_child(tag, self._instance_factory(tag))
+        self._children[tag].on_message(sender, inner)

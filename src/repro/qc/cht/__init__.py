@@ -1,0 +1,30 @@
+"""CHT-style simulation machinery for the Figure 3 extraction.
+
+The extraction of Ψ from an arbitrary QC algorithm ``A`` (Theorem 6)
+follows Chandra–Hadzilacos–Toueg [3]: processes gossip *failure
+detector samples* into an ever-growing DAG, and simulate runs of ``A``
+that are compatible with paths of that DAG.
+
+* :mod:`repro.qc.cht.samples` — samples and the DAG ``G_p`` (edges are
+  implicit in per-sample knowledge vectors);
+* :mod:`repro.qc.cht.simulation` — the virtual runtime that actually
+  executes ``A``'s protocol cores inside a single real process, driven
+  by DAG paths;
+* :mod:`repro.qc.cht.forest` — the n+1-tree simulation forest Υ_p and
+  canonical deciding runs;
+* :mod:`repro.qc.cht.valence` — decision tags, u-valence/multivalence
+  and critical-index analysis on bounded forests.
+"""
+
+from repro.qc.cht.samples import Sample, SampleDag
+from repro.qc.cht.simulation import VirtualRuntime, simulate_run
+from repro.qc.cht.forest import SimulationForest, initial_proposals
+
+__all__ = [
+    "Sample",
+    "SampleDag",
+    "VirtualRuntime",
+    "simulate_run",
+    "SimulationForest",
+    "initial_proposals",
+]

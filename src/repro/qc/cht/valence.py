@@ -1,0 +1,124 @@
+"""Decision tags, valence and critical indices on bounded forests.
+
+In [3] every node of the limit forest is tagged with the set of
+decisions reached in descendant runs; a node is *u-valent* when its tag
+set is the singleton ``{u}`` and *multivalent* otherwise.  Section 6.3.1
+adapts this to QC's three outcomes: nodes may be 0-, 1- or Q-valent or
+multivalent, and an index ``i`` is *critical* when the root of Υ_i is
+multivalent, or the roots of Υ_{i-1} and Υ_i are u- and v-valent with
+``u ≠ v``.
+
+The limit forest is infinite; this module computes the *bounded*
+analogue used by tests and benchmarks: descendant decisions are sampled
+by branching over which process steps next (up to ``branch_depth``
+levels) and then extending each branch canonically to a decision.  The
+computed tag set is a subset of the true one, so:
+
+* "multivalent" verdicts are sound (two witnessed decisions really are
+  reachable);
+* "univalent" verdicts are sound *relative to the explored fan-out* —
+  exactly the finitisation DESIGN.md declares for CHT machinery.
+
+This is also where the paper's Lemma 8 observation becomes executable:
+on a crash-free pattern no Q decision can appear (QC validity), so the
+roots of Υ_0 and Υ_n are 0- and 1-valent and a critical index exists;
+with crashes, all-Q forests — where no critical index exists and Ω
+cannot be extracted — are actually witnessed by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, List, Optional, Sequence, Set
+
+from repro.protocols.base import ProtocolCore
+
+from repro.qc.cht.samples import Sample, SampleDag
+from repro.qc.cht.simulation import simulate_run
+
+
+def decision_tags(
+    n: int,
+    core_factory: Callable[[int], ProtocolCore],
+    proposals: Sequence[Any],
+    dag: SampleDag,
+    target: int,
+    prefix: Sequence[Sample] = (),
+    branch_depth: int = 2,
+    max_steps: int = 50_000,
+) -> FrozenSet[Any]:
+    """The (bounded) tag set of the node ``(proposals, prefix)``.
+
+    Branches over the next step's process for ``branch_depth`` levels,
+    then decides each branch along the canonical path.
+    """
+    tags: Set[Any] = set()
+
+    def explore(prefix_now: List[Sample], depth: int) -> None:
+        if depth == 0:
+            _, _, decided = _decide(prefix_now)
+            return
+        extensions = _one_step_extensions(prefix_now)
+        if not extensions:
+            _decide(prefix_now)
+            return
+        for sample in extensions:
+            explore(prefix_now + [sample], depth - 1)
+
+    def _one_step_extensions(prefix_now: List[Sample]) -> List[Sample]:
+        tip = (prefix_now[-1].pid, prefix_now[-1].seq) if prefix_now else (-1, 0)
+        counts = {}
+        for s in prefix_now:
+            counts[s.pid] = max(counts.get(s.pid, 0), s.seq)
+        out: List[Sample] = []
+        for q in range(n):
+            seq = counts.get(q, 0) + 1
+            while dag.contains(q, seq):
+                sample = dag.sample(q, seq)
+                if sample.compatible_after(*tip):
+                    out.append(sample)
+                    break
+                seq += 1
+        return out
+
+    def _decide(prefix_now: List[Sample]):
+        runtime, schedule, decided = simulate_run(
+            n,
+            core_factory,
+            list(proposals),
+            dag,
+            target,
+            prefix=tuple(prefix_now),
+            max_steps=max_steps,
+        )
+        if decided:
+            tags.add(runtime.decision_of(target))
+        return runtime, schedule, decided
+
+    explore(list(prefix), branch_depth)
+    return frozenset(tags)
+
+
+def classify(tags: FrozenSet[Any]) -> str:
+    """"u-valent" (a single tag) or "multivalent" (several)."""
+    if not tags:
+        return "undetermined"
+    if len(tags) == 1:
+        return f"{next(iter(tags))!r}-valent"
+    return "multivalent"
+
+
+def find_critical_index(root_tags: Sequence[FrozenSet[Any]]) -> Optional[int]:
+    """The smallest critical index of a forest given its root tag sets.
+
+    ``root_tags[i]`` is the tag set of tree i's root, ``i = 0 .. n``.
+    Returns None when no index is critical — which per Section 6.3.1
+    can happen only if every root is tagged only with Q.
+    """
+    for i, tags in enumerate(root_tags):
+        if len(tags) > 1:
+            return i  # multivalent critical
+    for i in range(1, len(root_tags)):
+        a, b = root_tags[i - 1], root_tags[i]
+        if len(a) == 1 and len(b) == 1 and a != b:
+            return i  # univalent critical
+    return None

@@ -1,0 +1,90 @@
+"""Figure 2: using Ψ to solve QC (Theorem 5).
+
+Transcription of Figure 2, per process ``p``:
+
+1. while Ψ_p = ⊥ do nop;
+2. if Ψ_p ∈ {green, red} — Ψ henceforth behaves like FS, which it may
+   do only if a failure occurred — return Q;
+3. else — Ψ henceforth behaves like (Ω, Σ) — run the (Ω, Σ)-based
+   consensus algorithm on the initial proposal and return its decision.
+
+The embedded consensus is the :class:`~repro.consensus.paxos.OmegaSigmaConsensusCore`,
+whose detector extractors pull (Ω, Σ) straight out of the Ψ value —
+before the switch they see ⊥ and simply stall, which is harmless
+because the branch decision precedes any consensus activity at this
+process.  Note the branch agreement built into Ψ's specification is
+what makes mixing impossible: either all processes end up in the
+consensus, or all return Q.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.consensus.paxos import OmegaSigmaConsensusCore, omega_of, sigma_of
+from repro.core.detector import BOTTOM, is_fs_value
+from repro.protocols.base import ProtocolCore
+from repro.qc.spec import Q
+from repro.sim.tasklets import WaitUntil
+
+
+class PsiQCCore(ProtocolCore):
+    """Quittable consensus from the failure detector Ψ."""
+
+    CONSENSUS_TAG = "cons"
+
+    def __init__(self, proposal: Any = None, psi_extract=None):
+        """``psi_extract`` pulls the Ψ component out of the process's
+        detector value — identity for a plain Ψ oracle (default), first
+        component when running under the (Ψ, FS) product of Corollary 10."""
+        super().__init__()
+        self.proposal = proposal
+        self._psi_extract = psi_extract or (lambda d: d)
+        #: Which branch this process observed ("fs" or "omega-sigma").
+        self.branch_taken: Optional[str] = None
+
+    def _psi(self) -> Any:
+        return self._psi_extract(self.detector())
+
+    def propose(self, value: Any) -> None:
+        if value is None:
+            raise ValueError("proposals must be non-None")
+        if self.proposal is None:
+            self.proposal = value
+
+    def start(self) -> None:
+        extract = self._psi_extract
+        consensus = OmegaSigmaConsensusCore(
+            omega_extract=lambda d: omega_of(extract(d))
+            if extract(d) is not BOTTOM
+            else None,
+            sigma_extract=lambda d: sigma_of(extract(d))
+            if extract(d) is not BOTTOM
+            else None,
+        )
+        self.add_child(self.CONSENSUS_TAG, consensus)
+        self.spawn(self._run(), name=f"psi-qc@{self.pid}")
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if not self.route_to_children(sender, payload):
+            raise ValueError(f"unknown QC message {payload!r}")
+
+    def _run(self):
+        # Line 1: while Ψ_p = ⊥ do nop.
+        value = yield WaitUntil(
+            lambda: self.proposal is not None
+            and self._psi() is not BOTTOM
+            and (True, self._psi())
+        )
+        _, d = value
+        if is_fs_value(d):
+            # Line 2-4: Ψ behaves like FS — a failure occurred; quit.
+            self.branch_taken = "fs"
+            self.decide(Q)
+            return
+        # Line 5-7: Ψ behaves like (Ω, Σ) — run consensus on v.
+        self.branch_taken = "omega-sigma"
+        consensus: OmegaSigmaConsensusCore = self.child(self.CONSENSUS_TAG)  # type: ignore[assignment]
+        consensus.propose(self.proposal)
+        _, decision = yield consensus.wait_decided()
+        self.decide(decision)

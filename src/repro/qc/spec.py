@@ -1,0 +1,46 @@
+"""The quittable consensus problem (Section 5).
+
+QC is consensus weakened with an escape hatch: each process invokes
+PROPOSE(v) and gets back either a proposed value or the special value
+``Q`` ("quit"), subject to:
+
+* **Termination** — if every correct process proposes, every correct
+  process eventually returns;
+* **Uniform Agreement** — no two processes return different values;
+* **Validity** — a returned value is a proposal or ``Q``, and
+  (a) a non-Q value was proposed by some process,
+  (b) ``Q`` may be returned only if a failure previously occurred.
+
+The paper defines binary QC and notes the generalisation to arbitrary
+value sets is straightforward; implementations here are multivalued
+(footnote 6's binary→multivalued technique is reproduced separately in
+:mod:`repro.consensus.multivalued`).
+
+Contrast with NBAC (§1): quitting is never *inevitable* in QC — even
+after a failure, processes may still agree on a proposed value — and
+``Q`` certifies that a failure really occurred, whereas NBAC's Abort
+can also mean somebody voted No.
+"""
+
+from __future__ import annotations
+
+
+class _Quit:
+    """The distinguished 'quit' outcome of quittable consensus."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Quit":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Q"
+
+    def __reduce__(self):
+        return (_Quit, ())
+
+
+#: The singleton quit value.
+Q = _Quit()

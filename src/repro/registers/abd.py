@@ -1,0 +1,170 @@
+"""The ABD atomic register emulation [1], generalised over quorums.
+
+Every process is simultaneously a *replica* (stores a timestamped value
+per register) and a *client* (runs read/write operations).  A bank of
+named multi-writer multi-reader registers is provided; single-writer
+use (each register written by one process, as in Figure 1) can skip the
+write's timestamp-discovery phase via ``single_writer=True``.
+
+Operations are generators meant for tasklets::
+
+    value = yield from bank.read("Reg3")
+    yield from bank.write("Reg3", value + 1)
+
+Protocol (per operation):
+
+* **write(r, v)** — phase 1 (skipped for single-writer): query a quorum
+  for the highest timestamp of ``r``; phase 2: propagate
+  ``(ts, v)`` with ``ts`` greater than any seen, wait for a quorum of
+  acks.
+* **read(r)** — phase 1: query a quorum for timestamped values, pick
+  the maximum; phase 2 (the famous write-back): propagate that maximum
+  to a quorum before returning, which is what makes reads atomic rather
+  than merely regular.
+
+Timestamps are ``(seq, pid)`` pairs ordered lexicographically, so
+concurrent writers never forge equal timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from repro.registers.quorums import QuorumStrategy
+from repro.sim.process import Component
+from repro.sim.tasklets import WaitUntil
+
+Timestamp = Tuple[int, int]
+
+#: Timestamp below any real write's.
+INITIAL_TS: Timestamp = (0, -1)
+
+
+class RegisterBank(Component):
+    """A bank of named atomic registers, emulated over messages.
+
+    Parameters
+    ----------
+    quorums:
+        The :class:`~repro.registers.quorums.QuorumStrategy` that
+        decides phase completion — majorities for classical ABD, Σ for
+        Theorem 1.
+    initial:
+        Initial value per register name (default None for all).
+    record_ops:
+        When true, every read/write is recorded as an
+        invocation/response interval in the run trace, feeding the
+        linearizability checker.  Internal uses (e.g. the consensus-
+        from-registers stack) leave it off.
+    """
+
+    name = "reg"
+
+    def __init__(
+        self,
+        quorums: QuorumStrategy,
+        initial: Optional[Dict[Any, Any]] = None,
+        record_ops: bool = False,
+    ):
+        super().__init__()
+        self.quorums = quorums
+        self.initial = dict(initial or {})
+        self.record_ops = record_ops
+        self._store: Dict[Any, Tuple[Timestamp, Any]] = {}
+        self._next_rid = 0
+        self._replies: Dict[int, Dict[int, Any]] = {}
+        self._write_seq: Dict[Any, int] = {}
+        # Statistics.
+        self.reads_done = 0
+        self.writes_done = 0
+
+    # ------------------------------------------------------------------
+    # Replica side
+    # ------------------------------------------------------------------
+    def _entry(self, reg: Any) -> Tuple[Timestamp, Any]:
+        if reg not in self._store:
+            self._store[reg] = (INITIAL_TS, self.initial.get(reg))
+        return self._store[reg]
+
+    def on_message(self, sender: int, payload: Any, meta: Dict[str, Any]) -> None:
+        kind = payload[0]
+        if kind == "RQ":  # read query
+            _, reg, rid = payload
+            ts, value = self._entry(reg)
+            self.send(sender, ("RR", rid, ts, value))
+        elif kind == "WQ":  # write / write-back
+            _, reg, rid, ts, value = payload
+            current_ts, _ = self._entry(reg)
+            if ts > current_ts:
+                self._store[reg] = (ts, value)
+            self.send(sender, ("WA", rid))
+        elif kind in ("RR", "WA"):
+            rid = payload[1]
+            bucket = self._replies.get(rid)
+            if bucket is not None:
+                bucket[sender] = payload
+        else:
+            raise ValueError(f"unknown register message {payload!r}")
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def _phase(self, request: Tuple) -> Generator:
+        """Broadcast ``request`` (with a fresh rid spliced in) and wait
+        for a quorum of replies; returns the reply dict."""
+        rid = self._next_rid
+        self._next_rid += 1
+        self._replies[rid] = {}
+        kind, reg, *rest = request
+        self.broadcast((kind, reg, rid, *rest))
+        replies = self._replies[rid]
+        yield WaitUntil(
+            lambda: self.quorums.satisfied(set(replies), self.detector(), self.n)
+            and (True, dict(replies))
+        )
+        del self._replies[rid]
+        return replies
+
+    def read(self, reg: Any) -> Generator:
+        """Tasklet: atomic read — ``value = yield from bank.read(r)``."""
+        record = (
+            self.ctx.new_operation(self.name, "read", (reg,))
+            if self.record_ops
+            else None
+        )
+        replies = yield from self._phase(("RQ", reg))
+        ts, value = max(
+            ((p[2], p[3]) for p in replies.values()), key=lambda tv: tv[0]
+        )
+        # Write-back: ensure a quorum stores (ts, value) before returning.
+        yield from self._phase(("WQ", reg, ts, value))
+        self.reads_done += 1
+        if record is not None:
+            self.ctx.complete_operation(record, value)
+        return value
+
+    def write(self, reg: Any, value: Any, single_writer: bool = False) -> Generator:
+        """Tasklet: atomic write — ``yield from bank.write(r, v)``.
+
+        ``single_writer=True`` asserts this process is the register's
+        only writer and skips the timestamp-discovery phase, as in the
+        original SWMR ABD protocol.
+        """
+        record = (
+            self.ctx.new_operation(self.name, "write", (reg, value))
+            if self.record_ops
+            else None
+        )
+        if single_writer:
+            seq = self._write_seq.get(reg, 0) + 1
+            self._write_seq[reg] = seq
+            ts: Timestamp = (seq, self.pid)
+        else:
+            replies = yield from self._phase(("RQ", reg))
+            max_seq = max(p[2][0] for p in replies.values())
+            ts = (max_seq + 1, self.pid)
+        yield from self._phase(("WQ", reg, ts, value))
+        self.writes_done += 1
+        if record is not None:
+            self.ctx.complete_operation(record, "ok")
+        return "ok"

@@ -1,0 +1,154 @@
+"""Figure 1: extracting Σ from any register implementation.
+
+This is the necessity half of Theorem 1: given *any* algorithm that
+implements atomic registers (here: a :class:`~repro.registers.abd.RegisterBank`
+over any quorum strategy, possibly using any failure detector — or none
+at all in a majority-correct environment), the transformation emulates
+the output of Σ.
+
+Transcription of Figure 1, per process ``p_i``:
+
+* ``P_i(0) = Π``; ``E_i`` accumulates the participant sets of p_i's
+  completed writes on its own register ``Reg_i``.
+* Forever: increment ``k``; write ``(k, E_i)`` into ``Reg_i`` with
+  participant tracking open (yielding ``P_i(k)``); set
+  ``F_i := P_i(k-1)``; read every ``Reg_j``; for each participant set
+  ``X`` in the value read, probe all of ``X`` and wait for at least one
+  reply, adding the replier to ``F_i``; finally publish
+  ``Σ-output_i := F_i``.
+
+Why it satisfies Σ:
+
+* **Completeness** — eventually all faulty processes have crashed, so
+  the participants of new writes (and the probe repliers) are correct;
+  Σ-output at a correct process is then built only from correct pids.
+* **Intersection** — every process writes (establishing its new
+  participant set) *before* reading all registers; the write-before-
+  read pattern on atomic registers forces any two published quorums to
+  share a participant (the detailed argument is in [7]).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Set
+
+from repro.registers.abd import RegisterBank
+from repro.registers.participants import ParticipantTracker
+from repro.sim.process import Component
+from repro.sim.tasklets import WaitUntil
+
+
+def initial_registers(n: int) -> Dict[Any, Any]:
+    """Initial values for Reg_0..Reg_{n-1}: k=0 and E = {Π}.
+
+    Figure 1 line 1-2: ``P_i(0) := Π``, ``E_i := {P_i(0)}`` — the
+    registers' initial content reflects that before any write.
+    """
+    everyone = frozenset(range(n))
+    return {("Reg", j): (0, (everyone,)) for j in range(n)}
+
+
+class SigmaExtraction(Component):
+    """The Figure 1 transformation algorithm, one instance per process.
+
+    Parameters
+    ----------
+    bank_name / tracker_name:
+        Component names of the register implementation and the
+        participant-tracking middleware.
+    annotation_key:
+        Where to record the Σ-output history (for the spec checker).
+    max_rounds:
+        Stop after this many write/read rounds (0 = run to horizon).
+    """
+
+    name = "xsigma"
+
+    def __init__(
+        self,
+        bank_name: str = "reg",
+        tracker_name: str = "ptrack",
+        annotation_key: str = "sigma-extraction",
+        max_rounds: int = 0,
+    ):
+        super().__init__()
+        self.bank_name = bank_name
+        self.tracker_name = tracker_name
+        self.annotation_key = annotation_key
+        self.max_rounds = max_rounds
+        self._sigma_output: FrozenSet[int] = frozenset()
+        self._probe_acks: Dict[int, Set[int]] = {}
+        self._next_probe = 0
+        self.rounds_completed = 0
+        self._last_recorded: Optional[FrozenSet[int]] = None
+
+    # ------------------------------------------------------------------
+    def output(self) -> FrozenSet[int]:
+        """The current Σ-output_i."""
+        return self._sigma_output
+
+    def on_start(self) -> None:
+        self._sigma_output = frozenset(range(self.n))  # line 5: trust all
+        self.spawn(self._task1(), name=f"xsigma@{self.pid}")
+
+    def on_step(self) -> None:
+        if self._sigma_output == self._last_recorded:
+            return
+        history = self.ctx.annotation_history(self.annotation_key)
+        history.record(self.pid, self.now, self._sigma_output)
+        self._last_recorded = self._sigma_output
+
+    # ------------------------------------------------------------------
+    # Task 1 (lines 6-17)
+    # ------------------------------------------------------------------
+    def _task1(self):
+        bank: RegisterBank = self._host.component(self.bank_name)  # type: ignore[assignment]
+        tracker: ParticipantTracker = self._host.component(self.tracker_name)  # type: ignore[assignment]
+        everyone = frozenset(range(self.n))
+        ei: List[FrozenSet[int]] = [everyone]  # E_i = {P_i(0)}
+        p_prev: FrozenSet[int] = everyone  # P_i(k-1), initially P_i(0)
+        k = 0
+        while self.max_rounds == 0 or k < self.max_rounds:
+            k += 1
+            key = tracker.open_write(k)
+            yield from bank.write(
+                ("Reg", self.pid), (k, tuple(ei)), single_writer=True
+            )
+            p_k = tracker.close_write(key)
+            ei = ei + [p_k]
+            fi: Set[int] = set(p_prev)  # line 10: F_i := P_i(k-1)
+            for j in range(self.n):
+                _, lj = yield from bank.read(("Reg", j))
+                for x in lj:
+                    replier = yield from self._probe(x)
+                    fi.add(replier)
+            self._sigma_output = frozenset(fi)  # line 17
+            p_prev = p_k
+            self.rounds_completed += 1
+
+    def _probe(self, targets: FrozenSet[int]):
+        """Lines 14-16: ask everyone in ``targets``, wait for one reply."""
+        probe_id = self._next_probe
+        self._next_probe += 1
+        self._probe_acks[probe_id] = set()
+        for q in sorted(targets):
+            self.send(q, ("probe", probe_id))
+        acks = self._probe_acks[probe_id]
+        yield WaitUntil(lambda: acks and (True, min(acks)))
+        replier = min(acks)
+        del self._probe_acks[probe_id]
+        return replier
+
+    # ------------------------------------------------------------------
+    # Task 2 (line 18)
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, payload: Any, meta: Dict[str, Any]) -> None:
+        kind = payload[0]
+        if kind == "probe":
+            self.send(sender, ("probe-ack", payload[1]))
+        elif kind == "probe-ack":
+            bucket = self._probe_acks.get(payload[1])
+            if bucket is not None:
+                bucket.add(sender)
+        else:
+            raise ValueError(f"unknown extraction message {payload!r}")

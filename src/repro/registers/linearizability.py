@@ -1,0 +1,183 @@
+"""Atomicity (linearizability) checking for register histories.
+
+The registers of Section 3 must be *atomic* [18] / linearizable [15]:
+every operation appears to take effect instantaneously between its
+invocation and its response.  This module decides, for a recorded
+history of read/write intervals, whether such a linearization exists.
+
+The checker is a Wing–Gong style backtracking search specialised to
+register semantics, with memoisation on (set of remaining operations,
+current register value).  Pending operations (invoked, never responded
+— e.g. cut off by a crash or a blocked quorum) may legally either have
+taken effect or not; the search explores both choices.
+
+Worst-case exponential (the problem is NP-complete in general), but
+histories produced by the experiment workloads — dozens of operations
+per register — check in milliseconds.  ``max_nodes`` guards runaway
+searches; exceeding it raises rather than returning a wrong verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+
+from repro.sim.trace import OperationRecord
+
+#: Response time assigned to pending operations for ordering purposes.
+INFINITY = float("inf")
+
+
+class LinearizabilityBudgetExceeded(RuntimeError):
+    """The search exceeded its node budget (verdict unknown)."""
+
+
+@dataclass(frozen=True)
+class _Op:
+    op_id: int
+    kind: str  # "read" | "write"
+    value: Any  # written value, or value returned by the read
+    invoke: float
+    respond: float  # INFINITY when pending
+
+    @property
+    def pending(self) -> bool:
+        return self.respond == INFINITY
+
+
+@dataclass
+class LinearizabilityVerdict:
+    ok: bool
+    register: Any = None
+    reason: str = ""
+    #: Linearization order (op ids) witnessing ok=True for each register.
+    witnesses: Dict[Any, List[int]] = None  # type: ignore[assignment]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_linearizable(
+    operations: Sequence[OperationRecord],
+    initial: Optional[Dict[Any, Any]] = None,
+    max_nodes: int = 2_000_000,
+) -> LinearizabilityVerdict:
+    """Check a multi-register history of read/write operations.
+
+    ``operations`` are trace records with ``kind`` "read" (args =
+    (register,), result = returned value) or "write" (args =
+    (register, value)).  Registers are independent objects, so the
+    history is checked per register.
+    """
+    initial = dict(initial or {})
+    by_register: Dict[Any, List[_Op]] = {}
+    for rec in operations:
+        if rec.kind == "read":
+            reg = rec.args[0]
+            value = rec.result
+        elif rec.kind == "write":
+            reg, value = rec.args[0], rec.args[1]
+        else:
+            raise ValueError(f"unknown operation kind {rec.kind!r}")
+        by_register.setdefault(reg, []).append(
+            _Op(
+                op_id=rec.op_id,
+                kind=rec.kind,
+                value=value,
+                invoke=rec.invoke_time,
+                respond=INFINITY if rec.pending else rec.response_time,
+            )
+        )
+
+    witnesses: Dict[Any, List[int]] = {}
+    for reg, ops in sorted(by_register.items(), key=lambda kv: str(kv[0])):
+        witness = _check_register(ops, initial.get(reg), max_nodes)
+        if witness is None:
+            return LinearizabilityVerdict(
+                ok=False,
+                register=reg,
+                reason=f"no linearization exists for register {reg!r} "
+                f"({len(ops)} operations)",
+                witnesses={},
+            )
+        witnesses[reg] = witness
+    return LinearizabilityVerdict(ok=True, witnesses=witnesses)
+
+
+def _check_register(
+    ops: List[_Op], initial_value: Any, max_nodes: int
+) -> Optional[List[int]]:
+    """Search for a linearization of one register's history.
+
+    Returns the witness order (op ids; pending ops that were deemed
+    never-effective are omitted) or None.
+    """
+    ops = sorted(ops, key=lambda o: (o.invoke, o.respond))
+    completed = [o for o in ops if not o.pending]
+    budget = [max_nodes]
+    seen: set[Tuple[FrozenSet[int], Hashable]] = set()
+
+    def minimal_candidates(remaining: List[_Op]) -> List[_Op]:
+        """Ops that may be linearized next: nothing remaining responded
+        before their invocation."""
+        if not remaining:
+            return []
+        min_respond = min(o.respond for o in remaining)
+        return [o for o in remaining if o.invoke <= min_respond]
+
+    def search(
+        remaining: Tuple[_Op, ...], current: Any, order: List[int]
+    ) -> Optional[List[int]]:
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise LinearizabilityBudgetExceeded(
+                f"exceeded {max_nodes} search nodes"
+            )
+        live = [o for o in remaining if not o.pending]
+        if not live:
+            # All completed ops linearized; remaining pending ops can
+            # all be deemed never-effective.
+            return list(order)
+        key = (frozenset(o.op_id for o in remaining), _hashable(current))
+        if key in seen:
+            return None
+        seen.add(key)
+
+        for op in minimal_candidates(list(remaining)):
+            if op.kind == "read":
+                if not _values_equal(op.value, current):
+                    continue
+                next_value = current
+            else:
+                next_value = op.value
+            rest = tuple(o for o in remaining if o.op_id != op.op_id)
+            order.append(op.op_id)
+            found = search(rest, next_value, order)
+            if found is not None:
+                return found
+            order.pop()
+        # Additionally, a *pending* minimal op may be skipped outright
+        # (it never took effect).  Completed ops must be linearized.
+        for op in minimal_candidates(list(remaining)):
+            if not op.pending:
+                continue
+            rest = tuple(o for o in remaining if o.op_id != op.op_id)
+            found = search(rest, current, order)
+            if found is not None:
+                return found
+        return None
+
+    result = search(tuple(ops), initial_value, [])
+    return result
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    return a == b
+
+
+def _hashable(value: Any) -> Hashable:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

@@ -1,0 +1,102 @@
+"""The classical SWMR→MWMR register transformation [16, 23].
+
+Theorem 1's proof sketch implements a one-reader one-writer register
+from Σ and then appeals to "the classical results [16, 23]" for
+multi-reader multi-writer registers.  This module reproduces that
+classical layer: a multi-writer register built from ``n`` single-writer
+registers (one per process, here emulated by a
+:class:`~repro.registers.abd.RegisterBank` in single-writer mode).
+
+Construction (unbounded-timestamp variant):
+
+* ``write(v)`` by ``p_i`` — read all ``n`` base registers, compute a
+  timestamp greater than every timestamp seen, write
+  ``(ts, i, v)`` into p_i's own base register;
+* ``read()`` — read all base registers, return the value with the
+  lexicographically largest ``(ts, writer)`` pair.
+
+Atomicity of the composite follows from atomicity of the base
+registers; the ``(ts, writer)`` pair breaks ties between concurrent
+writers deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Tuple
+
+from repro.registers.abd import RegisterBank
+from repro.sim.process import Component
+
+
+class MultiWriterRegister(Component):
+    """A MWMR register named ``label`` built over SWMR base registers.
+
+    The base registers live in a sibling :class:`RegisterBank`
+    (component ``bank_name``) under names ``(label, "base", j)``, each
+    written only by process ``j``.
+    """
+
+    name = "mwreg"
+
+    def __init__(
+        self,
+        label: Any = "mw",
+        bank_name: str = "reg",
+        initial: Any = None,
+        record_ops: bool = False,
+    ):
+        super().__init__()
+        self.label = label
+        self.bank_name = bank_name
+        self.initial = initial
+        self.record_ops = record_ops
+
+    def _bank(self) -> RegisterBank:
+        return self._host.component(self.bank_name)  # type: ignore[return-value]
+
+    def _base(self, j: int) -> Any:
+        return (self.label, "base", j)
+
+    # ------------------------------------------------------------------
+    # Operations (tasklet generators)
+    # ------------------------------------------------------------------
+    def read(self) -> Generator:
+        """Tasklet: ``value = yield from mw.read()``."""
+        record = (
+            self.ctx.new_operation(self.name, "read", (self.label,))
+            if self.record_ops
+            else None
+        )
+        best: Optional[Tuple[Tuple[int, int], Any]] = None
+        bank = self._bank()
+        for j in range(self.n):
+            cell = yield from bank.read(self._base(j))
+            if cell is None:
+                continue
+            ts, writer, value = cell
+            if best is None or (ts, writer) > best[0]:
+                best = ((ts, writer), value)
+        value = self.initial if best is None else best[1]
+        if record is not None:
+            self.ctx.complete_operation(record, value)
+        return value
+
+    def write(self, value: Any) -> Generator:
+        """Tasklet: ``yield from mw.write(v)``."""
+        record = (
+            self.ctx.new_operation(self.name, "write", (self.label, value))
+            if self.record_ops
+            else None
+        )
+        bank = self._bank()
+        max_ts = 0
+        for j in range(self.n):
+            cell = yield from bank.read(self._base(j))
+            if cell is not None:
+                max_ts = max(max_ts, cell[0])
+        yield from bank.write(
+            self._base(self.pid), (max_ts + 1, self.pid, value), single_writer=True
+        )
+        if record is not None:
+            self.ctx.complete_operation(record, "ok")
+        return "ok"

@@ -1,0 +1,106 @@
+"""Causal participant tracking — the P_i(k) sets of Figure 1.
+
+Figure 1 defines the *participants* of process ``p_i``'s ``k``-th write
+as the processes with an event causally between the write's beginning
+and its termination:
+
+    P_i(k) = { p_j | ∃e event of p_j : wb ≺ e ≺ we }
+
+The paper's implementation sketch ("roughly speaking ...") is followed
+literally: while the write is open, the writer tags every outgoing
+message with the context ``(i, k)``; any process receiving a tagged
+message joins the context (its receive event satisfies ``wb ≺ e``) and
+tags all of its subsequent messages with the context plus the set of
+participants it has learned.  When the writer terminates the write, the
+participants whose membership causally reached back to it — exactly
+those with ``e ≺ we`` — form ``P_i(k)``.
+
+The tracker is process-wide middleware: it hooks *all* messages of its
+process (the register emulation's, the extraction algorithm's, anyone
+else's), because causality does not care which protocol carried it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Set, Tuple
+
+from repro.sim.network import Message
+from repro.sim.process import Component
+from repro.sim.trace import DeliveredMessage
+
+WriteKey = Tuple[int, int]  # (writer pid, write counter k)
+
+#: Key under which contexts travel in message metadata.
+META_KEY = "write-contexts"
+
+
+class ParticipantTracker(Component):
+    """Middleware tracking open write contexts and their participants."""
+
+    name = "ptrack"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Contexts this process has observed: key -> known participants.
+        self._seen: Dict[WriteKey, Set[int]] = {}
+        #: Highest write counter this process has *closed* per writer
+        #: (itself); reappearing echoes of closed own contexts are
+        #: ignored.
+        self._closed_k: int = 0
+
+    def on_start(self) -> None:
+        self.ctx.add_outgoing_hook(self._tag_outgoing)
+        self.ctx.add_incoming_hook(self._merge_incoming)
+
+    # ------------------------------------------------------------------
+    # Writer API (used by the Figure 1 extraction)
+    # ------------------------------------------------------------------
+    def open_write(self, k: int) -> WriteKey:
+        """Begin tracking this process's ``k``-th write."""
+        key = (self.pid, k)
+        self._seen[key] = {self.pid}
+        return key
+
+    def close_write(self, key: WriteKey) -> FrozenSet[int]:
+        """Terminate the write; returns P_i(k)."""
+        participants = frozenset(self._seen.pop(key, {self.pid}))
+        if key[0] == self.pid:
+            self._closed_k = max(self._closed_k, key[1])
+        return participants
+
+    # ------------------------------------------------------------------
+    # Middleware hooks
+    # ------------------------------------------------------------------
+    def _tag_outgoing(self, msg: Message) -> None:
+        if self._seen:
+            msg.meta[META_KEY] = {
+                key: frozenset(parts) for key, parts in self._seen.items()
+            }
+
+    def _merge_incoming(
+        self, delivered: DeliveredMessage, meta: Dict[str, Any]
+    ) -> None:
+        contexts = meta.get(META_KEY)
+        if not contexts:
+            return
+        for key, parts in contexts.items():
+            writer, k = key
+            if writer == self.pid and k <= self._closed_k:
+                continue  # echo of a context we already closed
+            bucket = self._seen.setdefault(key, set())
+            bucket.update(parts)
+            bucket.add(self.pid)
+        self._garbage_collect()
+
+    def _garbage_collect(self) -> None:
+        """Keep only the newest open context per writer — writers issue
+        writes sequentially, so older contexts are necessarily closed."""
+        newest: Dict[int, int] = {}
+        for writer, k in self._seen:
+            newest[writer] = max(newest.get(writer, -1), k)
+        for key in [kk for kk in self._seen if kk[1] < newest[kk[0]]]:
+            del self._seen[key]
+
+    def observed(self, key: WriteKey) -> FrozenSet[int]:
+        """Current participant estimate for an open context."""
+        return frozenset(self._seen.get(key, ()))

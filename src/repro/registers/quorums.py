@@ -1,0 +1,85 @@
+"""Quorum strategies for the ABD register emulation.
+
+The ABD algorithm [1] completes each phase after hearing from "enough"
+processes.  Classically "enough" is a static majority; the paper's
+Theorem 1 replaces majorities with the dynamic quorums of Σ: a phase
+completes once the responder set contains *some* currently-output Σ
+quorum.  Atomicity needs exactly two things from the strategy, both
+direct consequences of Σ's specification:
+
+* any two completed phases heard from intersecting sets (Σ
+  Intersection — perpetual, across processes and times);
+* phases at correct processes eventually complete (Σ Completeness —
+  eventually quorums contain only correct, hence responsive,
+  processes).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, FrozenSet, Iterable, Optional, Set
+
+from repro.consensus.paxos import sigma_of
+
+
+class QuorumStrategy(ABC):
+    """Decides when a phase's responder set is sufficient."""
+
+    @abstractmethod
+    def satisfied(self, responders: Set[int], detector_value: Any, n: int) -> bool:
+        """Whether ``responders`` covers a quorum right now.
+
+        ``detector_value`` is the hosting process's current failure
+        detector output (ignored by static strategies).
+        """
+
+    #: Whether this strategy requires a failure detector to be wired.
+    needs_detector: bool = False
+
+
+class MajorityQuorums(QuorumStrategy):
+    """Static majorities — the classical ABD assumption.
+
+    Correct only in majority-correct environments: with ``n//2 + 1``
+    crashes, phases block forever (liveness is lost, never safety),
+    which is exactly the behaviour experiment E1 demonstrates.
+    """
+
+    def satisfied(self, responders: Set[int], detector_value: Any, n: int) -> bool:
+        return len(responders) >= n // 2 + 1
+
+
+class SigmaQuorums(QuorumStrategy):
+    """Dynamic quorums from Σ (Theorem 1's sufficiency direction).
+
+    ``extract`` pulls the Σ component out of the detector value —
+    identity for a plain Σ oracle, second component for an (Ω, Σ)
+    product (the default handles both).
+    """
+
+    needs_detector = True
+
+    def __init__(
+        self,
+        extract: Callable[[Any], Optional[FrozenSet[int]]] = sigma_of,
+    ):
+        self.extract = extract
+
+    def satisfied(self, responders: Set[int], detector_value: Any, n: int) -> bool:
+        quorum = self.extract(detector_value)
+        return quorum is not None and quorum <= responders
+
+
+class FixedQuorums(QuorumStrategy):
+    """An explicit quorum family — any responder superset of a member
+    suffices.  Used by tests to force pathological (non-intersecting)
+    quorum systems and watch atomicity break, demonstrating that
+    Intersection is load-bearing."""
+
+    def __init__(self, quorums: Iterable[Iterable[int]]):
+        self.quorums = [frozenset(q) for q in quorums]
+        if not self.quorums:
+            raise ValueError("need at least one quorum")
+
+    def satisfied(self, responders: Set[int], detector_value: Any, n: int) -> bool:
+        return any(q <= responders for q in self.quorums)

@@ -1,0 +1,127 @@
+"""Atomic snapshot objects from registers (Afek et al. style).
+
+The register-emulation results compose upwards: once Σ gives atomic
+registers, the whole classical shared-memory toolbox follows.  The
+*atomic snapshot* — update your own segment, scan all segments as if
+instantaneously — is the canonical next rung, and the structure CHT-
+style simulations classically lean on.
+
+Construction (unbounded version of Afek–Attiya–Dolev–Gafni–Merritt–
+Shavit):
+
+* ``update(v)`` — embed a fresh scan in the write: write
+  ``(seq+1, v, scan())`` to your segment;
+* ``scan()`` — repeatedly *double-collect* all segments; if two
+  successive collects are identical, that clean collect is the
+  snapshot; otherwise, once some process is seen to move **twice**
+  during our scan, its embedded scan was taken entirely within our
+  interval and can be *borrowed*.
+
+Linearizability argument: a clean double collect holds at a real
+instant between the two collects; a borrowed scan recurses into an
+embedded scan whose interval nests strictly inside ours.  Termination:
+each retry marks at least one mover, and a second move by a marked
+process ends the scan, so at most ``n`` retries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.registers.abd import RegisterBank
+from repro.sim.process import Component
+
+Segment = Tuple[int, Any, Optional[Tuple]]  # (seq, value, embedded scan)
+
+
+class AtomicSnapshot(Component):
+    """A single-writer-per-segment atomic snapshot over a register bank.
+
+    Each process owns segment ``pid``; ``update`` and ``scan`` are
+    tasklet generators::
+
+        yield from snap.update(value)
+        view = yield from snap.scan()      # tuple of per-process values
+    """
+
+    name = "snapshot"
+
+    def __init__(self, label: Any = "snap", bank_name: str = "reg",
+                 record_ops: bool = False):
+        super().__init__()
+        self.label = label
+        self.bank_name = bank_name
+        self.record_ops = record_ops
+        self._seq = 0
+        self.scans_done = 0
+        self.borrowed_scans = 0
+
+    def _bank(self) -> RegisterBank:
+        return self._host.component(self.bank_name)  # type: ignore[return-value]
+
+    def _segment_reg(self, j: int) -> Any:
+        return (self.label, "seg", j)
+
+    def _collect(self) -> Generator:
+        bank = self._bank()
+        collect: List[Optional[Segment]] = []
+        for j in range(self.n):
+            cell = yield from bank.read(self._segment_reg(j))
+            collect.append(cell)
+        return collect
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def scan(self) -> Generator:
+        """Tasklet: an atomic view of all segments' values."""
+        record = (
+            self.ctx.new_operation(self.name, "scan", (self.label,))
+            if self.record_ops
+            else None
+        )
+        moved: set[int] = set()
+        previous = yield from self._collect()
+        while True:
+            current = yield from self._collect()
+            if current == previous:
+                view = tuple(
+                    None if cell is None else cell[1] for cell in current
+                )
+                break
+            for j in range(self.n):
+                if current[j] != previous[j]:
+                    if j in moved:
+                        # j moved twice inside our interval: its latest
+                        # write embeds a scan nested within ours.
+                        assert current[j] is not None
+                        self.borrowed_scans += 1
+                        view = current[j][2]
+                        if record is not None:
+                            self.ctx.complete_operation(record, view)
+                        self.scans_done += 1
+                        return view
+                    moved.add(j)
+            previous = current
+        if record is not None:
+            self.ctx.complete_operation(record, view)
+        self.scans_done += 1
+        return view
+
+    def update(self, value: Any) -> Generator:
+        """Tasklet: publish ``value`` in this process's segment."""
+        record = (
+            self.ctx.new_operation(self.name, "update", (self.label, value))
+            if self.record_ops
+            else None
+        )
+        embedded = yield from self.scan()
+        self._seq += 1
+        yield from self._bank().write(
+            self._segment_reg(self.pid),
+            (self._seq, value, embedded),
+            single_writer=True,
+        )
+        if record is not None:
+            self.ctx.complete_operation(record, "ok")
+        return "ok"

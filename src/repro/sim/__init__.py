@@ -1,0 +1,54 @@
+"""Discrete-event simulation substrate for the asynchronous model.
+
+This package implements the computational model of Section 2 of the
+paper (which is the model of Chandra–Toueg [3, 4]):
+
+* processes take atomic steps ⟨p, m, d⟩: receive one message (possibly
+  the empty message λ), query the failure detector, send messages and
+  change state (:mod:`repro.sim.process`);
+* reliable links with finite but unbounded, variable delays
+  (:mod:`repro.sim.network`);
+* an adversarial scheduler chooses which process steps next
+  (:mod:`repro.sim.scheduler`);
+* a failure pattern dictates crashes; crashed processes take no further
+  steps (:mod:`repro.sim.system`);
+* every run is recorded as a schedule-with-times plus decision and
+  operation records (:mod:`repro.sim.trace`).
+
+Determinism: a run is a pure function of (components, environment
+sample, seed).  The RNG is split into independent named streams so that
+perturbing one dimension (say, message delays) does not reshuffle the
+others (say, crash times).
+"""
+
+from repro.sim.system import System, SystemBuilder
+from repro.sim.process import Component, ProcessContext, WaitUntil, WaitSteps
+from repro.sim.network import Network, DelayModel, ConstantDelay, UniformDelay
+from repro.sim.scheduler import (
+    Scheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    StarvationScheduler,
+)
+from repro.sim.trace import RunTrace, Step, Decision, OperationRecord
+
+__all__ = [
+    "System",
+    "SystemBuilder",
+    "Component",
+    "ProcessContext",
+    "WaitUntil",
+    "WaitSteps",
+    "Network",
+    "DelayModel",
+    "ConstantDelay",
+    "UniformDelay",
+    "Scheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "StarvationScheduler",
+    "RunTrace",
+    "Step",
+    "Decision",
+    "OperationRecord",
+]

@@ -1,0 +1,231 @@
+"""Reliable asynchronous links.
+
+The model's links are reliable — every message sent to a correct
+process is eventually received — but delays are finite, unbounded and
+variable.  The network assigns each message a *ready time* sampled from
+a :class:`DelayModel`; a message can be delivered to its recipient at
+any step at or after its ready time.  Which ready message a scheduled
+process actually receives is chosen by a :class:`DeliveryPolicy` (the
+adversary's second knob, next to the process scheduler).
+
+Reliability is guaranteed by the default oldest-first policy combined
+with a fair scheduler; the adversarial policies may intentionally
+starve messages (useful for FLP-style non-termination demonstrations)
+and are clearly marked as unfair.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass
+class Message:
+    """An in-flight message.
+
+    ``component`` routes the payload to the receiver's component of the
+    same name (processes are stacks of components — algorithm, detector
+    implementation, instrumentation).  ``meta`` is mutable middleware
+    state (e.g. causality tags for the Figure 1 extraction).
+    """
+
+    msg_id: int
+    sender: int
+    dest: int
+    component: str
+    payload: Any
+    send_time: int
+    ready_at: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class DelayModel(ABC):
+    """Samples per-message delivery delays."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random, sender: int, dest: int) -> int:
+        """A delay >= 1 in simulated time units."""
+
+
+class ConstantDelay(DelayModel):
+    """Every message becomes deliverable after a fixed delay."""
+
+    def __init__(self, delay: int = 1):
+        if delay < 1:
+            raise ValueError("delay must be >= 1")
+        self.delay = delay
+
+    def sample(self, rng: random.Random, sender: int, dest: int) -> int:
+        return self.delay
+
+
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly from [lo, hi]."""
+
+    def __init__(self, lo: int = 1, hi: int = 10):
+        if not 1 <= lo <= hi:
+            raise ValueError(f"need 1 <= lo <= hi, got [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def sample(self, rng: random.Random, sender: int, dest: int) -> int:
+        return rng.randint(self.lo, self.hi)
+
+
+class SpikeDelay(DelayModel):
+    """Mostly-short delays with occasional long spikes (heavy tail)."""
+
+    def __init__(
+        self,
+        base_hi: int = 5,
+        spike_hi: int = 200,
+        spike_probability: float = 0.02,
+    ):
+        if not 0 <= spike_probability <= 1:
+            raise ValueError("spike_probability must be in [0, 1]")
+        self.base_hi = base_hi
+        self.spike_hi = spike_hi
+        self.spike_probability = spike_probability
+
+    def sample(self, rng: random.Random, sender: int, dest: int) -> int:
+        if rng.random() < self.spike_probability:
+            return rng.randint(self.base_hi + 1, self.spike_hi)
+        return rng.randint(1, self.base_hi)
+
+
+class DeliveryPolicy(ABC):
+    """Chooses which ready message (if any) a scheduled process receives."""
+
+    #: Whether the policy preserves the model's reliability guarantee.
+    fair: bool = True
+
+    @abstractmethod
+    def choose(
+        self, ready: List[Message], now: int, rng: random.Random
+    ) -> Optional[Message]:
+        """Pick one of ``ready`` (non-empty) or None for a λ-step."""
+
+
+class OldestFirstDelivery(DeliveryPolicy):
+    """Deliver the longest-waiting ready message — fair by construction."""
+
+    fair = True
+
+    def choose(
+        self, ready: List[Message], now: int, rng: random.Random
+    ) -> Optional[Message]:
+        return min(ready, key=lambda m: (m.send_time, m.msg_id))
+
+
+class RandomDelivery(DeliveryPolicy):
+    """Deliver a uniformly random ready message.
+
+    Fair with probability 1 over infinite runs; on bounded horizons a
+    message can be unlucky, so tests that need every message delivered
+    use :class:`OldestFirstDelivery`.
+    """
+
+    fair = True
+
+    def choose(
+        self, ready: List[Message], now: int, rng: random.Random
+    ) -> Optional[Message]:
+        return ready[rng.randrange(len(ready))]
+
+
+class HoldingDelivery(DeliveryPolicy):
+    """An *unfair* adversary that refuses to deliver selected messages.
+
+    ``held`` is a predicate on messages; matching messages are never
+    delivered while the predicate holds.  Used by the FLP experiment to
+    keep a detector-free consensus run undecided.
+    """
+
+    fair = False
+
+    def __init__(self, held: Callable[[Message, int], bool]):
+        self.held = held
+
+    def choose(
+        self, ready: List[Message], now: int, rng: random.Random
+    ) -> Optional[Message]:
+        free = [m for m in ready if not self.held(m, now)]
+        if not free:
+            return None
+        return min(free, key=lambda m: (m.send_time, m.msg_id))
+
+
+class Network:
+    """The message buffer plus delay/delivery machinery."""
+
+    def __init__(
+        self,
+        n: int,
+        rng: random.Random,
+        delay_model: Optional[DelayModel] = None,
+        delivery_policy: Optional[DeliveryPolicy] = None,
+    ):
+        self.n = n
+        self._rng = rng
+        self.delay_model = delay_model or UniformDelay(1, 8)
+        self.delivery_policy = delivery_policy or OldestFirstDelivery()
+        self._pending: List[List[Message]] = [[] for _ in range(n)]
+        self._next_msg_id = 0
+        self.sent_count = 0
+        self.delivered_count = 0
+
+    def send(
+        self,
+        sender: int,
+        dest: int,
+        component: str,
+        payload: Any,
+        now: int,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Message:
+        """Place a message in the buffer; returns the in-flight record."""
+        if not 0 <= dest < self.n:
+            raise ValueError(f"unknown destination {dest}")
+        delay = self.delay_model.sample(self._rng, sender, dest)
+        msg = Message(
+            msg_id=self._next_msg_id,
+            sender=sender,
+            dest=dest,
+            component=component,
+            payload=payload,
+            send_time=now,
+            ready_at=now + delay,
+            meta=dict(meta or {}),
+        )
+        self._next_msg_id += 1
+        self._pending[dest].append(msg)
+        self.sent_count += 1
+        return msg
+
+    def ready_for(self, dest: int, now: int) -> List[Message]:
+        """Messages deliverable to ``dest`` at time ``now``."""
+        return [m for m in self._pending[dest] if m.ready_at <= now]
+
+    def pick_for(self, dest: int, now: int) -> Optional[Message]:
+        """Remove and return the message ``dest`` receives this step.
+
+        Returns None for a λ-step (no ready message, or the policy
+        withheld them all).
+        """
+        ready = self.ready_for(dest, now)
+        if not ready:
+            return None
+        msg = self.delivery_policy.choose(ready, now, self._rng)
+        if msg is None:
+            return None
+        self._pending[dest].remove(msg)
+        self.delivered_count += 1
+        return msg
+
+    def pending_count(self, dest: Optional[int] = None) -> int:
+        if dest is None:
+            return sum(len(q) for q in self._pending)
+        return len(self._pending[dest])

@@ -1,0 +1,44 @@
+"""Output probes: sampling emulated detector outputs into histories.
+
+The extraction algorithms (Figures 1 and 3) continuously maintain an
+output variable per process (Σ-output_i, Ψ-output_p).  To judge the
+extraction against a detector specification, that variable must be
+observed as a history ``H(p, t)``.  :class:`OutputRecorder` samples a
+sibling component's ``output()`` at every step of its process and
+appends it to a :class:`~repro.core.history.SampledHistory` shared via
+``trace.annotations``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.process import Component
+
+
+class OutputRecorder(Component):
+    """Samples ``host.component(source).output()`` each step.
+
+    By default only *changes* are recorded (plus the first sample):
+    between two recorded samples the output was constant, so the spec
+    checkers lose nothing, and histories stay small on long runs.
+    """
+
+    name = "probe"
+
+    def __init__(self, source: str, annotation_key: str, changes_only: bool = True):
+        super().__init__()
+        self.source = source
+        self.annotation_key = annotation_key
+        self.changes_only = changes_only
+        self._has_recorded = False
+        self._last: Any = None
+
+    def on_step(self) -> None:
+        value = self._host.component(self.source).output()  # type: ignore[attr-defined]
+        if self.changes_only and self._has_recorded and value == self._last:
+            return
+        history = self.ctx.annotation_history(self.annotation_key)
+        history.record(self.pid, self.now, value)
+        self._has_recorded = True
+        self._last = value

@@ -1,0 +1,133 @@
+"""Process schedulers — the adversary's first knob.
+
+Asynchrony means the adversary chooses which process takes the next
+step, subject only to fairness (correct processes take infinitely many
+steps).  Fair schedulers here are :class:`RandomScheduler` (fair with
+probability 1) and :class:`RoundRobinScheduler` (fair deterministically).
+:class:`StarvationScheduler` and :class:`BurstScheduler` are *unfair*
+adversaries used to probe safety under pathological schedules (safety
+properties must survive them; liveness legitimately may not).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Set
+
+
+class Scheduler(ABC):
+    """Chooses which alive process steps at each tick."""
+
+    #: Whether the scheduler guarantees the model's fairness condition.
+    fair: bool = True
+
+    @abstractmethod
+    def pick(
+        self, alive: Sequence[int], now: int, rng: random.Random
+    ) -> Optional[int]:
+        """Pick a pid from ``alive`` (non-empty), or None to halt."""
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random choice among alive processes."""
+
+    fair = True
+
+    def pick(
+        self, alive: Sequence[int], now: int, rng: random.Random
+    ) -> Optional[int]:
+        return alive[rng.randrange(len(alive))]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle deterministically through alive processes."""
+
+    fair = True
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def pick(
+        self, alive: Sequence[int], now: int, rng: random.Random
+    ) -> Optional[int]:
+        candidates = sorted(alive)
+        for pid in candidates:
+            if pid > self._last:
+                self._last = pid
+                return pid
+        self._last = candidates[0]
+        return candidates[0]
+
+
+class WeightedScheduler(Scheduler):
+    """Random choice with per-process weights (slow/fast processes).
+
+    Fair with probability 1 as long as every weight is positive.
+    """
+
+    fair = True
+
+    def __init__(self, weights: Sequence[float]):
+        if any(w <= 0 for w in weights):
+            raise ValueError("all weights must be positive for fairness")
+        self.weights = list(weights)
+
+    def pick(
+        self, alive: Sequence[int], now: int, rng: random.Random
+    ) -> Optional[int]:
+        ws = [self.weights[p] for p in alive]
+        return rng.choices(list(alive), weights=ws, k=1)[0]
+
+
+class StarvationScheduler(Scheduler):
+    """An *unfair* adversary that never schedules selected processes.
+
+    Starved processes look exactly like crashed ones to everyone else —
+    the indistinguishability at the heart of FLP [8].  Safety checkers
+    run against this; liveness checkers must not.
+    """
+
+    fair = False
+
+    def __init__(self, starved: Set[int], inner: Optional[Scheduler] = None):
+        self.starved = set(starved)
+        self.inner = inner or RandomScheduler()
+
+    def pick(
+        self, alive: Sequence[int], now: int, rng: random.Random
+    ) -> Optional[int]:
+        allowed = [p for p in alive if p not in self.starved]
+        if not allowed:
+            return None
+        return self.inner.pick(allowed, now, rng)
+
+
+class BurstScheduler(Scheduler):
+    """Runs one process for long bursts before switching — maximal skew.
+
+    Fair (every alive process gets infinitely many bursts) but highly
+    uneven, which stresses timestamp and quorum logic.
+    """
+
+    fair = True
+
+    def __init__(self, burst_length: int = 25):
+        if burst_length < 1:
+            raise ValueError("burst_length must be >= 1")
+        self.burst_length = burst_length
+        self._current: Optional[int] = None
+        self._remaining = 0
+
+    def pick(
+        self, alive: Sequence[int], now: int, rng: random.Random
+    ) -> Optional[int]:
+        if (
+            self._current is None
+            or self._remaining <= 0
+            or self._current not in alive
+        ):
+            self._current = alive[rng.randrange(len(alive))]
+            self._remaining = self.burst_length
+        self._remaining -= 1
+        return self._current

@@ -1,0 +1,268 @@
+"""The System: wiring and the run loop.
+
+A :class:`System` assembles processes (stacks of components), a
+network, a scheduler, a failure pattern (given explicitly or sampled
+from an environment) and a failure detector (an oracle history, a
+component-implemented detector, or none), then runs the step loop:
+
+    at each tick t = 1, 2, ...:
+        the scheduler picks an alive process p,
+        the network picks a ready message m for p (or λ),
+        p's detector module is read to obtain d,
+        p executes the atomic step ⟨p, m, d⟩.
+
+Use :class:`SystemBuilder` for ergonomic construction::
+
+    trace = (
+        SystemBuilder(n=5, seed=7)
+        .environment(FCrashEnvironment(5, 4))
+        .detector(omega_sigma_oracle())
+        .component("consensus", lambda pid: OmegaSigmaConsensus(proposal=pid % 2))
+        .build()
+        .run(stop_when=decided("consensus"))
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.detector import FailureDetector
+from repro.core.environment import Environment
+from repro.core.failure_pattern import FailurePattern
+from repro.core.history import FailureDetectorHistory
+from repro.sim.network import DelayModel, DeliveryPolicy, Network
+from repro.sim.process import Component, ProcessContext, ProcessHost
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import RandomScheduler, Scheduler
+from repro.sim.trace import RunTrace, Step
+
+ComponentFactory = Callable[[int], Component]
+StopPredicate = Callable[["System"], bool]
+
+
+class System:
+    """One fully-wired simulated system; :meth:`run` executes it."""
+
+    def __init__(
+        self,
+        n: int,
+        seed: int,
+        horizon: int,
+        pattern: FailurePattern,
+        component_factories: Sequence[Tuple[str, ComponentFactory]],
+        detector: Optional[FailureDetector] = None,
+        detector_component: Optional[str] = None,
+        scheduler: Optional[Scheduler] = None,
+        delay_model: Optional[DelayModel] = None,
+        delivery_policy: Optional[DeliveryPolicy] = None,
+    ):
+        if pattern.n != n:
+            raise ValueError(f"pattern over {pattern.n} processes, system over {n}")
+        if detector is not None and detector_component is not None:
+            raise ValueError(
+                "give either an oracle detector or a detector component, not both"
+            )
+        self.n = n
+        self.horizon = horizon
+        self.pattern = pattern
+        self.streams = RngStreams(seed)
+        self.trace = RunTrace(pattern, horizon)
+        self.network = Network(
+            n,
+            self.streams.get("network"),
+            delay_model=delay_model,
+            delivery_policy=delivery_policy,
+        )
+        self.scheduler = scheduler or RandomScheduler()
+        self.detector_history: Optional[FailureDetectorHistory] = None
+        if detector is not None:
+            self.detector_history = detector.build_history(
+                pattern, horizon + 1, self.streams.get("detector")
+            )
+        self._detector_component = detector_component
+
+        self.hosts: List[ProcessHost] = []
+        for pid in range(n):
+            ctx = ProcessContext(pid, n, self.network, self.trace)
+            components = [factory(pid) for _, factory in component_factories]
+            for (name, _), comp in zip(component_factories, components):
+                comp.name = name
+            host = ProcessHost(pid, ctx, components)
+            self._wire_detector(host)
+            self.hosts.append(host)
+        self.now = 0
+
+    def _wire_detector(self, host: ProcessHost) -> None:
+        if self.detector_history is not None:
+            history = self.detector_history
+            ctx = host.ctx
+            ctx._detector_provider = lambda: history.value(ctx.pid, ctx.now)
+        elif self._detector_component is not None:
+            comp = host.component(self._detector_component)
+            output = getattr(comp, "output", None)
+            if not callable(output):
+                raise TypeError(
+                    f"detector component {self._detector_component!r} must "
+                    f"expose an output() method"
+                )
+            host.ctx._detector_provider = output
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        stop_when: Optional[StopPredicate] = None,
+        grace: int = 0,
+    ) -> RunTrace:
+        """Run until the horizon, or ``grace`` steps past ``stop_when``.
+
+        ``grace`` keeps the system running after the stop predicate
+        first holds — needed when eventual detector properties or
+        background extraction tasks should be observed past the
+        "foreground" algorithm's completion.
+        """
+        rng_sched = self.streams.get("scheduler")
+        stop_at: Optional[int] = None
+        for t in range(1, self.horizon + 1):
+            self.now = t
+            alive = [p for p in range(self.n) if not self.pattern.crashed(p, t)]
+            if not alive:
+                self.trace.stop_reason = "all-crashed"
+                break
+            pid = self.scheduler.pick(alive, t, rng_sched)
+            if pid is None:
+                self.trace.stop_reason = "scheduler-halt"
+                break
+            host = self.hosts[pid]
+            message = self.network.pick_for(pid, t)
+            delivered = host.take_step(t, message)
+            detector_value = host.ctx.detector()
+            self.trace.record_step(
+                Step(time=t, pid=pid, message=delivered, detector_value=detector_value)
+            )
+            if stop_when is not None and stop_at is None and stop_when(self):
+                stop_at = t
+            if stop_at is not None and t >= stop_at + grace:
+                self.trace.stop_reason = "stop-condition"
+                break
+        else:
+            self.trace.stop_reason = (
+                "stop-condition" if stop_at is not None else "horizon"
+            )
+        self.trace.messages_sent = self.network.sent_count
+        self.trace.messages_delivered = self.network.delivered_count
+        self.trace.final_time = self.now
+        return self.trace
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def component_at(self, pid: int, name: str) -> Component:
+        return self.hosts[pid].component(name)
+
+    def components_named(self, name: str) -> List[Component]:
+        return [host.component(name) for host in self.hosts]
+
+
+class SystemBuilder:
+    """Fluent construction of a :class:`System`."""
+
+    def __init__(self, n: int, seed: int = 0, horizon: int = 20_000):
+        self._n = n
+        self._seed = seed
+        self._horizon = horizon
+        self._pattern: Optional[FailurePattern] = None
+        self._environment: Optional[Environment] = None
+        self._crash_window: Optional[int] = None
+        self._detector: Optional[FailureDetector] = None
+        self._detector_component: Optional[str] = None
+        self._scheduler: Optional[Scheduler] = None
+        self._delay_model: Optional[DelayModel] = None
+        self._delivery_policy: Optional[DeliveryPolicy] = None
+        self._factories: List[Tuple[str, ComponentFactory]] = []
+
+    def pattern(self, pattern: FailurePattern) -> "SystemBuilder":
+        self._pattern = pattern
+        return self
+
+    def environment(
+        self, env: Environment, crash_window: Optional[int] = None
+    ) -> "SystemBuilder":
+        """Sample the failure pattern from ``env``.
+
+        ``crash_window`` bounds crash times (default: a third of the
+        horizon, so that eventual properties stabilise well inside the
+        observation window).
+        """
+        self._environment = env
+        self._crash_window = crash_window
+        return self
+
+    def detector(self, detector: FailureDetector) -> "SystemBuilder":
+        self._detector = detector
+        return self
+
+    def detector_from_component(self, component_name: str) -> "SystemBuilder":
+        """Use a component's ``output()`` as the detector module (ex nihilo)."""
+        self._detector_component = component_name
+        return self
+
+    def scheduler(self, scheduler: Scheduler) -> "SystemBuilder":
+        self._scheduler = scheduler
+        return self
+
+    def delays(self, model: DelayModel) -> "SystemBuilder":
+        self._delay_model = model
+        return self
+
+    def delivery(self, policy: DeliveryPolicy) -> "SystemBuilder":
+        self._delivery_policy = policy
+        return self
+
+    def component(self, name: str, factory: ComponentFactory) -> "SystemBuilder":
+        self._factories.append((name, factory))
+        return self
+
+    def build(self) -> System:
+        if self._pattern is not None:
+            pattern = self._pattern
+        elif self._environment is not None:
+            window = self._crash_window or max(1, self._horizon // 3)
+            rng = RngStreams(self._seed).get("failure-pattern")
+            pattern = self._environment.sample(rng, window)
+        else:
+            pattern = FailurePattern.crash_free(self._n)
+        if not self._factories:
+            raise ValueError("a system needs at least one component")
+        return System(
+            n=self._n,
+            seed=self._seed,
+            horizon=self._horizon,
+            pattern=pattern,
+            component_factories=self._factories,
+            detector=self._detector,
+            detector_component=self._detector_component,
+            scheduler=self._scheduler,
+            delay_model=self._delay_model,
+            delivery_policy=self._delivery_policy,
+        )
+
+
+def decided(component: str) -> StopPredicate:
+    """Stop predicate: every correct process decided in ``component``."""
+
+    def predicate(system: System) -> bool:
+        return system.trace.all_correct_decided(component)
+
+    return predicate
+
+
+def all_operations_done(component: str, expected: int) -> StopPredicate:
+    """Stop predicate: ``expected`` operations of ``component`` completed."""
+
+    def predicate(system: System) -> bool:
+        return len(system.trace.completed_operations(component)) >= expected
+
+    return predicate

@@ -1,0 +1,182 @@
+"""Run traces: schedules, decisions, operations, detector samples.
+
+A run of an algorithm using a failure detector is the tuple
+``R = <F, H, I, S, T>`` of Section 2.  :class:`RunTrace` is the recorded
+counterpart: the failure pattern, the schedule of steps with their
+times, the detector samples seen at each step (the observable part of
+``H``), and the higher-level records — decisions made by components and
+invocation/response events of operations — from which the problem-level
+property checkers in :mod:`repro.analysis.properties` draw verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.failure_pattern import FailurePattern
+from repro.core.history import SampledHistory
+
+
+@dataclass(frozen=True)
+class Step:
+    """One atomic step ⟨p, m, d⟩ taken at a given time.
+
+    ``message`` is None for a λ-step (no message received).
+    """
+
+    time: int
+    pid: int
+    message: Optional["DeliveredMessage"]
+    detector_value: Any
+
+
+@dataclass(frozen=True)
+class DeliveredMessage:
+    """The message component of a step, as seen by the receiver."""
+
+    msg_id: int
+    sender: int
+    component: str
+    payload: Any
+    send_time: int
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A component's irrevocable decision (consensus/QC/NBAC outcome)."""
+
+    time: int
+    pid: int
+    component: str
+    value: Any
+
+
+@dataclass
+class OperationRecord:
+    """An operation's invocation/response interval (register workloads).
+
+    ``response_time`` is None while the operation is pending; operations
+    that never complete (e.g. a blocked read under an unavailable
+    quorum) keep ``response_time = None``, which the linearizability
+    checker treats as "may or may not have taken effect".
+    """
+
+    op_id: int
+    pid: int
+    component: str
+    kind: str
+    args: Tuple[Any, ...]
+    invoke_time: int
+    response_time: Optional[int] = None
+    result: Any = None
+
+    @property
+    def pending(self) -> bool:
+        return self.response_time is None
+
+
+class RunTrace:
+    """Everything observable about one simulated run."""
+
+    def __init__(self, pattern: FailurePattern, horizon: int):
+        self.pattern = pattern
+        self.horizon = horizon
+        self.steps: List[Step] = []
+        self.decisions: List[Decision] = []
+        self.operations: List[OperationRecord] = []
+        self.detector_samples = SampledHistory(pattern.n)
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.stop_reason: str = "horizon"
+        self.final_time: int = 0
+        #: Arbitrary per-run annotations set by components/experiments.
+        self.annotations: Dict[str, Any] = {}
+        self._decided: Dict[Tuple[int, str], Decision] = {}
+        self._next_op_id = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_step(self, step: Step) -> None:
+        self.steps.append(step)
+        self.final_time = step.time
+        if step.detector_value is not None:
+            self.detector_samples.record(step.pid, step.time, step.detector_value)
+
+    def record_decision(self, decision: Decision) -> None:
+        key = (decision.pid, decision.component)
+        if key in self._decided:
+            raise RuntimeError(
+                f"process {decision.pid} component {decision.component!r} "
+                f"decided twice: {self._decided[key].value!r} then "
+                f"{decision.value!r}"
+            )
+        self._decided[key] = decision
+        self.decisions.append(decision)
+
+    def new_operation(
+        self, pid: int, component: str, kind: str, args: Tuple[Any, ...], time: int
+    ) -> OperationRecord:
+        record = OperationRecord(
+            op_id=self._next_op_id,
+            pid=pid,
+            component=component,
+            kind=kind,
+            args=args,
+            invoke_time=time,
+        )
+        self._next_op_id += 1
+        self.operations.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def decision_of(self, pid: int, component: str) -> Optional[Decision]:
+        return self._decided.get((pid, component))
+
+    def decisions_of_component(self, component: str) -> List[Decision]:
+        return [d for d in self.decisions if d.component == component]
+
+    def decided_pids(self, component: str) -> set[int]:
+        return {d.pid for d in self.decisions if d.component == component}
+
+    def all_correct_decided(self, component: str) -> bool:
+        """Whether every correct process has decided in ``component``."""
+        return self.pattern.correct <= self.decided_pids(component)
+
+    def step_count(self, pid: Optional[int] = None) -> int:
+        if pid is None:
+            return len(self.steps)
+        return sum(1 for s in self.steps if s.pid == pid)
+
+    def decision_latency(self, component: str) -> Optional[int]:
+        """Time by which the last correct process decided, or None."""
+        decisions = [
+            d for d in self.decisions_of_component(component)
+            if d.pid in self.pattern.correct
+        ]
+        if not self.all_correct_decided(component):
+            return None
+        return max(d.time for d in decisions)
+
+    def completed_operations(self, component: Optional[str] = None) -> List[OperationRecord]:
+        return [
+            op
+            for op in self.operations
+            if not op.pending and (component is None or op.component == component)
+        ]
+
+    def summary(self) -> Dict[str, Any]:
+        """A compact dict for experiment tables."""
+        return {
+            "steps": len(self.steps),
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "decisions": len(self.decisions),
+            "operations": len(self.operations),
+            "final_time": self.final_time,
+            "stop_reason": self.stop_reason,
+            "faulty": sorted(self.pattern.faulty),
+        }

@@ -1,0 +1,90 @@
+"""Hypothesis strategies for property-testing against the model.
+
+Downstream users building algorithms on this library need the same
+generators our own suite uses: random failure patterns, environments,
+and fully-wired seeded runs.  Importing this module requires
+``hypothesis`` (a test-time dependency; the core library itself has
+none).
+
+Example::
+
+    from hypothesis import given
+    from repro.testing import failure_patterns
+
+    @given(pattern=failure_patterns(n=4))
+    def test_my_algorithm_is_safe(pattern):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from hypothesis import strategies as st
+
+from repro.core.environment import (
+    CrashFreeEnvironment,
+    FCrashEnvironment,
+    MajorityCorrectEnvironment,
+)
+from repro.core.failure_pattern import FailurePattern
+
+
+@st.composite
+def failure_patterns(
+    draw,
+    n: int = 4,
+    max_crashes: Optional[int] = None,
+    max_crash_time: int = 300,
+):
+    """Patterns over ``n`` processes with up to ``max_crashes`` crashes
+    (default ``n - 1`` — always at least one correct process)."""
+    limit = (n - 1) if max_crashes is None else min(max_crashes, n - 1)
+    k = draw(st.integers(min_value=0, max_value=limit))
+    victims = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    crash_times = {
+        pid: draw(st.integers(min_value=0, max_value=max_crash_time))
+        for pid in victims
+    }
+    return FailurePattern(n, crash_times)
+
+
+@st.composite
+def majority_correct_patterns(draw, n: int = 5, max_crash_time: int = 300):
+    """Patterns keeping a strict majority of ``n`` processes correct."""
+    return draw(
+        failure_patterns(
+            n=n, max_crashes=(n - 1) // 2, max_crash_time=max_crash_time
+        )
+    )
+
+
+def environments(n: int = 4) -> st.SearchStrategy:
+    """One of the standard environment families over ``n`` processes."""
+    return st.sampled_from(
+        [
+            CrashFreeEnvironment(n),
+            MajorityCorrectEnvironment(n),
+            FCrashEnvironment(n, n - 1),
+        ]
+    )
+
+
+def seeds() -> st.SearchStrategy[int]:
+    """Root seeds for deterministic system runs."""
+    return st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@st.composite
+def binary_proposals(draw, n: int = 4):
+    """A per-process dict of 0/1 proposals."""
+    return {
+        pid: draw(st.integers(min_value=0, max_value=1)) for pid in range(n)
+    }

@@ -1,0 +1,146 @@
+"""Unit tests for the problem-level property checkers."""
+
+import pytest
+
+from repro.analysis.properties import (
+    ABORT,
+    COMMIT,
+    check_consensus,
+    check_nbac,
+    check_qc,
+)
+from repro.core.failure_pattern import FailurePattern
+from repro.qc.spec import Q
+from repro.sim.trace import Decision, RunTrace
+
+
+def trace_with(pattern, decisions, component="consensus"):
+    trace = RunTrace(pattern, horizon=1_000)
+    for pid, value, time in decisions:
+        trace.record_decision(
+            Decision(time=time, pid=pid, component=component, value=value)
+        )
+    return trace
+
+
+class TestConsensusChecker:
+    def test_all_good(self):
+        pattern = FailurePattern.crash_free(3)
+        trace = trace_with(pattern, [(p, "v1", 10 + p) for p in range(3)])
+        verdict = check_consensus(trace, {0: "v0", 1: "v1", 2: "v2"})
+        assert verdict.ok
+
+    def test_missing_correct_decision_fails_termination(self):
+        pattern = FailurePattern.crash_free(3)
+        trace = trace_with(pattern, [(0, "v1", 10), (1, "v1", 11)])
+        verdict = check_consensus(trace, {p: f"v{p}" for p in range(3)})
+        assert not verdict.termination
+        assert verdict.agreement and verdict.validity
+
+    def test_faulty_processes_excused_from_termination(self):
+        pattern = FailurePattern(3, {2: 5})
+        trace = trace_with(pattern, [(0, "v0", 10), (1, "v0", 11)])
+        verdict = check_consensus(trace, {p: f"v{p}" for p in range(3)})
+        assert verdict.termination
+
+    def test_disagreement_detected(self):
+        pattern = FailurePattern.crash_free(2)
+        trace = trace_with(pattern, [(0, "a", 10), (1, "b", 11)])
+        verdict = check_consensus(trace, {0: "a", 1: "b"})
+        assert not verdict.agreement
+
+    def test_faulty_decision_counts_for_agreement(self):
+        """Uniform agreement: even a decision by a faulty process must
+        match."""
+        pattern = FailurePattern(3, {2: 50})
+        trace = trace_with(
+            pattern, [(0, "a", 10), (1, "a", 11), (2, "b", 12)]
+        )
+        verdict = check_consensus(trace, {0: "a", 1: "b", 2: "b"})
+        assert not verdict.agreement
+
+    def test_unproposed_value_fails_validity(self):
+        pattern = FailurePattern.crash_free(2)
+        trace = trace_with(pattern, [(0, "ghost", 10), (1, "ghost", 11)])
+        verdict = check_consensus(trace, {0: "a", 1: "b"})
+        assert not verdict.validity
+
+
+class TestQCChecker:
+    def test_q_requires_prior_failure(self):
+        pattern = FailurePattern.crash_free(2)
+        trace = trace_with(pattern, [(0, Q, 10), (1, Q, 11)], "qc")
+        verdict = check_qc(trace, {0: 0, 1: 1}, "qc")
+        assert not verdict.validity
+
+    def test_q_after_failure_is_valid(self):
+        pattern = FailurePattern(2, {1: 5})
+        trace = trace_with(pattern, [(0, Q, 10)], "qc")
+        verdict = check_qc(trace, {0: 0, 1: 1}, "qc")
+        assert verdict.ok, verdict.violations
+
+    def test_q_before_failure_time_is_invalid(self):
+        pattern = FailurePattern(2, {1: 50})
+        trace = trace_with(pattern, [(0, Q, 10)], "qc")
+        verdict = check_qc(trace, {0: 0, 1: 1}, "qc")
+        assert not verdict.validity
+
+    def test_proposed_value_is_valid(self):
+        pattern = FailurePattern.crash_free(2)
+        trace = trace_with(pattern, [(0, 1, 10), (1, 1, 12)], "qc")
+        assert check_qc(trace, {0: 0, 1: 1}, "qc").ok
+
+
+class TestNBACChecker:
+    def test_commit_needs_all_yes(self):
+        pattern = FailurePattern.crash_free(2)
+        trace = trace_with(pattern, [(0, COMMIT, 9), (1, COMMIT, 10)], "nbac")
+        verdict = check_nbac(trace, {0: "Yes", 1: "No"}, "nbac")
+        assert not verdict.validity
+
+    def test_commit_with_all_yes(self):
+        pattern = FailurePattern.crash_free(2)
+        trace = trace_with(pattern, [(0, COMMIT, 9), (1, COMMIT, 10)], "nbac")
+        assert check_nbac(trace, {0: "Yes", 1: "Yes"}, "nbac").ok
+
+    def test_abort_needs_reason(self):
+        pattern = FailurePattern.crash_free(2)
+        trace = trace_with(pattern, [(0, ABORT, 9), (1, ABORT, 10)], "nbac")
+        verdict = check_nbac(trace, {0: "Yes", 1: "Yes"}, "nbac")
+        assert not verdict.validity
+
+    def test_abort_with_no_vote(self):
+        pattern = FailurePattern.crash_free(2)
+        trace = trace_with(pattern, [(0, ABORT, 9), (1, ABORT, 10)], "nbac")
+        assert check_nbac(trace, {0: "No", 1: "Yes"}, "nbac").ok
+
+    def test_abort_with_prior_failure(self):
+        pattern = FailurePattern(2, {1: 5})
+        trace = trace_with(pattern, [(0, ABORT, 9)], "nbac")
+        assert check_nbac(trace, {0: "Yes", 1: "Yes"}, "nbac").ok
+
+    def test_abort_before_failure_is_invalid(self):
+        pattern = FailurePattern(2, {1: 500})
+        trace = trace_with(pattern, [(0, ABORT, 9), (1, ABORT, 10)], "nbac")
+        verdict = check_nbac(trace, {0: "Yes", 1: "Yes"}, "nbac")
+        assert not verdict.validity
+
+    def test_alien_outcome_is_invalid(self):
+        pattern = FailurePattern.crash_free(1)
+        trace = trace_with(pattern, [(0, "Shrug", 9)], "nbac")
+        verdict = check_nbac(trace, {0: "Yes"}, "nbac")
+        assert not verdict.validity
+
+
+class TestVerdictShape:
+    def test_bool_conversion(self):
+        pattern = FailurePattern.crash_free(1)
+        trace = trace_with(pattern, [(0, "a", 1)])
+        assert bool(check_consensus(trace, {0: "a"}))
+        assert not bool(check_consensus(trace, {0: "b"}))
+
+    def test_decisions_exposed(self):
+        pattern = FailurePattern.crash_free(2)
+        trace = trace_with(pattern, [(0, "a", 1), (1, "a", 2)])
+        verdict = check_consensus(trace, {0: "a", 1: "a"})
+        assert verdict.decisions == {0: "a", 1: "a"}

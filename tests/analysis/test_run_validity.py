@@ -1,0 +1,92 @@
+"""Tests for the run-validity checker — and, through it, the simulator.
+
+The positive tests certify that real System runs satisfy the model's
+conditions on runs; the negative tests hand-forge invalid traces and
+assert each clause trips.
+"""
+
+import pytest
+
+from repro.analysis.run_validity import check_run_validity
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.failure_pattern import FailurePattern
+from repro.sim.scheduler import StarvationScheduler
+from repro.sim.system import SystemBuilder, decided
+from repro.sim.trace import DeliveredMessage, RunTrace, Step
+
+
+class TestRealRunsAreValid:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_consensus_runs(self, seed):
+        proposals = {p: p for p in range(4)}
+        trace = (
+            SystemBuilder(n=4, seed=seed, horizon=60_000)
+            .pattern(FailurePattern(4, {1: 100}))
+            .detector(omega_sigma_oracle())
+            .component(
+                "consensus",
+                consensus_component(
+                    lambda pid: OmegaSigmaConsensusCore(proposals[pid])
+                ),
+            )
+            .build()
+            .run(stop_when=decided("consensus"), grace=500)
+        )
+        verdict = check_run_validity(trace)
+        assert verdict.ok, verdict.violations
+
+    def test_starved_runs_fail_the_fair_clause_only(self):
+        trace = (
+            SystemBuilder(n=3, seed=1, horizon=2_000)
+            .pattern(FailurePattern.crash_free(3))
+            .scheduler(StarvationScheduler({2}))
+            .component(
+                "consensus",
+                consensus_component(lambda pid: OmegaSigmaConsensusCore(pid)),
+            )
+            .build()
+            .run()
+        )
+        assert not check_run_validity(trace, fair=True).ok
+        assert check_run_validity(trace, fair=False).ok
+
+
+class TestForgedViolations:
+    def _trace(self, pattern=None):
+        return RunTrace(pattern or FailurePattern.crash_free(2), horizon=100)
+
+    def test_non_increasing_times(self):
+        trace = self._trace()
+        trace.steps.append(Step(5, 0, None, None))
+        trace.steps.append(Step(5, 1, None, None))
+        verdict = check_run_validity(trace, fair=False)
+        assert not verdict.ok
+        assert "non-increasing" in verdict.violations[0]
+
+    def test_step_after_crash(self):
+        trace = self._trace(FailurePattern(2, {0: 3}))
+        trace.steps.append(Step(4, 0, None, None))
+        verdict = check_run_validity(trace, fair=False)
+        assert not verdict.ok
+        assert "crashed process" in verdict.violations[0]
+
+    def test_message_from_the_future(self):
+        trace = self._trace()
+        msg = DeliveredMessage(0, 1, "c", "x", send_time=9)
+        trace.steps.append(Step(5, 0, msg, None))
+        verdict = check_run_validity(trace, fair=False)
+        assert not verdict.ok
+        assert "sent at" in verdict.violations[0]
+
+    def test_delivery_conservation(self):
+        trace = self._trace()
+        trace.messages_sent = 1
+        trace.messages_delivered = 2
+        verdict = check_run_validity(trace, fair=False)
+        assert not verdict.ok
+        assert "delivered" in verdict.violations[0]
+
+    def test_empty_trace_is_valid(self):
+        assert check_run_validity(self._trace(), fair=False).ok

@@ -1,0 +1,31 @@
+"""Shared pytest fixtures and run helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.failure_pattern import FailurePattern
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests that sample."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def crash_free_3():
+    return FailurePattern.crash_free(3)
+
+
+@pytest.fixture
+def crash_free_4():
+    return FailurePattern.crash_free(4)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration scenario"
+    )

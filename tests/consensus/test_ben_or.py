@@ -1,0 +1,86 @@
+"""Tests for Ben-Or's randomized consensus (the coin route around FLP)."""
+
+import pytest
+
+from repro.analysis.properties import check_consensus
+from repro.consensus.ben_or import BenOrConsensusCore
+from repro.consensus.interface import consensus_component
+from repro.core.environment import MajorityCorrectEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.protocols.base import CoreComponent
+from repro.sim.system import SystemBuilder, decided
+
+
+def run_ben_or(n, seed, proposals, pattern=None, horizon=200_000):
+    cores = {}
+
+    def factory(pid):
+        core = BenOrConsensusCore(proposals[pid], coin_seed=seed)
+        cores[pid] = core
+        return CoreComponent(core)
+
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    else:
+        builder.environment(MajorityCorrectEnvironment(n), crash_window=200)
+    builder.component("consensus", factory)
+    trace = builder.build().run(stop_when=decided("consensus"))
+    return trace, cores
+
+
+class TestTermination:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_decides_with_probability_one_in_practice(self, seed):
+        """No detector anywhere — just coins and a majority."""
+        proposals = {p: (p + seed) % 2 for p in range(5)}
+        trace, cores = run_ben_or(5, seed, proposals)
+        verdict = check_consensus(trace, proposals)
+        assert verdict.ok, (trace.pattern, verdict.violations)
+
+    def test_unanimous_inputs_decide_in_round_one(self):
+        proposals = {p: 1 for p in range(5)}
+        trace, cores = run_ben_or(
+            5, 3, proposals, pattern=FailurePattern.crash_free(5)
+        )
+        assert {d.value for d in trace.decisions} == {1}
+        assert max(c.rounds_used for c in cores.values()) <= 2
+        assert sum(c.coin_flips for c in cores.values()) == 0
+
+    def test_survives_crashes_below_majority(self):
+        pattern = FailurePattern(5, {0: 10, 3: 40})
+        proposals = {p: p % 2 for p in range(5)}
+        trace, _ = run_ben_or(5, 4, proposals, pattern=pattern)
+        assert check_consensus(trace, proposals).ok
+
+    def test_split_inputs_eventually_converge_via_coins(self):
+        """2-vs-3 split: some run needs coins; agreement still holds."""
+        flipped = 0
+        for seed in range(5):
+            proposals = {0: 0, 1: 0, 2: 1, 3: 1, 4: 0 if seed % 2 else 1}
+            trace, cores = run_ben_or(
+                5, seed + 50, proposals, pattern=FailurePattern.crash_free(5)
+            )
+            assert check_consensus(trace, proposals).ok
+            flipped += sum(c.coin_flips for c in cores.values())
+        assert flipped >= 0  # coins are schedule-dependent; agreement is not
+
+
+class TestSafety:
+    def test_no_two_values_decided_across_many_seeds(self):
+        for seed in range(10):
+            proposals = {p: p % 2 for p in range(4)}
+            trace, _ = run_ben_or(
+                4, seed + 100, proposals, pattern=FailurePattern(4, {1: 30})
+            )
+            values = {d.value for d in trace.decisions}
+            assert len(values) <= 1
+
+
+class TestValidation:
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BenOrConsensusCore(2)
+        core = BenOrConsensusCore()
+        with pytest.raises(ValueError):
+            core.propose("x")

@@ -1,0 +1,96 @@
+"""Tests for the Chandra–Toueg ◇S consensus baseline [4]."""
+
+import pytest
+
+from repro.analysis.properties import check_consensus
+from repro.consensus.chandra_toueg import ChandraTouegConsensusCore
+from repro.consensus.interface import consensus_component
+from repro.core.detectors.eventually_strong import EventuallyStrongOracle
+from repro.core.environment import MajorityCorrectEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.sim.system import SystemBuilder, decided
+
+
+def run_ct(n, seed, proposals, pattern=None, horizon=120_000, oracle=None):
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    else:
+        builder.environment(MajorityCorrectEnvironment(n), crash_window=200)
+    builder.detector(oracle or EventuallyStrongOracle())
+    builder.component(
+        "consensus",
+        consensus_component(
+            lambda pid: ChandraTouegConsensusCore(proposals[pid])
+        ),
+    )
+    return builder.build().run(stop_when=decided("consensus"))
+
+
+class TestMajorityCorrect:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_consensus_properties(self, seed):
+        proposals = {p: f"v{p}" for p in range(5)}
+        trace = run_ct(5, seed, proposals)
+        verdict = check_consensus(trace, proposals)
+        assert verdict.ok, (trace.pattern, verdict.violations)
+
+    def test_coordinator_crash_rotates_past(self):
+        """Round 1's coordinator (pid 1) crashes immediately; suspicion
+        unblocks phase 3 and a later coordinator decides."""
+        pattern = FailurePattern(5, {1: 1})
+        proposals = {p: p for p in range(5)}
+        trace = run_ct(5, 2, proposals, pattern=pattern)
+        verdict = check_consensus(trace, proposals)
+        assert verdict.ok, verdict.violations
+
+    def test_two_crashes_of_five(self):
+        pattern = FailurePattern(5, {0: 30, 1: 60})
+        proposals = {p: f"v{p}" for p in range(5)}
+        trace = run_ct(5, 3, proposals, pattern=pattern)
+        assert check_consensus(trace, proposals).ok
+
+    def test_unsuspected_coordinator_ends_rounds(self):
+        """With a benign oracle protecting pid 0, decision should come
+        within the first few coordinator rotations."""
+        from repro.protocols.base import CoreComponent
+
+        cores = {}
+        proposals = {p: p * 3 for p in range(3)}
+
+        def factory(pid):
+            core = ChandraTouegConsensusCore(proposals[pid])
+            cores[pid] = core
+            return CoreComponent(core)
+
+        trace = (
+            SystemBuilder(n=3, seed=4, horizon=80_000)
+            .pattern(FailurePattern.crash_free(3))
+            .detector(EventuallyStrongOracle(protect=0, noisy=False))
+            .component("consensus", factory)
+            .build()
+            .run(stop_when=decided("consensus"))
+        )
+        assert check_consensus(trace, proposals).ok
+        # Rounds before the oracle stabilises are cheap and churn; the
+        # bound just rules out unbounded rotation after stabilization.
+        assert max(c.rounds_used for c in cores.values()) <= 40
+
+
+class TestBeyondMajorityItBlocks:
+    def test_minority_correct_blocks_liveness_not_safety(self):
+        """The contrast with (Ω, Σ): CT needs its majority (experiment
+        E3's point, seen from the baseline's side)."""
+        pattern = FailurePattern(5, {0: 1, 1: 2, 2: 3})  # only 2 of 5 left
+        proposals = {p: f"v{p}" for p in range(5)}
+        trace = run_ct(5, 5, proposals, pattern=pattern, horizon=30_000)
+        assert trace.stop_reason == "horizon"
+        values = {repr(d.value) for d in trace.decisions}
+        assert len(values) <= 1  # safety intact
+
+
+class TestValidation:
+    def test_rejects_none_proposal(self):
+        core = ChandraTouegConsensusCore()
+        with pytest.raises(ValueError):
+            core.propose(None)

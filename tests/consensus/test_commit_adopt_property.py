@@ -1,0 +1,105 @@
+"""Interleaving-fuzzed commit-adopt properties.
+
+Gafni's commit-adopt must satisfy its two clauses under *every*
+interleaving of its participants' register operations — not just the
+sequential executions the unit tests cover.  A stepped register space
+yields control after each operation, and hypothesis drives random
+interleavings of all participants.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.shared_memory import RegisterSpace, commit_adopt
+
+
+class SteppedRegisterSpace(RegisterSpace):
+    """Atomic cells whose operations yield once — interleavable."""
+
+    def __init__(self):
+        self._cells = {}
+
+    def read(self, name):
+        yield "step"
+        return self._cells.get(name)
+
+    def write(self, name, value):
+        self._cells[name] = value
+        yield "step"
+        return "ok"
+
+
+def run_interleaved(inputs, schedule):
+    """Drive one commit-adopt per participant under ``schedule``.
+
+    ``schedule`` is an infinite-ish pid sequence; each entry advances
+    that participant's generator one yield.  Returns pid -> (grade, v).
+    """
+    space = SteppedRegisterSpace()
+    n = len(inputs)
+    gens = {
+        pid: commit_adopt(space, "ca", pid, n, value)
+        for pid, value in inputs.items()
+    }
+    results = {}
+    pending = dict(gens)
+    idx = 0
+    # Phase 1: follow the fuzzed schedule (skipping finished/unnamed
+    # participants); phase 2: drain the rest round-robin, since a
+    # schedule that starves someone models an unfair run, where
+    # commit-adopt owes no termination.
+    for pid in schedule:
+        if not pending:
+            break
+        gen = pending.get(pid % n)
+        if gen is None:
+            continue
+        try:
+            next(gen)
+        except StopIteration as stop:
+            results[pid % n] = stop.value
+            del pending[pid % n]
+    while pending:
+        for pid in sorted(pending):
+            gen = pending[pid]
+            try:
+                next(gen)
+            except StopIteration as stop:
+                results[pid] = stop.value
+                del pending[pid]
+        idx += 1
+        if idx > 1_000:  # pragma: no cover - liveness guard
+            raise AssertionError("commit-adopt failed to terminate")
+    return results
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=4),
+    values=st.lists(st.integers(min_value=0, max_value=1), min_size=4, max_size=4),
+    schedule=st.lists(
+        st.integers(min_value=0, max_value=3), min_size=8, max_size=120
+    ),
+)
+def test_commit_adopt_clauses_under_any_interleaving(n, values, schedule):
+    inputs = {pid: values[pid] for pid in range(n)}
+    results = run_interleaved(inputs, schedule or [0])
+
+    committed = {v for g, v in results.values() if g == "commit"}
+    adopted = {v for g, v in results.values()}
+
+    # Clause: at most one value is ever committed.
+    assert len(committed) <= 1
+
+    # Clause: if anyone commits v, everyone returns v (commit or adopt).
+    if committed:
+        v = committed.pop()
+        assert adopted == {v}, results
+
+    # Clause: unanimous inputs commit that value everywhere.
+    if len(set(inputs.values())) == 1:
+        v = next(iter(inputs.values()))
+        assert all(result == ("commit", v) for result in results.values())
+
+    # Validity: every returned value was somebody's input.
+    assert adopted <= set(inputs.values())

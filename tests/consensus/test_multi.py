@@ -1,0 +1,91 @@
+"""Tests for multi-instance consensus hosting."""
+
+import pytest
+
+from repro.consensus.interface import consensus_component
+from repro.consensus.multi import MultiConsensusCore
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.environment import FCrashEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.protocols.base import NOT_DECIDED, CoreComponent
+from repro.sim.system import SystemBuilder
+
+
+class MultiClient(CoreComponent):
+    """Runs a few consensus instances back to back."""
+
+    name = "multi"
+
+    def __init__(self, pid, instances):
+        self.results = {}
+        self.done = False
+        core = MultiConsensusCore()
+        super().__init__(core)
+        self._instances = instances
+        self._pid_hint = pid
+
+    def on_start(self):
+        super().on_start()
+        self.core.spawn(self._go(), name="multi-client")
+
+    def _go(self):
+        for key, value in self._instances:
+            decision = yield from self.core.propose(key, value)
+            self.results[key] = decision
+        self.done = True
+
+
+def run_multi(n, seed, instances_for, horizon=120_000, pattern=None):
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    else:
+        builder.environment(FCrashEnvironment(n, n - 1), crash_window=200)
+    builder.detector(omega_sigma_oracle())
+    builder.component("multi", lambda pid: MultiClient(pid, instances_for(pid)))
+    system = builder.build()
+    system.run(
+        stop_when=lambda s: all(
+            s.component_at(p, "multi").done for p in s.pattern.correct
+        )
+    )
+    return system
+
+
+class TestMultiInstance:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_instances_agree_independently(self, seed):
+        system = run_multi(
+            3, seed, lambda pid: [(k, f"p{pid}-i{k}") for k in range(3)]
+        )
+        for k in range(3):
+            values = {
+                repr(system.component_at(p, "multi").results.get(k))
+                for p in system.pattern.correct
+            }
+            assert len(values) == 1, (k, values)
+
+    def test_decisions_valid_per_instance(self):
+        system = run_multi(
+            3, 5, lambda pid: [(k, (pid, k)) for k in range(2)],
+            pattern=FailurePattern.crash_free(3),
+        )
+        for k in range(2):
+            decision = system.component_at(0, "multi").results[k]
+            assert decision in {(p, k) for p in range(3)}
+
+    def test_decision_of_unknown_instance(self):
+        core = MultiConsensusCore()
+        assert core.decision_of("nope") is NOT_DECIDED
+
+    def test_malformed_payload_rejected(self):
+        core = MultiConsensusCore()
+        with pytest.raises(ValueError):
+            core.on_message(0, "not-a-tuple")
+
+    def test_unknown_tag_rejected(self):
+        from repro.protocols.multi import MultiInstanceCore
+
+        core = MultiInstanceCore(lambda tag: MultiConsensusCore())
+        with pytest.raises(ValueError):
+            core.on_message(0, ("garbage-tag", "x"))

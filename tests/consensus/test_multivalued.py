@@ -1,0 +1,83 @@
+"""Tests for the binary→multivalued transformation ([20], footnote 6)."""
+
+import pytest
+
+from repro.analysis.properties import check_consensus
+from repro.consensus.interface import consensus_component
+from repro.consensus.multivalued import MultivaluedFromBinaryCore
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.environment import CrashFreeEnvironment, FCrashEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.sim.system import SystemBuilder, decided
+
+
+def run_mv(n, seed, proposals, pattern=None, env=None, horizon=150_000):
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    else:
+        builder.environment(
+            env or FCrashEnvironment(n, n - 1), crash_window=150
+        )
+    builder.detector(omega_sigma_oracle())
+    builder.component(
+        "mv",
+        consensus_component(lambda pid: MultivaluedFromBinaryCore(proposals[pid])),
+    )
+    return builder.build().run(stop_when=decided("mv"))
+
+
+class TestMultivalued:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_consensus_properties_under_crashes(self, seed):
+        proposals = {p: f"value-{p}" for p in range(4)}
+        trace = run_mv(4, seed, proposals)
+        verdict = check_consensus(trace, proposals, "mv")
+        assert verdict.ok, verdict.violations
+
+    def test_arbitrary_value_domain(self):
+        proposals = {
+            0: ("tuple", 1),
+            1: "a string",
+            2: 42,
+        }
+        trace = run_mv(3, 7, proposals, pattern=FailurePattern.crash_free(3))
+        verdict = check_consensus(trace, proposals, "mv")
+        assert verdict.ok, verdict.violations
+
+    def test_identical_proposals_decide_that_value(self):
+        proposals = {p: "same" for p in range(3)}
+        trace = run_mv(3, 1, proposals, env=CrashFreeEnvironment(3))
+        assert {d.value for d in trace.decisions} == {"same"}
+
+    def test_decision_echoed_value_matches_candidate(self):
+        """The decided value belongs to the elected candidate."""
+        proposals = {p: f"v{p}" for p in range(3)}
+        trace = run_mv(3, 3, proposals, pattern=FailurePattern(3, {0: 30}))
+        decided_values = {d.value for d in trace.decisions}
+        assert len(decided_values) == 1
+        assert decided_values.pop() in proposals.values()
+
+    def test_rejects_none_proposal(self):
+        with pytest.raises(ValueError):
+            MultivaluedFromBinaryCore(None)
+
+    def test_rounds_used_reported(self):
+        proposals = {p: f"v{p}" for p in range(3)}
+        from repro.protocols.base import CoreComponent
+
+        cores = {}
+
+        def factory(pid):
+            core = MultivaluedFromBinaryCore(proposals[pid])
+            cores[pid] = core
+            return CoreComponent(core)
+
+        system = (
+            SystemBuilder(n=3, seed=5, horizon=150_000)
+            .detector(omega_sigma_oracle())
+            .component("mv", factory)
+            .build()
+        )
+        system.run(stop_when=decided("mv"))
+        assert all(core.rounds_used >= 1 for core in cores.values())

@@ -1,0 +1,83 @@
+"""E11: registers (and objects) from consensus — SMR [17, 21]."""
+
+import pytest
+
+from repro.consensus.replicated_object import (
+    RegisterMachine,
+    SMRRegisterComponent,
+)
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.environment import FCrashEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.registers.linearizability import check_linearizable
+from repro.sim.system import SystemBuilder
+
+
+def quiescent(system):
+    return all(
+        system.component_at(p, "smrreg").core.done
+        for p in system.pattern.correct
+    )
+
+
+def run_smr(n, seed, scripts, pattern=None, horizon=250_000):
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    else:
+        builder.environment(FCrashEnvironment(n, n - 1), crash_window=150)
+    builder.detector(omega_sigma_oracle())
+    builder.component("smrreg", lambda pid: SMRRegisterComponent(scripts[pid]))
+    system = builder.build()
+    trace = system.run(stop_when=quiescent)
+    return system, trace
+
+
+class TestRegisterMachine:
+    def test_write_then_read(self):
+        m = RegisterMachine()
+        assert m.apply(("write", 5)) == "ok"
+        assert m.apply(("read",)) == 5
+
+    def test_initial_value(self):
+        assert RegisterMachine(initial="x").apply(("read",)) == "x"
+
+    def test_unknown_command(self):
+        with pytest.raises(ValueError):
+            RegisterMachine().apply(("increment",))
+
+
+class TestSMRRegister:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_emulated_register_is_linearizable(self, seed):
+        scripts = {
+            p: [("write", f"w{p}-1"), ("read", None), ("write", f"w{p}-2"),
+                ("read", None)]
+            for p in range(3)
+        }
+        _, trace = run_smr(3, seed, scripts)
+        verdict = check_linearizable(trace.operations)
+        assert verdict.ok, verdict.reason
+
+    def test_logs_converge(self):
+        scripts = {p: [("write", f"w{p}",)] for p in range(3)}
+        system, _ = run_smr(3, 4, scripts, pattern=FailurePattern.crash_free(3))
+        logs = [
+            system.component_at(p, "smrreg").core.child("smr").log
+            for p in range(3)
+        ]
+        shortest = min(len(log) for log in logs)
+        assert shortest >= 3
+        for i in range(shortest):
+            assert logs[0][i] == logs[1][i] == logs[2][i]
+
+    def test_reads_see_agreed_order(self):
+        """Two processes write different values, then both read: they
+        must read the same (log-final) value."""
+        scripts = {
+            0: [("write", "zero"), ("read", None)],
+            1: [("write", "one"), ("read", None)],
+            2: [("read", None)],
+        }
+        system, trace = run_smr(3, 8, scripts, pattern=FailurePattern.crash_free(3))
+        assert check_linearizable(trace.operations).ok

@@ -1,0 +1,132 @@
+"""Tests for consensus from registers + Ω (the Lo-Hadzilacos route)."""
+
+import pytest
+
+from repro.analysis.properties import check_consensus
+from repro.consensus.shared_memory import (
+    BankRegisterSpace,
+    InstantRegisterSpace,
+    SharedMemoryConsensus,
+    commit_adopt,
+)
+from repro.core.detectors import OmegaOracle, omega_sigma_oracle
+from repro.core.environment import FCrashEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.registers.abd import RegisterBank
+from repro.registers.quorums import SigmaQuorums
+from repro.sim.system import SystemBuilder, decided
+
+
+def drain(gen):
+    """Run a non-yielding generator to completion, returning its value."""
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("instant-register generators must not suspend")
+
+
+class TestCommitAdopt:
+    """Unit tests of Gafni's commit-adopt over instant registers."""
+
+    def test_unanimous_inputs_commit(self):
+        space = InstantRegisterSpace()
+        grades = [
+            drain(commit_adopt(space, "r1", pid, 3, "v")) for pid in range(3)
+        ]
+        assert all(g == ("commit", "v") for g in grades)
+
+    def test_conflicting_inputs_never_commit_two_values(self):
+        space = InstantRegisterSpace()
+        grades = [
+            drain(commit_adopt(space, "r1", 0, 2, "a")),
+            drain(commit_adopt(space, "r1", 1, 2, "b")),
+        ]
+        committed = {v for g, v in grades if g == "commit"}
+        assert len(committed) <= 1
+
+    def test_commit_forces_adoption(self):
+        """Sequential participants: the second sees the first's commit
+        and must adopt/commit the same value."""
+        space = InstantRegisterSpace()
+        first = drain(commit_adopt(space, "r1", 0, 2, "a"))
+        assert first == ("commit", "a")
+        second = drain(commit_adopt(space, "r1", 1, 2, "b"))
+        assert second[1] == "a"
+
+    def test_instances_are_independent(self):
+        space = InstantRegisterSpace()
+        assert drain(commit_adopt(space, "i1", 0, 2, "a")) == ("commit", "a")
+        assert drain(commit_adopt(space, "i2", 1, 2, "b")) == ("commit", "b")
+
+
+class TestOverInstantRegisters:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_consensus_properties(self, seed):
+        space = InstantRegisterSpace()
+        proposals = {p: f"v{p}" for p in range(4)}
+        trace = (
+            SystemBuilder(n=4, seed=seed, horizon=40_000)
+            .environment(FCrashEnvironment(4, 3), crash_window=200)
+            .detector(OmegaOracle())
+            .component(
+                "smcons",
+                lambda pid: SharedMemoryConsensus(
+                    proposals[pid], lambda c: space
+                ),
+            )
+            .build()
+            .run(stop_when=decided("smcons"))
+        )
+        verdict = check_consensus(trace, proposals, "smcons")
+        assert verdict.ok, verdict.violations
+
+    def test_single_survivor_decides_alone(self):
+        """Shared-memory consensus with Ω is wait-free-ish: a lone
+        correct process terminates (registers don't need quorums)."""
+        space = InstantRegisterSpace()
+        pattern = FailurePattern(3, {1: 1, 2: 1})
+        proposals = {p: p for p in range(3)}
+        trace = (
+            SystemBuilder(n=3, seed=1, horizon=20_000)
+            .pattern(pattern)
+            .detector(OmegaOracle())
+            .component(
+                "smcons",
+                lambda pid: SharedMemoryConsensus(proposals[pid], lambda c: space),
+            )
+            .build()
+            .run(stop_when=decided("smcons"))
+        )
+        assert trace.decision_of(0, "smcons") is not None
+
+
+class TestFullStack:
+    """The composed executable proof of Corollary 2: Σ → registers
+    (ABD), registers + Ω → consensus."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(3))
+    def test_consensus_over_abd_registers(self, seed):
+        proposals = {p: f"v{p}" for p in range(3)}
+        trace = (
+            SystemBuilder(n=3, seed=seed, horizon=250_000)
+            .environment(FCrashEnvironment(3, 2), crash_window=200)
+            .detector(omega_sigma_oracle())
+            .component("reg", lambda pid: RegisterBank(SigmaQuorums()))
+            .component(
+                "smcons",
+                lambda pid: SharedMemoryConsensus(
+                    proposals[pid],
+                    lambda c: BankRegisterSpace(c._host.component("reg")),
+                ),
+            )
+            .build()
+            .run(stop_when=decided("smcons"))
+        )
+        verdict = check_consensus(trace, proposals, "smcons")
+        assert verdict.ok, verdict.violations
+
+    def test_rejects_none_proposal(self):
+        with pytest.raises(ValueError):
+            SharedMemoryConsensus(None, lambda c: InstantRegisterSpace())

@@ -1,0 +1,99 @@
+"""Tests for S and the S-based any-resilience consensus [4]."""
+
+import random
+
+import pytest
+
+from repro.analysis.properties import check_consensus
+from repro.consensus.interface import consensus_component
+from repro.consensus.strong_detector import StrongConsensusCore
+from repro.core.detectors.strong import StrongOracle
+from repro.core.failure_pattern import FailurePattern
+from repro.core.specs import check_strong
+from repro.sim.system import SystemBuilder, decided
+
+
+class TestStrongOracle:
+    @pytest.mark.parametrize("seed", [0, 4])
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            FailurePattern.crash_free(4),
+            FailurePattern(4, {2: 80}),
+            FailurePattern(4, {1: 30, 2: 90, 3: 150}),
+        ],
+        ids=lambda p: f"f={len(p.faulty)}",
+    )
+    def test_histories_satisfy_spec(self, pattern, seed):
+        h = StrongOracle().build_history(pattern, 600, random.Random(seed))
+        verdict = check_strong(h, pattern)
+        assert verdict.ok, verdict.violations
+
+    def test_protected_never_suspected_from_time_zero(self):
+        pattern = FailurePattern(3, {2: 50})
+        h = StrongOracle(protect=1).build_history(pattern, 400, random.Random(1))
+        for pid in range(3):
+            for t in range(0, 400, 3):
+                assert 1 not in h.value(pid, t)
+
+    def test_checker_rejects_universal_suspicion(self):
+        from repro.core.history import SampledHistory
+
+        pattern = FailurePattern.crash_free(2)
+        h = SampledHistory.from_pairs(
+            2,
+            [(0, 1, frozenset({1})), (0, 9, frozenset()),
+             (1, 2, frozenset({0})), (1, 8, frozenset())],
+        )
+        verdict = check_strong(h, pattern)
+        assert not verdict.ok
+        assert "Weak accuracy" in verdict.violations[0]
+
+
+def run_s_consensus(n, seed, proposals, pattern, horizon=80_000):
+    return (
+        SystemBuilder(n=n, seed=seed, horizon=horizon)
+        .pattern(pattern)
+        .detector(StrongOracle())
+        .component(
+            "consensus",
+            consensus_component(lambda pid: StrongConsensusCore(proposals[pid])),
+        )
+        .build()
+        .run(stop_when=decided("consensus"))
+    )
+
+
+class TestStrongConsensus:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_any_number_of_crashes(self, seed):
+        rng = random.Random(seed)
+        n = 5
+        k = rng.randint(0, n - 1)
+        victims = rng.sample(range(n), k)
+        pattern = FailurePattern(n, {v: rng.randrange(200) for v in victims})
+        proposals = {p: f"v{p}" for p in range(n)}
+        trace = run_s_consensus(n, seed, proposals, pattern)
+        verdict = check_consensus(trace, proposals)
+        assert verdict.ok, (pattern, verdict.violations)
+
+    def test_lone_survivor_decides(self):
+        n = 4
+        pattern = FailurePattern(n, {0: 1, 1: 2, 2: 3})
+        proposals = {p: p * 7 for p in range(n)}
+        trace = run_s_consensus(n, 3, proposals, pattern)
+        assert trace.decision_of(3, "consensus") is not None
+        assert check_consensus(trace, proposals).ok
+
+    def test_decision_is_deterministic_choice_from_agreed_set(self):
+        """Crash-free: everyone knows everything, so the decision is the
+        smallest pid's proposal."""
+        n = 4
+        proposals = {p: f"v{p}" for p in range(n)}
+        trace = run_s_consensus(n, 1, proposals, FailurePattern.crash_free(n))
+        assert {d.value for d in trace.decisions} == {"v0"}
+
+    def test_rejects_none_proposal(self):
+        core = StrongConsensusCore()
+        with pytest.raises(ValueError):
+            core.propose(None)

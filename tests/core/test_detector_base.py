@@ -1,0 +1,75 @@
+"""Unit tests for the detector base module (values, stabilization)."""
+
+import random
+
+import pytest
+
+from repro.core.detector import (
+    BOTTOM,
+    DEFAULT_STABILIZATION_SPAN,
+    GREEN,
+    RED,
+    _Bottom,
+    is_fs_value,
+    is_omega_sigma_value,
+    sample_stabilization_time,
+)
+from repro.core.failure_pattern import FailurePattern
+
+
+class TestValueVocabulary:
+    def test_bottom_is_a_singleton(self):
+        assert _Bottom() is BOTTOM
+        assert repr(BOTTOM) == "⊥"
+
+    def test_is_fs_value(self):
+        assert is_fs_value(GREEN)
+        assert is_fs_value(RED)
+        assert not is_fs_value("blue")
+        assert not is_fs_value(BOTTOM)
+        assert not is_fs_value((0, frozenset()))
+
+    def test_is_omega_sigma_value(self):
+        assert is_omega_sigma_value((3, frozenset({1, 2})))
+        assert not is_omega_sigma_value((3, {1, 2}))  # not frozen
+        assert not is_omega_sigma_value(("x", frozenset()))
+        assert not is_omega_sigma_value(3)
+        assert not is_omega_sigma_value(BOTTOM)
+
+
+class TestStabilizationSampling:
+    def test_after_last_crash(self):
+        pattern = FailurePattern(3, {0: 50, 1: 120})
+        for seed in range(20):
+            t = sample_stabilization_time(random.Random(seed), pattern, 2_000)
+            assert t >= 121
+
+    def test_within_span_cap(self):
+        pattern = FailurePattern(3, {0: 50})
+        for seed in range(20):
+            t = sample_stabilization_time(random.Random(seed), pattern, 100_000)
+            assert t <= 51 + DEFAULT_STABILIZATION_SPAN
+
+    def test_crash_free_starts_at_zero(self):
+        pattern = FailurePattern.crash_free(3)
+        times = {
+            sample_stabilization_time(random.Random(s), pattern, 2_000)
+            for s in range(30)
+        }
+        assert min(times) >= 0
+        assert max(times) <= DEFAULT_STABILIZATION_SPAN
+
+    def test_short_horizon_clamps(self):
+        """With a tiny horizon the window collapses to the earliest
+        admissible point."""
+        pattern = FailurePattern(3, {0: 8})
+        t = sample_stabilization_time(random.Random(0), pattern, 10)
+        assert t == 9
+
+    def test_custom_span(self):
+        pattern = FailurePattern.crash_free(2)
+        for seed in range(10):
+            t = sample_stabilization_time(
+                random.Random(seed), pattern, 10_000, span=5
+            )
+            assert t <= 5

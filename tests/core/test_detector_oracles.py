@@ -1,0 +1,227 @@
+"""Every oracle's sampled histories satisfy its own specification.
+
+This closes the loop between the two halves of :mod:`repro.core`: the
+oracles generate admissible histories, the spec checkers accept exactly
+those — so each test here is simultaneously a test of the oracle and a
+positive-case test of the checker.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detector import BOTTOM, GREEN, RED
+from repro.core.detectors import (
+    EventuallyPerfectOracle,
+    FSOracle,
+    MajoritySigmaOracle,
+    OmegaOracle,
+    PerfectOracle,
+    PsiOracle,
+    SigmaOracle,
+    omega_sigma_oracle,
+)
+from repro.core.detectors.psi import FS_BRANCH, OMEGA_SIGMA_BRANCH
+from repro.core.failure_pattern import FailurePattern
+from repro.core.specs import (
+    check_eventually_perfect,
+    check_fs,
+    check_omega,
+    check_omega_sigma,
+    check_perfect,
+    check_psi,
+    check_sigma,
+)
+
+HORIZON = 800
+
+
+def patterns_for(n: int, seed: int):
+    """A deterministic assortment of patterns over n processes."""
+    rng = random.Random(seed)
+    out = [FailurePattern.crash_free(n)]
+    # single crash, early/late
+    out.append(FailurePattern.single_crash(n, rng.randrange(n), 10))
+    out.append(FailurePattern.single_crash(n, rng.randrange(n), 300))
+    # up to n-1 crashes
+    k = rng.randint(1, n - 1)
+    victims = rng.sample(range(n), k)
+    out.append(
+        FailurePattern(n, {v: rng.randrange(350) for v in victims})
+    )
+    return out
+
+
+def oracle_seeds():
+    return [0, 1, 7]
+
+
+@pytest.mark.parametrize("seed", oracle_seeds())
+@pytest.mark.parametrize("n", [2, 4])
+class TestOracleAdmissibility:
+    def test_omega(self, n, seed):
+        for pattern in patterns_for(n, seed):
+            h = OmegaOracle().build_history(pattern, HORIZON, random.Random(seed))
+            assert check_omega(h, pattern).ok
+
+    def test_sigma(self, n, seed):
+        for pattern in patterns_for(n, seed):
+            h = SigmaOracle().build_history(pattern, HORIZON, random.Random(seed))
+            assert check_sigma(h, pattern).ok
+
+    def test_fs(self, n, seed):
+        for pattern in patterns_for(n, seed):
+            h = FSOracle().build_history(pattern, HORIZON, random.Random(seed))
+            assert check_fs(h, pattern).ok
+
+    def test_omega_sigma_product(self, n, seed):
+        for pattern in patterns_for(n, seed):
+            h = omega_sigma_oracle().build_history(
+                pattern, HORIZON, random.Random(seed)
+            )
+            assert check_omega_sigma(h, pattern).ok
+
+    def test_psi(self, n, seed):
+        for pattern in patterns_for(n, seed):
+            h = PsiOracle().build_history(pattern, HORIZON, random.Random(seed))
+            assert check_psi(h, pattern).ok
+
+    def test_perfect(self, n, seed):
+        for pattern in patterns_for(n, seed):
+            h = PerfectOracle().build_history(pattern, HORIZON, random.Random(seed))
+            assert check_perfect(h, pattern).ok
+
+    def test_eventually_perfect(self, n, seed):
+        for pattern in patterns_for(n, seed):
+            h = EventuallyPerfectOracle().build_history(
+                pattern, HORIZON, random.Random(seed)
+            )
+            assert check_eventually_perfect(h, pattern).ok
+
+
+class TestOmegaOracle:
+    def test_forced_leader_is_respected(self):
+        pattern = FailurePattern(3, {0: 5})
+        h = OmegaOracle(leader=2, noisy=False).build_history(
+            pattern, 100, random.Random(0)
+        )
+        assert h.value(1, 50) == 2
+
+    def test_forced_faulty_leader_rejected(self):
+        pattern = FailurePattern(3, {0: 5})
+        with pytest.raises(ValueError):
+            OmegaOracle(leader=0).build_history(pattern, 100, random.Random(0))
+
+    def test_benign_oracle_stable_from_time_zero(self):
+        pattern = FailurePattern.crash_free(3)
+        h = OmegaOracle(noisy=False).build_history(pattern, 50, random.Random(0))
+        assert {h.value(p, t) for p in range(3) for t in range(50)} == {0}
+
+    def test_requires_a_correct_process(self):
+        pattern = FailurePattern(1, {0: 3})
+        with pytest.raises(ValueError):
+            OmegaOracle().build_history(pattern, 10, random.Random(0))
+
+
+class TestSigmaOracle:
+    def test_kernel_threads_every_quorum(self):
+        pattern = FailurePattern(4, {3: 10})
+        h = SigmaOracle(kernel=1).build_history(pattern, 200, random.Random(3))
+        for p in range(4):
+            for t in range(0, 200, 7):
+                assert 1 in h.value(p, t)
+
+    def test_faulty_kernel_rejected(self):
+        pattern = FailurePattern(4, {3: 10})
+        with pytest.raises(ValueError):
+            SigmaOracle(kernel=3).build_history(pattern, 100, random.Random(0))
+
+    def test_majority_oracle_requires_correct_majority(self):
+        minority_correct = FailurePattern(4, {1: 5, 2: 6, 3: 7})
+        with pytest.raises(ValueError):
+            MajoritySigmaOracle().build_history(
+                minority_correct, 100, random.Random(0)
+            )
+
+    def test_majority_oracle_emits_majorities(self):
+        pattern = FailurePattern(5, {4: 10})
+        h = MajoritySigmaOracle().build_history(pattern, 300, random.Random(1))
+        for p in range(5):
+            for t in range(0, 300, 11):
+                assert len(h.value(p, t)) >= 3
+
+
+class TestFSOracle:
+    def test_crash_free_is_green_forever(self):
+        h = FSOracle().build_history(
+            FailurePattern.crash_free(3), 200, random.Random(0)
+        )
+        assert all(h.value(p, t) == GREEN for p in range(3) for t in range(200))
+
+    def test_red_never_precedes_crash(self):
+        pattern = FailurePattern(3, {1: 77})
+        h = FSOracle().build_history(pattern, 300, random.Random(5))
+        for p in range(3):
+            for t in range(77):
+                assert h.value(p, t) == GREEN
+
+    def test_correct_processes_end_red(self):
+        pattern = FailurePattern(3, {1: 50})
+        h = FSOracle(max_detection_delay=20).build_history(
+            pattern, 300, random.Random(5)
+        )
+        for p in (0, 2):
+            assert h.value(p, 299) == RED
+
+
+class TestPsiOracle:
+    def test_fs_branch_forced(self):
+        pattern = FailurePattern(3, {0: 30})
+        h = PsiOracle(branch=FS_BRANCH).build_history(pattern, 400, random.Random(2))
+        assert h.psi_branch == FS_BRANCH
+        final = {h.value(p, 399) for p in range(3)}
+        assert final == {RED}
+
+    def test_fs_branch_rejected_when_crash_free(self):
+        with pytest.raises(ValueError):
+            PsiOracle(branch=FS_BRANCH).build_history(
+                FailurePattern.crash_free(3), 100, random.Random(0)
+            )
+
+    def test_crash_free_takes_omega_sigma_branch(self):
+        h = PsiOracle().build_history(
+            FailurePattern.crash_free(3), 400, random.Random(4)
+        )
+        assert h.psi_branch == OMEGA_SIGMA_BRANCH
+
+    def test_initial_output_is_bottom(self):
+        h = PsiOracle(max_switch_delay=50).build_history(
+            FailurePattern.crash_free(2), 200, random.Random(9)
+        )
+        # Before any switch everyone outputs ⊥ — and the switch is
+        # never at time 0 for every process with a positive delay, so
+        # at least time 0 of some process shows ⊥ under this seed.
+        assert any(h.value(p, 0) is BOTTOM for p in range(2))
+
+    def test_unknown_branch_rejected(self):
+        with pytest.raises(ValueError):
+            PsiOracle(branch="nonsense")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    n=st.integers(min_value=2, max_value=5),
+    crashes=st.integers(min_value=0, max_value=4),
+)
+def test_psi_oracle_admissible_on_random_patterns(seed, n, crashes):
+    """Property: Ψ histories pass check_psi on arbitrary patterns."""
+    rng = random.Random(seed)
+    k = min(crashes, n - 1)
+    victims = rng.sample(range(n), k)
+    pattern = FailurePattern(n, {v: rng.randrange(200) for v in victims})
+    h = PsiOracle().build_history(pattern, 700, rng)
+    verdict = check_psi(h, pattern)
+    assert verdict.ok, verdict.violations

@@ -1,0 +1,130 @@
+"""Unit and property tests for environments (sets of failure patterns)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.environment import (
+    CrashFreeEnvironment,
+    ExplicitEnvironment,
+    FCrashEnvironment,
+    MajorityCorrectEnvironment,
+    OrderedCrashEnvironment,
+)
+from repro.core.failure_pattern import FailurePattern
+
+
+class TestCrashFree:
+    def test_contains_only_crash_free(self):
+        env = CrashFreeEnvironment(3)
+        assert env.contains(FailurePattern.crash_free(3))
+        assert not env.contains(FailurePattern(3, {0: 1}))
+
+    def test_sample_is_member(self, rng):
+        env = CrashFreeEnvironment(3)
+        assert env.contains(env.sample(rng, 100))
+
+
+class TestFCrash:
+    def test_bounds_number_of_crashes(self):
+        env = FCrashEnvironment(5, 2)
+        assert env.contains(FailurePattern(5, {0: 1, 1: 2}))
+        assert not env.contains(FailurePattern(5, {0: 1, 1: 2, 2: 3}))
+
+    def test_rejects_bad_f(self):
+        with pytest.raises(ValueError):
+            FCrashEnvironment(3, 3)
+        with pytest.raises(ValueError):
+            FCrashEnvironment(3, -1)
+
+    def test_wait_free_environment_keeps_one_correct(self, rng):
+        env = FCrashEnvironment(4, 3)
+        for _ in range(50):
+            pattern = env.sample(rng, 100)
+            assert len(pattern.correct) >= 1
+            assert env.contains(pattern)
+
+    def test_validate_rejects_foreign_pattern(self):
+        env = FCrashEnvironment(3, 1)
+        with pytest.raises(ValueError):
+            env.validate(FailurePattern(3, {0: 1, 1: 1}))
+        with pytest.raises(ValueError):
+            env.validate(FailurePattern(4, {}))
+
+
+class TestMajorityCorrect:
+    @pytest.mark.parametrize("n,f", [(3, 1), (4, 1), (5, 2), (7, 3)])
+    def test_max_crashes_is_minority(self, n, f):
+        env = MajorityCorrectEnvironment(n)
+        assert env.f == f
+
+    def test_samples_keep_majority(self, rng):
+        env = MajorityCorrectEnvironment(5)
+        for _ in range(50):
+            pattern = env.sample(rng, 100)
+            assert len(pattern.correct) >= 3
+
+
+class TestOrderedCrash:
+    def test_first_never_crashes_before_second(self):
+        env = OrderedCrashEnvironment(4, first=0, second=1)
+        # 0 correct: fine regardless of 1.
+        assert env.contains(FailurePattern(4, {1: 5}))
+        # 0 crashes after 1: fine.
+        assert env.contains(FailurePattern(4, {1: 5, 0: 9}))
+        # 0 crashes and 1 doesn't: violates the order.
+        assert not env.contains(FailurePattern(4, {0: 5}))
+        # 0 crashes before 1: violates the order.
+        assert not env.contains(FailurePattern(4, {0: 3, 1: 5}))
+
+    def test_simultaneous_crash_allowed(self):
+        env = OrderedCrashEnvironment(4, first=0, second=1)
+        assert env.contains(FailurePattern(4, {0: 5, 1: 5}))
+
+    def test_samples_are_members(self, rng):
+        env = OrderedCrashEnvironment(4, first=2, second=3, f=3)
+        for _ in range(50):
+            assert env.contains(env.sample(rng, 100))
+
+    def test_rejects_same_process(self):
+        with pytest.raises(ValueError):
+            OrderedCrashEnvironment(3, first=1, second=1)
+
+
+class TestExplicit:
+    def test_membership_is_exact(self):
+        p1 = FailurePattern(3, {0: 1})
+        p2 = FailurePattern(3, {1: 2})
+        env = ExplicitEnvironment(3, [p1])
+        assert env.contains(p1)
+        assert not env.contains(p2)
+
+    def test_needs_at_least_one_pattern(self):
+        with pytest.raises(ValueError):
+            ExplicitEnvironment(3, [])
+
+    def test_sample_draws_from_set(self, rng):
+        patterns = [FailurePattern(3, {0: t}) for t in range(5)]
+        env = ExplicitEnvironment(3, patterns)
+        for _ in range(20):
+            assert env.sample(rng, 100) in patterns
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**32),
+)
+def test_every_sampler_produces_members(n, seed):
+    """Property: sample() always lands inside the environment."""
+    rng = random.Random(seed)
+    environments = [
+        CrashFreeEnvironment(n),
+        FCrashEnvironment(n, n - 1),
+        MajorityCorrectEnvironment(n),
+    ]
+    for env in environments:
+        pattern = env.sample(rng, 200)
+        assert env.contains(pattern), (env, pattern)

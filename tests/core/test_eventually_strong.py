@@ -1,0 +1,97 @@
+"""Tests for the ◇S oracle and its spec checker."""
+
+import random
+
+import pytest
+
+from repro.core.detectors.eventually_strong import EventuallyStrongOracle
+from repro.core.failure_pattern import FailurePattern
+from repro.core.history import SampledHistory
+from repro.core.specs import check_eventually_strong
+
+
+class TestOracle:
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            FailurePattern.crash_free(4),
+            FailurePattern(4, {3: 100}),
+            FailurePattern(4, {0: 40, 2: 150}),
+        ],
+        ids=lambda p: f"f={len(p.faulty)}",
+    )
+    def test_histories_satisfy_spec(self, pattern, seed):
+        h = EventuallyStrongOracle().build_history(
+            pattern, 800, random.Random(seed)
+        )
+        verdict = check_eventually_strong(h, pattern)
+        assert verdict.ok, verdict.violations
+
+    def test_protected_process_is_never_suspected_after_stabilization(self):
+        pattern = FailurePattern(4, {3: 50})
+        h = EventuallyStrongOracle(protect=2).build_history(
+            pattern, 600, random.Random(1)
+        )
+        for pid in pattern.correct:
+            assert 2 not in h.value(pid, 599)
+
+    def test_noisy_oracle_keeps_wrongly_suspecting_unprotected(self):
+        """The adversarial latitude ◇S leaves: correct-but-unprotected
+        processes may be suspected forever-intermittently."""
+        pattern = FailurePattern.crash_free(4)
+        h = EventuallyStrongOracle(protect=0).build_history(
+            pattern, 2_000, random.Random(2)
+        )
+        wrongly_suspected = any(
+            q in h.value(p, t)
+            for p in range(4)
+            for t in range(1_500, 2_000, 7)
+            for q in range(1, 4)
+            if q != p
+        )
+        assert wrongly_suspected
+
+    def test_faulty_protect_rejected(self):
+        pattern = FailurePattern(3, {1: 5})
+        with pytest.raises(ValueError):
+            EventuallyStrongOracle(protect=1).build_history(
+                pattern, 100, random.Random(0)
+            )
+
+
+class TestChecker:
+    def test_everyone_suspected_fails_weak_accuracy(self):
+        pattern = FailurePattern.crash_free(2)
+        h = SampledHistory.from_pairs(
+            2,
+            [
+                (0, 1, frozenset({1})), (0, 99, frozenset({1})),
+                (1, 2, frozenset({0})), (1, 98, frozenset({0})),
+            ],
+        )
+        verdict = check_eventually_strong(h, pattern)
+        assert not verdict.ok
+        assert "weak accuracy" in verdict.violations[0]
+
+    def test_one_spared_process_suffices(self):
+        pattern = FailurePattern.crash_free(3)
+        h = SampledHistory.from_pairs(
+            3,
+            [
+                (0, 1, frozenset({1})), (0, 99, frozenset({1})),
+                (1, 2, frozenset({0})), (1, 98, frozenset({0})),
+                (2, 3, frozenset({0, 1})), (2, 97, frozenset({0, 1})),
+            ],
+        )
+        # Process 2 is suspected by nobody.
+        assert check_eventually_strong(h, pattern).ok
+
+    def test_missing_faulty_suspicion_fails_completeness(self):
+        pattern = FailurePattern(2, {1: 5})
+        h = SampledHistory.from_pairs(
+            2, [(0, 1, frozenset()), (0, 99, frozenset())]
+        )
+        verdict = check_eventually_strong(h, pattern)
+        assert not verdict.ok
+        assert any("Completeness" in v for v in verdict.violations)

@@ -1,0 +1,81 @@
+"""Unit tests for failure patterns (the function F of Section 2)."""
+
+import pytest
+
+from repro.core.failure_pattern import FailurePattern
+
+
+class TestConstruction:
+    def test_crash_free_has_no_faulty(self):
+        f = FailurePattern.crash_free(4)
+        assert f.faulty == frozenset()
+        assert f.correct == frozenset(range(4))
+        assert f.is_crash_free()
+
+    def test_single_crash(self):
+        f = FailurePattern.single_crash(3, 1, 10)
+        assert f.faulty == {1}
+        assert f.correct == {0, 2}
+        assert f.crash_time(1) == 10
+        assert f.crash_time(0) is None
+
+    def test_crashes_builder(self):
+        f = FailurePattern.crashes(5, [(0, 3), (4, 7)])
+        assert f.faulty == {0, 4}
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ValueError):
+            FailurePattern(0)
+
+    def test_rejects_unknown_pid(self):
+        with pytest.raises(ValueError):
+            FailurePattern(3, {5: 1})
+
+    def test_rejects_negative_crash_time(self):
+        with pytest.raises(ValueError):
+            FailurePattern(3, {1: -2})
+
+
+class TestTheFunctionF:
+    """F(t) must be monotone and reflect crash times inclusively."""
+
+    def test_crashed_at_is_monotone(self):
+        f = FailurePattern(4, {1: 5, 2: 10})
+        previous = frozenset()
+        for t in range(15):
+            current = f.crashed_at(t)
+            assert previous <= current
+            previous = current
+
+    def test_crash_time_is_inclusive(self):
+        f = FailurePattern(2, {0: 7})
+        assert not f.crashed(0, 6)
+        assert f.crashed(0, 7)
+        assert f.crashed(0, 8)
+
+    def test_alive_at_complements_crashed_at(self):
+        f = FailurePattern(5, {1: 3, 4: 9})
+        for t in (0, 3, 9, 20):
+            assert f.alive_at(t) == frozenset(range(5)) - f.crashed_at(t)
+
+    def test_first_crash_time(self):
+        assert FailurePattern.crash_free(3).first_crash_time() is None
+        assert FailurePattern(3, {2: 4, 0: 9}).first_crash_time() == 4
+
+    def test_faulty_union_correct_is_pi(self):
+        f = FailurePattern(6, {0: 1, 3: 2})
+        assert f.faulty | f.correct == frozenset(range(6))
+        assert not (f.faulty & f.correct)
+
+
+class TestEquality:
+    def test_equal_patterns(self):
+        assert FailurePattern(3, {1: 5}) == FailurePattern(3, {1: 5})
+        assert hash(FailurePattern(3, {1: 5})) == hash(FailurePattern(3, {1: 5}))
+
+    def test_unequal_patterns(self):
+        assert FailurePattern(3, {1: 5}) != FailurePattern(3, {1: 6})
+        assert FailurePattern(3, {}) != FailurePattern(4, {})
+
+    def test_repr_mentions_crashes(self):
+        assert "p1@5" in repr(FailurePattern(3, {1: 5}))

@@ -1,0 +1,73 @@
+"""Unit tests for failure detector histories."""
+
+import pytest
+
+from repro.core.history import FailureDetectorHistory, SampledHistory
+
+
+class TestDenseHistory:
+    def test_value_function_is_memoised(self):
+        calls = []
+
+        def fn(pid, t):
+            calls.append((pid, t))
+            return pid * 100 + t
+
+        h = FailureDetectorHistory(2, 10, fn)
+        assert h.value(1, 3) == 103
+        assert h.value(1, 3) == 103
+        assert calls.count((1, 3)) == 1
+
+    def test_samples_cover_horizon(self):
+        h = FailureDetectorHistory(1, 5, lambda p, t: t)
+        assert list(h.samples_of(0)) == [(t, t) for t in range(5)]
+
+    def test_rejects_bad_queries(self):
+        h = FailureDetectorHistory(2, 5, lambda p, t: 0)
+        with pytest.raises(ValueError):
+            h.value(2, 0)
+        with pytest.raises(ValueError):
+            h.value(0, -1)
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            FailureDetectorHistory(0, 5, lambda p, t: 0)
+        with pytest.raises(ValueError):
+            FailureDetectorHistory(1, 0, lambda p, t: 0)
+
+
+class TestSampledHistory:
+    def test_records_in_order(self):
+        h = SampledHistory(2)
+        h.record(0, 1, "a")
+        h.record(0, 5, "b")
+        assert list(h.samples_of(0)) == [(1, "a"), (5, "b")]
+        assert h.last_value(0) == "b"
+        assert h.last_value(1) is None
+
+    def test_rejects_non_increasing_times(self):
+        h = SampledHistory(1)
+        h.record(0, 5, "a")
+        with pytest.raises(ValueError):
+            h.record(0, 5, "b")
+        with pytest.raises(ValueError):
+            h.record(0, 3, "c")
+
+    def test_sample_count(self):
+        h = SampledHistory(2)
+        for t in range(4):
+            h.record(1, t + 1, t)
+        assert h.sample_count(1) == 4
+        assert h.sample_count(0) == 0
+
+    def test_from_pairs_sorts_per_process(self):
+        h = SampledHistory.from_pairs(
+            2, [(0, 5, "b"), (0, 1, "a"), (1, 3, "x")]
+        )
+        assert list(h.samples_of(0)) == [(1, "a"), (5, "b")]
+        assert list(h.samples_of(1)) == [(3, "x")]
+
+    def test_rejects_unknown_pid(self):
+        h = SampledHistory(1)
+        with pytest.raises(ValueError):
+            h.record(1, 0, "a")

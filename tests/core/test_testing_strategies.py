@@ -1,0 +1,36 @@
+"""Tests for the public hypothesis strategies (repro.testing)."""
+
+from hypothesis import given, settings
+
+from repro import testing
+from repro.core.failure_pattern import FailurePattern
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=testing.failure_patterns(n=4))
+def test_failure_patterns_always_leave_a_correct_process(pattern):
+    assert isinstance(pattern, FailurePattern)
+    assert pattern.n == 4
+    assert len(pattern.correct) >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(pattern=testing.majority_correct_patterns(n=5))
+def test_majority_patterns_keep_a_majority(pattern):
+    assert len(pattern.correct) >= 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(env=testing.environments(n=4), seed=testing.seeds())
+def test_environments_sample_members(env, seed):
+    import random
+
+    pattern = env.sample(random.Random(seed), 100)
+    assert env.contains(pattern)
+
+
+@settings(max_examples=30, deadline=None)
+@given(proposals=testing.binary_proposals(n=4))
+def test_binary_proposals_shape(proposals):
+    assert set(proposals) == {0, 1, 2, 3}
+    assert set(proposals.values()) <= {0, 1}

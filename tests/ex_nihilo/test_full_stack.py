@@ -1,0 +1,133 @@
+"""The zero-oracle stacks: agreement from messages alone.
+
+Under a correct majority and benign timing, every detector the
+algorithms need is *implemented*: Σ from join-quorums, Ω from
+heartbeats.  Composing them under the (Ω, Σ) consensus algorithm — or
+the Σ-quorum register emulation — yields working stacks with no oracle
+anywhere, which is exactly why the paper's weakest-detector results
+specialise to the classical majority-correct ones.
+"""
+
+import pytest
+
+from repro.analysis.properties import check_consensus
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.failure_pattern import FailurePattern
+from repro.ex_nihilo.combined import ComposedDetector
+from repro.ex_nihilo.omega_heartbeat import OmegaFromHeartbeats
+from repro.ex_nihilo.sigma_majority import SigmaFromMajority
+from repro.registers.abd import RegisterBank
+from repro.registers.linearizability import check_linearizable
+from repro.registers.quorums import SigmaQuorums
+from repro.registers.workload import RegisterWorkload, workload_quiescent
+from repro.sim.network import UniformDelay
+from repro.sim.system import SystemBuilder, decided
+
+
+def build_zero_oracle_consensus(n, seed, proposals, pattern, horizon=120_000):
+    return (
+        SystemBuilder(n=n, seed=seed, horizon=horizon)
+        .pattern(pattern)
+        .delays(UniformDelay(1, 5))
+        .component("sigma-impl", lambda pid: SigmaFromMajority())
+        .component("omega-impl", lambda pid: OmegaFromHeartbeats())
+        .component(
+            "os-impl",
+            lambda pid: ComposedDetector(["omega-impl", "sigma-impl"]),
+        )
+        .detector_from_component("os-impl")
+        .component(
+            "consensus",
+            consensus_component(lambda pid: OmegaSigmaConsensusCore(proposals[pid])),
+        )
+        .build()
+    )
+
+
+class TestZeroOracleConsensus:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_crash_free(self, seed):
+        proposals = {p: f"v{p}" for p in range(5)}
+        system = build_zero_oracle_consensus(
+            5, seed, proposals, FailurePattern.crash_free(5)
+        )
+        trace = system.run(stop_when=decided("consensus"))
+        verdict = check_consensus(trace, proposals)
+        assert verdict.ok, verdict.violations
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_minority_crashes(self, seed):
+        proposals = {p: f"v{p}" for p in range(5)}
+        pattern = FailurePattern(5, {0: 200, 3: 400})
+        system = build_zero_oracle_consensus(5, seed, proposals, pattern)
+        trace = system.run(stop_when=decided("consensus"))
+        verdict = check_consensus(trace, proposals)
+        assert verdict.ok, verdict.violations
+
+    def test_safety_even_beyond_majority(self):
+        """With the majority gone the implemented Σ freezes, liveness
+        dies — but nothing unsafe happens."""
+        proposals = {p: f"v{p}" for p in range(5)}
+        pattern = FailurePattern(5, {0: 1, 1: 2, 2: 3})
+        system = build_zero_oracle_consensus(
+            5, 7, proposals, pattern, horizon=25_000
+        )
+        trace = system.run(stop_when=decided("consensus"))
+        values = {repr(d.value) for d in trace.decisions}
+        assert len(values) <= 1
+
+
+class TestZeroOracleRegisters:
+    def test_registers_over_implemented_sigma(self):
+        """ABD where the quorum detector is the join-quorum component —
+        the paper's 'Σ for free' feeding Theorem 1's algorithm."""
+        pattern = FailurePattern(5, {4: 300})
+        system = (
+            SystemBuilder(n=5, seed=9, horizon=120_000)
+            .pattern(pattern)
+            .delays(UniformDelay(1, 5))
+            .component("sigma-impl", lambda pid: SigmaFromMajority())
+            .detector_from_component("sigma-impl")
+            .component(
+                "reg",
+                lambda pid: RegisterBank(
+                    SigmaQuorums(lambda d: d), record_ops=True
+                ),
+            )
+            .component(
+                "workload",
+                lambda pid: RegisterWorkload(
+                    registers=("x", "y"), ops_per_process=4, seed=9
+                ),
+            )
+            .build()
+        )
+        trace = system.run(stop_when=workload_quiescent())
+        assert trace.stop_reason == "stop-condition"
+        assert check_linearizable(trace.operations).ok
+
+
+class TestComposedDetector:
+    def test_single_source_unwraps(self):
+        comp = ComposedDetector(["only"])
+
+        class FakeHost:
+            def component(self, name):
+                class Src:
+                    def output(self):
+                        return "value"
+
+                return Src()
+
+        comp._host = FakeHost()
+        assert comp.output() == "value"
+
+    def test_needs_sources(self):
+        with pytest.raises(ValueError):
+            ComposedDetector([])
+
+    def test_rejects_messages(self):
+        comp = ComposedDetector(["a"])
+        with pytest.raises(RuntimeError):
+            comp.on_message(0, "x", {})

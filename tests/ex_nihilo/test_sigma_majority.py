@@ -1,0 +1,70 @@
+"""E8: Σ ex nihilo under a correct majority (the paper's §1 remark)."""
+
+import pytest
+
+from repro.core.environment import MajorityCorrectEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.core.specs import check_sigma
+from repro.ex_nihilo.sigma_majority import SigmaFromMajority
+from repro.sim.probes import OutputRecorder
+from repro.sim.system import SystemBuilder
+
+
+def run_sigma_impl(pattern=None, env=None, seed=0, n=5, horizon=20_000):
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    elif env is not None:
+        builder.environment(env, crash_window=300)
+    builder.component("sigma-impl", lambda pid: SigmaFromMajority())
+    builder.component(
+        "probe", lambda pid: OutputRecorder("sigma-impl", "sigma-impl")
+    )
+    system = builder.build()
+    trace = system.run()
+    return system, trace
+
+
+class TestUnderMajority:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_satisfies_sigma_spec(self, seed):
+        _, trace = run_sigma_impl(
+            env=MajorityCorrectEnvironment(5), seed=seed
+        )
+        verdict = check_sigma(trace.annotations["sigma-impl"], trace.pattern)
+        assert verdict.ok, verdict.violations
+
+    def test_rounds_keep_completing(self):
+        system, _ = run_sigma_impl(pattern=FailurePattern(5, {4: 100}), seed=1)
+        for pid in range(4):
+            assert system.component_at(pid, "sigma-impl").rounds_completed > 3
+
+    def test_crashed_processes_leave_quorums(self):
+        pattern = FailurePattern(5, {3: 200, 4: 300})
+        _, trace = run_sigma_impl(pattern=pattern, seed=2)
+        history = trace.annotations["sigma-impl"]
+        for pid in pattern.correct:
+            final = history.last_value(pid)
+            assert final <= pattern.correct
+
+
+class TestOutsideMajority:
+    def test_completeness_fails_without_majority(self):
+        """With 3 of 5 crashed, join rounds stop completing: outputs
+        freeze with faulty members — Intersection survives (they are
+        still majorities) but Completeness is gone.  Exactly why Σ is
+        *not* free in such environments."""
+        pattern = FailurePattern(5, {0: 100, 1: 120, 2: 140})
+        _, trace = run_sigma_impl(pattern=pattern, seed=3)
+        verdict = check_sigma(trace.annotations["sigma-impl"], pattern)
+        assert not verdict.ok
+        assert any("Completeness" in v for v in verdict.violations)
+
+    def test_intersection_still_holds_without_majority(self):
+        """Safety half survives: every output is a majority."""
+        pattern = FailurePattern(5, {0: 100, 1: 120, 2: 140})
+        _, trace = run_sigma_impl(pattern=pattern, seed=4)
+        history = trace.annotations["sigma-impl"]
+        for pid in range(5):
+            for _, quorum in history.samples_of(pid):
+                assert len(quorum) >= 3

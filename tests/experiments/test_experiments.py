@@ -1,0 +1,102 @@
+"""The experiment suite itself is a test: every table must match.
+
+`python -m repro.experiments` is deliverable (d)'s front door; these
+tests pin each experiment's verdict (and the registry/CLI plumbing) so
+`pytest tests/` alone certifies the full reproduction.  The heavyweight
+Figure 3 experiment is marked slow.
+"""
+
+import pytest
+
+from repro.experiments.common import all_experiments
+from repro.experiments.e01_register import run as run_e01
+from repro.experiments.e02_extract_sigma import run as run_e02
+from repro.experiments.e03_consensus import run as run_e03
+from repro.experiments.e04_qc import run as run_e04
+from repro.experiments.e05_extract_psi import run as run_e05
+from repro.experiments.e06_equivalence import run as run_e06
+from repro.experiments.e07_nbac import run as run_e07
+from repro.experiments.e08_sigma_ex_nihilo import run as run_e08
+from repro.experiments.e09_heartbeats import run as run_e09
+from repro.experiments.e10_multivalued import run as run_e10
+from repro.experiments.e11_smr import run as run_e11
+from repro.experiments.e12_flp import run as run_e12
+from repro.experiments.e13_hierarchy import run as run_e13
+
+
+class TestRegistry:
+    def test_all_experiments_registered_in_order(self):
+        assert list(all_experiments()) == [f"E{i}" for i in range(1, 14)]
+
+    def test_cli_rejects_unknown_experiment(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["E99"])
+
+    def test_cli_runs_a_fast_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["E12"]) == 0
+        out = capsys.readouterr().out
+        assert "E12" in out and "verdict: OK" in out
+
+
+class TestFastExperiments:
+    def test_e04_qc(self):
+        assert run_e04(seed=0, n=4).ok
+
+    def test_e07_nbac(self):
+        assert run_e07(seed=0, n=4).ok
+
+    def test_e10_multivalued(self):
+        assert run_e10(seed=0, n=4).ok
+
+    def test_e11_smr(self):
+        assert run_e11(seed=0, n=3).ok
+
+    def test_e12_flp(self):
+        assert run_e12(seed=0, n=3).ok
+
+    def test_e13_hierarchy(self):
+        assert run_e13(seed=0).ok
+
+
+class TestMediumExperiments:
+    def test_e01_registers(self):
+        assert run_e01(seed=0, n=5).ok
+
+    def test_e02_extract_sigma(self):
+        assert run_e02(seed=0, n=4).ok
+
+    def test_e03_consensus(self):
+        assert run_e03(seed=0, n=5).ok
+
+    def test_e06_equivalence(self):
+        assert run_e06(seed=0).ok
+
+    def test_e08_sigma_ex_nihilo(self):
+        assert run_e08(seed=0, n=5).ok
+
+    def test_e09_heartbeats(self):
+        assert run_e09(seed=0).ok
+
+
+@pytest.mark.slow
+class TestSlowExperiments:
+    def test_e05_extract_psi(self):
+        assert run_e05(seed=1).ok
+
+
+class TestRendering:
+    def test_render_contains_rows_and_verdict(self):
+        result = run_e12(seed=0, n=3)
+        text = result.render()
+        assert "E12" in text
+        assert "verdict: OK" in text
+
+    def test_seed_changes_are_tolerated(self):
+        """Experiments must be robust to the seed knob the CLI exposes
+        (a different schedule, same verdict)."""
+        assert run_e12(seed=5, n=3).ok
+        assert run_e04(seed=3, n=4).ok

@@ -1,0 +1,49 @@
+"""Builders shared across the integration tests.
+
+Each helper wires one of the paper's algorithm stacks into a
+:class:`~repro.sim.system.SystemBuilder` with sensible test-sized
+defaults, so individual tests read as "run this stack in that
+environment, check those properties".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.detector import FailureDetector
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.environment import Environment
+from repro.core.failure_pattern import FailurePattern
+from repro.sim.system import SystemBuilder, decided
+
+
+def consensus_system(
+    n: int,
+    seed: int,
+    proposals: Dict[int, Any],
+    environment: Optional[Environment] = None,
+    pattern: Optional[FailurePattern] = None,
+    detector: Optional[FailureDetector] = None,
+    horizon: int = 60_000,
+    crash_window: int = 300,
+):
+    """An (Ω, Σ)-consensus system ready to run."""
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    elif environment is not None:
+        builder.environment(environment, crash_window=crash_window)
+    builder.detector(detector or omega_sigma_oracle())
+    builder.component(
+        "consensus",
+        consensus_component(lambda pid: OmegaSigmaConsensusCore(proposals[pid])),
+    )
+    return builder.build()
+
+
+def run_consensus(n: int, seed: int, proposals: Dict[int, Any], **kwargs):
+    """Run an (Ω, Σ)-consensus system to decision (or horizon)."""
+    system = consensus_system(n, seed, proposals, **kwargs)
+    return system.run(stop_when=decided("consensus"))

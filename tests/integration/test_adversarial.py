@@ -1,0 +1,149 @@
+"""E12 and safety-under-adversity: FLP-style scenarios.
+
+Consensus is unsolvable without detectors [8]; the simulator cannot
+prove a negative, but it can exhibit the adversary the proof builds:
+an unfair schedule under which a detector-free "consensus" attempt
+stays undecided past any horizon, while the same algorithm with (Ω, Σ)
+sails through.  Safety, by contrast, must survive every adversary.
+"""
+
+import pytest
+
+from repro.analysis.properties import check_consensus
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.failure_pattern import FailurePattern
+from repro.sim.network import HoldingDelivery
+from repro.sim.scheduler import StarvationScheduler
+from repro.sim.system import SystemBuilder, decided
+
+
+def majority_quorum_consensus_core(pid, n):
+    """A detector-free consensus attempt: fixed leader 0, majority
+    quorums — i.e. Paxos with Ω ≡ 0 and Σ ≡ majorities, implementable
+    ex nihilo; correct only while process 0 lives and a majority is
+    responsive."""
+    majority_sets = None
+
+    def fixed_omega(d):
+        return 0
+
+    def fixed_sigma(d):
+        return None  # filled by quorum check below
+
+    core = OmegaSigmaConsensusCore(
+        proposal=f"v{pid}",
+        omega_extract=fixed_omega,
+        sigma_extract=lambda d: frozenset(),  # replaced next line
+    )
+    # Majority check: quorum satisfied when any majority responded.
+    core._quorum_reached = lambda responders: len(responders) >= n // 2 + 1
+    return core
+
+
+class TestDetectorFreeConsensusCanBeStalled:
+    def test_starving_the_fixed_leader_blocks_decision(self):
+        """The ex-nihilo algorithm needs its fixed leader; starving it
+        (indistinguishable from a crash) blocks liveness forever."""
+        n = 3
+        trace = (
+            SystemBuilder(n=n, seed=0, horizon=30_000)
+            .pattern(FailurePattern.crash_free(n))
+            .scheduler(StarvationScheduler({0}))
+            .component(
+                "consensus",
+                consensus_component(
+                    lambda pid: majority_quorum_consensus_core(pid, n)
+                ),
+            )
+            .build()
+            .run(stop_when=decided("consensus"))
+        )
+        assert trace.stop_reason == "horizon"
+        assert not trace.decisions
+
+    def test_omega_sigma_handles_the_same_adversary(self):
+        """With a real Ω, leadership migrates off the starved process
+        (a starved process is de facto crashed, but our oracle pattern
+        says crash-free...). So instead: crash process 0 outright and
+        watch (Ω, Σ) recover where the fixed-leader algorithm cannot."""
+        n = 3
+        pattern = FailurePattern(n, {0: 10})
+        fixed = (
+            SystemBuilder(n=n, seed=1, horizon=30_000)
+            .pattern(pattern)
+            .component(
+                "consensus",
+                consensus_component(
+                    lambda pid: majority_quorum_consensus_core(pid, n)
+                ),
+            )
+            .build()
+            .run(stop_when=decided("consensus"))
+        )
+        adaptive = (
+            SystemBuilder(n=n, seed=1, horizon=60_000)
+            .pattern(pattern)
+            .detector(omega_sigma_oracle())
+            .component(
+                "consensus",
+                consensus_component(
+                    lambda pid: OmegaSigmaConsensusCore(f"v{pid}")
+                ),
+            )
+            .build()
+            .run(stop_when=decided("consensus"))
+        )
+        assert fixed.stop_reason == "horizon" and not fixed.decisions
+        assert adaptive.stop_reason == "stop-condition"
+        assert adaptive.all_correct_decided("consensus")
+
+    def test_message_holding_blocks_detector_free_quorums(self):
+        """An adversary that withholds every message to the leader
+        keeps the detector-free algorithm undecided."""
+        n = 3
+        trace = (
+            SystemBuilder(n=n, seed=2, horizon=30_000)
+            .pattern(FailurePattern.crash_free(n))
+            .delivery(HoldingDelivery(lambda m, now: m.dest == 0))
+            .component(
+                "consensus",
+                consensus_component(
+                    lambda pid: majority_quorum_consensus_core(pid, n)
+                ),
+            )
+            .build()
+            .run(stop_when=decided("consensus"))
+        )
+        assert not trace.decisions
+
+
+class TestSafetyIsUnconditional:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_no_adversary_splits_agreement(self, seed):
+        """Starvation plus held messages plus crashes: any decisions
+        that do happen still agree and are valid."""
+        n = 4
+        proposals = {p: f"v{p}" for p in range(n)}
+        trace = (
+            SystemBuilder(n=n, seed=seed, horizon=40_000)
+            .pattern(FailurePattern(n, {1: 500}))
+            .scheduler(StarvationScheduler({2}))
+            .delivery(
+                HoldingDelivery(lambda m, now: (m.msg_id % 7 == 0) and now < 10_000)
+            )
+            .detector(omega_sigma_oracle())
+            .component(
+                "consensus",
+                consensus_component(
+                    lambda pid: OmegaSigmaConsensusCore(proposals[pid])
+                ),
+            )
+            .build()
+            .run()
+        )
+        values = {repr(d.value) for d in trace.decisions}
+        assert len(values) <= 1
+        for d in trace.decisions:
+            assert d.value in proposals.values()

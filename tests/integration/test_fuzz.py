@@ -1,0 +1,142 @@
+"""Seed-fuzzed end-to-end safety sweeps.
+
+Each fuzz target runs a full protocol stack across a batch of seeds and
+asserts the *safety* clauses (agreement, validity, linearizability) on
+every run, plus liveness wherever the configuration promises it.  These
+are the "many more dice rolls" complement to the targeted scenario
+tests.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.properties import check_consensus, check_nbac, check_qc
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.detectors import PsiOracle, SigmaOracle, omega_sigma_oracle
+from repro.core.environment import FCrashEnvironment
+from repro.nbac import NO, YES, psi_fs_nbac_core, psi_fs_oracle
+from repro.qc.psi_qc import PsiQCCore
+from repro.registers.abd import RegisterBank
+from repro.registers.linearizability import check_linearizable
+from repro.registers.quorums import SigmaQuorums
+from repro.registers.workload import RegisterWorkload, workload_quiescent
+from repro.sim.network import SpikeDelay, UniformDelay
+from repro.sim.scheduler import BurstScheduler, RandomScheduler, WeightedScheduler
+from repro.sim.system import SystemBuilder, decided
+
+SEEDS = range(30)
+
+
+def _scheduler_for(seed):
+    rng = random.Random(seed)
+    return rng.choice(
+        [
+            RandomScheduler(),
+            BurstScheduler(burst_length=rng.randint(5, 60)),
+            WeightedScheduler([rng.uniform(0.2, 5.0) for _ in range(4)]),
+        ]
+    )
+
+
+def _delays_for(seed):
+    rng = random.Random(seed * 31)
+    return rng.choice(
+        [
+            UniformDelay(1, rng.randint(2, 20)),
+            SpikeDelay(base_hi=5, spike_hi=rng.randint(50, 200),
+                       spike_probability=0.03),
+        ]
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_consensus(seed):
+    proposals = {p: f"v{p}" for p in range(4)}
+    trace = (
+        SystemBuilder(n=4, seed=seed, horizon=120_000)
+        .environment(FCrashEnvironment(4, 3), crash_window=200)
+        .detector(omega_sigma_oracle())
+        .scheduler(_scheduler_for(seed))
+        .delays(_delays_for(seed))
+        .component(
+            "consensus",
+            consensus_component(lambda pid: OmegaSigmaConsensusCore(proposals[pid])),
+        )
+        .build()
+        .run(stop_when=decided("consensus"))
+    )
+    verdict = check_consensus(trace, proposals)
+    assert verdict.ok, (seed, trace.pattern, verdict.violations)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_qc(seed):
+    proposals = {p: p * 11 for p in range(4)}
+    trace = (
+        SystemBuilder(n=4, seed=seed, horizon=120_000)
+        .environment(FCrashEnvironment(4, 3), crash_window=200)
+        .detector(PsiOracle())
+        .scheduler(_scheduler_for(seed + 1000))
+        .delays(_delays_for(seed + 1000))
+        .component(
+            "qc",
+            consensus_component(lambda pid: PsiQCCore(proposals[pid])),
+        )
+        .build()
+        .run(stop_when=decided("qc"))
+    )
+    verdict = check_qc(trace, proposals, "qc")
+    assert verdict.ok, (seed, trace.pattern, verdict.violations)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fuzz_nbac(seed):
+    rng = random.Random(seed)
+    votes = {p: (YES if rng.random() < 0.75 else NO) for p in range(4)}
+    trace = (
+        SystemBuilder(n=4, seed=seed, horizon=140_000)
+        .environment(FCrashEnvironment(4, 3), crash_window=200)
+        .detector(psi_fs_oracle())
+        .scheduler(_scheduler_for(seed + 2000))
+        .delays(_delays_for(seed + 2000))
+        .component(
+            "nbac",
+            consensus_component(lambda pid: psi_fs_nbac_core(votes[pid])),
+        )
+        .build()
+        .run(stop_when=decided("nbac"))
+    )
+    verdict = check_nbac(trace, votes, "nbac")
+    assert verdict.ok, (seed, trace.pattern, votes, verdict.violations)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(15))
+def test_fuzz_registers(seed):
+    trace = (
+        SystemBuilder(n=4, seed=seed, horizon=120_000)
+        .environment(FCrashEnvironment(4, 3), crash_window=250)
+        .detector(SigmaOracle())
+        .scheduler(_scheduler_for(seed + 3000))
+        .delays(_delays_for(seed + 3000))
+        .component(
+            "reg",
+            lambda pid: RegisterBank(SigmaQuorums(lambda d: d), record_ops=True),
+        )
+        .component(
+            "workload",
+            lambda pid: RegisterWorkload(
+                registers=("x", "y"), ops_per_process=4, seed=seed
+            ),
+        )
+        .build()
+        .run(stop_when=workload_quiescent())
+    )
+    verdict = check_linearizable(trace.operations)
+    assert verdict.ok, (seed, trace.pattern, verdict.reason)
+    assert trace.stop_reason == "stop-condition", (seed, trace.pattern)

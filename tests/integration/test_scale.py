@@ -1,0 +1,90 @@
+"""Scale scenarios: the algorithms at larger n (marked slow).
+
+Nothing in the reproduction is specific to toy system sizes; these
+runs pin that down at n = 7-9, including the paper's signature regime
+(n - 1 of n crashing).
+"""
+
+import pytest
+
+from repro.analysis.properties import check_consensus, check_nbac
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.detectors import SigmaOracle, omega_sigma_oracle
+from repro.core.failure_pattern import FailurePattern
+from repro.nbac import YES, psi_fs_nbac_core, psi_fs_oracle
+from repro.registers.abd import RegisterBank
+from repro.registers.linearizability import check_linearizable
+from repro.registers.quorums import SigmaQuorums
+from repro.registers.workload import RegisterWorkload, workload_quiescent
+from repro.sim.system import SystemBuilder, decided
+
+
+@pytest.mark.slow
+class TestScale:
+    def test_consensus_nine_processes_eight_crash(self):
+        n = 9
+        pattern = FailurePattern(n, {pid: 5 + 3 * pid for pid in range(n - 1)})
+        proposals = {p: f"v{p}" for p in range(n)}
+        trace = (
+            SystemBuilder(n=n, seed=11, horizon=120_000)
+            .pattern(pattern)
+            .detector(omega_sigma_oracle())
+            .component(
+                "consensus",
+                consensus_component(
+                    lambda pid: OmegaSigmaConsensusCore(proposals[pid])
+                ),
+            )
+            .build()
+            .run(stop_when=decided("consensus"))
+        )
+        verdict = check_consensus(trace, proposals)
+        assert verdict.ok, verdict.violations
+        # Only p8 is correct; it must have decided.
+        assert trace.decision_of(8, "consensus") is not None
+
+    def test_registers_seven_processes_five_crash(self):
+        n = 7
+        pattern = FailurePattern(
+            n, {pid: 200 + 60 * pid for pid in range(n - 2)}
+        )
+        trace = (
+            SystemBuilder(n=n, seed=12, horizon=200_000)
+            .pattern(pattern)
+            .detector(SigmaOracle())
+            .component(
+                "reg",
+                lambda pid: RegisterBank(
+                    SigmaQuorums(lambda d: d), record_ops=True
+                ),
+            )
+            .component(
+                "workload",
+                lambda pid: RegisterWorkload(
+                    registers=("x", "y", "z"), ops_per_process=4, seed=12
+                ),
+            )
+            .build()
+            .run(stop_when=workload_quiescent())
+        )
+        assert trace.stop_reason == "stop-condition"
+        assert check_linearizable(trace.operations).ok
+
+    def test_nbac_seven_processes(self):
+        n = 7
+        votes = {p: YES for p in range(n)}
+        pattern = FailurePattern(n, {3: 60})
+        trace = (
+            SystemBuilder(n=n, seed=13, horizon=200_000)
+            .pattern(pattern)
+            .detector(psi_fs_oracle())
+            .component(
+                "nbac",
+                consensus_component(lambda pid: psi_fs_nbac_core(votes[pid])),
+            )
+            .build()
+            .run(stop_when=decided("nbac"))
+        )
+        verdict = check_nbac(trace, votes, "nbac")
+        assert verdict.ok, verdict.violations

@@ -1,0 +1,190 @@
+"""The paper's reduction chains, composed end-to-end.
+
+Each test executes one arrow of the paper's "weakest" arguments as a
+single running system:
+
+* Σ → registers → (with Ω) consensus          (Corollary 2)
+* registers → Σ                               (Theorem 1, necessity)
+* consensus → registers (SMR) → Σ             (Corollary 3's route)
+* Ψ → QC → (with FS) NBAC                     (Thm 5 + Thm 8a)
+* NBAC → QC and NBAC → FS                     (Thm 8b)
+* QC → Ψ                                      (Theorem 6)
+"""
+
+import pytest
+
+from repro.analysis.properties import check_consensus, check_nbac, check_qc
+from repro.consensus.interface import consensus_component
+from repro.consensus.replicated_object import SMRRegisterComponent
+from repro.core.detectors import PsiOracle, omega_sigma_oracle
+from repro.core.environment import FCrashEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.core.specs import check_fs, check_psi, check_sigma
+from repro.nbac import (
+    FSFromNBACCore,
+    QCFromNBACCore,
+    psi_fs_nbac_core,
+    psi_fs_oracle,
+)
+from repro.protocols.base import CoreComponent
+from repro.qc.extract_psi import PsiExtraction
+from repro.qc.psi_qc import PsiQCCore
+from repro.registers.abd import RegisterBank
+from repro.registers.extract_sigma import SigmaExtraction, initial_registers
+from repro.registers.participants import ParticipantTracker
+from repro.registers.quorums import SigmaQuorums
+from repro.sim.probes import OutputRecorder
+from repro.sim.system import SystemBuilder, decided
+
+
+class TestRegistersFromConsensusYieldSigma:
+    """Corollary 3's necessity route, executed: a consensus-powered
+    register emulation (SMR) is itself a register implementation, so
+    Figure 1 applied to it must emit a valid Σ.
+
+    Here the register bank under extraction is ABD-over-Σ where Σ
+    itself came from the (Ω, Σ) oracle — the full detector-to-detector
+    round trip of the paper's Corollary 3 chain in one system.
+    """
+
+    @pytest.mark.slow
+    def test_round_trip(self):
+        n = 3
+        pattern = FailurePattern(n, {2: 200})
+        builder = (
+            SystemBuilder(n=n, seed=5, horizon=25_000)
+            .pattern(pattern)
+            .detector(omega_sigma_oracle())
+            .component("ptrack", lambda pid: ParticipantTracker())
+            .component(
+                "reg",
+                lambda pid: RegisterBank(
+                    SigmaQuorums(), initial=initial_registers(n)
+                ),
+            )
+            .component("xsigma", lambda pid: SigmaExtraction())
+        )
+        trace = builder.build().run()
+        verdict = check_sigma(trace.annotations["sigma-extraction"], pattern)
+        assert verdict.ok, verdict.violations
+
+
+class TestPsiToNBACChain:
+    """(Ψ, FS) → QC (Fig 2) → NBAC (Fig 4): Corollary 10 sufficiency."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_chain(self, seed):
+        votes = {p: "Yes" for p in range(3)}
+        trace = (
+            SystemBuilder(n=3, seed=seed, horizon=90_000)
+            .environment(FCrashEnvironment(3, 2), crash_window=150)
+            .detector(psi_fs_oracle())
+            .component(
+                "nbac",
+                consensus_component(lambda pid: psi_fs_nbac_core(votes[pid])),
+            )
+            .build()
+            .run(stop_when=decided("nbac"))
+        )
+        verdict = check_nbac(trace, votes, "nbac")
+        assert verdict.ok, verdict.violations
+
+
+class TestNBACBackToQCAndFS:
+    """Theorem 8b, both products of the equivalence, one system each."""
+
+    def test_nbac_to_qc(self):
+        proposals = {p: f"v{p}" for p in range(3)}
+        trace = (
+            SystemBuilder(n=3, seed=7, horizon=120_000)
+            .environment(FCrashEnvironment(3, 2), crash_window=150)
+            .detector(psi_fs_oracle())
+            .component(
+                "qc",
+                consensus_component(
+                    lambda pid: QCFromNBACCore(
+                        proposals[pid],
+                        nbac_factory=lambda: psi_fs_nbac_core(),
+                    )
+                ),
+            )
+            .build()
+            .run(stop_when=decided("qc"))
+        )
+        verdict = check_qc(trace, proposals, "qc")
+        assert verdict.ok, verdict.violations
+
+    def test_nbac_to_fs(self):
+        pattern = FailurePattern(3, {1: 400})
+        trace = (
+            SystemBuilder(n=3, seed=8, horizon=80_000)
+            .pattern(pattern)
+            .detector(psi_fs_oracle())
+            .component(
+                "xfs",
+                lambda pid: CoreComponent(
+                    FSFromNBACCore(lambda tag: psi_fs_nbac_core())
+                ),
+            )
+            .component("probe", lambda pid: OutputRecorder("xfs", "fs-x"))
+            .build()
+            .run()
+        )
+        verdict = check_fs(trace.annotations["fs-x"], pattern)
+        assert verdict.ok, verdict.violations
+
+
+class TestQCBackToPsi:
+    """Theorem 6: the QC-from-NBAC stack is *some* QC algorithm; feed
+    it to Figure 3 and a valid Ψ must come out.
+
+    This is the deepest composition in the suite: the simulated
+    algorithm A is itself a two-level reduction (QC ← NBAC ← (Ψ, FS)).
+    """
+
+    @pytest.mark.slow
+    def test_extract_psi_from_composed_qc(self):
+        pattern = FailurePattern.crash_free(3)
+
+        def composed_qc():
+            return QCFromNBACCore(nbac_factory=lambda: psi_fs_nbac_core())
+
+        trace = (
+            SystemBuilder(n=3, seed=2, horizon=30_000)
+            .pattern(pattern)
+            .detector(psi_fs_oracle(branch="omega-sigma"))
+            .component(
+                "xpsi",
+                lambda pid: CoreComponent(
+                    PsiExtraction(qc_factory=composed_qc, prefix_stride=16)
+                ),
+            )
+            .component("probe", lambda pid: OutputRecorder("xpsi", "psi-x"))
+            .build()
+            .run()
+        )
+        verdict = check_psi(trace.annotations["psi-x"], pattern)
+        assert verdict.ok, verdict.violations
+
+    @pytest.mark.slow
+    def test_extract_psi_fs_branch_from_composed_qc(self):
+        pattern = FailurePattern(3, {2: 250})
+        def composed_qc():
+            return QCFromNBACCore(nbac_factory=lambda: psi_fs_nbac_core())
+
+        trace = (
+            SystemBuilder(n=3, seed=4, horizon=25_000)
+            .pattern(pattern)
+            .detector(psi_fs_oracle(branch="fs"))
+            .component(
+                "xpsi",
+                lambda pid: CoreComponent(
+                    PsiExtraction(qc_factory=composed_qc, prefix_stride=16)
+                ),
+            )
+            .component("probe", lambda pid: OutputRecorder("xpsi", "psi-x"))
+            .build()
+            .run()
+        )
+        verdict = check_psi(trace.annotations["psi-x"], pattern)
+        assert verdict.ok, verdict.violations

@@ -1,0 +1,128 @@
+"""E6/E7: Figure 4 — NBAC from QC + FS — and Corollary 10's composite."""
+
+import random
+
+import pytest
+
+from repro.analysis.properties import check_nbac
+from repro.consensus.interface import consensus_component
+from repro.core.environment import FCrashEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.nbac import COMMIT, ABORT, NO, YES, psi_fs_nbac_core, psi_fs_oracle
+from repro.nbac.from_qc import NBACFromQCCore
+from repro.qc.psi_qc import PsiQCCore
+from repro.sim.system import SystemBuilder, decided
+
+
+def run_nbac(n, seed, votes, pattern=None, horizon=90_000, branch=None):
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    else:
+        builder.environment(FCrashEnvironment(n, n - 1), crash_window=150)
+    builder.detector(psi_fs_oracle(branch=branch))
+    builder.component(
+        "nbac", consensus_component(lambda pid: psi_fs_nbac_core(votes[pid]))
+    )
+    return builder.build().run(stop_when=decided("nbac"))
+
+
+class TestAllYesNoFailure:
+    """The non-triviality core: all-Yes + crash-free ⇒ Commit."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_commits(self, seed):
+        votes = {p: YES for p in range(4)}
+        trace = run_nbac(4, seed, votes, pattern=FailurePattern.crash_free(4))
+        verdict = check_nbac(trace, votes, "nbac")
+        assert verdict.ok, verdict.violations
+        assert {d.value for d in trace.decisions} == {COMMIT}
+
+
+class TestNoVotes:
+    def test_single_no_forces_abort(self):
+        votes = {0: NO, 1: YES, 2: YES}
+        trace = run_nbac(3, 1, votes, pattern=FailurePattern.crash_free(3))
+        verdict = check_nbac(trace, votes, "nbac")
+        assert verdict.ok, verdict.violations
+        assert {d.value for d in trace.decisions} == {ABORT}
+
+    def test_all_no(self):
+        votes = {p: NO for p in range(3)}
+        trace = run_nbac(3, 2, votes, pattern=FailurePattern.crash_free(3))
+        assert {d.value for d in trace.decisions} == {ABORT}
+
+
+class TestCrashes:
+    def test_crash_before_voting_aborts(self):
+        """A process crashing at time 0 never votes; survivors must not
+        block — FS red unblocks the wait — and must abort."""
+        votes = {p: YES for p in range(4)}
+        pattern = FailurePattern(4, {0: 1})
+        trace = run_nbac(4, 3, votes, pattern=pattern)
+        verdict = check_nbac(trace, votes, "nbac")
+        assert verdict.ok, verdict.violations
+        decisions = {d.value for d in trace.decisions}
+        assert decisions == {ABORT}
+
+    def test_late_crash_may_still_commit(self):
+        """A crash long after all votes circulated can still end in
+        Commit when Ψ takes the (Ω, Σ) branch — failure does not force
+        Abort (quitting is an option, not an obligation)."""
+        votes = {p: YES for p in range(3)}
+        committed = 0
+        for seed in range(8):
+            pattern = FailurePattern(3, {2: 5_000})
+            trace = run_nbac(
+                3, seed, votes, pattern=pattern, branch="omega-sigma"
+            )
+            verdict = check_nbac(trace, votes, "nbac")
+            assert verdict.ok, verdict.violations
+            if any(d.value == COMMIT for d in trace.decisions):
+                committed += 1
+        assert committed > 0
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_votes_and_crashes_satisfy_nbac(self, seed):
+        rng = random.Random(seed)
+        votes = {p: (YES if rng.random() < 0.7 else NO) for p in range(4)}
+        trace = run_nbac(4, seed + 100, votes)
+        verdict = check_nbac(trace, votes, "nbac")
+        assert verdict.ok, verdict.violations
+
+
+class TestConstruction:
+    def test_rejects_bad_vote(self):
+        with pytest.raises(ValueError):
+            NBACFromQCCore(vote="Maybe", qc_factory=lambda: PsiQCCore())
+
+    def test_requires_qc_factory(self):
+        with pytest.raises(ValueError):
+            NBACFromQCCore(vote=YES)
+
+    def test_vote_value_latches(self):
+        core = NBACFromQCCore(qc_factory=lambda: PsiQCCore())
+        core.vote_value(YES)
+        core.vote_value(NO)  # ignored: first vote wins
+        assert core.vote == YES
+
+    def test_qc_proposal_reflects_votes(self):
+        """All-Yes ⇒ the QC proposal is 1; any No ⇒ 0."""
+        votes = {0: NO, 1: YES, 2: YES}
+        builder = (
+            SystemBuilder(n=3, seed=4, horizon=90_000)
+            .pattern(FailurePattern.crash_free(3))
+            .detector(psi_fs_oracle())
+        )
+        cores = {}
+
+        def factory(pid):
+            from repro.protocols.base import CoreComponent
+
+            core = psi_fs_nbac_core(votes[pid])
+            cores[pid] = core
+            return CoreComponent(core)
+
+        builder.component("nbac", factory)
+        builder.build().run(stop_when=decided("nbac"))
+        assert all(core.qc_proposal == 0 for core in cores.values())

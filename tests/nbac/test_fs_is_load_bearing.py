@@ -1,0 +1,100 @@
+"""Why NBAC's weakest detector *contains* FS: ablation evidence.
+
+The paper stresses that NBAC and consensus are incomparable in general
+([5, 11]) and that (Ψ, FS) — not Ψ alone — is NBAC's weakest detector.
+These tests ablate the FS component out of the Figure 4 stack and watch
+exactly the failure the theory predicts: with a process crashing before
+it votes, the vote-collection phase can never be safely released —
+blind the algorithm to failures and it blocks forever; keep safety and
+you lose Termination, the non-blocking property that names the problem.
+"""
+
+import pytest
+
+from repro.consensus.interface import consensus_component
+from repro.core.detector import GREEN
+from repro.core.failure_pattern import FailurePattern
+from repro.nbac import YES, psi_fs_nbac_core
+from repro.nbac.from_qc import NBACFromQCCore
+from repro.qc.psi_qc import PsiQCCore
+from repro.sim.system import SystemBuilder, decided
+
+
+def blinded_nbac_core(vote):
+    """Figure 4's algorithm with its FS input disconnected (always
+    green) — i.e. an attempt to solve NBAC from Ψ alone."""
+    return NBACFromQCCore(
+        vote=vote,
+        qc_factory=lambda: PsiQCCore(psi_extract=lambda d: d[0]),
+        fs_extract=lambda d: GREEN,
+    )
+
+
+class TestWithoutFS:
+    def test_crash_before_voting_blocks_forever(self):
+        """The load-bearing case: p0 crashes before voting; survivors
+        wait for its vote with no failure signal to release them."""
+        from repro.nbac import psi_fs_oracle
+
+        votes = {p: YES for p in range(4)}
+        pattern = FailurePattern(4, {0: 0})
+        trace = (
+            SystemBuilder(n=4, seed=1, horizon=40_000)
+            .pattern(pattern)
+            .detector(psi_fs_oracle())
+            .component(
+                "nbac",
+                consensus_component(lambda pid: blinded_nbac_core(votes[pid])),
+            )
+            .build()
+            .run(stop_when=decided("nbac"))
+        )
+        assert trace.stop_reason == "horizon"
+        assert not trace.decisions, (
+            "without FS the vote wait can never be released"
+        )
+
+    def test_failure_free_case_still_works(self):
+        """The blinded stack is only broken *by failures* — exactly the
+        gap FS fills."""
+        from repro.analysis.properties import check_nbac
+        from repro.nbac import psi_fs_oracle
+
+        votes = {p: YES for p in range(4)}
+        trace = (
+            SystemBuilder(n=4, seed=2, horizon=90_000)
+            .pattern(FailurePattern.crash_free(4))
+            .detector(psi_fs_oracle())
+            .component(
+                "nbac",
+                consensus_component(lambda pid: blinded_nbac_core(votes[pid])),
+            )
+            .build()
+            .run(stop_when=decided("nbac"))
+        )
+        assert check_nbac(trace, votes, "nbac").ok
+
+
+class TestWithFS:
+    def test_same_scenario_with_fs_terminates(self):
+        """Control: the unablated (Ψ, FS) stack sails through the very
+        scenario that blocked the blinded one."""
+        from repro.analysis.properties import check_nbac
+        from repro.nbac import psi_fs_oracle
+
+        votes = {p: YES for p in range(4)}
+        pattern = FailurePattern(4, {0: 0})
+        trace = (
+            SystemBuilder(n=4, seed=1, horizon=90_000)
+            .pattern(pattern)
+            .detector(psi_fs_oracle())
+            .component(
+                "nbac",
+                consensus_component(lambda pid: psi_fs_nbac_core(votes[pid])),
+            )
+            .build()
+            .run(stop_when=decided("nbac"))
+        )
+        verdict = check_nbac(trace, votes, "nbac")
+        assert verdict.ok, verdict.violations
+        assert {d.value for d in trace.decisions} == {"Abort"}

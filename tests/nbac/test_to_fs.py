@@ -1,0 +1,78 @@
+"""E6: FS from NBAC via repeated instances (Theorem 8b, after [5, 11])."""
+
+import pytest
+
+from repro.core.detector import GREEN, RED
+from repro.core.failure_pattern import FailurePattern
+from repro.core.specs import check_fs
+from repro.nbac import FSFromNBACCore, psi_fs_nbac_core, psi_fs_oracle
+from repro.protocols.base import CoreComponent
+from repro.sim.probes import OutputRecorder
+from repro.sim.system import SystemBuilder
+
+
+def run_fs_extraction(pattern, seed, horizon=80_000, max_instances=0):
+    system = (
+        SystemBuilder(n=3, seed=seed, horizon=horizon)
+        .pattern(pattern)
+        .detector(psi_fs_oracle())
+        .component(
+            "xfs",
+            lambda pid: CoreComponent(
+                FSFromNBACCore(
+                    lambda tag: psi_fs_nbac_core(),
+                    max_instances=max_instances,
+                )
+            ),
+        )
+        .component("probe", lambda pid: OutputRecorder("xfs", "fs-extraction"))
+        .build()
+    )
+    trace = system.run()
+    return system, trace
+
+
+class TestFSFromNBAC:
+    def test_crash_free_stays_green(self):
+        pattern = FailurePattern.crash_free(3)
+        system, trace = run_fs_extraction(pattern, seed=1, horizon=40_000)
+        verdict = check_fs(trace.annotations["fs-extraction"], pattern)
+        assert verdict.ok, verdict.violations
+        for pid in range(3):
+            assert system.component_at(pid, "xfs").output() == GREEN
+
+    @pytest.mark.parametrize("crash_time", [200, 800])
+    def test_crash_turns_everyone_red(self, crash_time):
+        pattern = FailurePattern(3, {2: crash_time})
+        system, trace = run_fs_extraction(pattern, seed=2)
+        verdict = check_fs(trace.annotations["fs-extraction"], pattern)
+        assert verdict.ok, verdict.violations
+        for pid in pattern.correct:
+            assert system.component_at(pid, "xfs").output() == RED
+
+    def test_red_is_never_premature(self):
+        pattern = FailurePattern(3, {0: 1_000})
+        _, trace = run_fs_extraction(pattern, seed=3)
+        history = trace.annotations["fs-extraction"]
+        for pid in range(3):
+            for t, value in history.samples_of(pid):
+                if value == RED:
+                    assert t >= 1_000
+
+    def test_instances_keep_running_while_green(self):
+        pattern = FailurePattern.crash_free(3)
+        system, _ = run_fs_extraction(pattern, seed=4, horizon=40_000)
+        runs = [
+            system.component_at(p, "xfs").core.instances_run for p in range(3)
+        ]
+        assert all(r >= 2 for r in runs), runs
+
+    def test_max_instances_bounds_the_loop(self):
+        pattern = FailurePattern.crash_free(3)
+        system, _ = run_fs_extraction(
+            pattern, seed=5, horizon=40_000, max_instances=2
+        )
+        runs = [
+            system.component_at(p, "xfs").core.instances_run for p in range(3)
+        ]
+        assert all(r <= 2 for r in runs)

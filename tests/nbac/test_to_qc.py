@@ -1,0 +1,85 @@
+"""E6: Figure 5 — QC from any NBAC algorithm (Theorem 8b)."""
+
+import pytest
+
+from repro.analysis.properties import check_qc
+from repro.consensus.interface import consensus_component
+from repro.core.environment import FCrashEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.nbac import psi_fs_nbac_core, psi_fs_oracle
+from repro.nbac.to_qc import QCFromNBACCore, _order_key
+from repro.qc.spec import Q
+from repro.sim.system import SystemBuilder, decided
+
+
+def run_qc_from_nbac(n, seed, proposals, pattern=None, horizon=100_000,
+                     branch=None):
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    else:
+        builder.environment(FCrashEnvironment(n, n - 1), crash_window=150)
+    builder.detector(psi_fs_oracle(branch=branch))
+    builder.component(
+        "qc",
+        consensus_component(
+            lambda pid: QCFromNBACCore(
+                proposals[pid], nbac_factory=lambda: psi_fs_nbac_core()
+            )
+        ),
+    )
+    return builder.build().run(stop_when=decided("qc"))
+
+
+class TestCrashFree:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_decides_smallest_proposal(self, seed):
+        proposals = {p: f"v{p}" for p in range(3)}
+        trace = run_qc_from_nbac(
+            3, seed, proposals, pattern=FailurePattern.crash_free(3)
+        )
+        verdict = check_qc(trace, proposals, "qc")
+        assert verdict.ok, verdict.violations
+        # crash-free: the underlying NBAC commits, the decision is the
+        # minimum proposal under the fixed order.
+        expected = min(proposals.values(), key=_order_key)
+        assert {d.value for d in trace.decisions} == {expected}
+
+
+class TestWithCrashes:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_qc_properties_hold(self, seed):
+        proposals = {p: f"v{p}" for p in range(4)}
+        trace = run_qc_from_nbac(4, seed, proposals)
+        verdict = check_qc(trace, proposals, "qc")
+        assert verdict.ok, verdict.violations
+
+    def test_abort_maps_to_q(self):
+        """A crash at time 0 makes the inner NBAC abort, so the derived
+        QC quits — and Q is valid because a failure really occurred."""
+        proposals = {p: p for p in range(3)}
+        pattern = FailurePattern(3, {0: 1})
+        trace = run_qc_from_nbac(3, 2, proposals, pattern=pattern)
+        verdict = check_qc(trace, proposals, "qc")
+        assert verdict.ok, verdict.violations
+        assert {d.value for d in trace.decisions} == {Q}
+
+
+class TestOrderKey:
+    def test_total_order_is_deterministic(self):
+        values = ["b", "a", 3, 1, ("t", 2)]
+        assert min(values, key=_order_key) == min(values, key=_order_key)
+
+    def test_mixed_types_do_not_crash(self):
+        sorted([1, "x", (2, 3)], key=_order_key)
+
+
+class TestConstruction:
+    def test_requires_factory(self):
+        with pytest.raises(ValueError):
+            QCFromNBACCore("v")
+
+    def test_rejects_none_proposal(self):
+        core = QCFromNBACCore(nbac_factory=lambda: psi_fs_nbac_core())
+        with pytest.raises(ValueError):
+            core.propose(None)

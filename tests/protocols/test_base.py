@@ -1,0 +1,163 @@
+"""Unit tests for the protocol-core framework (nesting, decisions)."""
+
+import pytest
+
+from repro.protocols.base import (
+    NOT_DECIDED,
+    CoreComponent,
+    ProtocolCore,
+    SubContext,
+)
+from repro.sim.system import SystemBuilder
+
+
+class Recorder(ProtocolCore):
+    def __init__(self):
+        super().__init__()
+        self.messages = []
+
+    def on_message(self, sender, payload):
+        self.messages.append((sender, payload))
+
+
+class FakeContext:
+    def __init__(self, pid=0, n=2):
+        self.pid = pid
+        self.n = n
+        self.sent = []
+        self.spawned = []
+
+    def send(self, dest, payload):
+        self.sent.append((dest, payload))
+
+    def broadcast(self, payload):
+        for d in range(self.n):
+            self.sent.append((d, payload))
+
+    def detector(self):
+        return "d-value"
+
+    def spawn(self, gen, name=""):
+        self.spawned.append((gen, name))
+
+
+class TestDecisions:
+    def test_initially_undecided(self):
+        core = Recorder()
+        assert not core.decided
+        assert core.decision is NOT_DECIDED
+
+    def test_decide_is_irrevocable(self):
+        core = Recorder()
+        core.attach(FakeContext())
+        core.decide("x")
+        with pytest.raises(RuntimeError):
+            core.decide("y")
+
+    def test_same_value_decide_is_idempotent(self):
+        core = Recorder()
+        core.attach(FakeContext())
+        core.decide("x")
+        core.decide("x")  # no raise
+        assert core.decision == "x"
+
+    def test_listener_fires_once(self):
+        core = Recorder()
+        core.attach(FakeContext())
+        seen = []
+        core.on_decide(seen.append)
+        core.decide("v")
+        core.decide("v")
+        assert seen == ["v"]
+
+    def test_late_listener_fires_immediately(self):
+        core = Recorder()
+        core.attach(FakeContext())
+        core.decide("v")
+        seen = []
+        core.on_decide(seen.append)
+        assert seen == ["v"]
+
+    def test_wait_decided_wraps_falsy_values(self):
+        core = Recorder()
+        core.attach(FakeContext())
+        wait = core.wait_decided()
+        assert wait.predicate() is False
+        core.decide(0)  # falsy decision
+        assert wait.predicate() == (True, 0)
+
+
+class TestNesting:
+    def test_child_payloads_are_tagged(self):
+        parent = Recorder()
+        ctx = FakeContext()
+        parent.attach(ctx)
+        child = parent.add_child("kid", Recorder())
+        child.send(1, "hello")
+        assert ctx.sent == [(1, ("kid", "hello"))]
+
+    def test_routing_to_children(self):
+        parent = Recorder()
+        parent.attach(FakeContext())
+        child = parent.add_child("kid", Recorder())
+        assert parent.route_to_children(3, ("kid", "payload"))
+        assert child.messages == [(3, "payload")]
+
+    def test_unrouted_payloads_fall_through(self):
+        parent = Recorder()
+        parent.attach(FakeContext())
+        parent.add_child("kid", Recorder())
+        assert not parent.route_to_children(3, ("other", "x"))
+        assert not parent.route_to_children(3, "plain")
+
+    def test_duplicate_tags_rejected(self):
+        parent = Recorder()
+        parent.attach(FakeContext())
+        parent.add_child("kid", Recorder())
+        with pytest.raises(ValueError):
+            parent.add_child("kid", Recorder())
+
+    def test_nested_children_stack_tags(self):
+        ctx = FakeContext()
+        grandparent = Recorder()
+        grandparent.attach(ctx)
+        parent = grandparent.add_child("p", Recorder())
+        child = parent.add_child("c", Recorder())
+        child.broadcast("deep")
+        assert ctx.sent == [
+            (0, ("p", ("c", "deep"))),
+            (1, ("p", ("c", "deep"))),
+        ]
+
+    def test_subcontext_shares_detector(self):
+        sub = SubContext(FakeContext(), "tag")
+        assert sub.detector() == "d-value"
+
+
+class TestCoreComponent:
+    def test_decision_recorded_in_trace(self):
+        class Immediate(ProtocolCore):
+            def start(self):
+                self.decide("done")
+
+            def on_message(self, sender, payload):
+                pass
+
+        trace = (
+            SystemBuilder(n=2, seed=0, horizon=50)
+            .component("imm", lambda pid: CoreComponent(Immediate()))
+            .build()
+            .run()
+        )
+        assert {d.value for d in trace.decisions} == {"done"}
+
+    def test_output_delegation(self):
+        class WithOutput(ProtocolCore):
+            def on_message(self, sender, payload):
+                pass
+
+            def output(self):
+                return "emitted"
+
+        comp = CoreComponent(WithOutput())
+        assert comp.output() == "emitted"

@@ -1,0 +1,93 @@
+"""Tests for reliable broadcast (the CT decision-diffusion substrate)."""
+
+import pytest
+
+from repro.core.failure_pattern import FailurePattern
+from repro.protocols.base import CoreComponent, ProtocolCore
+from repro.protocols.broadcast import ReliableBroadcastCore
+from repro.sim.system import SystemBuilder
+from repro.sim.tasklets import WaitSteps
+
+
+class Broadcaster(ProtocolCore):
+    """Hosts an RB core; process `origin` broadcasts `payloads`."""
+
+    def __init__(self, origin, payloads, crash_after_send=False):
+        super().__init__()
+        self.origin = origin
+        self.payloads = payloads
+        self.received = []
+
+    def start(self):
+        rb = self.add_child("rb", ReliableBroadcastCore())
+        rb.on_deliver(lambda origin, body: self.received.append((origin, body)))
+        if self.pid == self.origin:
+            self.spawn(self._go())
+
+    def _go(self):
+        rb: ReliableBroadcastCore = self.child("rb")  # type: ignore[assignment]
+        for payload in self.payloads:
+            rb.rbroadcast(payload)
+            yield WaitSteps(3)
+
+    def on_message(self, sender, payload):
+        if not self.route_to_children(sender, payload):
+            raise ValueError(payload)
+
+
+def run_broadcast(n, origin, payloads, pattern=None, seed=0, horizon=20_000):
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    cores = {}
+
+    def factory(pid):
+        core = Broadcaster(origin, payloads)
+        cores[pid] = core
+        return CoreComponent(core)
+
+    builder.component("bcast", factory)
+    system = builder.build()
+    trace = system.run()
+    return cores, trace
+
+
+class TestReliableBroadcast:
+    def test_everyone_delivers_everything(self):
+        cores, _ = run_broadcast(4, 0, ["a", "b", "c"])
+        for pid in range(4):
+            assert [b for _, b in cores[pid].received] == ["a", "b", "c"]
+
+    def test_delivery_exactly_once(self):
+        cores, _ = run_broadcast(3, 1, ["x"])
+        for pid in range(3):
+            assert cores[pid].received.count((1, "x")) == 1
+
+    def test_origin_is_reported(self):
+        cores, _ = run_broadcast(3, 2, ["m"])
+        assert cores[0].received == [(2, "m")]
+
+    def test_sender_crash_after_send_still_delivers_everywhere(self):
+        """The broadcast's sends leave in one atomic step; a sender
+        crashing immediately afterwards cannot partition delivery."""
+        pattern = FailurePattern(4, {0: 3})  # origin dies almost at once
+        cores, trace = run_broadcast(4, 0, ["survivor"], pattern=pattern)
+        for pid in trace.pattern.correct:
+            assert (0, "survivor") in cores[pid].received
+
+    def test_correct_relayers_cover_partial_sends(self):
+        """Even when only the relay chain (not the origin's sends)
+        reaches some process, echo delivery completes — across seeds."""
+        for seed in range(4):
+            pattern = FailurePattern(5, {1: 2})
+            cores, trace = run_broadcast(
+                5, 1, ["late"], pattern=pattern, seed=seed
+            )
+            delivered_at = [
+                pid for pid in trace.pattern.correct
+                if (1, "late") in cores[pid].received
+            ]
+            # The origin crashed at t=2; it may not even have broadcast.
+            # If anyone delivered, everyone correct must have.
+            if delivered_at:
+                assert set(delivered_at) == set(trace.pattern.correct)

@@ -1,0 +1,91 @@
+"""Tests for the simulation forest (Figure 3, lines 6-14)."""
+
+import pytest
+
+from repro.qc.cht.forest import SimulationForest, initial_proposals
+from repro.qc.cht.samples import SampleDag
+from repro.qc.psi_qc import PsiQCCore
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+
+
+def grow_benign_dag(dag, rounds, n, value):
+    for _ in range(rounds):
+        for q in range(n):
+            dag.take_sample(q, value)
+
+
+class TestInitialProposals:
+    def test_boundaries(self):
+        assert initial_proposals(3, 0) == (0, 0, 0)
+        assert initial_proposals(3, 3) == (1, 1, 1)
+
+    def test_prefix_structure(self):
+        assert initial_proposals(4, 2) == (1, 1, 0, 0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            initial_proposals(3, 4)
+        with pytest.raises(ValueError):
+            initial_proposals(3, -1)
+
+
+class TestForest:
+    def _grown_forest(self, target=0, n=3, rounds=250):
+        dag = SampleDag(n)
+        grow_benign_dag(dag, rounds, n, (0, frozenset(range(n))))
+        forest = SimulationForest(
+            n, lambda pid: OmegaSigmaConsensusCore(), target=target
+        )
+        forest.extend_all(dag)
+        return forest
+
+    def test_has_n_plus_one_trees(self):
+        forest = SimulationForest(3, lambda pid: PsiQCCore(), target=0)
+        assert len(forest.trees) == 4
+
+    def test_all_trees_decide_on_benign_dag(self):
+        forest = self._grown_forest()
+        assert forest.all_decided
+
+    def test_boundary_trees_decide_their_unanimous_value(self):
+        forest = self._grown_forest()
+        decisions = forest.decisions()
+        assert decisions[0] == 0  # everyone proposed 0
+        assert decisions[-1] == 1  # everyone proposed 1
+
+    def test_critical_pair_exists_and_differs_by_one_proposal(self):
+        forest = self._grown_forest()
+        i, tree0, tree1 = forest.critical_pair()
+        assert 1 <= i <= 3
+        p0 = initial_proposals(3, i - 1)
+        p1 = initial_proposals(3, i)
+        diffs = [a != b for a, b in zip(p0, p1)]
+        assert sum(diffs) == 1
+        assert tree0.decision != tree1.decision
+
+    def test_critical_pair_raises_when_uniform(self):
+        forest = self._grown_forest()
+        # Forge uniform decisions to exercise the error path.
+        for tree in forest.trees:
+            tree.runtime.cores[0].decision = 0
+        with pytest.raises(RuntimeError):
+            forest.critical_pair()
+
+    def test_extension_is_incremental(self):
+        """A forest extended with a half-grown DAG picks up where it
+        left off when the DAG grows."""
+        n = 3
+        dag = SampleDag(n)
+        grow_benign_dag(dag, 10, n, (0, frozenset(range(n))))
+        forest = SimulationForest(
+            n, lambda pid: OmegaSigmaConsensusCore(), target=0
+        )
+        forest.extend_all(dag)
+        undecided_before = [t.decided for t in forest.trees]
+        grow_benign_dag(dag, 300, n, (0, frozenset(range(n))))
+        forest.extend_all(dag)
+        assert forest.all_decided
+        # Schedules are monotone: samples already applied stay applied.
+        for tree in forest.trees:
+            seqs = [s.seq for s in tree.schedule if s.pid == 0]
+            assert seqs == sorted(seqs)

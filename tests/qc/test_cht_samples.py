@@ -1,0 +1,93 @@
+"""Unit tests for the sample DAG (Figure 3, task 1)."""
+
+import pytest
+
+from repro.qc.cht.samples import Sample, SampleDag
+
+
+class TestSample:
+    def test_descends_from(self):
+        a = Sample(pid=0, seq=1, value="x", know=(0, 0))
+        b = Sample(pid=1, seq=1, value="y", know=(1, 0))
+        assert b.descends_from(a)
+        assert not a.descends_from(b)
+
+    def test_compatible_after_start(self):
+        s = Sample(pid=0, seq=1, value="x", know=(0, 0))
+        assert s.compatible_after(-1, 0)
+
+    def test_compatible_after_vertex(self):
+        s = Sample(pid=0, seq=5, value="x", know=(4, 3))
+        assert s.compatible_after(1, 3)
+        assert not s.compatible_after(1, 4)
+
+    def test_samples_are_hashable(self):
+        s = Sample(pid=0, seq=1, value=(0, frozenset({1})), know=(0, 0))
+        assert hash(s) == hash(
+            Sample(pid=0, seq=1, value=(0, frozenset({1})), know=(0, 0))
+        )
+
+
+class TestSampleDag:
+    def test_local_samples_chain(self):
+        dag = SampleDag(2)
+        s1 = dag.take_sample(0, "a")
+        s2 = dag.take_sample(0, "b")
+        assert s1.seq == 1 and s2.seq == 2
+        assert s2.descends_from(s1)
+
+    def test_knowledge_covers_merged_samples(self):
+        dag_a, dag_b = SampleDag(2), SampleDag(2)
+        s_b = dag_b.take_sample(1, "remote")
+        dag_a.merge([s_b])
+        s_a = dag_a.take_sample(0, "local")
+        assert s_a.descends_from(s_b)
+
+    def test_merge_is_idempotent(self):
+        dag_a, dag_b = SampleDag(2), SampleDag(2)
+        s = dag_b.take_sample(1, "x")
+        assert dag_a.merge([s]) == 1
+        assert dag_a.merge([s]) == 0
+        assert dag_a.count(1) == 1
+
+    def test_out_of_order_merge_parks_until_gap_fills(self):
+        dag_a, dag_b = SampleDag(2), SampleDag(2)
+        s1 = dag_b.take_sample(1, "x1")
+        s2 = dag_b.take_sample(1, "x2")
+        dag_a.merge([s2])  # gap: s1 missing
+        assert dag_a.count(1) == 0
+        dag_a.merge([s1])
+        assert dag_a.count(1) == 2
+        assert dag_a.sample(1, 2) is s2
+
+    def test_delta_since(self):
+        dag = SampleDag(2)
+        dag.take_sample(0, "a")
+        counts = dag.counts()
+        dag.take_sample(0, "b")
+        delta = dag.delta_since(counts)
+        assert [s.value for s in delta] == ["b"]
+
+    def test_total_and_counts(self):
+        dag = SampleDag(3)
+        dag.take_sample(0, "a")
+        dag.take_sample(2, "b")
+        assert dag.counts() == (1, 0, 1)
+        assert dag.total() == 2
+
+    def test_all_samples(self):
+        dag = SampleDag(2)
+        dag.take_sample(0, "a")
+        dag.take_sample(1, "b")
+        assert {s.value for s in dag.all_samples()} == {"a", "b"}
+
+    def test_transitivity_through_gossip_chains(self):
+        """a's sample ≺ b's sample ≺ c's sample across two gossips."""
+        dags = [SampleDag(3) for _ in range(3)]
+        s_a = dags[0].take_sample(0, "a")
+        dags[1].merge([s_a])
+        s_b = dags[1].take_sample(1, "b")
+        dags[2].merge([s_a, s_b])
+        s_c = dags[2].take_sample(2, "c")
+        assert s_c.descends_from(s_a)
+        assert s_c.descends_from(s_b)

@@ -1,0 +1,107 @@
+"""Tests for decision tags, valence and critical indices (§6.3.1)."""
+
+import pytest
+
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.qc.cht.forest import initial_proposals
+from repro.qc.cht.samples import SampleDag
+from repro.qc.cht.valence import classify, decision_tags, find_critical_index
+from repro.qc.psi_qc import PsiQCCore
+from repro.qc.spec import Q
+from repro.core.detector import RED, GREEN
+
+
+def benign_dag(n, rounds, value):
+    dag = SampleDag(n)
+    for _ in range(rounds):
+        for q in range(n):
+            dag.take_sample(q, value)
+    return dag
+
+
+class TestClassify:
+    def test_univalent(self):
+        assert classify(frozenset({0})) == "0-valent"
+        assert classify(frozenset({Q})) == "Q-valent"
+
+    def test_multivalent(self):
+        assert classify(frozenset({0, 1})) == "multivalent"
+
+    def test_undetermined(self):
+        assert classify(frozenset()) == "undetermined"
+
+
+class TestCriticalIndex:
+    def test_univalent_critical(self):
+        tags = [frozenset({0}), frozenset({0}), frozenset({1})]
+        assert find_critical_index(tags) == 2
+
+    def test_multivalent_critical(self):
+        tags = [frozenset({0}), frozenset({0, 1}), frozenset({1})]
+        assert find_critical_index(tags) == 1
+
+    def test_all_q_has_no_critical_index(self):
+        """Section 6.3.1's key observation: an all-Q forest has no
+        critical index — the case where Ω cannot be extracted."""
+        tags = [frozenset({Q})] * 4
+        assert find_critical_index(tags) is None
+
+    def test_undetermined_roots_are_skipped(self):
+        tags = [frozenset({0}), frozenset(), frozenset({0})]
+        assert find_critical_index(tags) is None
+
+
+class TestDecisionTags:
+    def test_unanimous_config_is_univalent(self):
+        n = 3
+        dag = benign_dag(n, 250, (0, frozenset(range(n))))
+        tags = decision_tags(
+            n,
+            lambda pid: OmegaSigmaConsensusCore(),
+            initial_proposals(n, 0),
+            dag,
+            target=0,
+            branch_depth=1,
+        )
+        assert tags == frozenset({0})
+
+    def test_forest_roots_yield_a_critical_index(self):
+        """On a benign crash-free DAG, roots of Υ_0 and Υ_n are 0- and
+        1-valent, so a critical index must exist (Lemma 8's benign
+        case)."""
+        n = 3
+        dag = benign_dag(n, 250, (0, frozenset(range(n))))
+        root_tags = [
+            decision_tags(
+                n,
+                lambda pid: OmegaSigmaConsensusCore(),
+                initial_proposals(n, i),
+                dag,
+                target=0,
+                branch_depth=1,
+            )
+            for i in range(n + 1)
+        ]
+        assert root_tags[0] == frozenset({0})
+        assert root_tags[-1] == frozenset({1})
+        assert find_critical_index(root_tags) is not None
+
+    def test_all_q_forest_under_fs_samples(self):
+        """With FS-branch Ψ samples (a failure occurred), the simulated
+        QC algorithm decides Q in every tree: the no-critical-index
+        case actually materialises."""
+        n = 3
+        dag = benign_dag(n, 100, RED)
+        root_tags = [
+            decision_tags(
+                n,
+                lambda pid: PsiQCCore(),
+                initial_proposals(n, i),
+                dag,
+                target=0,
+                branch_depth=1,
+            )
+            for i in range(n + 1)
+        ]
+        assert all(tags == frozenset({Q}) for tags in root_tags)
+        assert find_critical_index(root_tags) is None

@@ -1,0 +1,128 @@
+"""E4: Figure 2 — solving QC with Ψ (Theorem 5)."""
+
+import pytest
+
+from repro.analysis.properties import check_qc
+from repro.consensus.interface import consensus_component
+from repro.core.detectors import PsiOracle
+from repro.core.detectors.psi import FS_BRANCH, OMEGA_SIGMA_BRANCH
+from repro.core.environment import CrashFreeEnvironment, FCrashEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.qc.psi_qc import PsiQCCore
+from repro.qc.spec import Q
+from repro.sim.system import SystemBuilder, decided
+
+
+def run_qc(n, seed, proposals, branch=None, pattern=None, horizon=80_000):
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    else:
+        builder.environment(FCrashEnvironment(n, n - 1), crash_window=150)
+    builder.detector(PsiOracle(branch=branch))
+    builder.component(
+        "qc", consensus_component(lambda pid: PsiQCCore(proposals[pid]))
+    )
+    return builder.build().run(stop_when=decided("qc"))
+
+
+class TestQSentinel:
+    def test_singleton(self):
+        from repro.qc.spec import _Quit
+
+        assert _Quit() is Q
+
+    def test_repr(self):
+        assert repr(Q) == "Q"
+
+
+class TestFSBranch:
+    """Ψ behaving like FS ⇒ everyone quits."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_everyone_decides_q(self, seed):
+        pattern = FailurePattern(4, {seed % 4: 50})
+        proposals = {p: f"v{p}" for p in range(4)}
+        trace = run_qc(4, seed, proposals, branch=FS_BRANCH, pattern=pattern)
+        verdict = check_qc(trace, proposals, "qc")
+        assert verdict.ok, verdict.violations
+        decided_values = {d.value for d in trace.decisions}
+        assert decided_values == {Q}
+
+    def test_q_decisions_timestamped_after_crash(self):
+        pattern = FailurePattern(3, {1: 200})
+        proposals = {p: p for p in range(3)}
+        trace = run_qc(3, 1, proposals, branch=FS_BRANCH, pattern=pattern)
+        for d in trace.decisions:
+            assert d.time >= 200
+
+
+class TestOmegaSigmaBranch:
+    """Ψ behaving like (Ω, Σ) ⇒ real consensus on proposals."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_decides_a_proposal(self, seed):
+        proposals = {p: f"v{p}" for p in range(4)}
+        trace = run_qc(4, seed, proposals, branch=OMEGA_SIGMA_BRANCH)
+        verdict = check_qc(trace, proposals, "qc")
+        assert verdict.ok, verdict.violations
+        for d in trace.decisions:
+            assert d.value in proposals.values()
+
+    def test_crashes_do_not_force_quit(self):
+        """Even with crashes, the (Ω, Σ) branch never yields Q — the
+        paper's point that quitting is an option, never an obligation."""
+        pattern = FailurePattern(4, {0: 30, 1: 60})
+        proposals = {p: f"v{p}" for p in range(4)}
+        trace = run_qc(4, 3, proposals, branch=OMEGA_SIGMA_BRANCH, pattern=pattern)
+        assert all(d.value is not Q for d in trace.decisions)
+        assert check_qc(trace, proposals, "qc").ok
+
+
+class TestFreeBranch:
+    """Oracle-chosen branch: whatever happens must satisfy QC."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_qc_properties_hold(self, seed):
+        proposals = {p: f"v{p}" for p in range(3)}
+        trace = run_qc(3, seed, proposals)
+        verdict = check_qc(trace, proposals, "qc")
+        assert verdict.ok, verdict.violations
+
+    def test_crash_free_never_quits(self):
+        proposals = {p: p for p in range(3)}
+        trace = run_qc(
+            3, 2, proposals, pattern=FailurePattern.crash_free(3)
+        )
+        assert all(d.value is not Q for d in trace.decisions)
+
+
+class TestBranchConsistency:
+    def test_processes_agree_on_branch(self):
+        from repro.protocols.base import CoreComponent
+
+        cores = {}
+
+        def factory(pid):
+            core = PsiQCCore(f"v{pid}")
+            cores[pid] = core
+            return CoreComponent(core)
+
+        pattern = FailurePattern(3, {2: 100})
+        system = (
+            SystemBuilder(n=3, seed=5, horizon=80_000)
+            .pattern(pattern)
+            .detector(PsiOracle())
+            .component("qc", factory)
+            .build()
+        )
+        system.run(stop_when=decided("qc"))
+        branches = {
+            cores[p].branch_taken for p in pattern.correct
+        }
+        assert len(branches) == 1
+
+    def test_rejects_none_proposal(self):
+        core = PsiQCCore()
+        with pytest.raises(ValueError):
+            core.propose(None)

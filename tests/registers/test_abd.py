@@ -1,0 +1,286 @@
+"""Integration tests of the ABD register emulation (Theorem 1, E1).
+
+The one test matrix that matters: the same ABD code runs with majority
+quorums (classical, needs majority-correct) and with Σ quorums (the
+paper's generalisation, works in every environment); histories must be
+linearizable wherever liveness is promised, and must *stay safe* (never
+a non-linearizable completed history) even where liveness is lost.
+"""
+
+import pytest
+
+from repro.core.detectors import SigmaOracle
+from repro.core.detectors.combined import omega_sigma_oracle
+from repro.core.environment import (
+    FCrashEnvironment,
+    MajorityCorrectEnvironment,
+)
+from repro.core.failure_pattern import FailurePattern
+from repro.registers.abd import RegisterBank
+from repro.registers.quorums import FixedQuorums, MajorityQuorums, SigmaQuorums
+from repro.registers.linearizability import check_linearizable
+from repro.registers.workload import RegisterWorkload, workload_quiescent
+from repro.sim.network import SpikeDelay
+from repro.sim.scheduler import BurstScheduler
+from repro.sim.system import SystemBuilder
+
+
+def build(n, seed, quorums, detector=None, pattern=None, env=None,
+          horizon=60_000, registers=("x", "y"), ops=4, **sys_kw):
+    builder = SystemBuilder(n=n, seed=seed, horizon=horizon)
+    if pattern is not None:
+        builder.pattern(pattern)
+    elif env is not None:
+        builder.environment(env, crash_window=300)
+    if detector is not None:
+        builder.detector(detector)
+    builder.component("reg", lambda pid: RegisterBank(quorums, record_ops=True))
+    builder.component(
+        "workload",
+        lambda pid: RegisterWorkload(
+            registers=registers, ops_per_process=ops, seed=seed
+        ),
+    )
+    if "scheduler" in sys_kw:
+        builder.scheduler(sys_kw["scheduler"])
+    if "delays" in sys_kw:
+        builder.delays(sys_kw["delays"])
+    return builder.build()
+
+
+class TestSigmaABD:
+    """ABD over Σ: linearizable in any environment (sufficiency)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_linearizable_under_wait_free_crashes(self, seed):
+        system = build(
+            5, seed, SigmaQuorums(lambda d: d), detector=SigmaOracle(),
+            env=FCrashEnvironment(5, 4),
+        )
+        trace = system.run(stop_when=workload_quiescent())
+        assert trace.all_correct_decided("workload") or trace.stop_reason in (
+            "stop-condition", "horizon",
+        )
+        assert check_linearizable(trace.operations).ok
+        assert trace.stop_reason == "stop-condition", "liveness expected"
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_linearizable_under_burst_scheduler(self, seed):
+        system = build(
+            4, seed, SigmaQuorums(lambda d: d), detector=SigmaOracle(),
+            pattern=FailurePattern.crash_free(4),
+            scheduler=BurstScheduler(burst_length=40),
+        )
+        trace = system.run(stop_when=workload_quiescent())
+        assert check_linearizable(trace.operations).ok
+
+    def test_linearizable_under_delay_spikes(self):
+        system = build(
+            4, 11, SigmaQuorums(lambda d: d), detector=SigmaOracle(),
+            pattern=FailurePattern(4, {3: 100}),
+            delays=SpikeDelay(base_hi=4, spike_hi=120, spike_probability=0.05),
+        )
+        trace = system.run(stop_when=workload_quiescent())
+        assert check_linearizable(trace.operations).ok
+
+    def test_works_with_omega_sigma_product_detector(self):
+        system = build(
+            3, 5, SigmaQuorums(), detector=omega_sigma_oracle(),
+            pattern=FailurePattern(3, {0: 50}),
+        )
+        trace = system.run(stop_when=workload_quiescent())
+        assert check_linearizable(trace.operations).ok
+        assert trace.stop_reason == "stop-condition"
+
+
+class TestMajorityABD:
+    """Classical ABD: fine with a correct majority, blocks without."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_linearizable_with_majority(self, seed):
+        system = build(
+            5, seed, MajorityQuorums(), env=MajorityCorrectEnvironment(5)
+        )
+        trace = system.run(stop_when=workload_quiescent())
+        assert check_linearizable(trace.operations).ok
+        assert trace.stop_reason == "stop-condition"
+
+    def test_blocks_but_stays_safe_without_majority(self):
+        """E1's crossover: minority-correct kills liveness, not safety."""
+        pattern = FailurePattern(5, {0: 200, 1: 220, 2: 240})
+        system = build(
+            5, 3, MajorityQuorums(), pattern=pattern, horizon=20_000
+        )
+        trace = system.run(stop_when=workload_quiescent())
+        # Liveness lost: the workload cannot finish.
+        assert trace.stop_reason == "horizon"
+        pending = [o for o in trace.operations if o.pending]
+        assert pending, "operations must be stuck waiting for a majority"
+        # Safety intact: completed prefix is linearizable.
+        assert check_linearizable(trace.operations).ok
+
+    def test_sigma_succeeds_where_majority_blocks(self):
+        """The paper's headline for registers, in one test."""
+        pattern = FailurePattern(5, {0: 200, 1: 220, 2: 240})
+        majority = build(5, 3, MajorityQuorums(), pattern=pattern, horizon=20_000)
+        trace_m = majority.run(stop_when=workload_quiescent())
+        sigma = build(
+            5, 3, SigmaQuorums(lambda d: d), detector=SigmaOracle(),
+            pattern=pattern, horizon=60_000,
+        )
+        trace_s = sigma.run(stop_when=workload_quiescent())
+        assert trace_m.stop_reason == "horizon"  # blocked
+        assert trace_s.stop_reason == "stop-condition"  # finished
+        assert check_linearizable(trace_s.operations).ok
+
+
+class TestQuorumIntersectionIsLoadBearing:
+    def test_non_intersecting_quorums_break_atomicity(self):
+        """With a deliberately broken quorum system and a half-split
+        network, ABD loses a write — the executable contrapositive of
+        Σ's Intersection property."""
+        from repro.sim.network import DelayModel
+        from repro.sim.process import Component
+
+        class SplitDelays(DelayModel):
+            """Fast within {0,1} and within {2,3}, glacial across."""
+
+            def sample(self, rng, sender, dest):
+                same_side = (sender < 2) == (dest < 2)
+                return 1 if same_side else 5_000
+
+        class Client(Component):
+            name = "client"
+
+            def __init__(self):
+                super().__init__()
+                self.done = False
+
+            def on_start(self):
+                self.done = self.pid not in (0, 2)
+                if self.pid == 0:
+                    self.spawn(self._write())
+                elif self.pid == 2:
+                    self.spawn(self._read())
+
+            def _write(self):
+                bank = self._host.component("reg")
+                record = self.ctx.new_operation("reg", "write", ("x", "a"))
+                yield from bank.write("x", "a")
+                self.ctx.complete_operation(record, "ok")
+                self.done = True
+
+            def _read(self):
+                from repro.sim.tasklets import WaitSteps
+
+                bank = self._host.component("reg")
+                yield WaitSteps(200)  # well after the write completed
+                record = self.ctx.new_operation("reg", "read", ("x",))
+                value = yield from bank.read("x")
+                self.ctx.complete_operation(record, value)
+                self.done = True
+
+        broken = FixedQuorums([{0, 1}, {2, 3}])  # disjoint!
+        builder = (
+            SystemBuilder(n=4, seed=0, horizon=30_000)
+            .delays(SplitDelays())
+            .component("reg", lambda pid: RegisterBank(broken))
+            .component("client", lambda pid: Client())
+        )
+        system = builder.build()
+        trace = system.run(
+            stop_when=lambda s: all(
+                s.component_at(p, "client").done for p in range(4)
+            )
+        )
+        verdict = check_linearizable(trace.operations)
+        assert not verdict.ok, (
+            "the read completed on the far side of the split and must "
+            "have missed the write"
+        )
+
+    def test_single_process_quorums_still_atomic_if_intersecting(self):
+        """A degenerate-but-intersecting family ({0} in every quorum)
+        preserves atomicity."""
+        kernel = FixedQuorums([{0}, {0, 1}, {0, 2}])
+        for seed in range(3):
+            system = build(
+                3, seed, kernel, pattern=FailurePattern.crash_free(3),
+                registers=("x",), ops=4,
+            )
+            trace = system.run(stop_when=workload_quiescent())
+            assert check_linearizable(trace.operations).ok
+
+
+class TestBankBasics:
+    def test_initial_values_visible(self):
+        from repro.sim.process import Component
+
+        class Reader(Component):
+            name = "client"
+
+            def __init__(self):
+                super().__init__()
+                self.value = None
+                self.done = False
+
+            def on_start(self):
+                self.spawn(self._go())
+
+            def _go(self):
+                bank = self._host.component("reg")
+                self.value = yield from bank.read("r")
+                self.done = True
+
+        builder = (
+            SystemBuilder(n=3, seed=0, horizon=10_000)
+            .component(
+                "reg",
+                lambda pid: RegisterBank(MajorityQuorums(), initial={"r": 99}),
+            )
+            .component("client", lambda pid: Reader())
+        )
+        system = builder.build()
+        system.run(
+            stop_when=lambda s: all(
+                s.component_at(p, "client").done for p in range(3)
+            )
+        )
+        assert [system.component_at(p, "client").value for p in range(3)] == [99] * 3
+
+    def test_single_writer_mode_counts_up(self):
+        from repro.sim.process import Component
+
+        class Writer(Component):
+            name = "client"
+
+            def __init__(self):
+                super().__init__()
+                self.done = False
+                self.read_back = None
+
+            def on_start(self):
+                if self.pid == 0:
+                    self.spawn(self._go())
+                else:
+                    self.done = True
+
+            def _go(self):
+                bank = self._host.component("reg")
+                for i in range(3):
+                    yield from bank.write("mine", i, single_writer=True)
+                self.read_back = yield from bank.read("mine")
+                self.done = True
+
+        builder = (
+            SystemBuilder(n=3, seed=1, horizon=20_000)
+            .component("reg", lambda pid: RegisterBank(MajorityQuorums()))
+            .component("client", lambda pid: Writer())
+        )
+        system = builder.build()
+        system.run(
+            stop_when=lambda s: all(
+                s.component_at(p, "client").done for p in range(3)
+            )
+        )
+        assert system.component_at(0, "client").read_back == 2

@@ -1,0 +1,100 @@
+"""Property tests: the linearizability checker vs brute force.
+
+For small histories we can decide linearizability by exhaustive
+enumeration of permutations; the production checker must agree with
+that ground truth on arbitrary generated histories — including
+pathological overlaps and pending operations.
+"""
+
+from itertools import permutations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.registers.linearizability import check_linearizable
+from repro.sim.trace import OperationRecord
+
+INF = float("inf")
+
+
+def brute_force_linearizable(ops, initial=None) -> bool:
+    """Ground truth by enumeration (≤ 7 operations).
+
+    Pending operations may be included anywhere consistent with their
+    invocation, or (for any subset) dropped entirely.
+    """
+    completed = [o for o in ops if o.response_time is not None]
+    pending = [o for o in ops if o.response_time is None]
+
+    def respects_real_time(order):
+        for i, a in enumerate(order):
+            for b in order[i + 1:]:
+                a_resp = a.response_time if a.response_time is not None else INF
+                if a_resp < b.invoke_time:
+                    continue  # a finished before b started: fine
+                b_resp = b.response_time if b.response_time is not None else INF
+                if b_resp < a.invoke_time:
+                    return False  # b really precedes a
+        return True
+
+    def register_legal(order):
+        current = dict(initial or {})
+        for op in order:
+            if op.kind == "write":
+                current[op.args[0]] = op.args[1]
+            else:
+                if current.get(op.args[0]) != op.result:
+                    return False
+        return True
+
+    # Choose any subset of pending ops to "take effect".
+    for mask in range(2 ** len(pending)):
+        chosen = completed + [
+            o for i, o in enumerate(pending) if mask >> i & 1
+        ]
+        for order in permutations(chosen):
+            if respects_real_time(list(order)) and register_legal(order):
+                return True
+    return False
+
+
+@st.composite
+def small_history(draw):
+    n_ops = draw(st.integers(min_value=1, max_value=5))
+    ops = []
+    for i in range(n_ops):
+        invoke = draw(st.integers(min_value=0, max_value=12))
+        pending = draw(st.booleans()) and draw(st.booleans())  # ~25%
+        respond = None if pending else invoke + draw(
+            st.integers(min_value=1, max_value=8)
+        )
+        if draw(st.booleans()):
+            value = draw(st.integers(min_value=0, max_value=2))
+            rec = OperationRecord(i, i % 3, "reg", "write", ("r", value), invoke)
+        else:
+            rec = OperationRecord(i, i % 3, "reg", "read", ("r",), invoke)
+            rec.result = draw(
+                st.one_of(st.none(), st.integers(min_value=0, max_value=2))
+            )
+        rec.response_time = respond
+        ops.append(rec)
+    return ops
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=small_history())
+def test_checker_agrees_with_brute_force(ops):
+    expected = brute_force_linearizable(ops)
+    actual = check_linearizable(ops).ok
+    assert actual == expected, (
+        f"checker={actual} brute={expected} for "
+        f"{[(o.kind, o.args, o.result, o.invoke_time, o.response_time) for o in ops]}"
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=small_history(), initial=st.integers(min_value=0, max_value=2))
+def test_checker_agrees_with_brute_force_with_initial(ops, initial):
+    expected = brute_force_linearizable(ops, {"r": initial})
+    actual = check_linearizable(ops, {"r": initial}).ok
+    assert actual == expected

@@ -1,0 +1,110 @@
+"""Tests for the classical SWMR→MWMR transformation [16, 23]."""
+
+import pytest
+
+from repro.core.failure_pattern import FailurePattern
+from repro.registers.abd import RegisterBank
+from repro.registers.linearizability import check_linearizable
+from repro.registers.multiwriter import MultiWriterRegister
+from repro.registers.quorums import MajorityQuorums
+from repro.sim.process import Component
+from repro.sim.system import SystemBuilder
+from repro.sim.tasklets import WaitSteps
+
+
+class MWClient(Component):
+    name = "client"
+
+    def __init__(self, script):
+        super().__init__()
+        self.script = script
+        self.results = []
+        self.done = False
+
+    def on_start(self):
+        self.spawn(self._go())
+
+    def _go(self):
+        mw = self._host.component("mwreg")
+        for kind, value in self.script:
+            yield WaitSteps(2)
+            if kind == "write":
+                yield from mw.write(value)
+                self.results.append(("write", "ok"))
+            else:
+                got = yield from mw.read()
+                self.results.append(("read", got))
+        self.done = True
+
+
+def run_mw(scripts, n=3, seed=0, pattern=None, horizon=120_000):
+    builder = (
+        SystemBuilder(n=n, seed=seed, horizon=horizon)
+        .component("reg", lambda pid: RegisterBank(MajorityQuorums()))
+        .component(
+            "mwreg", lambda pid: MultiWriterRegister(record_ops=True)
+        )
+        .component("client", lambda pid: MWClient(scripts[pid]))
+    )
+    if pattern is not None:
+        builder.pattern(pattern)
+    system = builder.build()
+    trace = system.run(
+        stop_when=lambda s: all(
+            s.component_at(p, "client").done for p in s.pattern.correct
+        )
+    )
+    return system, trace
+
+
+class TestMultiWriter:
+    def test_read_of_initial_value(self):
+        scripts = {0: [("read", None)], 1: [], 2: []}
+        system, _ = run_mw(scripts)
+        assert system.component_at(0, "client").results == [("read", None)]
+
+    def test_concurrent_writers_history_is_linearizable(self):
+        scripts = {
+            0: [("write", "a0"), ("read", None), ("write", "a1"), ("read", None)],
+            1: [("write", "b0"), ("read", None)],
+            2: [("read", None), ("read", None)],
+        }
+        for seed in range(3):
+            _, trace = run_mw(scripts, seed=seed)
+            verdict = check_linearizable(
+                [op for op in trace.operations if op.component == "mwreg"]
+            )
+            assert verdict.ok, verdict.reason
+
+    def test_later_writer_wins_when_sequential(self):
+        scripts = {
+            0: [("write", "first")],
+            1: [],
+            2: [],
+        }
+        system, trace = run_mw(scripts)
+        # After quiescence, a fresh read must see the write.
+        scripts2 = {
+            0: [("write", "first"), ("write", "second")],
+            1: [],
+            2: [("read", None)],
+        }
+        system, trace = run_mw(scripts2, seed=5)
+        results = system.component_at(2, "client").results
+        verdict = check_linearizable(
+            [op for op in trace.operations if op.component == "mwreg"]
+        )
+        assert verdict.ok
+
+    def test_survives_a_crash(self):
+        scripts = {
+            0: [("write", "x0"), ("read", None)],
+            1: [("write", "x1")],
+            2: [("read", None), ("read", None)],
+        }
+        pattern = FailurePattern(3, {1: 150})
+        _, trace = run_mw(scripts, seed=2, pattern=pattern)
+        verdict = check_linearizable(
+            [op for op in trace.operations if op.component == "mwreg"]
+        )
+        assert verdict.ok, verdict.reason

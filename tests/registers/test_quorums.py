@@ -1,0 +1,60 @@
+"""Unit tests for quorum strategies."""
+
+import pytest
+
+from repro.registers.quorums import (
+    FixedQuorums,
+    MajorityQuorums,
+    SigmaQuorums,
+)
+
+
+class TestMajority:
+    @pytest.mark.parametrize(
+        "n,responders,ok",
+        [
+            (3, {0, 1}, True),
+            (3, {0}, False),
+            (4, {0, 1}, False),
+            (4, {0, 1, 2}, True),
+            (5, {0, 1, 2}, True),
+            (1, {0}, True),
+        ],
+    )
+    def test_threshold(self, n, responders, ok):
+        assert MajorityQuorums().satisfied(responders, None, n) is ok
+
+    def test_no_detector_needed(self):
+        assert not MajorityQuorums().needs_detector
+
+
+class TestSigma:
+    def test_satisfied_when_quorum_covered(self):
+        q = SigmaQuorums(lambda d: d)
+        assert q.satisfied({0, 1, 2}, frozenset({0, 1}), 3)
+        assert not q.satisfied({0}, frozenset({0, 1}), 3)
+
+    def test_unsatisfied_without_detector_value(self):
+        q = SigmaQuorums(lambda d: None)
+        assert not q.satisfied({0, 1, 2}, "whatever", 3)
+
+    def test_default_extractor_understands_product(self):
+        q = SigmaQuorums()
+        product_value = (0, frozenset({1, 2}))
+        assert q.satisfied({1, 2}, product_value, 3)
+        assert q.satisfied({1, 2}, frozenset({1, 2}), 3)
+
+    def test_needs_detector(self):
+        assert SigmaQuorums().needs_detector
+
+
+class TestFixed:
+    def test_any_member_suffices(self):
+        q = FixedQuorums([{0, 1}, {2}])
+        assert q.satisfied({0, 1}, None, 3)
+        assert q.satisfied({2, 0}, None, 3)
+        assert not q.satisfied({1}, None, 3)
+
+    def test_rejects_empty_family(self):
+        with pytest.raises(ValueError):
+            FixedQuorums([])

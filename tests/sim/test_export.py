@@ -1,0 +1,58 @@
+"""Tests for trace export."""
+
+import json
+
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.failure_pattern import FailurePattern
+from repro.sim.export import trace_to_dict, trace_to_json
+from repro.sim.system import SystemBuilder, decided
+
+
+def _sample_trace():
+    proposals = {p: f"v{p}" for p in range(3)}
+    return (
+        SystemBuilder(n=3, seed=5, horizon=40_000)
+        .pattern(FailurePattern(3, {2: 80}))
+        .detector(omega_sigma_oracle())
+        .component(
+            "consensus",
+            consensus_component(lambda pid: OmegaSigmaConsensusCore(proposals[pid])),
+        )
+        .build()
+        .run(stop_when=decided("consensus"))
+    )
+
+
+class TestExport:
+    def test_roundtrips_through_json(self):
+        trace = _sample_trace()
+        text = trace_to_json(trace)
+        data = json.loads(text)
+        assert data["pattern"]["n"] == 3
+        assert data["pattern"]["crash_times"] == {"2": 80}
+        assert data["stop_reason"] == "stop-condition"
+        assert data["decisions"]
+        assert all(isinstance(d["value"], str) for d in data["decisions"])
+
+    def test_steps_are_opt_in(self):
+        trace = _sample_trace()
+        assert "steps" not in trace_to_dict(trace)
+        data = trace_to_dict(trace, include_steps=True)
+        assert len(data["steps"]) == data["step_count"]
+        delivered = [s for s in data["steps"] if s["message"] is not None]
+        assert delivered, "some step received a message"
+        json.dumps(data)  # fully serialisable
+
+    def test_detector_samples_are_opt_in(self):
+        trace = _sample_trace()
+        data = trace_to_dict(trace, include_detector_samples=True)
+        assert set(data["detector_samples"]) == {"0", "1", "2"}
+        json.dumps(data)
+
+    def test_sets_render_sorted(self):
+        from repro.sim.export import _render
+
+        assert _render(frozenset({3, 1, 2})) == [1, 2, 3]
+        assert _render({"k": (1, frozenset({2}))}) == {"k": [1, [2]]}

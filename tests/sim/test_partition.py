@@ -1,0 +1,131 @@
+"""Tests for transient partitions, alone and against the algorithms."""
+
+import random
+
+import pytest
+
+from repro.analysis.properties import check_consensus
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.detectors import SigmaOracle, omega_sigma_oracle
+from repro.core.failure_pattern import FailurePattern
+from repro.registers.abd import RegisterBank
+from repro.registers.linearizability import check_linearizable
+from repro.registers.quorums import SigmaQuorums
+from repro.registers.workload import RegisterWorkload, workload_quiescent
+from repro.sim.network import Message
+from repro.sim.partition import TransientPartition
+from repro.sim.system import SystemBuilder, decided
+
+
+def msg(sender, dest, send_time=0, msg_id=0):
+    return Message(
+        msg_id=msg_id, sender=sender, dest=dest, component="c",
+        payload=None, send_time=send_time, ready_at=send_time + 1,
+    )
+
+
+class TestPolicyMechanics:
+    def test_severs_cross_group_messages_in_window(self):
+        policy = TransientPartition([{0, 1}, {2, 3}], start=10, end=20)
+        assert policy.severed(msg(0, 2), now=15)
+        assert not policy.severed(msg(0, 1), now=15)
+
+    def test_open_before_and_after_window(self):
+        policy = TransientPartition([{0, 1}, {2, 3}], start=10, end=20)
+        assert not policy.severed(msg(0, 2), now=9)
+        assert not policy.severed(msg(0, 2), now=20)
+
+    def test_implicit_remainder_group(self):
+        policy = TransientPartition([{0}], start=0, end=100)
+        assert policy.severed(msg(0, 1), now=50)
+        assert not policy.severed(msg(1, 2), now=50)  # both in remainder
+
+    def test_choose_prefers_oldest_passable(self):
+        policy = TransientPartition([{0, 1}, {2}], start=0, end=100)
+        rng = random.Random(0)
+        ready = [msg(0, 1, send_time=5, msg_id=1), msg(2, 1, send_time=1, msg_id=2)]
+        # The older message is severed; the younger passable one wins.
+        chosen = policy.choose(ready, now=50, rng=rng)
+        assert chosen.msg_id == 1
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            TransientPartition([{0}], start=10, end=10)
+        with pytest.raises(ValueError):
+            TransientPartition([{0, 1}, {1, 2}], start=0, end=5)
+
+
+class TestAlgorithmsUnderPartition:
+    def test_consensus_safe_during_and_live_after_partition(self):
+        """A 2-2 split of 4 processes: with Σ's intersecting quorums at
+        most one side can complete ballots during the window; after
+        healing everyone decides one value."""
+        n = 4
+        proposals = {p: f"v{p}" for p in range(n)}
+        partition = TransientPartition([{0, 1}, {2, 3}], start=50, end=4_000)
+        trace = (
+            SystemBuilder(n=n, seed=3, horizon=80_000)
+            .pattern(FailurePattern.crash_free(n))
+            .detector(omega_sigma_oracle())
+            .delivery(partition)
+            .component(
+                "consensus",
+                consensus_component(
+                    lambda pid: OmegaSigmaConsensusCore(proposals[pid])
+                ),
+            )
+            .build()
+            .run(stop_when=decided("consensus"))
+        )
+        verdict = check_consensus(trace, proposals)
+        assert verdict.ok, verdict.violations
+
+    def test_no_split_brain_decisions_inside_window(self):
+        """Decisions that happen during the partition window are
+        consistent: at most one value is ever decided (Σ Intersection
+        across the split)."""
+        n = 4
+        proposals = {p: f"v{p}" for p in range(n)}
+        for seed in range(5):
+            partition = TransientPartition([{0, 1}, {2, 3}], start=1, end=50_000)
+            trace = (
+                SystemBuilder(n=n, seed=seed, horizon=50_000)
+                .pattern(FailurePattern.crash_free(n))
+                .detector(omega_sigma_oracle())
+                .delivery(partition)
+                .component(
+                    "consensus",
+                    consensus_component(
+                        lambda pid: OmegaSigmaConsensusCore(proposals[pid])
+                    ),
+                )
+                .build()
+                .run()
+            )
+            values = {repr(d.value) for d in trace.decisions}
+            assert len(values) <= 1, (seed, values)
+
+    def test_registers_linearizable_across_partition(self):
+        n = 4
+        partition = TransientPartition([{0, 1}, {2, 3}], start=100, end=3_000)
+        trace = (
+            SystemBuilder(n=n, seed=8, horizon=120_000)
+            .pattern(FailurePattern.crash_free(n))
+            .detector(SigmaOracle())
+            .delivery(partition)
+            .component(
+                "reg",
+                lambda pid: RegisterBank(SigmaQuorums(lambda d: d), record_ops=True),
+            )
+            .component(
+                "workload",
+                lambda pid: RegisterWorkload(
+                    registers=("x",), ops_per_process=4, seed=8
+                ),
+            )
+            .build()
+            .run(stop_when=workload_quiescent())
+        )
+        assert trace.stop_reason == "stop-condition"
+        assert check_linearizable(trace.operations).ok

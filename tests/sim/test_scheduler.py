@@ -1,0 +1,91 @@
+"""Unit tests for schedulers (fair and adversarial)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.sim.scheduler import (
+    BurstScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    StarvationScheduler,
+    WeightedScheduler,
+)
+
+
+class TestRandomScheduler:
+    def test_covers_all_alive(self):
+        sched = RandomScheduler()
+        rng = random.Random(0)
+        picks = Counter(sched.pick([0, 1, 2], t, rng) for t in range(300))
+        assert set(picks) == {0, 1, 2}
+        assert sched.fair
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        sched = RoundRobinScheduler()
+        rng = random.Random(0)
+        picks = [sched.pick([0, 1, 2], t, rng) for t in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_crashed(self):
+        sched = RoundRobinScheduler()
+        rng = random.Random(0)
+        assert sched.pick([0, 1, 2], 0, rng) == 0
+        # process 1 crashes; rotation continues among the rest
+        picks = [sched.pick([0, 2], t, rng) for t in range(4)]
+        assert picks == [2, 0, 2, 0]
+
+
+class TestWeighted:
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ValueError):
+            WeightedScheduler([1.0, 0.0])
+
+    def test_bias_shows(self):
+        sched = WeightedScheduler([10.0, 1.0])
+        rng = random.Random(1)
+        picks = Counter(sched.pick([0, 1], t, rng) for t in range(500))
+        assert picks[0] > picks[1] * 3
+        assert picks[1] > 0  # still fair
+
+    def test_everyone_eventually_scheduled(self):
+        sched = WeightedScheduler([100.0, 1.0, 1.0])
+        rng = random.Random(2)
+        picks = Counter(sched.pick([0, 1, 2], t, rng) for t in range(2000))
+        assert set(picks) == {0, 1, 2}
+
+
+class TestStarvation:
+    def test_starved_never_picked(self):
+        sched = StarvationScheduler({1})
+        rng = random.Random(0)
+        picks = {sched.pick([0, 1, 2], t, rng) for t in range(100)}
+        assert 1 not in picks
+        assert not sched.fair
+
+    def test_halts_when_all_starved(self):
+        sched = StarvationScheduler({0, 1})
+        rng = random.Random(0)
+        assert sched.pick([0, 1], 0, rng) is None
+
+
+class TestBurst:
+    def test_runs_in_bursts(self):
+        sched = BurstScheduler(burst_length=5)
+        rng = random.Random(3)
+        picks = [sched.pick([0, 1, 2], t, rng) for t in range(10)]
+        assert len(set(picks[:5])) == 1  # one full burst
+
+    def test_switches_on_crash(self):
+        sched = BurstScheduler(burst_length=100)
+        rng = random.Random(3)
+        first = sched.pick([0, 1], 0, rng)
+        other = [p for p in (0, 1) if p != first][0]
+        assert sched.pick([other], 1, rng) == other
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            BurstScheduler(0)

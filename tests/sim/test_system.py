@@ -1,0 +1,201 @@
+"""Integration tests of the System run loop and step semantics."""
+
+from typing import Any, Dict
+
+import pytest
+
+from repro.core.detectors import OmegaOracle
+from repro.core.environment import FCrashEnvironment
+from repro.core.failure_pattern import FailurePattern
+from repro.sim.process import Component
+from repro.sim.scheduler import RoundRobinScheduler, StarvationScheduler
+from repro.sim.system import SystemBuilder, decided
+from repro.sim.tasklets import WaitSteps, WaitUntil
+
+
+class PingPong(Component):
+    """Process 0 pings; everyone pongs; decide on first contact."""
+
+    name = "pp"
+
+    def on_start(self):
+        if self.pid == 0:
+            self.broadcast("ping", include_self=False)
+
+    def on_message(self, sender, payload, meta):
+        if payload == "ping":
+            self.send(sender, "pong")
+            self.decide(("got-ping", sender))
+        elif payload == "pong" and self.pid == 0:
+            if not hasattr(self, "_decided"):
+                self._decided = True
+                self.decide(("got-pong", sender))
+
+
+class StepCounter(Component):
+    name = "ctr"
+
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+
+    def on_step(self):
+        self.count += 1
+
+
+class TestRunLoop:
+    def test_ping_pong_decides(self):
+        trace = (
+            SystemBuilder(n=3, seed=1, horizon=5000)
+            .component("pp", lambda pid: PingPong())
+            .build()
+            .run(stop_when=decided("pp"))
+        )
+        assert trace.all_correct_decided("pp")
+        assert trace.stop_reason == "stop-condition"
+
+    def test_deterministic_replay(self):
+        def run():
+            return (
+                SystemBuilder(n=3, seed=9, horizon=2000)
+                .environment(FCrashEnvironment(3, 2), crash_window=100)
+                .component("pp", lambda pid: PingPong())
+                .build()
+                .run()
+            )
+
+        t1, t2 = run(), run()
+        assert t1.pattern == t2.pattern
+        assert [(s.time, s.pid) for s in t1.steps] == [
+            (s.time, s.pid) for s in t2.steps
+        ]
+        assert t1.messages_sent == t2.messages_sent
+
+    def test_seed_changes_schedule(self):
+        def run(seed):
+            return (
+                SystemBuilder(n=3, seed=seed, horizon=500)
+                .component("pp", lambda pid: PingPong())
+                .build()
+                .run()
+            )
+
+        assert [(s.pid) for s in run(1).steps] != [(s.pid) for s in run(2).steps]
+
+    def test_crashed_processes_take_no_steps(self):
+        pattern = FailurePattern(3, {1: 50})
+        trace = (
+            SystemBuilder(n=3, seed=4, horizon=500)
+            .pattern(pattern)
+            .component("ctr", lambda pid: StepCounter())
+            .build()
+            .run()
+        )
+        late_steps = [s for s in trace.steps if s.pid == 1 and s.time >= 50]
+        assert not late_steps
+
+    def test_horizon_reached(self):
+        trace = (
+            SystemBuilder(n=2, seed=0, horizon=100)
+            .component("ctr", lambda pid: StepCounter())
+            .build()
+            .run()
+        )
+        assert trace.stop_reason == "horizon"
+        assert len(trace.steps) == 100
+
+    def test_grace_period_extends_run(self):
+        sys_quick = (
+            SystemBuilder(n=3, seed=1, horizon=5000)
+            .component("pp", lambda pid: PingPong())
+            .build()
+        )
+        t_quick = sys_quick.run(stop_when=decided("pp"))
+        sys_grace = (
+            SystemBuilder(n=3, seed=1, horizon=5000)
+            .component("pp", lambda pid: PingPong())
+            .build()
+        )
+        t_grace = sys_grace.run(stop_when=decided("pp"), grace=200)
+        assert len(t_grace.steps) == len(t_quick.steps) + 200
+
+    def test_detector_samples_recorded(self):
+        trace = (
+            SystemBuilder(n=2, seed=3, horizon=200)
+            .detector(OmegaOracle(noisy=False))
+            .component("ctr", lambda pid: StepCounter())
+            .build()
+            .run()
+        )
+        for pid in range(2):
+            samples = list(trace.detector_samples.samples_of(pid))
+            assert samples, "every stepping process saw detector values"
+            assert all(v == 0 for _, v in samples)
+
+    def test_starvation_scheduler_halts_system_when_all_starved(self):
+        trace = (
+            SystemBuilder(n=2, seed=0, horizon=100)
+            .scheduler(StarvationScheduler({0, 1}))
+            .component("ctr", lambda pid: StepCounter())
+            .build()
+            .run()
+        )
+        assert trace.stop_reason == "scheduler-halt"
+
+
+class TestBuilderValidation:
+    def test_needs_components(self):
+        with pytest.raises(ValueError):
+            SystemBuilder(n=2).build()
+
+    def test_oracle_and_component_detector_conflict(self):
+        builder = (
+            SystemBuilder(n=2)
+            .detector(OmegaOracle())
+            .detector_from_component("x")
+            .component("ctr", lambda pid: StepCounter())
+        )
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_pattern_size_mismatch(self):
+        builder = (
+            SystemBuilder(n=2)
+            .pattern(FailurePattern.crash_free(3))
+            .component("ctr", lambda pid: StepCounter())
+        )
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_duplicate_component_names_rejected(self):
+        builder = (
+            SystemBuilder(n=2)
+            .component("ctr", lambda pid: StepCounter())
+            .component("ctr", lambda pid: StepCounter())
+        )
+        with pytest.raises(ValueError):
+            builder.build()
+
+
+class TestStepAtomicity:
+    def test_sends_within_step_share_timestamp(self):
+        class Burst(Component):
+            name = "burst"
+
+            def on_start(self):
+                if self.pid == 0:
+                    self.send(1, "a")
+                    self.send(1, "b")
+
+        builder = (
+            SystemBuilder(n=2, seed=0, horizon=50)
+            .component("burst", lambda pid: Burst())
+        )
+        system = builder.build()
+        system.run()
+        # Both messages entered the buffer at the same step time.
+        delivered = [
+            s.message for s in system.trace.steps if s.message is not None
+        ]
+        assert len(delivered) == 2
+        assert delivered[0].send_time == delivered[1].send_time

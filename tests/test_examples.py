@@ -1,0 +1,38 @@
+"""Every shipped example must run clean (they are executable docs)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_all_six_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert names == {
+        "quickstart",
+        "replicated_kv_store",
+        "atomic_commit",
+        "detector_zoo",
+        "consensus_showdown",
+        "weakest_detector_tour",
+    }
