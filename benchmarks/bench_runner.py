@@ -1,0 +1,83 @@
+"""Campaign-engine benchmark: serial vs pooled execution of one grid.
+
+Executes a fixed 64-run consensus grid — the same specs E3 sweeps,
+``seed × f`` over (Ω, Σ) — once serially and once across a worker pool,
+asserts the two executions produce byte-identical summaries, and writes
+the timings to ``BENCH_runner.json``.
+
+The ≥2× speedup assertion is gated on the machine actually having ≥4
+cores: on single-core CI runners the parallel path still runs (the
+correctness half of the benchmark) but cannot, and is not required to,
+go faster than serial.
+
+Run standalone (``python benchmarks/bench_runner.py``) or through
+pytest (``pytest benchmarks/bench_runner.py -q``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.e03_consensus import case_spec
+from repro.runner import Campaign, default_worker_count
+
+RUNS = 64
+WORKERS = 4
+SEEDS = range(RUNS // 4)
+CRASHES = range(4)
+
+
+def _grid() -> Campaign:
+    return Campaign.grid(
+        lambda seed, f: case_spec(5, f, "(Omega,Sigma)", seed),
+        name="bench-runner",
+        seed=SEEDS,
+        f=CRASHES,
+    )
+
+
+def _measure(workers):
+    campaign = _grid()
+    started = time.perf_counter()
+    result = campaign.run(workers=workers, cache=False)
+    elapsed = time.perf_counter() - started
+    assert len(result) == RUNS
+    assert result.executed == RUNS and result.hits == 0
+    return elapsed, [s.stable_digest() for s in result]
+
+
+def run_benchmark(report_path: str = "BENCH_runner.json") -> dict:
+    cores = default_worker_count()
+    serial_s, serial_digests = _measure(1)
+    parallel_s, parallel_digests = _measure(WORKERS)
+
+    assert serial_digests == parallel_digests, (
+        "serial and pooled executions of the same campaign diverged"
+    )
+
+    report = {
+        "grid": {"runs": RUNS, "seeds": len(SEEDS), "crash_levels": len(CRASHES)},
+        "cores_available": cores,
+        "workers": WORKERS,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "deterministic": True,
+    }
+    Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_campaign_serial_vs_parallel():
+    report = run_benchmark()
+    if report["cores_available"] >= WORKERS:
+        assert report["speedup"] >= 2.0, (
+            f"expected >=2x speedup with {WORKERS} workers on "
+            f"{report['cores_available']} cores, got {report['speedup']}x"
+        )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

@@ -14,7 +14,7 @@ Processes absent from ``crash_times`` never crash.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
 
 
 class FailurePattern:
@@ -39,7 +39,7 @@ class FailurePattern:
     [2]
     """
 
-    __slots__ = ("_n", "_crash_times", "_faulty", "_correct")
+    __slots__ = ("_n", "_crash_times", "_faulty", "_correct", "_events")
 
     def __init__(self, n: int, crash_times: Optional[Mapping[int, int]] = None):
         if n <= 0:
@@ -55,6 +55,9 @@ class FailurePattern:
         self._faulty: FrozenSet[int] = frozenset(crash_times)
         self._correct: FrozenSet[int] = frozenset(
             p for p in range(n) if p not in crash_times
+        )
+        self._events: Tuple[Tuple[int, int], ...] = tuple(
+            sorted((t, p) for p, t in crash_times.items())
         )
 
     # ------------------------------------------------------------------
@@ -102,6 +105,15 @@ class FailurePattern:
     def alive_at(self, t: int) -> FrozenSet[int]:
         """Processes not yet crashed at time ``t`` (they may crash later)."""
         return frozenset(p for p in range(self._n) if not self.crashed(p, t))
+
+    def crash_events(self) -> Tuple[Tuple[int, int], ...]:
+        """The crash schedule as ``(time, pid)`` pairs, time-ordered.
+
+        Precomputed so run loops can maintain the alive set
+        *incrementally* — O(total crashes) over a whole run instead of
+        O(n · horizon) membership tests.
+        """
+        return self._events
 
     def first_crash_time(self) -> Optional[int]:
         """The first ``t`` with ``F(t) != {}``, or ``None`` if crash-free."""

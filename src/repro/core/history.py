@@ -17,28 +17,46 @@ property checkers in :mod:`repro.core.specs` work on either.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Tuple
 
 Sample = Tuple[int, Any]  # (time, detector value)
+
+#: Per-process memo bound for dense histories.  Spec checkers sweep
+#: times mostly in order, so a recency window this size makes repeated
+#: queries free while keeping horizon-length histories O(n * bound)
+#: instead of O(n * horizon).
+DEFAULT_HISTORY_CACHE_SIZE = 2048
 
 
 class FailureDetectorHistory:
     """A dense history ``H(p, t)`` backed by a value function.
 
     Oracle detectors construct these lazily: ``value_fn(pid, t)`` is
-    evaluated on demand and memoised, which keeps horizon-length
-    histories cheap when only step times are queried.
+    evaluated on demand and memoised per process in a bounded LRU —
+    long-horizon sweeps no longer grow the memo without bound.  The
+    bound is safe because ``value_fn`` must be deterministic in
+    ``(pid, t)``: an evicted entry recomputes to the same value.
     """
 
-    def __init__(self, n: int, horizon: int, value_fn: Callable[[int, int], Any]):
+    def __init__(
+        self,
+        n: int,
+        horizon: int,
+        value_fn: Callable[[int, int], Any],
+        cache_size: int = DEFAULT_HISTORY_CACHE_SIZE,
+    ):
         if n <= 0:
             raise ValueError(f"need at least one process, got n={n}")
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         self.n = n
         self.horizon = horizon
+        self.cache_size = cache_size
         self._value_fn = value_fn
-        self._cache: Dict[Tuple[int, int], Any] = {}
+        self._cache: List[OrderedDict[int, Any]] = [OrderedDict() for _ in range(n)]
 
     def value(self, pid: int, t: int) -> Any:
         """``H(pid, t)``."""
@@ -46,10 +64,23 @@ class FailureDetectorHistory:
             raise ValueError(f"unknown process {pid}")
         if t < 0:
             raise ValueError(f"negative time {t}")
-        key = (pid, t)
-        if key not in self._cache:
-            self._cache[key] = self._value_fn(pid, t)
-        return self._cache[key]
+        memo = self._cache[pid]
+        try:
+            memo.move_to_end(t)
+            return memo[t]
+        except KeyError:
+            pass
+        value = self._value_fn(pid, t)
+        memo[t] = value
+        if len(memo) > self.cache_size:
+            memo.popitem(last=False)
+        return value
+
+    def cached_entries(self, pid: int | None = None) -> int:
+        """How many ``(pid, t)`` memo entries are currently held."""
+        if pid is not None:
+            return len(self._cache[pid])
+        return sum(len(memo) for memo in self._cache)
 
     def samples_of(self, pid: int) -> Iterator[Sample]:
         """All ``(t, H(pid, t))`` pairs up to the horizon."""

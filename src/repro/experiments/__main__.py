@@ -2,9 +2,15 @@
 
 Usage::
 
-    python -m repro.experiments              # all experiments
-    python -m repro.experiments E1 E3 E7     # a selection
-    python -m repro.experiments --seed 7 E4  # different seed
+    python -m repro.experiments                  # all experiments
+    python -m repro.experiments E1 E3 E7         # a selection
+    python -m repro.experiments --seed 7 E4      # different seed
+    python -m repro.experiments --jobs 4 E1 E3   # 4 worker processes
+    python -m repro.experiments --cache .cache   # reuse cached runs
+
+``--jobs``/``--cache`` configure the campaign engine every experiment
+routes its runs through (see :mod:`repro.runner`): ``--jobs 0`` uses
+every core, ``--cache`` with no path uses the default on-disk store.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import sys
 import time
 
 from repro.experiments.common import all_experiments
+from repro.runner import configure
 
 
 def main(argv=None) -> int:
@@ -24,9 +31,24 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (E1..E12); default: all",
+        help="experiment ids (E1..E13); default: all",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes per campaign (0 = all cores; default serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="DIR",
+        help="cache run results on disk (optional directory)",
+    )
     args = parser.parse_args(argv)
 
     registry = all_experiments()
@@ -34,6 +56,8 @@ def main(argv=None) -> int:
     unknown = [e for e in wanted if e not in registry]
     if unknown:
         parser.error(f"unknown experiments: {unknown}; have {list(registry)}")
+
+    configure(workers=args.jobs, cache=args.cache)
 
     failures = []
     for experiment_id in wanted:

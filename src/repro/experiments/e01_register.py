@@ -21,33 +21,54 @@ from repro.registers.abd import RegisterBank
 from repro.registers.linearizability import check_linearizable
 from repro.registers.quorums import MajorityQuorums, SigmaQuorums
 from repro.registers.workload import RegisterWorkload, workload_quiescent
-from repro.sim.system import SystemBuilder
+from repro.runner import Campaign, call, ref, run_spec
 
 
-def _run_case(n, f, quorums, detector, seed, horizon=80_000):
-    crash_times = {pid: 150 + 40 * pid for pid in range(f)}
-    pattern = FailurePattern(n, crash_times)
-    builder = (
-        SystemBuilder(n=n, seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .component("reg", lambda pid: RegisterBank(quorums, record_ops=True))
-        .component(
-            "workload",
-            lambda pid: RegisterWorkload(
-                registers=("x", "y"), ops_per_process=4, seed=seed
-            ),
-        )
+def _identity(d):
+    return d
+
+
+def _bank_factory(kind):
+    """One quorum system per run, shared by every process's bank."""
+    quorums = (
+        MajorityQuorums() if kind == "majority" else SigmaQuorums(_identity)
     )
-    if detector is not None:
-        builder.detector(detector)
-    system = builder.build()
-    trace = system.run(stop_when=workload_quiescent())
+    return lambda pid: RegisterBank(quorums, record_ops=True)
+
+
+def _workload_factory(seed):
+    return lambda pid: RegisterWorkload(
+        registers=("x", "y"), ops_per_process=4, seed=seed
+    )
+
+
+def _summarize(system, trace):
     completed = len(trace.completed_operations("reg"))
-    total = len(trace.operations)
-    live = trace.stop_reason == "stop-condition"
-    linearizable = check_linearizable(trace.operations).ok
-    msgs_per_op = trace.messages_sent / max(1, completed)
-    return live, linearizable, completed, total, msgs_per_op
+    return {
+        "live": trace.stop_reason == "stop-condition",
+        "linearizable": check_linearizable(trace.operations).ok,
+        "completed": completed,
+        "total": len(trace.operations),
+        "msgs_per_op": trace.messages_sent / max(1, completed),
+    }
+
+
+def case_spec(n, f, kind, seed, horizon=80_000):
+    """One E1 cell: ABD over ``kind`` quorums under ``f`` early crashes."""
+    return run_spec(
+        n=n,
+        seed=seed,
+        horizon=horizon,
+        pattern=FailurePattern(n, {pid: 150 + 40 * pid for pid in range(f)}),
+        detector=SigmaOracle() if kind == "sigma" else None,
+        components=[
+            ("reg", call(_bank_factory, kind)),
+            ("workload", call(_workload_factory, seed)),
+        ],
+        stop=call(workload_quiescent),
+        summarize=ref(_summarize),
+        tags={"f": f, "kind": kind},
+    )
 
 
 @experiment("E1")
@@ -60,27 +81,29 @@ def run(seed: int = 0, n: int = 5) -> ExperimentResult:
     ok = True
     majority_limit = (n - 1) // 2
 
-    for f in range(n):
-        for label, quorums, detector in (
-            ("majority", MajorityQuorums(), None),
-            ("sigma", SigmaQuorums(lambda d: d), SigmaOracle()),
-        ):
-            live, lin, done, total, mpo = _run_case(
-                n, f, quorums, detector, seed
-            )
-            if label == "sigma":
-                expected = live and lin
-            else:
-                # Majorities: live iff a majority stayed correct;
-                # always safe.
-                expected = lin and (live == (f <= majority_limit))
-            ok = ok and expected
-            rows.append(
-                [
-                    label, f, verdict_cell(live), verdict_cell(lin),
-                    f"{done}/{total}", round(mpo, 1), verdict_cell(expected),
-                ]
-            )
+    campaign = Campaign.grid(
+        lambda f, kind: case_spec(n, f, kind, seed),
+        name="E1",
+        f=range(n),
+        kind=("majority", "sigma"),
+    )
+    for summary in campaign.run():
+        f, kind = summary.tags["f"], summary.tags["kind"]
+        m = summary.metrics
+        live, lin = m["live"], m["linearizable"]
+        if kind == "sigma":
+            expected = live and lin
+        else:
+            # Majorities: live iff a majority stayed correct; always safe.
+            expected = lin and (live == (f <= majority_limit))
+        ok = ok and expected
+        rows.append(
+            [
+                kind, f, verdict_cell(live), verdict_cell(lin),
+                f"{m['completed']}/{m['total']}", round(m["msgs_per_op"], 1),
+                verdict_cell(expected),
+            ]
+        )
 
     return ExperimentResult(
         experiment_id="E1",

@@ -15,36 +15,64 @@ from typing import List
 
 from repro.core.detectors import SigmaOracle
 from repro.core.failure_pattern import FailurePattern
-from repro.core.specs import check_sigma
 from repro.experiments.common import ExperimentResult, experiment, verdict_cell
 from repro.registers.abd import RegisterBank
 from repro.registers.extract_sigma import SigmaExtraction, initial_registers
 from repro.registers.participants import ParticipantTracker
 from repro.registers.quorums import MajorityQuorums, SigmaQuorums
-from repro.sim.system import SystemBuilder
+from repro.runner import Campaign, call, ref, run_spec
 
 
-def _run_case(n, pattern, quorums, detector, seed, horizon=20_000):
-    builder = (
-        SystemBuilder(n=n, seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .component("ptrack", lambda pid: ParticipantTracker())
-        .component(
-            "reg",
-            lambda pid: RegisterBank(quorums, initial=initial_registers(n)),
-        )
-        .component("xsigma", lambda pid: SigmaExtraction())
+def _identity(d):
+    return d
+
+
+def _ptrack_factory():
+    return lambda pid: ParticipantTracker()
+
+
+def _bank_factory(kind, n):
+    quorums = (
+        MajorityQuorums() if kind == "majority" else SigmaQuorums(_identity)
     )
-    if detector is not None:
-        builder.detector(detector)
-    system = builder.build()
-    trace = system.run()
-    verdict = check_sigma(trace.annotations["sigma-extraction"], pattern)
+    return lambda pid: RegisterBank(quorums, initial=initial_registers(n))
+
+
+def _xsigma_factory():
+    return lambda pid: SigmaExtraction()
+
+
+def _summarize(system, trace):
+    from repro.core.specs import check_sigma
+
+    verdict = check_sigma(trace.annotations["sigma-extraction"], trace.pattern)
     rounds = [
         system.component_at(p, "xsigma").rounds_completed
-        for p in pattern.correct
+        for p in trace.pattern.correct
     ]
-    return verdict, min(rounds) if rounds else 0, trace.messages_sent
+    return {
+        "ok": verdict.ok,
+        "holds_from": verdict.holds_from,
+        "min_rounds": min(rounds) if rounds else 0,
+    }
+
+
+def case_spec(n, kind, pattern, seed, horizon=20_000):
+    """One Figure 1 extraction run over ``kind`` quorums."""
+    return run_spec(
+        n=n,
+        seed=seed,
+        horizon=horizon,
+        pattern=pattern,
+        detector=SigmaOracle() if kind == "sigma" else None,
+        components=[
+            ("ptrack", call(_ptrack_factory)),
+            ("reg", call(_bank_factory, kind, n)),
+            ("xsigma", call(_xsigma_factory)),
+        ],
+        summarize=ref(_summarize),
+        tags={"kind": kind, "crashes": len(pattern.faulty)},
+    )
 
 
 @experiment("E2")
@@ -57,27 +85,28 @@ def run(seed: int = 0, n: int = 4) -> ExperimentResult:
     ok = True
 
     cases = [
-        ("ABD/Sigma", SigmaQuorums(lambda d: d), SigmaOracle(),
-         FailurePattern.crash_free(n)),
-        ("ABD/Sigma", SigmaQuorums(lambda d: d), SigmaOracle(),
+        ("ABD/Sigma", "sigma", FailurePattern.crash_free(n)),
+        ("ABD/Sigma", "sigma",
          FailurePattern(n, {pid: 150 + 50 * pid for pid in range(n - 1)})),
-        ("ABD/majority", MajorityQuorums(), None,
-         FailurePattern.crash_free(n)),
-        ("ABD/majority", MajorityQuorums(), None,
-         FailurePattern(n, {n - 1: 200})),
+        ("ABD/majority", "majority", FailurePattern.crash_free(n)),
+        ("ABD/majority", "majority", FailurePattern(n, {n - 1: 200})),
     ]
-    for label, quorums, detector, pattern in cases:
-        verdict, rounds, msgs = _run_case(n, pattern, quorums, detector, seed)
-        ok = ok and verdict.ok
+    campaign = Campaign(
+        (case_spec(n, kind, pattern, seed) for _, kind, pattern in cases),
+        name="E2",
+    )
+    for (label, kind, pattern), summary in zip(cases, campaign.run()):
+        m = summary.metrics
+        ok = ok and m["ok"]
         rows.append(
             [
                 label,
-                "Sigma oracle" if detector else "none (ex nihilo)",
+                "Sigma oracle" if kind == "sigma" else "none (ex nihilo)",
                 len(pattern.faulty),
-                verdict_cell(verdict.ok),
-                verdict.holds_from,
-                rounds,
-                msgs,
+                verdict_cell(m["ok"]),
+                m["holds_from"],
+                m["min_rounds"],
+                summary.messages_sent,
             ]
         )
 

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.analysis.properties import check_consensus
 from repro.consensus.chandra_toueg import ChandraTouegConsensusCore
 from repro.consensus.interface import consensus_component
 from repro.consensus.paxos import OmegaSigmaConsensusCore, omega_of
@@ -24,7 +23,9 @@ from repro.core.detectors.strong import StrongOracle
 from repro.consensus.strong_detector import StrongConsensusCore
 from repro.core.failure_pattern import FailurePattern
 from repro.experiments.common import ExperimentResult, experiment, verdict_cell
-from repro.sim.system import SystemBuilder, decided
+from repro.experiments.hooks import agreement_summary
+from repro.runner import Campaign, call, run_spec
+from repro.sim.system import decided
 
 
 def _omega_only_core(proposal, n):
@@ -38,25 +39,52 @@ def _omega_only_core(proposal, n):
     return core
 
 
-def _run(n, f, detector, core_factory, seed, horizon=60_000):
+#: label -> (detector maker, core maker taking (proposal, n))
+_ALGORITHMS = {
+    "(Omega,Sigma)": (
+        omega_sigma_oracle,
+        lambda v, n: OmegaSigmaConsensusCore(v),
+    ),
+    "Omega+majorities": (OmegaOracle, _omega_only_core),
+    "CT <>S [4]": (
+        EventuallyStrongOracle,
+        lambda v, n: ChandraTouegConsensusCore(v),
+    ),
+    "CT S [4]": (StrongOracle, lambda v, n: StrongConsensusCore(v)),
+}
+
+
+def _proposals(n):
+    return {p: f"v{p}" for p in range(n)}
+
+
+def _core_factory(label, n):
+    proposals = _proposals(n)
+    _, maker = _ALGORITHMS[label]
+    return consensus_component(lambda pid: maker(proposals[pid], n))
+
+
+def case_spec(n, f, label, seed, horizon=60_000):
     # Crashes land at the very start of the run: that is the regime in
     # which quorum availability, not mere crash count, decides liveness
     # (late crashes let any algorithm finish before losing its quorum).
-    pattern = FailurePattern(n, {pid: 1 + 2 * pid for pid in range(f)})
-    proposals = {p: f"v{p}" for p in range(n)}
-    trace = (
-        SystemBuilder(n=n, seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .detector(detector)
-        .component(
+    detector_maker, _ = _ALGORITHMS[label]
+    return run_spec(
+        n=n,
+        seed=seed,
+        horizon=horizon,
+        pattern=FailurePattern(n, {pid: 1 + 2 * pid for pid in range(f)}),
+        detector=detector_maker(),
+        components=[("consensus", call(_core_factory, label, n))],
+        stop=call(decided, "consensus"),
+        summarize=call(
+            agreement_summary,
             "consensus",
-            consensus_component(lambda pid: core_factory(proposals[pid])),
-        )
-        .build()
-        .run(stop_when=decided("consensus"))
+            "consensus",
+            tuple(sorted(_proposals(n).items())),
+        ),
+        tags={"f": f, "label": label},
     )
-    verdict = check_consensus(trace, proposals)
-    return trace, verdict
 
 
 @experiment("E3")
@@ -69,52 +97,35 @@ def run(seed: int = 0, n: int = 5) -> ExperimentResult:
     ok = True
     majority_limit = (n - 1) // 2
 
-    for f in range(n):
-        for label, detector, factory in (
-            (
-                "(Omega,Sigma)",
-                omega_sigma_oracle(),
-                lambda v: OmegaSigmaConsensusCore(v),
-            ),
-            (
-                "Omega+majorities",
-                OmegaOracle(),
-                lambda v: _omega_only_core(v, n),
-            ),
-            (
-                "CT <>S [4]",
-                EventuallyStrongOracle(),
-                lambda v: ChandraTouegConsensusCore(v),
-            ),
-            (
-                "CT S [4]",
-                StrongOracle(),
-                lambda v: StrongConsensusCore(v),
-            ),
-        ):
-            trace, verdict = _run(n, f, detector, factory, seed)
-            safe = verdict.agreement and verdict.validity
-            if label in ("(Omega,Sigma)", "CT S [4]"):
-                # Both tolerate any number of crashes — but S's
-                # perpetual accuracy is unimplementable, (Omega,Sigma)
-                # is the *weakest* such detector.
-                expected = verdict.ok
-            else:
-                # Both majority-based baselines share the crossover.
-                expected = safe and (
-                    verdict.termination == (f <= majority_limit)
-                )
-            ok = ok and expected
-            rows.append(
-                [
-                    label, f,
-                    verdict_cell(verdict.termination),
-                    verdict_cell(safe),
-                    trace.decision_latency("consensus"),
-                    trace.messages_sent,
-                    verdict_cell(expected),
-                ]
-            )
+    campaign = Campaign.grid(
+        lambda f, label: case_spec(n, f, label, seed),
+        name="E3",
+        f=range(n),
+        label=tuple(_ALGORITHMS),
+    )
+    for summary in campaign.run():
+        f, label = summary.tags["f"], summary.tags["label"]
+        m = summary.metrics
+        safe = m["agreement"] and m["validity"]
+        if label in ("(Omega,Sigma)", "CT S [4]"):
+            # Both tolerate any number of crashes — but S's
+            # perpetual accuracy is unimplementable, (Omega,Sigma)
+            # is the *weakest* such detector.
+            expected = m["ok"]
+        else:
+            # Both majority-based baselines share the crossover.
+            expected = safe and (m["termination"] == (f <= majority_limit))
+        ok = ok and expected
+        rows.append(
+            [
+                label, f,
+                verdict_cell(m["termination"]),
+                verdict_cell(safe),
+                summary.latency("consensus"),
+                summary.messages_sent,
+                verdict_cell(expected),
+            ]
+        )
 
     return ExperimentResult(
         experiment_id="E3",

@@ -9,30 +9,41 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.analysis.properties import check_qc
 from repro.consensus.interface import consensus_component
 from repro.core.detectors import PsiOracle
 from repro.core.detectors.psi import FS_BRANCH, OMEGA_SIGMA_BRANCH
 from repro.core.failure_pattern import FailurePattern
 from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.experiments.hooks import agreement_summary
 from repro.qc.psi_qc import PsiQCCore
 from repro.qc.spec import Q
-from repro.sim.system import SystemBuilder, decided
+from repro.runner import Campaign, call, run_spec
+from repro.sim.system import decided
 
 
-def _run(n, branch, pattern, seed, horizon=60_000):
-    proposals = {p: f"v{p}" for p in range(n)}
-    trace = (
-        SystemBuilder(n=n, seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .detector(PsiOracle(branch=branch))
-        .component(
-            "qc", consensus_component(lambda pid: PsiQCCore(proposals[pid]))
-        )
-        .build()
-        .run(stop_when=decided("qc"))
+def _proposals(n):
+    return {p: f"v{p}" for p in range(n)}
+
+
+def _qc_factory(n):
+    proposals = _proposals(n)
+    return consensus_component(lambda pid: PsiQCCore(proposals[pid]))
+
+
+def case_spec(n, branch, pattern, seed, horizon=60_000):
+    return run_spec(
+        n=n,
+        seed=seed,
+        horizon=horizon,
+        pattern=pattern,
+        detector=PsiOracle(branch=branch),
+        components=[("qc", call(_qc_factory, n))],
+        stop=call(decided, "qc"),
+        summarize=call(
+            agreement_summary, "qc", "qc", tuple(sorted(_proposals(n).items()))
+        ),
+        tags={"branch": branch or "oracle-chosen"},
     )
-    return trace, check_qc(trace, proposals, "qc"), proposals
 
 
 @experiment("E4")
@@ -52,24 +63,29 @@ def run(seed: int = 0, n: int = 4) -> ExperimentResult:
          "Q"),
         (None, FailurePattern.crash_free(n), "proposal"),
     ]
-    for branch, pattern, expected_kind in cases:
-        trace, verdict, proposals = _run(n, branch, pattern, seed)
-        outcomes = {d.value for d in trace.decisions}
+    campaign = Campaign(
+        (case_spec(n, branch, pattern, seed) for branch, pattern, _ in cases),
+        name="E4",
+    )
+    proposal_reprs = {repr(v) for v in _proposals(n).values()}
+    for (branch, pattern, expected_kind), summary in zip(cases, campaign.run()):
+        m = summary.metrics
+        outcomes = m["outcomes"]
         if expected_kind == "Q":
-            shape_ok = outcomes == {Q}
+            shape_ok = outcomes == [repr(Q)]
             outcome = "Q (quit)"
         else:
-            shape_ok = all(v in proposals.values() for v in outcomes)
-            outcome = ", ".join(sorted(repr(v) for v in outcomes))
-        expected = verdict.ok and shape_ok
+            shape_ok = all(v in proposal_reprs for v in outcomes)
+            outcome = ", ".join(outcomes)
+        expected = m["ok"] and shape_ok
         ok = ok and expected
         rows.append(
             [
                 branch or "oracle-chosen",
                 len(pattern.faulty),
-                verdict_cell(verdict.ok),
+                verdict_cell(m["ok"]),
                 outcome,
-                trace.decision_latency("qc"),
+                summary.latency("qc"),
                 verdict_cell(expected),
             ]
         )

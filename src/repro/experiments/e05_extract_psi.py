@@ -14,43 +14,56 @@ from typing import List
 from repro.core.detectors import PsiOracle
 from repro.core.detectors.psi import FS_BRANCH, OMEGA_SIGMA_BRANCH
 from repro.core.failure_pattern import FailurePattern
-from repro.core.specs import check_psi
 from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.experiments.hooks import probe_factory
 from repro.protocols.base import CoreComponent
 from repro.qc.extract_psi import PsiExtraction
 from repro.qc.psi_qc import PsiQCCore
-from repro.sim.probes import OutputRecorder
-from repro.sim.system import SystemBuilder
+from repro.runner import Campaign, call, ref, run_spec
 
 
-def _run(branch, pattern, seed, horizon, prefix_stride=10):
-    system = (
-        SystemBuilder(n=3, seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .detector(PsiOracle(branch=branch))
-        .component(
-            "xpsi",
-            lambda pid: CoreComponent(
-                PsiExtraction(
-                    qc_factory=lambda: PsiQCCore(),
-                    prefix_stride=prefix_stride,
-                )
-            ),
+def _xpsi_factory(prefix_stride):
+    return lambda pid: CoreComponent(
+        PsiExtraction(
+            qc_factory=lambda: PsiQCCore(), prefix_stride=prefix_stride
         )
-        .component("probe", lambda pid: OutputRecorder("xpsi", "psi-x"))
-        .build()
     )
-    trace = system.run()
-    verdict = check_psi(trace.annotations["psi-x"], pattern)
+
+
+def _summarize(system, trace):
+    from repro.core.specs import check_psi
+
+    verdict = check_psi(trace.annotations["psi-x"], trace.pattern)
     branches = {
         system.component_at(p, "xpsi").core.branch
-        for p in pattern.correct
+        for p in trace.pattern.correct
     }
+    branches.discard(None)
     sigma_rounds = sum(
         system.component_at(p, "xpsi").core.sigma_rounds
-        for p in pattern.correct
+        for p in trace.pattern.correct
     )
-    return verdict, branches, sigma_rounds
+    return {
+        "ok": verdict.ok,
+        "branches": sorted(branches),
+        "sigma_rounds": sigma_rounds,
+    }
+
+
+def case_spec(branch, pattern, seed, horizon, prefix_stride=10):
+    return run_spec(
+        n=3,
+        seed=seed,
+        horizon=horizon,
+        pattern=pattern,
+        detector=PsiOracle(branch=branch),
+        components=[
+            ("xpsi", call(_xpsi_factory, prefix_stride)),
+            ("probe", call(probe_factory, "xpsi", "psi-x")),
+        ],
+        summarize=ref(_summarize),
+        tags={"branch": branch},
+    )
 
 
 @experiment("E5")
@@ -70,19 +83,27 @@ def run(seed: int = 1) -> ExperimentResult:
         (FS_BRANCH, FailurePattern(3, {2: 300}), 8_000, "fs"),
         (FS_BRANCH, FailurePattern(3, {0: 150, 1: 250}), 8_000, "fs"),
     ]
-    for branch, pattern, horizon, expected_branch in cases:
-        verdict, branches, rounds = _run(branch, pattern, seed, horizon)
-        branches.discard(None)
-        branch_ok = branches == {expected_branch}
-        expected = verdict.ok and branch_ok
+    campaign = Campaign(
+        (
+            case_spec(branch, pattern, seed, horizon)
+            for branch, pattern, horizon, _ in cases
+        ),
+        name="E5",
+    )
+    for (branch, pattern, _, expected_branch), summary in zip(
+        cases, campaign.run()
+    ):
+        m = summary.metrics
+        branch_ok = m["branches"] == [expected_branch]
+        expected = m["ok"] and branch_ok
         ok = ok and expected
         rows.append(
             [
                 branch,
                 len(pattern.faulty),
-                verdict_cell(verdict.ok),
-                ",".join(sorted(branches)) or "-",
-                rounds,
+                verdict_cell(m["ok"]),
+                ",".join(m["branches"]) or "-",
+                m["sigma_rounds"],
                 verdict_cell(expected),
             ]
         )

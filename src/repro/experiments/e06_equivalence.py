@@ -11,11 +11,14 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.analysis.properties import check_nbac, check_qc
 from repro.consensus.interface import consensus_component
 from repro.core.failure_pattern import FailurePattern
-from repro.core.specs import check_fs
 from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.experiments.hooks import (
+    agreement_summary,
+    annotation_check,
+    probe_factory,
+)
 from repro.nbac import (
     ABORT,
     COMMIT,
@@ -27,64 +30,74 @@ from repro.nbac import (
     psi_fs_oracle,
 )
 from repro.protocols.base import CoreComponent
-from repro.sim.probes import OutputRecorder
-from repro.sim.system import SystemBuilder, decided
+from repro.runner import Campaign, call, run_spec
+from repro.sim.system import decided
 
 
-def _fig4_row(votes, pattern, seed, horizon=90_000):
-    trace = (
-        SystemBuilder(n=len(votes), seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .detector(psi_fs_oracle())
-        .component(
-            "nbac",
-            consensus_component(lambda pid: psi_fs_nbac_core(votes[pid])),
+def _nbac_factory(votes_items):
+    votes = dict(votes_items)
+    return consensus_component(lambda pid: psi_fs_nbac_core(votes[pid]))
+
+
+def _qc_from_nbac_factory(proposals_items):
+    proposals = dict(proposals_items)
+    return consensus_component(
+        lambda pid: QCFromNBACCore(
+            proposals[pid], nbac_factory=lambda: psi_fs_nbac_core()
         )
-        .build()
-        .run(stop_when=decided("nbac"))
     )
-    verdict = check_nbac(trace, votes, "nbac")
-    outcomes = {d.value for d in trace.decisions}
-    return verdict, outcomes
 
 
-def _fig5_row(proposals, pattern, seed, horizon=110_000):
-    trace = (
-        SystemBuilder(n=len(proposals), seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .detector(psi_fs_oracle())
-        .component(
-            "qc",
-            consensus_component(
-                lambda pid: QCFromNBACCore(
-                    proposals[pid], nbac_factory=lambda: psi_fs_nbac_core()
-                )
-            ),
-        )
-        .build()
-        .run(stop_when=decided("qc"))
+def _xfs_factory():
+    return lambda pid: CoreComponent(
+        FSFromNBACCore(lambda tag: psi_fs_nbac_core())
     )
-    verdict = check_qc(trace, proposals, "qc")
-    outcomes = {repr(d.value) for d in trace.decisions}
-    return verdict, outcomes
 
 
-def _fs_row(pattern, seed, horizon=60_000):
-    trace = (
-        SystemBuilder(n=pattern.n, seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .detector(psi_fs_oracle())
-        .component(
-            "xfs",
-            lambda pid: CoreComponent(
-                FSFromNBACCore(lambda tag: psi_fs_nbac_core())
-            ),
-        )
-        .component("probe", lambda pid: OutputRecorder("xfs", "fs-x"))
-        .build()
-        .run()
+def _fig4_spec(votes, pattern, seed, horizon=90_000):
+    items = tuple(sorted(votes.items()))
+    return run_spec(
+        n=len(votes),
+        seed=seed,
+        horizon=horizon,
+        pattern=pattern,
+        detector=psi_fs_oracle(),
+        components=[("nbac", call(_nbac_factory, items))],
+        stop=call(decided, "nbac"),
+        summarize=call(agreement_summary, "nbac", "nbac", items),
+        tags={"direction": "fig4"},
     )
-    return check_fs(trace.annotations["fs-x"], pattern)
+
+
+def _fig5_spec(proposals, pattern, seed, horizon=110_000):
+    items = tuple(sorted(proposals.items()))
+    return run_spec(
+        n=len(proposals),
+        seed=seed,
+        horizon=horizon,
+        pattern=pattern,
+        detector=psi_fs_oracle(),
+        components=[("qc", call(_qc_from_nbac_factory, items))],
+        stop=call(decided, "qc"),
+        summarize=call(agreement_summary, "qc", "qc", items),
+        tags={"direction": "fig5"},
+    )
+
+
+def _fs_spec(pattern, seed, horizon=60_000):
+    return run_spec(
+        n=pattern.n,
+        seed=seed,
+        horizon=horizon,
+        pattern=pattern,
+        detector=psi_fs_oracle(),
+        components=[
+            ("xfs", call(_xfs_factory)),
+            ("probe", call(probe_factory, "xfs", "fs-x")),
+        ],
+        summarize=call(annotation_check, "fs", "fs-x"),
+        tags={"direction": "fs"},
+    )
 
 
 @experiment("E6")
@@ -99,41 +112,53 @@ def run(seed: int = 0) -> ExperimentResult:
         ({0: NO, 1: YES, 2: YES}, FailurePattern.crash_free(3), {ABORT}),
         ({p: YES for p in range(3)}, FailurePattern(3, {0: 1}), {ABORT}),
     ]
-    for votes, pattern, expected_outcomes in fig4_cases:
-        verdict, outcomes = _fig4_row(votes, pattern, seed)
-        expected = verdict.ok and outcomes == expected_outcomes
+    fig5_cases = [
+        ({p: f"v{p}" for p in range(3)}, FailurePattern.crash_free(3)),
+        ({p: f"v{p}" for p in range(3)}, FailurePattern(3, {0: 1})),
+    ]
+    fs_cases = [FailurePattern.crash_free(3), FailurePattern(3, {1: 400})]
+
+    campaign = Campaign(
+        [_fig4_spec(votes, pattern, seed) for votes, pattern, _ in fig4_cases]
+        + [_fig5_spec(props, pattern, seed) for props, pattern in fig5_cases]
+        + [_fs_spec(pattern, seed) for pattern in fs_cases],
+        name="E6",
+    )
+    summaries = campaign.run().summaries
+    fig4 = summaries[: len(fig4_cases)]
+    fig5 = summaries[len(fig4_cases):len(fig4_cases) + len(fig5_cases)]
+    fs = summaries[len(fig4_cases) + len(fig5_cases):]
+
+    for (votes, pattern, expected_outcomes), summary in zip(fig4_cases, fig4):
+        m = summary.metrics
+        outcomes = m["outcomes"]
+        expected = m["ok"] and outcomes == sorted(map(repr, expected_outcomes))
         ok = ok and expected
         scenario = (
             f"votes={''.join(v[0] for v in votes.values())} "
             f"crashes={len(pattern.faulty)}"
         )
         rows.append(
-            ["Fig4 QC+FS->NBAC", scenario, verdict_cell(verdict.ok),
-             ",".join(sorted(outcomes)), verdict_cell(expected)]
+            ["Fig4 QC+FS->NBAC", scenario, verdict_cell(m["ok"]),
+             ",".join(o.strip("'") for o in outcomes), verdict_cell(expected)]
         )
 
-    # Figure 5: NBAC -> QC.
-    fig5_cases = [
-        ({p: f"v{p}" for p in range(3)}, FailurePattern.crash_free(3)),
-        ({p: f"v{p}" for p in range(3)}, FailurePattern(3, {0: 1})),
-    ]
-    for proposals, pattern in fig5_cases:
-        verdict, outcomes = _fig5_row(proposals, pattern, seed)
-        ok = ok and verdict.ok
+    for (proposals, pattern), summary in zip(fig5_cases, fig5):
+        m = summary.metrics
+        ok = ok and m["ok"]
         scenario = f"crashes={len(pattern.faulty)}"
         rows.append(
-            ["Fig5 NBAC->QC", scenario, verdict_cell(verdict.ok),
-             ",".join(sorted(outcomes)), verdict_cell(verdict.ok)]
+            ["Fig5 NBAC->QC", scenario, verdict_cell(m["ok"]),
+             ",".join(m["outcomes"]), verdict_cell(m["ok"])]
         )
 
-    # NBAC -> FS.
-    for pattern in (FailurePattern.crash_free(3), FailurePattern(3, {1: 400})):
-        verdict = _fs_row(pattern, seed)
-        ok = ok and verdict.ok
+    for pattern, summary in zip(fs_cases, fs):
+        m = summary.metrics
+        ok = ok and m["ok"]
         scenario = f"crashes={len(pattern.faulty)}"
         rows.append(
-            ["NBAC->FS", scenario, verdict_cell(verdict.ok),
-             f"holds_from={verdict.holds_from}", verdict_cell(verdict.ok)]
+            ["NBAC->FS", scenario, verdict_cell(m["ok"]),
+             f"holds_from={m['holds_from']}", verdict_cell(m["ok"])]
         )
 
     return ExperimentResult(

@@ -13,29 +13,32 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.analysis.properties import check_nbac
 from repro.consensus.interface import consensus_component
 from repro.core.failure_pattern import FailurePattern
 from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.experiments.hooks import agreement_summary
 from repro.nbac import ABORT, COMMIT, NO, YES, psi_fs_nbac_core, psi_fs_oracle
-from repro.sim.system import SystemBuilder, decided
+from repro.runner import Campaign, call, run_spec
+from repro.sim.system import decided
 
 
-def _run(votes, pattern, seed, branch=None, horizon=90_000):
-    trace = (
-        SystemBuilder(n=len(votes), seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .detector(psi_fs_oracle(branch=branch))
-        .component(
-            "nbac",
-            consensus_component(lambda pid: psi_fs_nbac_core(votes[pid])),
-        )
-        .build()
-        .run(stop_when=decided("nbac"))
+def _nbac_factory(votes_items):
+    votes = dict(votes_items)
+    return consensus_component(lambda pid: psi_fs_nbac_core(votes[pid]))
+
+
+def case_spec(votes, pattern, seed, branch=None, horizon=90_000):
+    items = tuple(sorted(votes.items()))
+    return run_spec(
+        n=len(votes),
+        seed=seed,
+        horizon=horizon,
+        pattern=pattern,
+        detector=psi_fs_oracle(branch=branch),
+        components=[("nbac", call(_nbac_factory, items))],
+        stop=call(decided, "nbac"),
+        summarize=call(agreement_summary, "nbac", "nbac", items),
     )
-    verdict = check_nbac(trace, votes, "nbac")
-    outcomes = {d.value for d in trace.decisions}
-    return verdict, outcomes, trace
 
 
 @experiment("E7")
@@ -59,23 +62,35 @@ def run(seed: int = 0, n: int = 4) -> ExperimentResult:
         (all_yes, 5_000, "omega-sigma", {COMMIT}),  # crash long after
         (one_no, 5_000, "omega-sigma", {ABORT}),
     ]
-    for votes, crash_time, branch, required in cases:
-        pattern = (
-            FailurePattern.crash_free(n)
-            if crash_time is None
-            else FailurePattern(n, {n - 1: crash_time})
-        )
-        verdict, outcomes, trace = _run(votes, pattern, seed, branch)
-        expected = verdict.ok and (required is None or outcomes == required)
+
+    def _pattern(crash_time):
+        if crash_time is None:
+            return FailurePattern.crash_free(n)
+        return FailurePattern(n, {n - 1: crash_time})
+
+    campaign = Campaign(
+        (
+            case_spec(votes, _pattern(crash_time), seed, branch)
+            for votes, crash_time, branch, _ in cases
+        ),
+        name="E7",
+    )
+    for (votes, crash_time, branch, required), summary in zip(
+        cases, campaign.run()
+    ):
+        m = summary.metrics
+        outcomes = m["outcomes"]
+        required_reprs = sorted(map(repr, required)) if required else None
+        expected = m["ok"] and (required is None or outcomes == required_reprs)
         ok = ok and expected
         rows.append(
             [
                 "".join(v[0] for v in votes.values()),
                 crash_time if crash_time is not None else "-",
                 branch or "oracle-chosen",
-                verdict_cell(verdict.ok),
-                ",".join(sorted(outcomes)),
-                trace.decision_latency("nbac"),
+                verdict_cell(m["ok"]),
+                ",".join(o.strip("'") for o in outcomes),
+                summary.latency("nbac"),
                 verdict_cell(expected),
             ]
         )

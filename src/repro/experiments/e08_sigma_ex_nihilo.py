@@ -11,34 +11,48 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.failure_pattern import FailurePattern
-from repro.core.specs import check_sigma
-from repro.experiments.common import ExperimentResult, experiment, verdict_cell
 from repro.ex_nihilo.sigma_majority import SigmaFromMajority
-from repro.sim.probes import OutputRecorder
-from repro.sim.system import SystemBuilder
+from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.experiments.hooks import probe_factory
+from repro.runner import Campaign, call, ref, run_spec
 
 
-def _run(pattern, seed, horizon=20_000):
-    system = (
-        SystemBuilder(n=pattern.n, seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .component("sigma-impl", lambda pid: SigmaFromMajority())
-        .component("probe", lambda pid: OutputRecorder("sigma-impl", "s"))
-        .build()
+def _sigma_impl_factory():
+    return lambda pid: SigmaFromMajority()
+
+
+def _summarize(system, trace):
+    from repro.core.specs import check_sigma
+
+    verdict = check_sigma(trace.annotations["s"], trace.pattern)
+    return {
+        "ok": verdict.ok,
+        "intersection": not any(
+            "Intersection" in v for v in verdict.violations
+        ),
+        "completeness": not any(
+            "Completeness" in v for v in verdict.violations
+        ),
+        "min_rounds": min(
+            system.component_at(p, "sigma-impl").rounds_completed
+            for p in trace.pattern.correct
+        ),
+    }
+
+
+def case_spec(n, f, seed, horizon=20_000):
+    return run_spec(
+        n=n,
+        seed=seed,
+        horizon=horizon,
+        pattern=FailurePattern(n, {pid: 100 + 30 * pid for pid in range(f)}),
+        components=[
+            ("sigma-impl", call(_sigma_impl_factory)),
+            ("probe", call(probe_factory, "sigma-impl", "s")),
+        ],
+        summarize=ref(_summarize),
+        tags={"f": f},
     )
-    trace = system.run()
-    verdict = check_sigma(trace.annotations["s"], pattern)
-    intersection_ok = not any(
-        "Intersection" in v for v in verdict.violations
-    )
-    completeness_ok = not any(
-        "Completeness" in v for v in verdict.violations
-    )
-    rounds = min(
-        system.component_at(p, "sigma-impl").rounds_completed
-        for p in pattern.correct
-    )
-    return verdict, intersection_ok, completeness_ok, rounds
 
 
 @experiment("E8")
@@ -51,22 +65,25 @@ def run(seed: int = 0, n: int = 5) -> ExperimentResult:
     ok = True
     majority_limit = (n - 1) // 2
 
-    for f in range(n):
-        pattern = FailurePattern(n, {pid: 100 + 30 * pid for pid in range(f)})
+    campaign = Campaign.grid(
+        lambda f: case_spec(n, f, seed), name="E8", f=range(n)
+    )
+    for summary in campaign.run():
+        f = summary.tags["f"]
         has_majority = f <= majority_limit
-        verdict, inter, compl, rounds = _run(pattern, seed)
-        expected = inter and (compl == has_majority) and (
-            verdict.ok == has_majority
-        )
+        m = summary.metrics
+        expected = m["intersection"] and (
+            m["completeness"] == has_majority
+        ) and (m["ok"] == has_majority)
         ok = ok and expected
         rows.append(
             [
                 f,
                 verdict_cell(has_majority),
-                verdict_cell(inter),
-                verdict_cell(compl),
-                verdict_cell(verdict.ok),
-                rounds,
+                verdict_cell(m["intersection"]),
+                verdict_cell(m["completeness"]),
+                verdict_cell(m["ok"]),
+                m["min_rounds"],
                 verdict_cell(expected),
             ]
         )

@@ -16,27 +16,41 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.failure_pattern import FailurePattern
-from repro.core.specs import check_fs, check_omega, check_perfect
 from repro.ex_nihilo.fs_heartbeat import FSFromHeartbeats
 from repro.ex_nihilo.omega_heartbeat import OmegaFromHeartbeats
 from repro.ex_nihilo.perfect_synchronous import PerfectFromTimeouts
 from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.experiments.hooks import annotation_check, probe_factory
+from repro.runner import Campaign, call, run_spec
 from repro.sim.network import SpikeDelay, UniformDelay
-from repro.sim.probes import OutputRecorder
-from repro.sim.system import SystemBuilder
+
+_IMPLS = {
+    "omega-impl": OmegaFromHeartbeats,
+    "fs-impl": FSFromHeartbeats,
+    "p-impl": PerfectFromTimeouts,
+}
 
 
-def _run(factory, name, checker, pattern, delays, seed, horizon=25_000):
-    system = (
-        SystemBuilder(n=3, seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .delays(delays)
-        .component(name, factory)
-        .component("probe", lambda pid: OutputRecorder(name, "h"))
-        .build()
+def _impl_factory(name, kwargs_items):
+    maker = _IMPLS[name]
+    kwargs = dict(kwargs_items)
+    return lambda pid: maker(**kwargs)
+
+
+def case_spec(name, checker, kwargs, delays, pattern, seed, horizon=25_000):
+    return run_spec(
+        n=3,
+        seed=seed,
+        horizon=horizon,
+        pattern=pattern,
+        delay_model=delays,
+        components=[
+            (name, call(_impl_factory, name, tuple(sorted(kwargs.items())))),
+            ("probe", call(probe_factory, name, "h")),
+        ],
+        summarize=call(annotation_check, checker, "h"),
+        tags={"probe_seed": seed},
     )
-    trace = system.run()
-    return checker(trace.annotations["h"], pattern)
 
 
 @experiment("E9")
@@ -53,34 +67,41 @@ def run(seed: int = 0) -> ExperimentResult:
     clean = FailurePattern.crash_free(3)
 
     cases = [
-        ("Omega/hb", lambda pid: OmegaFromHeartbeats(), check_omega,
-         "omega-impl", benign, crash, 60, True),
-        ("Omega/hb", lambda pid: OmegaFromHeartbeats(initial_timeout=20),
-         check_omega, "omega-impl", hostile, clean, 20, True),
-        ("FS/hb", lambda pid: FSFromHeartbeats(initial_timeout=200),
-         check_fs, "fs-impl", benign, crash, 200, True),
-        ("FS/hb", lambda pid: FSFromHeartbeats(initial_timeout=15),
-         check_fs, "fs-impl", hostile, clean, 15, False),
-        ("P/hb", lambda pid: PerfectFromTimeouts(timeout=250),
-         check_perfect, "p-impl", benign, crash, 250, True),
-        ("P/hb", lambda pid: PerfectFromTimeouts(timeout=12),
-         check_perfect, "p-impl", hostile, clean, 12, False),
+        ("Omega/hb", {}, "omega", "omega-impl", benign, crash, 60, True),
+        ("Omega/hb", {"initial_timeout": 20}, "omega", "omega-impl",
+         hostile, clean, 20, True),
+        ("FS/hb", {"initial_timeout": 200}, "fs", "fs-impl",
+         benign, crash, 200, True),
+        ("FS/hb", {"initial_timeout": 15}, "fs", "fs-impl",
+         hostile, clean, 15, False),
+        ("P/hb", {"timeout": 250}, "perfect", "p-impl",
+         benign, crash, 250, True),
+        ("P/hb", {"timeout": 12}, "perfect", "p-impl",
+         hostile, clean, 12, False),
     ]
-    for label, factory, checker, name, delays, pattern, timeout, expect_ok in cases:
-        holds = None
+
+    # Positive cases are one cell each; negative (forgery) cases are
+    # probabilistic, so they fan out over a handful of probe seeds and
+    # count as expected if *any* seed breaks the spec.
+    jobs = []
+    slices = []
+    for label, kwargs, checker, name, delays, pattern, timeout, expect_ok in cases:
+        seeds = [seed] if expect_ok else list(range(seed, seed + 6))
+        slices.append((len(jobs), len(seeds)))
+        jobs.extend(
+            case_spec(name, checker, kwargs, delays, pattern, s)
+            for s in seeds
+        )
+
+    summaries = Campaign(jobs, name="E9").run().summaries
+    for case, (start, count) in zip(cases, slices):
+        label, kwargs, checker, name, delays, pattern, timeout, expect_ok = case
+        verdicts = [s.metrics["ok"] for s in summaries[start:start + count]]
         if expect_ok:
-            verdict = _run(factory, name, checker, pattern, delays, seed)
-            holds = verdict.ok
+            holds = verdicts[0]
             expected = holds
         else:
-            # Forgery is probabilistic: accept the expectation if any of
-            # a few seeds breaks the spec.
-            broken = False
-            for s in range(seed, seed + 6):
-                verdict = _run(factory, name, checker, pattern, delays, s)
-                if not verdict.ok:
-                    broken = True
-                    break
+            broken = not all(verdicts)
             holds = not broken
             expected = broken
         ok = ok and expected

@@ -9,36 +9,50 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.analysis.properties import check_consensus
 from repro.consensus.multivalued import MultivaluedFromBinaryCore
 from repro.core.detectors import omega_sigma_oracle
 from repro.core.failure_pattern import FailurePattern
 from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.experiments.hooks import agreement_summary
 from repro.protocols.base import CoreComponent
-from repro.sim.system import SystemBuilder, decided
+from repro.runner import Campaign, call, run_spec
+from repro.sim.system import decided
 
 
-def _run(proposals, pattern, seed, horizon=150_000):
-    cores = {}
+def _mv_factory(proposals_items):
+    proposals = dict(proposals_items)
+    return lambda pid: CoreComponent(MultivaluedFromBinaryCore(proposals[pid]))
 
-    def factory(pid):
-        core = MultivaluedFromBinaryCore(proposals[pid])
-        cores[pid] = core
-        return CoreComponent(core)
 
-    trace = (
-        SystemBuilder(n=len(proposals), seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .detector(omega_sigma_oracle())
-        .component("mv", factory)
-        .build()
-        .run(stop_when=decided("mv"))
+def _summarize(proposals_items):
+    base = agreement_summary("consensus", "mv", proposals_items)
+
+    def hook(system, trace):
+        metrics = dict(base(system, trace))
+        metrics["rounds"] = max(
+            (
+                system.component_at(p, "mv").core.rounds_used
+                for p in trace.pattern.correct
+            ),
+            default=0,
+        )
+        return metrics
+
+    return hook
+
+
+def case_spec(proposals, pattern, seed, horizon=150_000):
+    items = tuple(sorted(proposals.items()))
+    return run_spec(
+        n=len(proposals),
+        seed=seed,
+        horizon=horizon,
+        pattern=pattern,
+        detector=omega_sigma_oracle(),
+        components=[("mv", call(_mv_factory, items))],
+        stop=call(decided, "mv"),
+        summarize=call(_summarize, items),
     )
-    verdict = check_consensus(trace, proposals, "mv")
-    rounds = max(
-        (cores[p].rounds_used for p in pattern.correct), default=0
-    )
-    return verdict, rounds, trace
 
 
 @experiment("E10")
@@ -59,21 +73,23 @@ def run(seed: int = 0, n: int = 4) -> ExperimentResult:
         ({p: p for p in range(n)},
          FailurePattern(n, {p: 50 + 20 * p for p in range(n - 1)})),
     ]
-    for proposals, pattern in cases:
-        verdict, rounds, trace = _run(proposals, pattern, seed)
-        ok = ok and verdict.ok
+    campaign = Campaign(
+        (case_spec(proposals, pattern, seed) for proposals, pattern in cases),
+        name="E10",
+    )
+    for (proposals, pattern), summary in zip(cases, campaign.run()):
+        m = summary.metrics
+        ok = ok and m["ok"]
         domain = type(next(iter(proposals.values()))).__name__
-        decided_repr = ",".join(
-            sorted({repr(v) for v in verdict.decisions.values()})
-        )
+        decided_repr = ",".join(m["outcomes"])
         rows.append(
             [
                 domain,
                 len(pattern.faulty),
-                verdict_cell(verdict.ok),
+                verdict_cell(m["ok"]),
                 decided_repr[:40],
-                rounds,
-                trace.decision_latency("mv"),
+                m["rounds"],
+                summary.latency("mv"),
             ]
         )
 

@@ -15,32 +15,53 @@ from repro.core.detectors import omega_sigma_oracle
 from repro.core.failure_pattern import FailurePattern
 from repro.experiments.common import ExperimentResult, experiment, verdict_cell
 from repro.registers.linearizability import check_linearizable
-from repro.sim.system import SystemBuilder
+from repro.runner import Campaign, call, ref, run_spec
 
 
-def _run(scripts, pattern, seed, horizon=250_000):
-    builder = (
-        SystemBuilder(n=len(scripts), seed=seed, horizon=horizon)
-        .pattern(pattern)
-        .detector(omega_sigma_oracle())
-        .component("smrreg", lambda pid: SMRRegisterComponent(scripts[pid]))
+def _script(p):
+    return [
+        ("write", f"w{p}-1"), ("read", None), ("write", f"w{p}-2"),
+        ("read", None),
+    ]
+
+
+def _smr_factory(n):
+    scripts = {p: _script(p) for p in range(n)}
+    return lambda pid: SMRRegisterComponent(scripts[pid])
+
+
+def _all_clients_done():
+    return lambda s: all(
+        s.component_at(p, "smrreg").core.done for p in s.pattern.correct
     )
-    system = builder.build()
-    trace = system.run(
-        stop_when=lambda s: all(
-            s.component_at(p, "smrreg").core.done for p in s.pattern.correct
-        )
-    )
+
+
+def _summarize(system, trace):
     lin = check_linearizable(trace.operations)
     logs = [
         system.component_at(p, "smrreg").core.child("smr").log
-        for p in pattern.correct
+        for p in trace.pattern.correct
     ]
     shortest = min(len(log) for log in logs)
-    prefix_equal = all(
-        logs[0][:shortest] == log[:shortest] for log in logs
+    prefix_equal = all(logs[0][:shortest] == log[:shortest] for log in logs)
+    return {
+        "linearizable": lin.ok,
+        "converge": prefix_equal,
+        "log_len": shortest,
+    }
+
+
+def case_spec(n, pattern, seed, horizon=250_000):
+    return run_spec(
+        n=n,
+        seed=seed,
+        horizon=horizon,
+        pattern=pattern,
+        detector=omega_sigma_oracle(),
+        components=[("smrreg", call(_smr_factory, n))],
+        stop=call(_all_clients_done),
+        summarize=ref(_summarize),
     )
-    return lin, prefix_equal, shortest, trace
 
 
 @experiment("E11")
@@ -52,28 +73,26 @@ def run(seed: int = 0, n: int = 3) -> ExperimentResult:
     rows: List[list] = []
     ok = True
 
-    base_script = lambda p: [  # noqa: E731
-        ("write", f"w{p}-1"), ("read", None), ("write", f"w{p}-2"),
-        ("read", None),
-    ]
     cases = [
         ("crash-free", FailurePattern.crash_free(n)),
         ("one crash", FailurePattern(n, {0: 120})),
         ("two crashes", FailurePattern(n, {0: 120, 1: 200})),
     ]
-    for label, pattern in cases:
-        scripts = {p: base_script(p) for p in range(n)}
-        lin, converge, log_len, trace = _run(scripts, pattern, seed)
-        expected = lin.ok and converge
+    campaign = Campaign(
+        (case_spec(n, pattern, seed) for _, pattern in cases), name="E11"
+    )
+    for (label, pattern), summary in zip(cases, campaign.run()):
+        m = summary.metrics
+        expected = m["linearizable"] and m["converge"]
         ok = ok and expected
         rows.append(
             [
                 label,
                 len(pattern.faulty),
-                verdict_cell(lin.ok),
-                verdict_cell(converge),
-                log_len,
-                trace.messages_sent,
+                verdict_cell(m["linearizable"]),
+                verdict_cell(m["converge"]),
+                m["log_len"],
+                summary.messages_sent,
             ]
         )
 

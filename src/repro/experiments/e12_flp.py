@@ -13,16 +13,24 @@ checked to survive every one of these adversaries.
 
 from __future__ import annotations
 
+import zlib
 from typing import List
 
+from repro.consensus.ben_or import BenOrConsensusCore
 from repro.consensus.interface import consensus_component
 from repro.consensus.paxos import OmegaSigmaConsensusCore
 from repro.core.detectors import omega_sigma_oracle
 from repro.core.failure_pattern import FailurePattern
 from repro.experiments.common import ExperimentResult, experiment, verdict_cell
+from repro.runner import Campaign, call, ref, run_spec
 from repro.sim.network import HoldingDelivery
 from repro.sim.scheduler import StarvationScheduler
-from repro.sim.system import SystemBuilder, decided
+from repro.sim.system import decided
+
+
+def _stable_bit(value) -> int:
+    """A session-stable 0/1 from any value (``hash`` is salted)."""
+    return zlib.crc32(repr(value).encode()) % 2
 
 
 def _fixed_leader_core(proposal, n):
@@ -35,26 +43,62 @@ def _fixed_leader_core(proposal, n):
     return core
 
 
-def _run(n, seed, detector, core_factory, scheduler=None, delivery=None,
-         horizon=30_000):
-    proposals = {p: f"v{p}" for p in range(n)}
-    builder = (
-        SystemBuilder(n=n, seed=seed, horizon=horizon)
-        .pattern(FailurePattern.crash_free(n))
-        .component(
-            "consensus",
-            consensus_component(lambda pid: core_factory(proposals[pid])),
+def _proposals(n):
+    return {p: f"v{p}" for p in range(n)}
+
+
+def _fixed_leader_factory(n):
+    proposals = _proposals(n)
+    return consensus_component(
+        lambda pid: _fixed_leader_core(proposals[pid], n)
+    )
+
+
+def _omega_sigma_factory(n):
+    proposals = _proposals(n)
+    return consensus_component(
+        lambda pid: OmegaSigmaConsensusCore(proposals[pid])
+    )
+
+
+def _ben_or_factory(n, coin_seed):
+    proposals = _proposals(n)
+    return consensus_component(
+        lambda pid: BenOrConsensusCore(
+            _stable_bit(proposals[pid]), coin_seed=coin_seed
         )
     )
-    if detector is not None:
-        builder.detector(detector)
-    if scheduler is not None:
-        builder.scheduler(scheduler)
-    if delivery is not None:
-        builder.delivery(delivery)
-    trace = builder.build().run(stop_when=decided("consensus"))
-    agreed = len({repr(d.value) for d in trace.decisions}) <= 1
-    return trace, agreed
+
+
+def _starve_leader():
+    return StarvationScheduler({0})
+
+
+def _leader_mail_held():
+    return HoldingDelivery(lambda m, now: m.dest == 0)
+
+
+def _summarize(system, trace):
+    return {
+        "decided": bool(trace.decisions),
+        "agreed": len({repr(d.value) for d in trace.decisions}) <= 1,
+    }
+
+
+def case_spec(n, seed, detector, factory_call, scheduler=None, delivery=None,
+              horizon=30_000):
+    return run_spec(
+        n=n,
+        seed=seed,
+        horizon=horizon,
+        pattern=FailurePattern.crash_free(n),
+        detector=detector,
+        components=[("consensus", factory_call)],
+        stop=call(decided, "consensus"),
+        scheduler=scheduler,
+        delivery_policy=delivery,
+        summarize=ref(_summarize),
+    )
 
 
 @experiment("E12")
@@ -64,54 +108,57 @@ def run(seed: int = 0, n: int = 3) -> ExperimentResult:
     ok = True
 
     adversaries = [
-        ("starve leader", StarvationScheduler({0}), None),
-        ("hold leader's mail", None, HoldingDelivery(lambda m, now: m.dest == 0)),
+        ("starve leader", call(_starve_leader), None),
+        ("hold leader's mail", None, call(_leader_mail_held)),
         ("fair run", None, None),
     ]
-    for label, scheduler, delivery in adversaries:
-        # Detector-free attempt.
-        trace, agreed = _run(
-            n, seed, None, lambda v: _fixed_leader_core(v, n),
-            scheduler=scheduler, delivery=delivery,
-        )
-        decided_free = bool(trace.decisions)
-        expected_free = agreed and (decided_free == (label == "fair run"))
-        ok = ok and expected_free
-        rows.append(
-            ["ex-nihilo (no detector)", label, verdict_cell(decided_free),
-             verdict_cell(agreed), verdict_cell(expected_free)]
-        )
 
+    jobs = []
+    meta = []  # (algorithm, adversary label, expectation kind)
+    for label, scheduler, delivery in adversaries:
+        jobs.append(
+            case_spec(
+                n, seed, None, call(_fixed_leader_factory, n),
+                scheduler=scheduler, delivery=delivery,
+            )
+        )
+        meta.append(("ex-nihilo (no detector)", label, "free"))
         # (Omega, Sigma) and coin-flipping Ben-Or: both escape FLP on
         # the fair schedule — one with an oracle, one with randomness.
         if label == "fair run":
-            trace, agreed = _run(
-                n, seed, omega_sigma_oracle(),
-                lambda v: OmegaSigmaConsensusCore(v),
-                scheduler=scheduler, delivery=delivery, horizon=60_000,
+            jobs.append(
+                case_spec(
+                    n, seed, omega_sigma_oracle(),
+                    call(_omega_sigma_factory, n),
+                    scheduler=scheduler, delivery=delivery, horizon=60_000,
+                )
             )
-            expected = agreed and bool(trace.decisions)
-            ok = ok and expected
-            rows.append(
-                ["(Omega,Sigma)", label,
-                 verdict_cell(bool(trace.decisions)),
-                 verdict_cell(agreed), verdict_cell(expected)]
+            meta.append(("(Omega,Sigma)", label, "live"))
+            jobs.append(
+                case_spec(
+                    n, seed, None, call(_ben_or_factory, n, seed),
+                    scheduler=scheduler, delivery=delivery, horizon=120_000,
+                )
             )
+            meta.append(("Ben-Or (coins, no detector)", label, "live"))
 
-            from repro.consensus.ben_or import BenOrConsensusCore
-
-            trace, agreed = _run(
-                n, seed, None,
-                lambda v: BenOrConsensusCore(hash(v) % 2, coin_seed=seed),
-                scheduler=scheduler, delivery=delivery, horizon=120_000,
-            )
-            expected = agreed and bool(trace.decisions)
-            ok = ok and expected
-            rows.append(
-                ["Ben-Or (coins, no detector)", label,
-                 verdict_cell(bool(trace.decisions)),
-                 verdict_cell(agreed), verdict_cell(expected)]
-            )
+    for (algorithm, label, kind), summary in zip(
+        meta, Campaign(jobs, name="E12").run()
+    ):
+        m = summary.metrics
+        if kind == "free":
+            # The deterministic detector-free run decides iff the
+            # schedule is fair.
+            expected = m["agreed"] and (m["decided"] == (label == "fair run"))
+        else:
+            expected = m["agreed"] and m["decided"]
+        ok = ok and expected
+        rows.append(
+            [
+                algorithm, label, verdict_cell(m["decided"]),
+                verdict_cell(m["agreed"]), verdict_cell(expected),
+            ]
+        )
 
     return ExperimentResult(
         experiment_id="E12",

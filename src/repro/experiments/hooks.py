@@ -1,0 +1,93 @@
+"""Worker-side summarize hooks shared by the experiment campaigns.
+
+Every experiment routes its runs through :mod:`repro.runner`, and the
+property checking happens *inside the worker* — while the full
+:class:`~repro.sim.system.System` and trace are still in scope — via a
+``summarize`` hook.  The hook's return dict must be picklable and
+seed-stable; it lands in ``RunSummary.metrics`` and is all the parent
+process sees of the run beyond the standard counters.
+
+The makers here are module-level (importable) so specs can reference
+them with :func:`repro.runner.call`; the hooks they *return* are
+closures, which is fine — resolution happens worker-side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.analysis.properties import check_consensus, check_nbac, check_qc
+from repro.core.specs import (
+    check_fs,
+    check_omega,
+    check_perfect,
+    check_psi,
+    check_sigma,
+)
+from repro.sim.probes import OutputRecorder
+
+_AGREEMENT_CHECKERS = {
+    "consensus": check_consensus,
+    "qc": check_qc,
+    "nbac": check_nbac,
+}
+
+_SPEC_CHECKERS = {
+    "sigma": check_sigma,
+    "omega": check_omega,
+    "fs": check_fs,
+    "perfect": check_perfect,
+    "psi": check_psi,
+}
+
+
+def agreement_summary(kind: str, component: str, inputs: Iterable[Tuple[int, Any]]):
+    """Hook maker: check one agreement problem and report its clauses.
+
+    ``kind`` picks the checker (consensus / qc / nbac); ``inputs`` are
+    the per-pid proposals or votes as ``(pid, value)`` pairs (a spec
+    cannot hold a bare dict of unhashable values, and pairs fingerprint
+    canonically).
+    """
+    checker = _AGREEMENT_CHECKERS[kind]
+    inputs = dict(inputs)
+
+    def hook(system, trace) -> Dict[str, Any]:
+        verdict = checker(trace, inputs, component)
+        outcomes = sorted(
+            {repr(d.value) for d in trace.decisions if d.component == component}
+        )
+        return {
+            "ok": verdict.ok,
+            "termination": verdict.termination,
+            "agreement": verdict.agreement,
+            "validity": verdict.validity,
+            "outcomes": outcomes,
+        }
+
+    return hook
+
+
+def annotation_check(checker: str, key: str):
+    """Hook maker: run a detector spec checker on a trace annotation.
+
+    The annotation at ``key`` must be the emitted history object the
+    extraction/heartbeat components publish; the verdict's clause data
+    comes back as plain fields.
+    """
+    check = _SPEC_CHECKERS[checker]
+
+    def hook(system, trace) -> Dict[str, Any]:
+        verdict = check(trace.annotations[key], trace.pattern)
+        return {
+            "ok": verdict.ok,
+            "holds_from": verdict.holds_from,
+            "violations": list(verdict.violations),
+        }
+
+    return hook
+
+
+def probe_factory(component: str, key: str):
+    """Component-factory maker for the standard output probe."""
+    return lambda pid: OutputRecorder(component, key)

@@ -1,0 +1,95 @@
+"""On-disk result cache keyed by spec fingerprint + code salt.
+
+Each executed spec's summary is stored under
+``<root>/<salt[:12]>/<key[:2]>/<key>.pkl`` where ``key`` is the spec's
+content hash and ``salt`` hashes the installed ``repro`` source tree.
+Editing *any* library source therefore invalidates the whole cache —
+deliberately conservative: a stale verdict is far worse than a cold
+re-run.  Changing any spec field (seed, horizon, pattern, component
+arguments, ...) changes the key, so sweeps only re-execute the cells
+that actually changed.
+
+Storage is ``pickle`` (results are arbitrary picklable records, and the
+cache directory is as trusted as the working tree that produced it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+#: Default cache location, overridable via $REPRO_CACHE_DIR.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_code_salt_memo: Optional[str] = None
+
+
+def code_salt() -> str:
+    """A hash of every source file of the installed ``repro`` package.
+
+    Computed once per process (~200 small files); cached summaries from
+    any other version of the code are invisible rather than wrong.
+    """
+    global _code_salt_memo
+    if _code_salt_memo is None:
+        import repro
+
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _code_salt_memo = digest.hexdigest()
+    return _code_salt_memo
+
+
+class ResultCache:
+    """Filesystem-backed store of per-spec summaries."""
+
+    def __init__(self, root: Optional[os.PathLike] = None, salt: Optional[str] = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.salt = salt if salt is not None else code_salt()
+
+    def _path(self, key: str) -> Path:
+        return self.root / self.salt[:12] / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored summary for ``key``, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
+            # A truncated or stale entry behaves like a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, summary: Any) -> None:
+        """Store ``summary`` atomically (write-to-temp, rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(summary, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __repr__(self) -> str:
+        return f"ResultCache(root={str(self.root)!r}, salt={self.salt[:12]!r})"

@@ -1,0 +1,108 @@
+"""Picklable references to module-level callables.
+
+A :class:`RunSpec` must fully determine a run *and* survive a trip
+through ``pickle`` to a worker process, so it cannot carry closures —
+the component factories, schedulers, stop predicates and summarizers it
+references are stored as :class:`CallSpec`: an importable target path
+plus (picklable) arguments.  Resolution happens inside the worker, so
+the *resolved* objects are free to be closures, stateful schedulers or
+anything else.
+
+Two constructors cover the two idioms:
+
+* :func:`call` — ``call(fn, *args, **kwargs)`` resolves to
+  ``fn(*args, **kwargs)``: use it when a module-level *maker* builds the
+  factory/predicate for one parameter point;
+* :func:`ref` — ``ref(fn)`` resolves to ``fn`` itself: use it when the
+  module-level function already has the required signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from importlib import import_module
+from typing import Any, Callable, Tuple, Union
+
+
+@dataclass(frozen=True)
+class CallSpec:
+    """An importable callable plus arguments, resolvable in any process.
+
+    ``target`` is ``"package.module:qualname"``.  When ``bare`` is true
+    resolution returns the callable itself; otherwise it returns
+    ``callable(*args, **kwargs)``.
+    """
+
+    target: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    bare: bool = False
+
+    def resolve(self) -> Any:
+        fn = _import_target(self.target)
+        if self.bare:
+            return fn
+        return fn(*self.args, **dict(self.kwargs))
+
+    def __repr__(self) -> str:
+        inner = self.target
+        if self.args or self.kwargs:
+            parts = [repr(a) for a in self.args]
+            parts += [f"{k}={v!r}" for k, v in self.kwargs]
+            inner += f"({', '.join(parts)})"
+        return f"CallSpec[{inner}]" if not self.bare else f"Ref[{inner}]"
+
+
+Callable_ = Union[str, Callable[..., Any]]
+
+
+def _target_path(fn: Callable_) -> str:
+    if isinstance(fn, str):
+        if ":" not in fn:
+            raise ValueError(f"target {fn!r} must look like 'module:qualname'")
+        return fn
+    qualname = getattr(fn, "__qualname__", None)
+    module = getattr(fn, "__module__", None)
+    if not qualname or not module:
+        raise TypeError(f"{fn!r} is not a named callable")
+    if "<locals>" in qualname or "<lambda>" in qualname:
+        raise TypeError(
+            f"{fn!r} is a closure/lambda; specs need module-level callables "
+            f"so that worker processes can import them"
+        )
+    path = f"{module}:{qualname}"
+    if _import_target(path) is not fn:
+        raise TypeError(
+            f"{fn!r} does not resolve back from {path!r}; "
+            f"is it shadowed or defined dynamically?"
+        )
+    return path
+
+
+def _import_target(path: str) -> Callable[..., Any]:
+    module_name, _, qualname = path.partition(":")
+    obj: Any = import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def call(fn: Callable_, *args: Any, **kwargs: Any) -> CallSpec:
+    """A :class:`CallSpec` resolving to ``fn(*args, **kwargs)``."""
+    return CallSpec(
+        target=_target_path(fn),
+        args=tuple(args),
+        kwargs=tuple(sorted(kwargs.items())),
+    )
+
+
+def ref(fn: Callable_) -> CallSpec:
+    """A :class:`CallSpec` resolving to ``fn`` itself."""
+    return CallSpec(target=_target_path(fn), bare=True)
+
+
+def maybe_resolve(value: Any) -> Any:
+    """Resolve ``value`` if it is a :class:`CallSpec`, else pass through."""
+    if isinstance(value, CallSpec):
+        return value.resolve()
+    return value

@@ -1,0 +1,172 @@
+"""Campaigns: parameter sweeps expanded into spec grids and executed.
+
+A :class:`Campaign` is an ordered list of jobs (:class:`RunSpec` /
+:class:`FnSpec` cells).  :meth:`Campaign.grid` expands a cartesian
+parameter sweep through a builder callback; :meth:`Campaign.run`
+executes the cells — consulting the on-disk cache first, deduplicating
+identical cells, fanning misses out over a worker pool — and returns a
+:class:`CampaignResult` whose summaries align one-to-one with the
+campaign's cells regardless of executor or cache state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.runner.cache import ResultCache
+from repro.runner.config import resolve_cache, resolve_workers
+from repro.runner.executor import make_executor
+from repro.runner.spec import FnSpec, RunSpec
+
+Job = Union[RunSpec, FnSpec]
+
+
+class CampaignResult:
+    """Ordered summaries plus execution accounting."""
+
+    def __init__(
+        self,
+        jobs: Sequence[Job],
+        summaries: List[Any],
+        hits: int,
+        executed: int,
+        wall_clock: float,
+        workers: int,
+    ):
+        self.jobs = list(jobs)
+        self.summaries = summaries
+        self.hits = hits
+        self.executed = executed
+        self.wall_clock = wall_clock
+        self.workers = workers
+
+    def __iter__(self):
+        return iter(self.summaries)
+
+    def __len__(self) -> int:
+        return len(self.summaries)
+
+    def __getitem__(self, index):
+        return self.summaries[index]
+
+    def by_tag(self, **tags: Any) -> List[Any]:
+        """Summaries whose tags contain every given key/value pair."""
+        return [
+            s
+            for s in self.summaries
+            if all(s.tags.get(k) == v for k, v in tags.items())
+        ]
+
+    def one(self, **tags: Any) -> Any:
+        matches = self.by_tag(**tags)
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} summaries match {tags!r}")
+        return matches[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignResult({len(self.summaries)} cells, "
+            f"{self.hits} cached, {self.executed} executed, "
+            f"{self.wall_clock:.2f}s, workers={self.workers})"
+        )
+
+
+class Campaign:
+    """An ordered batch of run/function specs, executable as one unit."""
+
+    def __init__(self, jobs: Iterable[Job], name: Optional[str] = None):
+        self.jobs: List[Job] = list(jobs)
+        self.name = name
+
+    @classmethod
+    def grid(
+        cls,
+        build: Callable[..., Union[Job, Iterable[Job], None]],
+        name: Optional[str] = None,
+        **axes: Sequence[Any],
+    ) -> "Campaign":
+        """Expand a cartesian sweep.
+
+        ``build(**point)`` is called for every point of the product of
+        ``axes`` (axes iterate in the order given; the rightmost axis
+        varies fastest) and may return one job, an iterable of jobs, or
+        None to skip the cell.  The builder runs in the parent process,
+        so it is free to be a closure — only the *returned specs* must
+        be picklable.
+        """
+        names = list(axes)
+        jobs: List[Job] = []
+        for values in itertools.product(*(axes[k] for k in names)):
+            produced = build(**dict(zip(names, values)))
+            if produced is None:
+                continue
+            if isinstance(produced, (RunSpec, FnSpec)):
+                jobs.append(produced)
+            else:
+                jobs.extend(produced)
+        return cls(jobs, name=name)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __add__(self, other: "Campaign") -> "Campaign":
+        return Campaign(self.jobs + other.jobs, name=self.name or other.name)
+
+    def run(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[Union[bool, str, ResultCache]] = None,
+    ) -> CampaignResult:
+        """Execute every cell; summaries come back in cell order.
+
+        ``workers``/``cache`` default to the process-wide configuration
+        (see :mod:`repro.runner.config`).
+        """
+        started = time.perf_counter()
+        workers = resolve_workers(workers)
+        store = resolve_cache(cache)
+        executor = make_executor(workers)
+
+        results: List[Any] = [None] * len(self.jobs)
+        keys = [job.fingerprint() for job in self.jobs]
+
+        hits = 0
+        pending: Dict[str, List[int]] = {}
+        for i, key in enumerate(keys):
+            cached = store.get(key) if store is not None else None
+            if cached is not None:
+                cached.cached = True
+                results[i] = cached
+                hits += 1
+            else:
+                # Identical cells execute once; every index gets the result.
+                pending.setdefault(key, []).append(i)
+
+        unique_indices = [slots[0] for slots in pending.values()]
+        executed = executor.map([self.jobs[i] for i in unique_indices])
+        for index, summary in zip(unique_indices, executed):
+            key = keys[index]
+            if store is not None:
+                store.put(key, summary)
+            for slot in pending[key]:
+                results[slot] = summary
+
+        return CampaignResult(
+            jobs=self.jobs,
+            summaries=results,
+            hits=hits,
+            executed=len(executed),
+            wall_clock=time.perf_counter() - started,
+            workers=getattr(executor, "workers", 1),
+        )
+
+
+def run_jobs(
+    jobs: Iterable[Job],
+    workers: Optional[int] = None,
+    cache: Optional[Union[bool, str, ResultCache]] = None,
+) -> List[Any]:
+    """One-shot convenience: ``Campaign(jobs).run(...)`` summaries."""
+    return Campaign(jobs).run(workers=workers, cache=cache).summaries

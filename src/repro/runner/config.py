@@ -1,0 +1,88 @@
+"""Process-wide execution defaults for campaigns.
+
+The experiment modules call ``Campaign.run()`` with no executor
+arguments; what that means — serial or pooled, cached or not — is
+decided here, so one CLI flag (or environment variable, for CI and
+benches) threads through every sweep without touching experiment
+signatures.
+
+Resolution order for each knob: explicit argument at the call site,
+then :func:`configure`'d value, then environment variable, then the
+conservative default (serial, no cache).
+
+Environment variables:
+
+* ``REPRO_RUNNER_JOBS`` — worker count (``0`` = all cores, ``1`` = serial);
+* ``REPRO_RUNNER_CACHE`` — ``off``/``0`` disables, ``on``/``1`` uses the
+  default directory, anything else is used as the cache directory path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+from repro.runner.cache import ResultCache
+
+_workers: Optional[int] = None
+_cache: Optional[Union[bool, ResultCache]] = None
+
+
+def configure(
+    workers: Optional[int] = None,
+    cache: Optional[Union[bool, str, ResultCache]] = None,
+) -> None:
+    """Set process-wide defaults (CLI entry points call this once)."""
+    global _workers, _cache
+    if workers is not None:
+        _workers = workers
+    if cache is not None:
+        if isinstance(cache, str):
+            _cache = ResultCache(cache)
+        else:
+            _cache = cache
+
+
+def reset() -> None:
+    """Back to built-in defaults (used by tests)."""
+    global _workers, _cache
+    _workers = None
+    _cache = None
+
+
+def resolve_workers(workers: Optional[int] = None) -> Optional[int]:
+    if workers is not None:
+        return workers
+    if _workers is not None:
+        return _workers
+    env = os.environ.get("REPRO_RUNNER_JOBS")
+    if env is not None:
+        try:
+            return int(env)
+        except ValueError:
+            raise ValueError(f"REPRO_RUNNER_JOBS={env!r} is not an integer")
+    return None
+
+
+def resolve_cache(
+    cache: Optional[Union[bool, str, ResultCache]] = None,
+) -> Optional[ResultCache]:
+    if cache is None:
+        cache = _cache
+    if cache is None:
+        env = os.environ.get("REPRO_RUNNER_CACHE")
+        if env is not None:
+            lowered = env.strip().lower()
+            if lowered in ("off", "0", "false", "no", ""):
+                return None
+            if lowered in ("on", "1", "true", "yes"):
+                return ResultCache()
+            return ResultCache(env)
+        return None
+    if cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    if isinstance(cache, str):
+        return ResultCache(cache)
+    return cache

@@ -1,0 +1,73 @@
+"""Executors: run a batch of specs serially or across a process pool.
+
+Both executors take the job list in order and return results in that
+same order, whatever the workers' scheduling — result ordering is part
+of the determinism contract, so campaign tables never depend on pool
+timing.  Jobs are anything with ``fingerprint()``/``execute()``
+(:class:`~repro.runner.spec.RunSpec`, :class:`~repro.runner.spec.FnSpec`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, List, Optional, Sequence
+
+
+def execute_job(job: Any) -> Any:
+    """Top-level worker entry point (must stay importable for pickling)."""
+    return job.execute()
+
+
+class SerialExecutor:
+    """Run every job in this process, in order."""
+
+    workers = 1
+
+    def map(self, jobs: Sequence[Any]) -> List[Any]:
+        return [execute_job(job) for job in jobs]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class PoolExecutor:
+    """Fan jobs out over a ``ProcessPoolExecutor``.
+
+    Results come back via ``pool.map``, which preserves submission
+    order.  ``chunksize`` trades dispatch overhead against load balance;
+    the default packs roughly four chunks per worker.
+    """
+
+    def __init__(self, workers: Optional[int] = None, chunksize: Optional[int] = None):
+        self.workers = max(1, workers or default_worker_count())
+        self.chunksize = chunksize
+
+    def map(self, jobs: Sequence[Any]) -> List[Any]:
+        if not jobs:
+            return []
+        if self.workers == 1 or len(jobs) == 1:
+            return SerialExecutor().map(jobs)
+        chunksize = self.chunksize or max(1, len(jobs) // (self.workers * 4))
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(execute_job, jobs, chunksize=chunksize))
+
+    def __repr__(self) -> str:
+        return f"PoolExecutor(workers={self.workers}, chunksize={self.chunksize})"
+
+
+def default_worker_count() -> int:
+    """Workers to use when the caller just says "parallel"."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
+
+
+def make_executor(workers: Optional[int]) -> Any:
+    """``None``/``1`` -> serial; ``0`` -> all cores; else that many."""
+    if workers is None or workers == 1:
+        return SerialExecutor()
+    if workers == 0:
+        return PoolExecutor(default_worker_count())
+    return PoolExecutor(workers)

@@ -1,0 +1,72 @@
+"""A two-minute end-to-end smoke campaign (``python -m repro.runner.smoke``).
+
+Runs a reduced E1 (ABD register over Σ) and E3 (consensus algorithm
+comparison) grid through the campaign engine with two workers, then
+re-runs the same grid serially and asserts the stable digests agree —
+the cheapest whole-stack check that the spec layer, the process pool,
+and the simulator still produce byte-identical results.  CI calls this
+after the tier-1 suite; it is also handy after local surgery on the
+runner or the sim loop.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.e01_register import case_spec as e01_spec
+from repro.experiments.e03_consensus import case_spec as e03_spec
+from repro.runner.campaign import Campaign
+
+
+def build_campaign() -> Campaign:
+    """E1 with f in {0, 1} plus E3's four algorithms, n=4, two seeds."""
+    e01 = Campaign.grid(
+        lambda f, kind: e01_spec(4, f, kind, seed=0, horizon=40_000),
+        name="smoke-e01",
+        f=range(2),
+        kind=("majority", "sigma"),
+    )
+    e03 = Campaign.grid(
+        lambda seed, label: e03_spec(4, 1, label, seed, horizon=40_000),
+        name="smoke-e03",
+        seed=range(2),
+        label=("(Omega,Sigma)", "Omega+majorities", "CT <>S [4]", "CT S [4]"),
+    )
+    return e01 + e03
+
+
+def main(workers: int = 2) -> int:
+    campaign = build_campaign()
+    print(f"smoke campaign: {len(campaign)} runs, {workers} workers")
+
+    started = time.perf_counter()
+    pooled = campaign.run(workers=workers, cache=False)
+    pooled_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    serial = campaign.run(workers=1, cache=False)
+    serial_s = time.perf_counter() - started
+
+    pooled_digests = [s.stable_digest() for s in pooled]
+    serial_digests = [s.stable_digest() for s in serial]
+    if pooled_digests != serial_digests:
+        print("FAIL: pooled and serial campaigns diverged")
+        return 1
+
+    failures = [s for s in pooled if s.metrics.get("ok") is False]
+    if failures:
+        print(f"FAIL: {len(failures)} runs reported not-ok metrics")
+        for s in failures:
+            print(f"  tags={s.tags} metrics={s.metrics}")
+        return 1
+
+    print(
+        f"ok: {len(pooled)} runs deterministic across executors "
+        f"(pool {pooled_s:.1f}s, serial {serial_s:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

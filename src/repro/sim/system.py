@@ -56,6 +56,7 @@ class System:
         scheduler: Optional[Scheduler] = None,
         delay_model: Optional[DelayModel] = None,
         delivery_policy: Optional[DeliveryPolicy] = None,
+        trace_mode: str = "full",
     ):
         if pattern.n != n:
             raise ValueError(f"pattern over {pattern.n} processes, system over {n}")
@@ -67,7 +68,7 @@ class System:
         self.horizon = horizon
         self.pattern = pattern
         self.streams = RngStreams(seed)
-        self.trace = RunTrace(pattern, horizon)
+        self.trace = RunTrace(pattern, horizon, mode=trace_mode)
         self.network = Network(
             n,
             self.streams.get("network"),
@@ -92,6 +93,27 @@ class System:
             self._wire_detector(host)
             self.hosts.append(host)
         self.now = 0
+
+    @classmethod
+    def from_spec(cls, spec) -> "System":
+        """Build a system from a :class:`repro.runner.spec.RunSpec`.
+
+        Duck-typed (anything exposing the same ``resolve_*`` surface
+        works) so the sim layer never imports the runner package.
+        """
+        return cls(
+            n=spec.n,
+            seed=spec.seed,
+            horizon=spec.horizon,
+            pattern=spec.resolve_pattern(),
+            component_factories=spec.resolve_components(),
+            detector=spec.resolve_detector(),
+            detector_component=spec.detector_component,
+            scheduler=spec.resolve_scheduler(),
+            delay_model=spec.resolve_delay_model(),
+            delivery_policy=spec.resolve_delivery_policy(),
+            trace_mode=spec.trace_mode,
+        )
 
     def _wire_detector(self, host: ProcessHost) -> None:
         if self.detector_history is not None:
@@ -125,9 +147,20 @@ class System:
         """
         rng_sched = self.streams.get("scheduler")
         stop_at: Optional[int] = None
+        # The alive list is maintained incrementally from the pattern's
+        # sorted crash schedule: O(total crashes) over the whole run
+        # instead of n membership tests per tick.  Removal preserves the
+        # ascending pid order the schedulers rely on.
+        events = self.pattern.crash_events()
+        next_event = 0
+        alive = [p for p in range(self.n) if not self.pattern.crashed(p, 0)]
         for t in range(1, self.horizon + 1):
             self.now = t
-            alive = [p for p in range(self.n) if not self.pattern.crashed(p, t)]
+            while next_event < len(events) and events[next_event][0] <= t:
+                crashed_pid = events[next_event][1]
+                if crashed_pid in alive:
+                    alive.remove(crashed_pid)
+                next_event += 1
             if not alive:
                 self.trace.stop_reason = "all-crashed"
                 break
@@ -182,6 +215,7 @@ class SystemBuilder:
         self._delay_model: Optional[DelayModel] = None
         self._delivery_policy: Optional[DeliveryPolicy] = None
         self._factories: List[Tuple[str, ComponentFactory]] = []
+        self._trace_mode: str = "full"
 
     def pattern(self, pattern: FailurePattern) -> "SystemBuilder":
         self._pattern = pattern
@@ -225,6 +259,11 @@ class SystemBuilder:
         self._factories.append((name, factory))
         return self
 
+    def trace_mode(self, mode: str) -> "SystemBuilder":
+        """``"full"`` (default) or ``"lite"`` — see :class:`RunTrace`."""
+        self._trace_mode = mode
+        return self
+
     def build(self) -> System:
         if self._pattern is not None:
             pattern = self._pattern
@@ -247,6 +286,7 @@ class SystemBuilder:
             scheduler=self._scheduler,
             delay_model=self._delay_model,
             delivery_policy=self._delivery_policy,
+            trace_mode=self._trace_mode,
         )
 
 

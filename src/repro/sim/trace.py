@@ -7,10 +7,24 @@ times, the detector samples seen at each step (the observable part of
 ``H``), and the higher-level records — decisions made by components and
 invocation/response events of operations — from which the problem-level
 property checkers in :mod:`repro.analysis.properties` draw verdicts.
+
+Two recording modes:
+
+* ``"full"`` (default) retains every :class:`Step` and detector sample —
+  what the spec checkers and the export/analysis tooling consume;
+* ``"lite"`` keeps only counters, decisions, operations and annotations,
+  so horizon-length runs executed in campaign worker processes ship
+  kilobytes back to the parent instead of megabytes.
+
+Both modes maintain an order-sensitive sha256 digest over the schedule
+and the decision sequence; two runs with equal :meth:`RunTrace.digest`
+took the same steps in the same order with the same message ids —
+the determinism witness the campaign engine's tests pin.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -79,9 +93,12 @@ class OperationRecord:
 class RunTrace:
     """Everything observable about one simulated run."""
 
-    def __init__(self, pattern: FailurePattern, horizon: int):
+    def __init__(self, pattern: FailurePattern, horizon: int, mode: str = "full"):
+        if mode not in ("full", "lite"):
+            raise ValueError(f"unknown trace mode {mode!r}")
         self.pattern = pattern
         self.horizon = horizon
+        self.mode = mode
         self.steps: List[Step] = []
         self.decisions: List[Decision] = []
         self.operations: List[OperationRecord] = []
@@ -94,15 +111,29 @@ class RunTrace:
         self.annotations: Dict[str, Any] = {}
         self._decided: Dict[Tuple[int, str], Decision] = {}
         self._next_op_id = 0
+        self._step_total = 0
+        self._steps_by_pid = [0] * pattern.n
+        self._digest = hashlib.sha256()
+
+    @property
+    def record_full(self) -> bool:
+        return self.mode == "full"
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def record_step(self, step: Step) -> None:
-        self.steps.append(step)
         self.final_time = step.time
-        if step.detector_value is not None:
-            self.detector_samples.record(step.pid, step.time, step.detector_value)
+        self._step_total += 1
+        self._steps_by_pid[step.pid] += 1
+        msg_id = step.message.msg_id if step.message is not None else -1
+        self._digest.update(b"s%d:%d:%d" % (step.time, step.pid, msg_id))
+        if self.record_full:
+            self.steps.append(step)
+            if step.detector_value is not None:
+                self.detector_samples.record(
+                    step.pid, step.time, step.detector_value
+                )
 
     def record_decision(self, decision: Decision) -> None:
         key = (decision.pid, decision.component)
@@ -114,6 +145,10 @@ class RunTrace:
             )
         self._decided[key] = decision
         self.decisions.append(decision)
+        self._digest.update(
+            f"d{decision.time}:{decision.pid}:{decision.component}:"
+            f"{decision.value!r}".encode()
+        )
 
     def new_operation(
         self, pid: int, component: str, kind: str, args: Tuple[Any, ...], time: int
@@ -147,9 +182,19 @@ class RunTrace:
         return self.pattern.correct <= self.decided_pids(component)
 
     def step_count(self, pid: Optional[int] = None) -> int:
+        # In full mode count the retained list (tests may append to it
+        # directly); lite mode has only the counters.
+        if self.record_full:
+            if pid is None:
+                return len(self.steps)
+            return sum(1 for s in self.steps if s.pid == pid)
         if pid is None:
-            return len(self.steps)
-        return sum(1 for s in self.steps if s.pid == pid)
+            return self._step_total
+        return self._steps_by_pid[pid]
+
+    def digest(self) -> str:
+        """Order-sensitive hash of the schedule + decision sequence."""
+        return self._digest.hexdigest()
 
     def decision_latency(self, component: str) -> Optional[int]:
         """Time by which the last correct process decided, or None."""
@@ -171,7 +216,7 @@ class RunTrace:
     def summary(self) -> Dict[str, Any]:
         """A compact dict for experiment tables."""
         return {
-            "steps": len(self.steps),
+            "steps": self.step_count(),
             "messages_sent": self.messages_sent,
             "messages_delivered": self.messages_delivered,
             "decisions": len(self.decisions),

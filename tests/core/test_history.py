@@ -34,6 +34,38 @@ class TestDenseHistory:
             FailureDetectorHistory(0, 5, lambda p, t: 0)
         with pytest.raises(ValueError):
             FailureDetectorHistory(1, 0, lambda p, t: 0)
+        with pytest.raises(ValueError):
+            FailureDetectorHistory(1, 5, lambda p, t: 0, cache_size=0)
+
+    def test_memo_is_bounded_per_process(self):
+        h = FailureDetectorHistory(2, 10_000, lambda p, t: t, cache_size=8)
+        for t in range(100):
+            h.value(0, t)
+        assert h.cached_entries(0) == 8
+        assert h.cached_entries(1) == 0
+        assert h.cached_entries() == 8
+
+    def test_eviction_is_least_recently_used(self):
+        calls = []
+
+        def fn(pid, t):
+            calls.append(t)
+            return t
+
+        h = FailureDetectorHistory(1, 100, fn, cache_size=2)
+        h.value(0, 1)
+        h.value(0, 2)
+        h.value(0, 1)  # refresh 1, making 2 the eviction candidate
+        h.value(0, 3)  # evicts 2
+        h.value(0, 1)  # still cached
+        h.value(0, 2)  # recomputed
+        assert calls == [1, 2, 3, 2]
+
+    def test_evicted_values_recompute_identically(self):
+        h = FailureDetectorHistory(1, 1000, lambda p, t: p * 1000 + t, cache_size=4)
+        first = [h.value(0, t) for t in range(50)]
+        again = [h.value(0, t) for t in range(50)]
+        assert first == again
 
 
 class TestSampledHistory:

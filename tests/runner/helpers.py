@@ -1,0 +1,50 @@
+"""Importable spec ingredients for the runner tests.
+
+CallSpec targets must be module-level (worker processes re-import
+them), so the factories and hooks the campaign tests sweep over live
+here rather than inside test functions.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.failure_pattern import FailurePattern
+from repro.runner import call, ref, run_spec
+from repro.sim.system import decided
+
+
+def proposals(n):
+    return {p: f"v{p}" for p in range(n)}
+
+
+def consensus_factory(n):
+    values = proposals(n)
+    return consensus_component(
+        lambda pid: OmegaSigmaConsensusCore(values[pid])
+    )
+
+
+def summarize(system, trace):
+    return {"decided": len(trace.decisions), "n": system.n}
+
+
+def one_arg_value(x):
+    return x
+
+
+def consensus_spec(n=4, seed=0, f=0, horizon=60_000, **overrides):
+    base = dict(
+        n=n,
+        seed=seed,
+        horizon=horizon,
+        pattern=FailurePattern(n, {pid: 1 + 2 * pid for pid in range(f)}),
+        detector=omega_sigma_oracle(),
+        components=[("consensus", call(consensus_factory, n))],
+        stop=call(decided, "consensus"),
+        summarize=ref(summarize),
+        tags={"seed": seed, "f": f},
+    )
+    base.update(overrides)
+    return run_spec(**base)

@@ -1,0 +1,58 @@
+"""CallSpec: picklable references that resolve in any process."""
+
+import pickle
+
+import pytest
+
+from repro.runner import CallSpec, call, ref
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.sim.system import decided
+
+from tests.runner import helpers
+
+
+class TestConstruction:
+    def test_call_resolves_to_invocation(self):
+        spec = call(helpers.one_arg_value, 42)
+        assert spec.resolve() == 42
+
+    def test_ref_resolves_to_the_callable_itself(self):
+        spec = ref(helpers.one_arg_value)
+        assert spec.resolve() is helpers.one_arg_value
+
+    def test_kwargs_are_ordered_deterministically(self):
+        a = call(helpers.one_arg_value, x=1)
+        b = call(helpers.one_arg_value, x=1)
+        assert a == b
+
+    def test_lambda_is_rejected(self):
+        with pytest.raises(TypeError, match="closure/lambda"):
+            call(lambda: 1)
+
+    def test_local_function_is_rejected(self):
+        def local():
+            return 1
+
+        with pytest.raises(TypeError, match="closure/lambda"):
+            ref(local)
+
+    def test_string_target_must_have_colon(self):
+        with pytest.raises(ValueError):
+            call("repro.sim.system.decided")
+
+    def test_string_target_resolves(self):
+        spec = CallSpec(target="repro.sim.system:decided", args=("consensus",))
+        assert callable(spec.resolve())
+
+
+class TestPickling:
+    def test_round_trip_preserves_resolution(self):
+        spec = call(decided, "consensus")
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert callable(clone.resolve())
+
+    def test_stateful_scheduler_built_fresh_per_resolve(self):
+        spec = call(RoundRobinScheduler)
+        first, second = spec.resolve(), spec.resolve()
+        assert first is not second
