@@ -1,0 +1,10 @@
+"""``python -m repro.chaos`` — the fuzz CLI without the runpy warning
+that ``python -m repro.chaos.fuzz`` triggers (the package __init__
+imports :mod:`repro.chaos.fuzz` eagerly)."""
+
+import sys
+
+from repro.chaos.fuzz import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Repro artifacts: a safety violation, frozen as replayable JSON.
+
+When the fuzz loop catches a safety violation it writes one of these:
+the shrunk :class:`~repro.chaos.targets.FuzzCase`, the clauses it
+breaks, and the summary's stable digest.  The file is self-contained —
+no pickles, no object references — so it survives refactors that would
+invalidate the run cache, and a teammate (or CI) replays it with::
+
+    python -m repro.chaos.fuzz --replay artifact.json
+
+Replay rebuilds the spec from the case, executes it in-process, and
+checks two things: the recorded clauses still break (the bug is still
+there) and the summary digest matches (the run is still byte-for-byte
+deterministic).  A digest mismatch with the violation intact means the
+simulation semantics drifted — worth knowing, reported separately.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+from repro.chaos.knobs import ChaosKnobs
+from repro.chaos.targets import FuzzCase, violated_safety
+
+FORMAT = "repro-chaos-artifact/1"
+
+
+def case_to_dict(case: FuzzCase) -> Dict[str, Any]:
+    return {
+        "target": case.target,
+        "n": case.n,
+        "seed": case.seed,
+        "horizon": case.horizon,
+        "knobs": case.knobs.to_dict(),
+        "crashes": [[pid, t] for pid, t in case.crashes],
+    }
+
+
+def case_from_dict(data: Dict[str, Any]) -> FuzzCase:
+    return FuzzCase(
+        target=data["target"],
+        n=int(data["n"]),
+        seed=int(data["seed"]),
+        horizon=int(data["horizon"]),
+        knobs=ChaosKnobs.from_dict(data["knobs"]),
+        crashes=tuple(
+            (int(pid), int(t)) for pid, t in sorted(data["crashes"])
+        ),
+    )
+
+
+def write_artifact(
+    path: Path,
+    case: FuzzCase,
+    violated: Sequence[str],
+    summary: Any,
+    shrink_stats: Dict[str, Any] | None = None,
+) -> Dict[str, Any]:
+    """Serialise a violation witness; returns the written document."""
+    document = {
+        "format": FORMAT,
+        "case": case_to_dict(case),
+        "violated": sorted(violated),
+        "expected": {
+            "stable_digest": summary.stable_digest(),
+            "outcomes": summary.metrics.get("outcomes", []),
+        },
+        "shrink": shrink_stats or {},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def load_artifact(path: Path) -> Dict[str, Any]:
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != FORMAT:
+        raise ValueError(
+            f"{path} is not a chaos artifact "
+            f"(format {document.get('format')!r}, want {FORMAT!r})"
+        )
+    return document
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """What replaying an artifact established."""
+
+    reproduced: bool  # the recorded clauses still break
+    deterministic: bool  # the summary digest matches the recording
+    violated_now: List[str]
+    digest: str
+
+    @property
+    def ok(self) -> bool:
+        return self.reproduced and self.deterministic
+
+
+def replay(document: Dict[str, Any]) -> ReplayResult:
+    """Re-execute an artifact's case and compare against the recording."""
+    from repro.chaos.shrink import run_case
+
+    case = case_from_dict(document["case"])
+    summary = run_case(case)
+    violated_now = sorted(violated_safety(case, summary.metrics))
+    digest = summary.stable_digest()
+    return ReplayResult(
+        reproduced=set(document["violated"]) <= set(violated_now),
+        deterministic=digest == document["expected"]["stable_digest"],
+        violated_now=violated_now,
+        digest=digest,
+    )

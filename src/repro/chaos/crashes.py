@@ -1,0 +1,69 @@
+"""Crash-schedule fuzzing over an environment's allowed patterns.
+
+The paper's results are quantified over *environments* — sets of
+admissible failure patterns — so the crash fuzzer never invents a
+pattern the environment forbids: every candidate is validated with
+``environment.contains`` and rejected candidates fall back to the
+environment's own sampler.  What the fuzzer adds over plain sampling is
+*timing pressure*: crash times clustered at the start of the run (quorum
+availability decides liveness), packed into a tight band (correlated
+failure), or parked late (the algorithm finishes first — the control).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.core.environment import Environment
+from repro.core.failure_pattern import FailurePattern
+
+#: Recognised crash-timing modes, in the order campaigns cycle them.
+MODES: Tuple[str, ...] = ("none", "sampled", "early", "clustered", "late")
+
+
+class CrashScheduleFuzzer:
+    """Draws in-environment failure patterns with adversarial timing."""
+
+    def __init__(self, environment: Environment, horizon: int):
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        self.environment = environment
+        self.horizon = horizon
+
+    def _retimed(
+        self, base: FailurePattern, rng: random.Random, lo: int, hi: int
+    ) -> FailurePattern:
+        """``base`` with crash times resampled uniformly from [lo, hi]."""
+        hi = max(lo + 1, hi)
+        candidate = FailurePattern(
+            base.n, {pid: rng.randrange(lo, hi) for pid in base.faulty}
+        )
+        # Timing constraints (e.g. OrderedCrashEnvironment) may reject
+        # the retimed schedule; the environment's own draw is always in.
+        if self.environment.contains(candidate):
+            return candidate
+        return base
+
+    def sample(self, rng: random.Random, mode: str = "sampled") -> FailurePattern:
+        if mode not in MODES:
+            raise ValueError(f"unknown crash mode {mode!r}; have {MODES}")
+        n = self.environment.n
+        if mode == "none":
+            crash_free = FailurePattern.crash_free(n)
+            if self.environment.contains(crash_free):
+                return crash_free
+            return self.environment.sample(rng, self.horizon)
+
+        base = self.environment.sample(rng, max(1, self.horizon // 3))
+        if mode == "sampled" or not base.faulty:
+            return base
+        if mode == "early":
+            return self._retimed(base, rng, 1, max(2, self.horizon // 50))
+        if mode == "clustered":
+            start = rng.randrange(max(1, self.horizon // 2))
+            return self._retimed(base, rng, start, start + self.horizon // 100 + 2)
+        # "late": after most of the observable window.
+        return self._retimed(
+            base, rng, self.horizon // 2, self.horizon // 2 + self.horizon // 8
+        )

@@ -1,0 +1,132 @@
+"""The fault-injection configuration of one chaos run.
+
+A :class:`ChaosKnobs` value is the complete, JSON-serialisable record of
+every adversary the harness turned on for a run.  It is deliberately a
+frozen dataclass of primitives: specs embed it (so it fingerprints into
+the cache key), the shrinker edits it field by field, and repro
+artifacts round-trip it through JSON.
+
+Every knob stays **inside the model**: duplicated messages are re-sent
+copies of messages the sender really sent, bursts are finite delays,
+starvation windows close, and the detector periods only speed up noise
+the detector specifications already allow.  The one out-of-spec switch
+is ``reorder`` (newest-first delivery can starve a message forever),
+which forfeits Termination claims but never safety — the fuzz driver
+checks liveness only when :attr:`ChaosKnobs.fair` holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Tuple
+
+#: A starvation window: (start, end, pids) with ``end`` exclusive.
+Window = Tuple[int, int, Tuple[int, ...]]
+
+
+@dataclass(frozen=True)
+class ChaosKnobs:
+    """Every fault-injection dial, with 'off' defaults.
+
+    ``dup_probability`` re-delivers each delivered message with that
+    probability after 1..``dup_max_delay`` extra ticks, up to
+    ``dup_max_depth`` generations per original.  ``reorder`` switches
+    delivery to newest-first (unfair).  ``burst_period``/``burst_len``/
+    ``burst_extra`` make the delay model add ``burst_extra`` ticks to
+    every message sent during the first ``burst_len`` of each
+    ``burst_period`` sends.  ``starve_windows`` are bounded scheduler
+    blackouts.  The detector periods/span drive the in-spec oracle
+    perturbation (``0`` span means the oracle default).
+    """
+
+    dup_probability: float = 0.0
+    dup_max_delay: int = 12
+    dup_max_depth: int = 2
+    reorder: bool = False
+    burst_period: int = 0
+    burst_len: int = 0
+    burst_extra: int = 0
+    delay_lo: int = 1
+    delay_hi: int = 8
+    starve_windows: Tuple[Window, ...] = ()
+    partition_start: int = 0
+    partition_end: int = 0
+    partition_groups: Tuple[Tuple[int, ...], ...] = ()
+    omega_churn_period: int = 7
+    sigma_reshuffle_period: int = 5
+    stabilization_span: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dup_probability <= 1.0:
+            raise ValueError("dup_probability must be in [0, 1]")
+        if self.dup_probability > 0 and self.dup_max_delay < 1:
+            raise ValueError("dup_max_delay must be >= 1")
+        if not 1 <= self.delay_lo <= self.delay_hi:
+            raise ValueError(
+                f"need 1 <= delay_lo <= delay_hi, got "
+                f"[{self.delay_lo}, {self.delay_hi}]"
+            )
+        if self.burst_period < 0 or self.burst_len > max(self.burst_period, 0):
+            raise ValueError("need 0 <= burst_len <= burst_period")
+        for start, end, pids in self.starve_windows:
+            if start > end:
+                raise ValueError(f"window [{start}, {end}) is inverted")
+        if self.partition_start > self.partition_end:
+            raise ValueError(
+                f"partition window [{self.partition_start}, "
+                f"{self.partition_end}) is inverted"
+            )
+        seen = set()
+        for group in self.partition_groups:
+            if seen & set(group):
+                raise ValueError("partition groups must be disjoint")
+            seen |= set(group)
+        if self.omega_churn_period < 1 or self.sigma_reshuffle_period < 1:
+            raise ValueError("detector periods must be >= 1")
+        if self.stabilization_span < 0:
+            raise ValueError("stabilization_span must be >= 0")
+
+    @property
+    def partitioned(self) -> bool:
+        """Whether the transient-partition window is actually active."""
+        return (
+            self.partition_end > self.partition_start
+            and bool(self.partition_groups)
+        )
+
+    @property
+    def fair(self) -> bool:
+        """Whether every enabled adversary preserves fairness.
+
+        Transient partitions heal, bursts end, starvation windows close
+        and duplication only adds deliveries — all fair.  Newest-first
+        reordering is the one unfair dial (and it is shadowed by an
+        active partition window, whose policy takes over delivery, but
+        we stay conservative and drop the Termination claim anyway).
+        """
+        return not self.reorder
+
+    def with_(self, **changes: Any) -> "ChaosKnobs":
+        return replace(self, **changes)
+
+    # -- JSON round-trip -----------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        d["starve_windows"] = [
+            [start, end, list(pids)] for start, end, pids in self.starve_windows
+        ]
+        d["partition_groups"] = [list(g) for g in self.partition_groups]
+        return d
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosKnobs":
+        data = dict(data)
+        windows = tuple(
+            (int(start), int(end), tuple(int(p) for p in pids))
+            for start, end, pids in data.pop("starve_windows", ())
+        )
+        groups = tuple(
+            tuple(int(p) for p in group)
+            for group in data.pop("partition_groups", ())
+        )
+        return cls(starve_windows=windows, partition_groups=groups, **data)

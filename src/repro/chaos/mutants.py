@@ -1,0 +1,49 @@
+"""Deliberately broken algorithms — the fuzz loop's positive controls.
+
+A fuzzer that never fires might be strong or might be blind.  The
+mutants here carry known, specific bugs that an in-spec adversary can
+expose; the test suite asserts the chaos loop *finds* them, *shrinks*
+the witness, and *replays* it deterministically.
+
+:class:`SubMajorityConsensusCore` breaks the quorum intersection at the
+heart of Paxos safety: it declares a phase complete after hearing from
+``quorum_size`` processes, ignoring Σ.  With ``quorum_size = 1`` any
+process that currently believes itself the Ω leader can run a whole
+ballot against itself alone — two processes holding that belief at once
+(routine before Ω stabilises, especially under churn) decide their own
+proposals independently, violating Uniform Agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Set
+
+from repro.consensus.interface import consensus_component
+from repro.consensus.paxos import OmegaSigmaConsensusCore
+
+
+class SubMajorityConsensusCore(OmegaSigmaConsensusCore):
+    """(Ω, Σ) consensus with Σ's quorums swapped for a fixed head-count.
+
+    Everything else — ballots, promises, decide broadcast — is the
+    parent's; only :meth:`_quorum_reached` is broken.  ``quorum_size``
+    below ``n // 2 + 1`` voids the phase-1/phase-2 intersection
+    guarantee that Agreement rests on.
+    """
+
+    def __init__(self, proposal: Any = None, quorum_size: int = 1, **kwargs: Any):
+        if quorum_size < 1:
+            raise ValueError("quorum_size must be >= 1")
+        super().__init__(proposal, **kwargs)
+        self.quorum_size = quorum_size
+
+    def _quorum_reached(self, responders: Set[int]) -> bool:
+        return len(responders) >= self.quorum_size
+
+
+def submajority_factory(proposals_items, quorum_size: int = 1):
+    """Component factory for the sub-majority mutant (spec-referenceable)."""
+    proposals = dict(proposals_items)
+    return consensus_component(
+        lambda pid: SubMajorityConsensusCore(proposals[pid], quorum_size)
+    )

@@ -1,0 +1,140 @@
+"""Counterexample shrinking — ddmin in spirit, case-shaped in practice.
+
+A raw fuzz hit arrives wrapped in everything the campaign happened to
+throw at it: a long horizon, a pile of crashes, four adversaries at
+once.  The shrinker strips it to the witness a human can read.  The
+state space is a :class:`~repro.chaos.targets.FuzzCase`, and a
+candidate edit is *accepted* when the edited case still exhibits at
+least the original violated clauses (checked by re-executing the spec
+in-process — runs are deterministic, so one execution is an oracle).
+
+Edits are ordered by how much reading they save: halve the horizon,
+drop crashes (one at a time, then all), zero fault knobs one family at
+a time, finally probe small seeds.  The loop restarts from the first
+edit after every acceptance and stops at a fixpoint or when the
+evaluation budget runs out — classic greedy delta debugging, linear in
+practice because each family is monotone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.chaos.knobs import ChaosKnobs
+from repro.chaos.targets import FuzzCase, build_spec, violated_safety
+
+#: Never shrink the horizon below this — the algorithms need *some* time
+#: to reach the states that disagree.
+MIN_HORIZON = 1_000
+
+
+def run_case(case: FuzzCase):
+    """Execute one case in-process; returns its RunSummary."""
+    return build_spec(case).execute()
+
+
+def still_violates(case: FuzzCase, required: Sequence[str]) -> bool:
+    """Does ``case`` still break (at least) every clause in ``required``?"""
+    summary = run_case(case)
+    return set(required) <= set(violated_safety(case, summary.metrics))
+
+
+def _candidates(case: FuzzCase) -> Iterator[Tuple[str, FuzzCase]]:
+    """Strictly-reducing edits of ``case``, most valuable first."""
+    # 1. Horizon halving — the biggest readability win.
+    if case.horizon // 2 >= MIN_HORIZON:
+        yield "halve-horizon", case.with_(horizon=case.horizon // 2)
+
+    # 2. Crash schedule: all gone, then one victim at a time.
+    if case.crashes:
+        yield "drop-all-crashes", case.with_(crashes=())
+        for i in range(len(case.crashes)):
+            reduced = case.crashes[:i] + case.crashes[i + 1 :]
+            yield f"drop-crash-{case.crashes[i][0]}", case.with_(crashes=reduced)
+
+    # 3. Fault knobs, one family at a time (each edit is idempotent:
+    #    already-default families produce no candidate).
+    k = case.knobs
+    defaults = ChaosKnobs()
+    if k.dup_probability > 0:
+        yield "dup-off", case.with_(
+            knobs=k.with_(
+                dup_probability=0.0,
+                dup_max_delay=defaults.dup_max_delay,
+                dup_max_depth=defaults.dup_max_depth,
+            )
+        )
+    if k.reorder:
+        yield "reorder-off", case.with_(knobs=k.with_(reorder=False))
+    if k.burst_period > 0:
+        yield "burst-off", case.with_(
+            knobs=k.with_(burst_period=0, burst_len=0, burst_extra=0)
+        )
+    if k.starve_windows:
+        yield "starve-off", case.with_(knobs=k.with_(starve_windows=()))
+        for i in range(len(k.starve_windows)):
+            reduced = k.starve_windows[:i] + k.starve_windows[i + 1 :]
+            yield f"drop-window-{i}", case.with_(
+                knobs=k.with_(starve_windows=reduced)
+            )
+    if k.partitioned:
+        yield "partition-off", case.with_(
+            knobs=k.with_(
+                partition_start=0, partition_end=0, partition_groups=()
+            )
+        )
+        # Narrow the window from the right before giving up on it.
+        width = k.partition_end - k.partition_start
+        if width >= 2:
+            yield "partition-narrow", case.with_(
+                knobs=k.with_(partition_end=k.partition_start + width // 2)
+            )
+    if (k.delay_lo, k.delay_hi) != (defaults.delay_lo, defaults.delay_hi):
+        yield "delay-default", case.with_(
+            knobs=k.with_(delay_lo=defaults.delay_lo, delay_hi=defaults.delay_hi)
+        )
+    if k.omega_churn_period != defaults.omega_churn_period:
+        yield "churn-default", case.with_(
+            knobs=k.with_(omega_churn_period=defaults.omega_churn_period)
+        )
+    if k.sigma_reshuffle_period != defaults.sigma_reshuffle_period:
+        yield "reshuffle-default", case.with_(
+            knobs=k.with_(sigma_reshuffle_period=defaults.sigma_reshuffle_period)
+        )
+    if k.stabilization_span != 0:
+        yield "span-default", case.with_(knobs=k.with_(stabilization_span=0))
+
+    # 4. Seed probes — only downward, so the loop cannot oscillate.
+    for probe in range(min(4, case.seed)):
+        yield f"seed-{probe}", case.with_(seed=probe)
+
+
+def shrink_case(
+    case: FuzzCase,
+    violated: Sequence[str],
+    budget: int = 48,
+) -> Tuple[FuzzCase, Dict[str, object]]:
+    """Greedy fixpoint shrink of ``case`` preserving ``violated``.
+
+    Returns the shrunk case and a stats dict (evaluations spent, edits
+    accepted, in order).  The input case is assumed to violate
+    ``violated`` already (it is never re-checked, saving one eval).
+    """
+    current = case
+    evals = 0
+    accepted: List[str] = []
+    progress = True
+    while progress and evals < budget:
+        progress = False
+        for label, candidate in _candidates(current):
+            if candidate == current:
+                continue
+            evals += 1
+            if still_violates(candidate, violated):
+                current = candidate
+                accepted.append(label)
+                progress = True
+                break
+            if evals >= budget:
+                break
+    return current, {"evals": evals, "accepted": accepted}

@@ -52,6 +52,28 @@ class ProductOracle(FailureDetector):
         return f"ProductOracle({self.first!r}, {self.second!r})"
 
 
-def omega_sigma_oracle(noisy: bool = True) -> ProductOracle:
-    """The (Ω, Σ) oracle — the weakest detector to solve consensus."""
-    return ProductOracle(OmegaOracle(noisy=noisy), SigmaOracle(noisy=noisy))
+def omega_sigma_oracle(
+    noisy: bool = True,
+    churn_period: int = 7,
+    reshuffle_period: int = 5,
+    stabilization_span: int | None = None,
+) -> ProductOracle:
+    """The (Ω, Σ) oracle — the weakest detector to solve consensus.
+
+    ``churn_period`` / ``reshuffle_period`` / ``stabilization_span``
+    thread through to the component oracles; the defaults reproduce the
+    historical histories exactly, while ``1``/``1``/large is the chaos
+    harness's maximal in-spec perturbation.
+    """
+    return ProductOracle(
+        OmegaOracle(
+            noisy=noisy,
+            churn_period=churn_period,
+            stabilization_span=stabilization_span,
+        ),
+        SigmaOracle(
+            noisy=noisy,
+            reshuffle_period=reshuffle_period,
+            stabilization_span=stabilization_span,
+        ),
+    )

@@ -35,13 +35,34 @@ class OmegaOracle(FailureDetector):
     leader:
         Force the eventual leader to a specific correct process.  By
         default the oracle picks the smallest correct pid.
+    churn_period:
+        How many steps a pre-stabilization noise output persists before
+        flipping.  The default (7) reproduces the historical noise
+        stream; ``1`` is the maximal in-spec churn adversary used by the
+        chaos harness — the output may change on *every* step before
+        stabilization, which the definition of Ω fully permits.
+    stabilization_span:
+        Cap on how long after the last crash the oracle may stay noisy
+        (see :func:`repro.core.detector.sample_stabilization_time`).
+        Larger spans keep the churn going longer while remaining
+        admissible — stabilization still happens inside the horizon.
     """
 
     name = "Omega"
 
-    def __init__(self, noisy: bool = True, leader: int | None = None):
+    def __init__(
+        self,
+        noisy: bool = True,
+        leader: int | None = None,
+        churn_period: int = 7,
+        stabilization_span: int | None = None,
+    ):
+        if churn_period < 1:
+            raise ValueError(f"churn_period must be >= 1, got {churn_period}")
         self.noisy = noisy
         self.leader = leader
+        self.churn_period = churn_period
+        self.stabilization_span = stabilization_span
 
     def build_history(
         self,
@@ -68,15 +89,22 @@ class OmegaOracle(FailureDetector):
         # Per-process stabilization times and pre-stabilization noise.
         stab: Dict[int, int] = {}
         noise_seed = rng.randrange(2**62)
+        span = self.stabilization_span
         for pid in pattern.processes:
-            stab[pid] = sample_stabilization_time(rng, pattern, horizon)
+            if span is None:
+                stab[pid] = sample_stabilization_time(rng, pattern, horizon)
+            else:
+                stab[pid] = sample_stabilization_time(
+                    rng, pattern, horizon, span=span
+                )
+        period = self.churn_period
 
         def value(pid: int, t: int) -> int:
             if t >= stab[pid]:
                 return leader
             # Deterministic pseudo-noise: any process id is admissible
             # before stabilization, including faulty ones.
-            mix = hash((noise_seed, pid, t // 7))
+            mix = hash((noise_seed, pid, t // period))
             return mix % pattern.n
 
         return FailureDetectorHistory(pattern.n, horizon, value)

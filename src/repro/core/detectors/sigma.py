@@ -39,13 +39,37 @@ class SigmaOracle(FailureDetector):
     enforces Intersection at all times; Completeness is achieved by
     shrinking quorums to subsets of ``correct(F)`` after a sampled
     stabilization time.
+
+    Parameters
+    ----------
+    reshuffle_period:
+        How many steps an emitted quorum persists before being redrawn.
+        The default (5) reproduces the historical stream; ``1`` redraws
+        the quorum on every step — the maximal in-spec reshuffling
+        adversary, still sound because every draw contains the kernel
+        (Intersection) and post-stabilization draws are subsets of
+        ``correct(F)`` (Completeness).
+    stabilization_span:
+        Cap on post-crash noise duration, as in :class:`OmegaOracle`.
     """
 
     name = "Sigma"
 
-    def __init__(self, noisy: bool = True, kernel: int | None = None):
+    def __init__(
+        self,
+        noisy: bool = True,
+        kernel: int | None = None,
+        reshuffle_period: int = 5,
+        stabilization_span: int | None = None,
+    ):
+        if reshuffle_period < 1:
+            raise ValueError(
+                f"reshuffle_period must be >= 1, got {reshuffle_period}"
+            )
         self.noisy = noisy
         self.kernel = kernel
+        self.reshuffle_period = reshuffle_period
+        self.stabilization_span = stabilization_span
 
     def build_history(
         self,
@@ -73,14 +97,20 @@ class SigmaOracle(FailureDetector):
                 pattern.n, horizon, lambda pid, t: stable
             )
 
+        span = self.stabilization_span
         stab: Dict[int, int] = {
-            pid: sample_stabilization_time(rng, pattern, horizon)
+            pid: (
+                sample_stabilization_time(rng, pattern, horizon)
+                if span is None
+                else sample_stabilization_time(rng, pattern, horizon, span=span)
+            )
             for pid in pattern.processes
         }
         noise_seed = rng.randrange(2**62)
+        period = self.reshuffle_period
 
         def value(pid: int, t: int) -> FrozenSet[int]:
-            mix = random.Random(hash((noise_seed, pid, t // 5)))
+            mix = random.Random(hash((noise_seed, pid, t // period)))
             if t >= stab[pid]:
                 # Subset of correct processes, always containing kernel.
                 k = mix.randint(1, len(correct))

@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments --seed 7 E4      # different seed
     python -m repro.experiments --jobs 4 E1 E3   # 4 worker processes
     python -m repro.experiments --cache .cache   # reuse cached runs
+    python -m repro.experiments --fail-fast      # stop at first mismatch
 
 ``--jobs``/``--cache`` configure the campaign engine every experiment
 routes its runs through (see :mod:`repro.runner`): ``--jobs 0`` uses
@@ -49,6 +50,11 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="cache run results on disk (optional directory)",
     )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop at the first experiment whose verdict mismatches",
+    )
     args = parser.parse_args(argv)
 
     registry = all_experiments()
@@ -68,6 +74,11 @@ def main(argv=None) -> int:
         print(f"({elapsed:.1f}s)\n")
         if not result.ok:
             failures.append(experiment_id)
+            if args.fail_fast:
+                remaining = wanted[wanted.index(experiment_id) + 1 :]
+                if remaining:
+                    print(f"--fail-fast: skipping {remaining}", file=sys.stderr)
+                break
 
     if failures:
         print(f"MISMATCHES: {failures}", file=sys.stderr)

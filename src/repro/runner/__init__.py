@@ -41,14 +41,16 @@ from repro.runner.cache import ResultCache, code_salt
 from repro.runner.campaign import Campaign, CampaignResult, run_jobs
 from repro.runner.config import configure, reset as reset_config
 from repro.runner.executor import (
+    JobTimeout,
     PoolExecutor,
     SerialExecutor,
     default_worker_count,
+    execute_job_guarded,
     make_executor,
 )
 from repro.runner.fingerprint import canonical, fingerprint
 from repro.runner.spec import FnSpec, RunSpec, fn_spec, run_spec
-from repro.runner.summary import DecisionRecord, FnSummary, RunSummary
+from repro.runner.summary import DecisionRecord, FnSummary, JobFailure, RunSummary
 
 __all__ = [
     "CallSpec",
@@ -73,5 +75,8 @@ __all__ = [
     "run_spec",
     "DecisionRecord",
     "FnSummary",
+    "JobFailure",
+    "JobTimeout",
     "RunSummary",
+    "execute_job_guarded",
 ]

@@ -9,8 +9,12 @@ re-run.  Changing any spec field (seed, horizon, pattern, component
 arguments, ...) changes the key, so sweeps only re-execute the cells
 that actually changed.
 
-Storage is ``pickle`` (results are arbitrary picklable records, and the
-cache directory is as trusted as the working tree that produced it).
+Storage is ``pickle`` framed by a magic tag and a SHA-256 checksum of
+the payload (the cache directory is as trusted as the working tree that
+produced it, but files do get truncated by full disks and killed
+writers).  A corrupt, truncated or foreign entry is *never* an error:
+it is unlinked, recorded in :attr:`ResultCache.events`, and treated as
+a miss so the cell simply recomputes.
 """
 
 from __future__ import annotations
@@ -20,10 +24,14 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Dict, List, Optional
 
 #: Default cache location, overridable via $REPRO_CACHE_DIR.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Entry framing: magic + hex sha256(payload)[:32] + payload.
+_MAGIC = b"RPRC1\n"
+_CHECKSUM_LEN = 32
 
 _code_salt_memo: Optional[str] = None
 
@@ -48,41 +56,70 @@ def code_salt() -> str:
 
 
 class ResultCache:
-    """Filesystem-backed store of per-spec summaries."""
+    """Filesystem-backed store of per-spec summaries.
+
+    Integrity events (corrupt entries discarded, unreadable files) are
+    appended to :attr:`events`; :meth:`drain_events` hands them to the
+    campaign so they surface in its result instead of vanishing.
+    """
 
     def __init__(self, root: Optional[os.PathLike] = None, salt: Optional[str] = None):
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
         self.root = Path(root)
         self.salt = salt if salt is not None else code_salt()
+        self.events: List[Dict[str, Any]] = []
 
     def _path(self, key: str) -> Path:
         return self.root / self.salt[:12] / key[:2] / f"{key}.pkl"
+
+    def _discard(self, path: Path, key: str, reason: str) -> None:
+        self.events.append({"kind": "cache-corrupt", "key": key, "reason": reason})
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def get(self, key: str) -> Optional[Any]:
         """The stored summary for ``key``, or None on miss/corruption."""
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
-                return pickle.load(fh)
+                blob = fh.read()
         except FileNotFoundError:
             return None
-        except (pickle.UnpicklingError, EOFError, AttributeError, OSError):
-            # A truncated or stale entry behaves like a miss.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except OSError as exc:
+            self._discard(path, key, f"unreadable: {exc}")
+            return None
+
+        header_len = len(_MAGIC) + _CHECKSUM_LEN
+        if len(blob) < header_len or not blob.startswith(_MAGIC):
+            self._discard(path, key, "bad magic (foreign or pre-checksum entry)")
+            return None
+        stored = blob[len(_MAGIC) : header_len]
+        payload = blob[header_len:]
+        actual = hashlib.sha256(payload).hexdigest()[:_CHECKSUM_LEN].encode()
+        if stored != actual:
+            self._discard(path, key, "checksum mismatch (truncated or bit-rotted)")
+            return None
+        try:
+            return pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            self._discard(path, key, "payload does not unpickle")
             return None
 
     def put(self, key: str, summary: Any) -> None:
         """Store ``summary`` atomically (write-to-temp, rename)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(summary, protocol=pickle.HIGHEST_PROTOCOL)
+        checksum = hashlib.sha256(payload).hexdigest()[:_CHECKSUM_LEN].encode()
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(summary, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(_MAGIC)
+                fh.write(checksum)
+                fh.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -90,6 +127,11 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def drain_events(self) -> List[Dict[str, Any]]:
+        """Integrity events since the last drain (the list is cleared)."""
+        events, self.events = self.events, []
+        return events
 
     def __repr__(self) -> str:
         return f"ResultCache(root={str(self.root)!r}, salt={self.salt[:12]!r})"

@@ -16,15 +16,21 @@ import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.runner.cache import ResultCache
-from repro.runner.config import resolve_cache, resolve_workers
+from repro.runner.config import resolve_cache, resolve_timeout, resolve_workers
 from repro.runner.executor import make_executor
 from repro.runner.spec import FnSpec, RunSpec
+from repro.runner.summary import JobFailure
 
 Job = Union[RunSpec, FnSpec]
 
 
 class CampaignResult:
-    """Ordered summaries plus execution accounting."""
+    """Ordered summaries plus execution accounting.
+
+    ``incidents`` records every recovery the executor performed (broken
+    pools, retries, quarantines, serial degradation) and ``cache_events``
+    every corrupt cache entry discarded; both empty on a clean run.
+    """
 
     def __init__(
         self,
@@ -34,6 +40,8 @@ class CampaignResult:
         executed: int,
         wall_clock: float,
         workers: int,
+        incidents: Optional[List[Dict[str, Any]]] = None,
+        cache_events: Optional[List[Dict[str, Any]]] = None,
     ):
         self.jobs = list(jobs)
         self.summaries = summaries
@@ -41,6 +49,18 @@ class CampaignResult:
         self.executed = executed
         self.wall_clock = wall_clock
         self.workers = workers
+        self.incidents = incidents or []
+        self.cache_events = cache_events or []
+
+    @property
+    def failures(self) -> List[JobFailure]:
+        """The cells that failed to produce a summary."""
+        return [s for s in self.summaries if isinstance(s, JobFailure)]
+
+    @property
+    def ok(self) -> bool:
+        """True iff every cell produced a real summary."""
+        return not self.failures
 
     def __iter__(self):
         return iter(self.summaries)
@@ -118,15 +138,20 @@ class Campaign:
         self,
         workers: Optional[int] = None,
         cache: Optional[Union[bool, str, ResultCache]] = None,
+        timeout: Optional[float] = None,
     ) -> CampaignResult:
         """Execute every cell; summaries come back in cell order.
 
-        ``workers``/``cache`` default to the process-wide configuration
-        (see :mod:`repro.runner.config`).
+        ``workers``/``cache``/``timeout`` default to the process-wide
+        configuration (see :mod:`repro.runner.config`).  A cell that
+        raises, times out, or kills its worker yields a
+        :class:`~repro.runner.summary.JobFailure` in its slot (never
+        cached) instead of aborting the campaign.
         """
         started = time.perf_counter()
         workers = resolve_workers(workers)
         store = resolve_cache(cache)
+        timeout = resolve_timeout(timeout)
         executor = make_executor(workers)
 
         results: List[Any] = [None] * len(self.jobs)
@@ -145,10 +170,12 @@ class Campaign:
                 pending.setdefault(key, []).append(i)
 
         unique_indices = [slots[0] for slots in pending.values()]
-        executed = executor.map([self.jobs[i] for i in unique_indices])
+        executed = executor.map(
+            [self.jobs[i] for i in unique_indices], timeout=timeout
+        )
         for index, summary in zip(unique_indices, executed):
             key = keys[index]
-            if store is not None:
+            if store is not None and not isinstance(summary, JobFailure):
                 store.put(key, summary)
             for slot in pending[key]:
                 results[slot] = summary
@@ -160,6 +187,8 @@ class Campaign:
             executed=len(executed),
             wall_clock=time.perf_counter() - started,
             workers=getattr(executor, "workers", 1),
+            incidents=list(getattr(executor, "incidents", [])),
+            cache_events=store.drain_events() if store is not None else [],
         )
 
 

@@ -14,7 +14,9 @@ Environment variables:
 
 * ``REPRO_RUNNER_JOBS`` — worker count (``0`` = all cores, ``1`` = serial);
 * ``REPRO_RUNNER_CACHE`` — ``off``/``0`` disables, ``on``/``1`` uses the
-  default directory, anything else is used as the cache directory path.
+  default directory, anything else is used as the cache directory path;
+* ``REPRO_RUNNER_TIMEOUT`` — per-job wall-clock budget in seconds
+  (``0`` or unset = no limit).
 """
 
 from __future__ import annotations
@@ -26,14 +28,16 @@ from repro.runner.cache import ResultCache
 
 _workers: Optional[int] = None
 _cache: Optional[Union[bool, ResultCache]] = None
+_timeout: Optional[float] = None
 
 
 def configure(
     workers: Optional[int] = None,
     cache: Optional[Union[bool, str, ResultCache]] = None,
+    timeout: Optional[float] = None,
 ) -> None:
     """Set process-wide defaults (CLI entry points call this once)."""
-    global _workers, _cache
+    global _workers, _cache, _timeout
     if workers is not None:
         _workers = workers
     if cache is not None:
@@ -41,13 +45,16 @@ def configure(
             _cache = ResultCache(cache)
         else:
             _cache = cache
+    if timeout is not None:
+        _timeout = timeout
 
 
 def reset() -> None:
     """Back to built-in defaults (used by tests)."""
-    global _workers, _cache
+    global _workers, _cache, _timeout
     _workers = None
     _cache = None
+    _timeout = None
 
 
 def resolve_workers(workers: Optional[int] = None) -> Optional[int]:
@@ -62,6 +69,24 @@ def resolve_workers(workers: Optional[int] = None) -> Optional[int]:
         except ValueError:
             raise ValueError(f"REPRO_RUNNER_JOBS={env!r} is not an integer")
     return None
+
+
+def resolve_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Per-job wall-clock budget in seconds; None/0 means unlimited."""
+    if timeout is None:
+        timeout = _timeout
+    if timeout is None:
+        env = os.environ.get("REPRO_RUNNER_TIMEOUT")
+        if env is not None:
+            try:
+                timeout = float(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_RUNNER_TIMEOUT={env!r} is not a number"
+                )
+    if timeout is not None and timeout <= 0:
+        return None
+    return timeout
 
 
 def resolve_cache(

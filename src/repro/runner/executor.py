@@ -5,13 +5,41 @@ same order, whatever the workers' scheduling — result ordering is part
 of the determinism contract, so campaign tables never depend on pool
 timing.  Jobs are anything with ``fingerprint()``/``execute()``
 (:class:`~repro.runner.spec.RunSpec`, :class:`~repro.runner.spec.FnSpec`).
+
+Hardening contract (the chaos harness leans on this):
+
+* a job that *raises* becomes a :class:`~repro.runner.summary.JobFailure`
+  in its result slot — the rest of the batch still runs;
+* a job that exceeds ``timeout`` seconds of wall clock is interrupted
+  (``SIGALRM``, where available) and recorded as a ``"timeout"`` failure;
+* a job that *kills its worker* (``os._exit``, segfault, OOM) breaks the
+  ``ProcessPoolExecutor``; the pool is rebuilt and the un-finished jobs
+  re-run one at a time so the poisoned spec can be attributed, retried
+  with exponential backoff, and finally quarantined as a
+  ``"worker-crash"`` failure;
+* if a pool cannot be created at all, execution degrades to serial and
+  the incident is recorded.
+
+Every recovery action is appended to ``executor.incidents`` so campaign
+results can surface what happened.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import threading
+import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, List, Optional, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.runner.summary import JobFailure
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job exceeds its wall-clock budget."""
 
 
 def execute_job(job: Any) -> Any:
@@ -19,38 +47,203 @@ def execute_job(job: Any) -> Any:
     return job.execute()
 
 
+def _failure_from(job: Any, exc: BaseException, kind: str, attempts: int = 1) -> JobFailure:
+    return JobFailure(
+        key=job.fingerprint(),
+        tags=dict(getattr(job, "tag_dict", None) or getattr(job, "tags", None) or {}),
+        kind=kind,
+        error_type=type(exc).__name__,
+        message=str(exc),
+        traceback="".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )[-4000:],
+        attempts=attempts,
+    )
+
+
+def execute_job_guarded(job: Any, timeout: Optional[float] = None) -> Any:
+    """Run one job, converting exceptions and timeouts to JobFailure.
+
+    This is the importable unit shipped to pool workers.  The timeout
+    uses ``SIGALRM``, which only exists on POSIX and only fires on a
+    main thread — pool workers run tasks on their main thread, so the
+    guard holds there; elsewhere the timeout silently degrades to "no
+    limit" rather than crashing.
+    """
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        try:
+            return execute_job(job)
+        except Exception as exc:  # noqa: BLE001 — the whole point
+            return _failure_from(job, exc, kind="exception")
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(f"job exceeded {timeout:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return execute_job(job)
+    except JobTimeout as exc:
+        return _failure_from(job, exc, kind="timeout")
+    except Exception as exc:  # noqa: BLE001
+        return _failure_from(job, exc, kind="exception")
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 class SerialExecutor:
     """Run every job in this process, in order."""
 
     workers = 1
 
-    def map(self, jobs: Sequence[Any]) -> List[Any]:
-        return [execute_job(job) for job in jobs]
+    def __init__(self) -> None:
+        self.incidents: List[Dict[str, Any]] = []
+
+    def map(self, jobs: Sequence[Any], timeout: Optional[float] = None) -> List[Any]:
+        return [execute_job_guarded(job, timeout) for job in jobs]
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
 
 
 class PoolExecutor:
-    """Fan jobs out over a ``ProcessPoolExecutor``.
+    """Fan jobs out over a ``ProcessPoolExecutor``, surviving crashes.
 
-    Results come back via ``pool.map``, which preserves submission
-    order.  ``chunksize`` trades dispatch overhead against load balance;
-    the default packs roughly four chunks per worker.
+    Jobs are submitted individually (futures preserve submission order,
+    so results stay aligned with the job list).  Ordinary exceptions and
+    timeouts never reach the parent — workers return
+    :class:`~repro.runner.summary.JobFailure` records instead — so a
+    broken pool can only mean a worker *died*.  Recovery: rebuild the
+    pool, replay the unfinished jobs one at a time to attribute the
+    crash, retry the killer with exponential backoff, and quarantine it
+    after ``max_retries`` attempts.
     """
 
-    def __init__(self, workers: Optional[int] = None, chunksize: Optional[int] = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.25,
+    ):
         self.workers = max(1, workers or default_worker_count())
-        self.chunksize = chunksize
+        self.chunksize = chunksize  # kept for API compatibility; unused
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = retry_backoff
+        self.incidents: List[Dict[str, Any]] = []
 
-    def map(self, jobs: Sequence[Any]) -> List[Any]:
+    def _note(self, kind: str, **detail: Any) -> None:
+        self.incidents.append({"kind": kind, **detail})
+
+    def _make_pool(self) -> Optional[ProcessPoolExecutor]:
+        try:
+            return ProcessPoolExecutor(max_workers=self.workers)
+        except Exception as exc:  # noqa: BLE001 — e.g. sandboxed /dev/shm
+            self._note("pool-degraded", error=f"{type(exc).__name__}: {exc}")
+            return None
+
+    def map(self, jobs: Sequence[Any], timeout: Optional[float] = None) -> List[Any]:
         if not jobs:
             return []
         if self.workers == 1 or len(jobs) == 1:
-            return SerialExecutor().map(jobs)
-        chunksize = self.chunksize or max(1, len(jobs) // (self.workers * 4))
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(execute_job, jobs, chunksize=chunksize))
+            return [execute_job_guarded(job, timeout) for job in jobs]
+
+        pool = self._make_pool()
+        if pool is None:
+            return [execute_job_guarded(job, timeout) for job in jobs]
+
+        results: List[Any] = [None] * len(jobs)
+        done: List[bool] = [False] * len(jobs)
+        try:
+            self._batch_phase(pool, jobs, timeout, results, done)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return results
+
+    def _batch_phase(self, pool, jobs, timeout, results, done) -> None:
+        futures = {}
+        broken = False
+        for i in range(len(jobs)):
+            try:
+                futures[i] = pool.submit(execute_job_guarded, jobs[i], timeout)
+            except BrokenProcessPool:
+                broken = True
+                break
+        for i in sorted(futures):
+            try:
+                results[i] = futures[i].result()
+                done[i] = True
+            except BrokenProcessPool:
+                broken = True
+                break
+            except Exception as exc:  # unpicklable result, etc.
+                results[i] = _failure_from(jobs[i], exc, kind="exception")
+                done[i] = True
+        if not broken:
+            return
+        # Harvest whatever did finish before the pool died.
+        for i, fut in futures.items():
+            if not done[i] and fut.done():
+                try:
+                    results[i] = fut.result()
+                    done[i] = True
+                except Exception:  # noqa: BLE001 — re-run it below
+                    pass
+        remaining = [i for i in range(len(jobs)) if not done[i]]
+        self._note("pool-broken", unfinished=len(remaining))
+        self._recovery_phase(jobs, timeout, results, done, remaining)
+
+    def _recovery_phase(self, jobs, timeout, results, done, remaining) -> None:
+        """One job at a time through fresh pools: crash attribution."""
+        pool = self._make_pool()
+        for i in remaining:
+            attempts = 0
+            while True:
+                attempts += 1
+                if pool is None:
+                    results[i] = execute_job_guarded(jobs[i], timeout)
+                    done[i] = True
+                    break
+                try:
+                    results[i] = pool.submit(
+                        execute_job_guarded, jobs[i], timeout
+                    ).result()
+                    done[i] = True
+                    break
+                except BrokenProcessPool as exc:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    if attempts > self.max_retries:
+                        results[i] = _failure_from(
+                            jobs[i], exc, kind="worker-crash", attempts=attempts
+                        )
+                        done[i] = True
+                        self._note(
+                            "quarantined",
+                            key=jobs[i].fingerprint(),
+                            attempts=attempts,
+                        )
+                        pool = self._make_pool()
+                        break
+                    self._note(
+                        "worker-crash-retry",
+                        key=jobs[i].fingerprint(),
+                        attempt=attempts,
+                    )
+                    time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+                    pool = self._make_pool()
+                except Exception as exc:  # noqa: BLE001
+                    results[i] = _failure_from(jobs[i], exc, kind="exception")
+                    done[i] = True
+                    break
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def __repr__(self) -> str:
         return f"PoolExecutor(workers={self.workers}, chunksize={self.chunksize})"

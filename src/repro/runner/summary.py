@@ -52,6 +52,9 @@ class RunSummary:
     wall_clock: float = 0.0
     cached: bool = False
 
+    #: Not a field: mirrors :class:`JobFailure` for uniform filtering.
+    failed = False
+
     @classmethod
     def from_run(cls, spec, trace, metrics, wall_clock) -> "RunSummary":
         components = sorted({d.component for d in trace.decisions})
@@ -128,8 +131,47 @@ class FnSummary:
     wall_clock: float = 0.0
     cached: bool = False
 
+    failed = False
+
     def stable_digest(self) -> str:
         return fingerprint(
             {"key": self.key, "tags": self.tags, "value": self.value},
             salt="fn-summary",
+        )
+
+
+@dataclass
+class JobFailure:
+    """The summary slot for a cell that could not produce a summary.
+
+    ``kind`` distinguishes how the job died:
+
+    * ``"exception"`` — ``execute()`` raised; the error is recorded and
+      the campaign carries on.
+    * ``"timeout"`` — the job exceeded its per-job wall-clock budget.
+    * ``"worker-crash"`` — the job killed its worker process (segfault,
+      ``os._exit``, OOM-kill); after bounded retries it was quarantined
+      so one poisoned spec cannot sink the whole campaign.
+
+    A failure is never cached: a later run re-attempts the cell.
+    ``stable_digest`` covers only the deterministic identity fields —
+    tracebacks and attempt counts legitimately differ between runs.
+    """
+
+    key: str
+    tags: Dict[str, Any]
+    kind: str
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+    wall_clock: float = 0.0
+    cached: bool = False
+
+    failed = True
+
+    def stable_digest(self) -> str:
+        return fingerprint(
+            {"key": self.key, "kind": self.kind, "error_type": self.error_type},
+            salt="job-failure",
         )

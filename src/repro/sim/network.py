@@ -108,6 +108,19 @@ class DeliveryPolicy(ABC):
     ) -> Optional[Message]:
         """Pick one of ``ready`` (non-empty) or None for a λ-step."""
 
+    def duplicate_after(
+        self, msg: Message, now: int, rng: random.Random
+    ) -> Optional[int]:
+        """Hook: re-deliver ``msg`` later?  Called by the network right
+        after ``msg`` is removed from the buffer and handed to its
+        recipient.  Returning an ``extra >= 1`` re-enqueues a copy that
+        becomes ready at ``now + extra``; returning None (the default)
+        delivers each message at most once.  Duplication policies
+        (chaos harness) override this instead of re-implementing
+        :meth:`choose`.
+        """
+        return None
+
 
 class OldestFirstDelivery(DeliveryPolicy):
     """Deliver the longest-waiting ready message — fair by construction."""
@@ -176,6 +189,7 @@ class Network:
         self._next_msg_id = 0
         self.sent_count = 0
         self.delivered_count = 0
+        self.duplicated_count = 0
 
     def send(
         self,
@@ -223,6 +237,23 @@ class Network:
             return None
         self._pending[dest].remove(msg)
         self.delivered_count += 1
+        extra = self.delivery_policy.duplicate_after(msg, now, self._rng)
+        if extra is not None:
+            if extra < 1:
+                raise ValueError(f"duplicate delay must be >= 1, got {extra}")
+            copy = Message(
+                msg_id=self._next_msg_id,
+                sender=msg.sender,
+                dest=msg.dest,
+                component=msg.component,
+                payload=msg.payload,
+                send_time=msg.send_time,
+                ready_at=now + extra,
+                meta=dict(msg.meta),
+            )
+            self._next_msg_id += 1
+            self._pending[dest].append(copy)
+            self.duplicated_count += 1
         return msg
 
     def pending_count(self, dest: Optional[int] = None) -> int:

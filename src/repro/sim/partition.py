@@ -34,13 +34,16 @@ class TransientPartition(DeliveryPolicy):
     start / end:
         The partition window in simulated time (``end`` exclusive).
         After ``end``, everything (including the backlog) flows again.
+        ``start == end`` is the *empty* window — a partition that never
+        takes effect — which is what a shrinking counterexample
+        degenerates to, so it is legal rather than an error.
     """
 
     fair = True  # the partition heals, so delivery is eventually fair
 
     def __init__(self, groups: Sequence[Set[int]], start: int, end: int):
-        if start >= end:
-            raise ValueError("partition window must be non-empty")
+        if start > end:
+            raise ValueError(f"partition window [{start}, {end}) is inverted")
         seen: Set[int] = set()
         for group in groups:
             if seen & set(group):

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Optional, Sequence, Set
+from typing import Iterable, Optional, Sequence, Set, Tuple
 
 
 class Scheduler(ABC):
@@ -100,6 +100,50 @@ class StarvationScheduler(Scheduler):
         allowed = [p for p in alive if p not in self.starved]
         if not allowed:
             return None
+        return self.inner.pick(allowed, now, rng)
+
+
+class WindowedStarvationScheduler(Scheduler):
+    """Starves selected processes during bounded time windows.
+
+    ``windows`` is a sequence of ``(start, end, pids)`` triples
+    (``end`` exclusive): while ``start <= now < end`` the listed
+    processes are never scheduled.  Unlike :class:`StarvationScheduler`
+    this stays *fair* — every window closes, so every correct process
+    still takes infinitely many steps — which makes it an in-spec
+    adversary for the chaos harness's liveness-preserving campaigns.
+    If a window would starve every alive process (halting the run for
+    a reason the model does not admit), it is ignored for that step.
+    """
+
+    fair = True
+
+    def __init__(
+        self,
+        windows: Sequence[Tuple[int, int, Iterable[int]]],
+        inner: Optional[Scheduler] = None,
+    ):
+        self.windows = []
+        for start, end, pids in windows:
+            if start > end:
+                raise ValueError(f"starvation window [{start}, {end}) is inverted")
+            self.windows.append((start, end, frozenset(pids)))
+        self.inner = inner or RandomScheduler()
+
+    def _starved(self, now: int) -> Set[int]:
+        starved: Set[int] = set()
+        for start, end, pids in self.windows:
+            if start <= now < end:
+                starved |= pids
+        return starved
+
+    def pick(
+        self, alive: Sequence[int], now: int, rng: random.Random
+    ) -> Optional[int]:
+        starved = self._starved(now)
+        allowed = [p for p in alive if p not in starved]
+        if not allowed:
+            allowed = list(alive)
         return self.inner.pick(allowed, now, rng)
 
 

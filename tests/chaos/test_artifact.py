@@ -1,0 +1,75 @@
+"""Artifact round-trip and replay mechanics, independent of the fuzz
+loop (which has its own end-to-end test in test_fuzz.py)."""
+
+import json
+
+import pytest
+
+from repro.chaos.artifact import (
+    FORMAT,
+    case_from_dict,
+    case_to_dict,
+    load_artifact,
+    replay,
+    write_artifact,
+)
+from repro.chaos.knobs import ChaosKnobs
+from repro.chaos.shrink import run_case
+from repro.chaos.targets import FuzzCase, violated_safety
+
+CASE = FuzzCase(
+    target="paxos",
+    n=3,
+    seed=2,
+    horizon=20_000,
+    knobs=ChaosKnobs(dup_probability=0.2, omega_churn_period=1),
+    crashes=((1, 40),),
+)
+
+
+class TestCaseRoundTrip:
+    def test_dict_round_trip(self):
+        assert case_from_dict(case_to_dict(CASE)) == CASE
+
+    def test_json_round_trip(self):
+        wire = json.dumps(case_to_dict(CASE))
+        assert case_from_dict(json.loads(wire)) == CASE
+
+    def test_unknown_target_rejected(self):
+        data = case_to_dict(CASE)
+        data["target"] = "nonesuch"
+        with pytest.raises(ValueError):
+            case_from_dict(data)
+
+
+class TestWriteLoadReplay:
+    def test_written_artifact_replays_ok(self, tmp_path):
+        summary = run_case(CASE)
+        violated = violated_safety(CASE, summary.metrics)
+        assert violated == []  # paxos is a clean target
+        path = tmp_path / "witness.json"
+        document = write_artifact(path, CASE, violated, summary)
+        assert document["format"] == FORMAT
+        loaded = load_artifact(path)
+        assert loaded == document
+        result = replay(loaded)
+        assert result.reproduced
+        assert result.deterministic
+        assert result.ok
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            load_artifact(path)
+
+    def test_digest_drift_detected(self, tmp_path):
+        summary = run_case(CASE)
+        path = tmp_path / "witness.json"
+        write_artifact(path, CASE, [], summary)
+        document = load_artifact(path)
+        document["expected"]["stable_digest"] = "0" * 16
+        result = replay(document)
+        assert result.reproduced
+        assert not result.deterministic
+        assert not result.ok

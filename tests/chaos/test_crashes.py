@@ -1,0 +1,59 @@
+"""The crash-schedule fuzzer never leaves its environment."""
+
+import random
+
+import pytest
+
+from repro.chaos.crashes import MODES, CrashScheduleFuzzer
+from repro.core.environment import (
+    CrashFreeEnvironment,
+    FCrashEnvironment,
+    MajorityCorrectEnvironment,
+)
+
+HORIZON = 5_000
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize(
+    "env",
+    [
+        FCrashEnvironment(4, 3),
+        FCrashEnvironment(5, 1),
+        MajorityCorrectEnvironment(5),
+        CrashFreeEnvironment(4),
+    ],
+    ids=lambda e: type(e).__name__ + str(getattr(e, "n", "")),
+)
+def test_samples_stay_in_environment(env, mode):
+    fuzzer = CrashScheduleFuzzer(env, HORIZON)
+    for seed in range(12):
+        pattern = fuzzer.sample(random.Random(seed), mode)
+        assert env.contains(pattern)
+        assert all(0 <= t <= HORIZON for t in pattern.crash_times.values())
+
+
+def test_none_mode_prefers_crash_free():
+    env = FCrashEnvironment(4, 3)
+    fuzzer = CrashScheduleFuzzer(env, HORIZON)
+    pattern = fuzzer.sample(random.Random(0), "none")
+    assert pattern.is_crash_free()
+
+
+def test_modes_are_deterministic_per_seed():
+    env = FCrashEnvironment(6, 5)
+    fuzzer = CrashScheduleFuzzer(env, HORIZON)
+    for mode in MODES:
+        a = fuzzer.sample(random.Random(7), mode)
+        b = fuzzer.sample(random.Random(7), mode)
+        assert a.crash_times == b.crash_times
+
+
+def test_retimed_modes_explore_distinct_schedules():
+    env = FCrashEnvironment(6, 5)
+    fuzzer = CrashScheduleFuzzer(env, HORIZON)
+    schedules = {
+        tuple(sorted(fuzzer.sample(random.Random(s), "early").crash_times.items()))
+        for s in range(20)
+    }
+    assert len(schedules) > 1

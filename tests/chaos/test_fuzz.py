@@ -1,0 +1,133 @@
+"""End-to-end fuzz campaigns.
+
+Two acceptance criteria live here: the clean targets survive a
+fixed-seed campaign with zero safety violations, and the deliberately
+broken sub-majority mutant is found, shrunk, and replayed from its
+artifact.  The mutant is the harness's positive control — if the fuzz
+loop cannot catch a consensus core that decides on single-acceptor
+"quorums", nothing else it reports means anything.
+"""
+
+import pytest
+
+from repro.chaos.artifact import load_artifact, replay
+from repro.chaos.fuzz import generate_cases, main, run_fuzz
+from repro.chaos.shrink import MIN_HORIZON, run_case
+from repro.chaos.targets import CLEAN_TARGETS, build_spec, violated_safety
+
+# The documented reference configuration for catching the mutant: the
+# aggressive knob profile opens a partition near t=0 within 12 rounds.
+MUTANT_CONFIG = dict(
+    targets=("submajority",), rounds=12, seed=0, n=4, horizon=20_000
+)
+
+
+class TestCaseGeneration:
+    def test_deterministic(self):
+        a = generate_cases(("paxos", "ct"), rounds=3, seed=5, n=4, horizon=9_000)
+        b = generate_cases(("paxos", "ct"), rounds=3, seed=5, n=4, horizon=9_000)
+        assert a == b
+
+    def test_seed_changes_cases(self):
+        a = generate_cases(("paxos",), rounds=3, seed=0, n=4, horizon=9_000)
+        b = generate_cases(("paxos",), rounds=3, seed=1, n=4, horizon=9_000)
+        assert a != b
+
+    def test_crashes_stay_in_environment(self):
+        for case in generate_cases(
+            CLEAN_TARGETS, rounds=5, seed=0, n=4, horizon=9_000
+        ):
+            assert len(case.pattern.faulty) <= case.n - 1
+
+    def test_case_execution_is_deterministic(self):
+        cases = generate_cases(("paxos",), rounds=4, seed=0, n=4, horizon=9_000)
+        case = cases[-1]
+        assert run_case(case).stable_digest() == run_case(case).stable_digest()
+
+
+class TestCleanCampaign:
+    def test_fixed_seed_campaign_is_safe(self):
+        """Acceptance: no chaos configuration the generator emits makes
+        any paper algorithm violate safety."""
+        report = run_fuzz(
+            rounds=2, seed=0, n=4, horizon=20_000, shrink=False
+        )
+        assert report.failures == []
+        assert report.safe, report.render()
+        assert len(report.cases) == 2 * len(CLEAN_TARGETS)
+
+
+class TestMutantCampaign:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("chaos-artifacts")
+        return run_fuzz(out_dir=out, **MUTANT_CONFIG)
+
+    def test_mutant_violation_found(self, report):
+        assert not report.safe
+        violated = {clause for v in report.violations for clause in v.violated}
+        assert "agreement" in violated
+
+    def test_violation_confirmed_by_reexecution(self, report):
+        v = report.violations[0]
+        summary = run_case(v.case)
+        assert set(v.violated) <= set(violated_safety(v.case, summary.metrics))
+
+    def test_shrunk_case_is_smaller_and_still_violates(self, report):
+        v = report.violations[0]
+        assert v.shrunk is not None
+        assert v.shrunk.horizon < v.case.horizon
+        assert v.shrunk.horizon >= MIN_HORIZON
+        assert v.shrink_stats["accepted"]
+        summary = run_case(v.shrunk)
+        assert set(v.violated) <= set(
+            violated_safety(v.shrunk, summary.metrics)
+        )
+
+    def test_artifact_replays_deterministically(self, report):
+        v = report.violations[0]
+        assert v.artifact_path is not None and v.artifact_path.exists()
+        result = replay(load_artifact(v.artifact_path))
+        assert result.reproduced
+        assert result.deterministic
+
+    def test_cli_exit_codes(self, report, tmp_path):
+        v = report.violations[0]
+        assert main(["--replay", str(v.artifact_path)]) == 0
+        assert (
+            main(
+                [
+                    "--targets",
+                    "submajority",
+                    "--rounds",
+                    "12",
+                    "--horizon",
+                    "20000",
+                    "--no-shrink",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 1
+        )
+
+
+class TestUnfairKnobsDropLiveness:
+    def test_unfair_case_never_reports_liveness_miss(self):
+        """A newest-first schedule may starve Termination; the report
+        must not count that as a miss (safety-only claim)."""
+        from repro.chaos.knobs import ChaosKnobs
+        from repro.chaos.targets import FuzzCase, liveness_missed
+
+        case = FuzzCase(
+            target="paxos",
+            n=4,
+            seed=0,
+            horizon=4_000,
+            knobs=ChaosKnobs(reorder=True),
+        )
+        summary = build_spec(case).execute()
+        assert violated_safety(case, summary.metrics) == []
+        assert not liveness_missed(
+            case, {**summary.metrics, "termination": False}
+        )

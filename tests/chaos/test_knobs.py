@@ -1,0 +1,94 @@
+"""ChaosKnobs: validation, derived properties, JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.chaos.knobs import ChaosKnobs
+
+
+class TestValidation:
+    def test_defaults_are_all_off(self):
+        k = ChaosKnobs()
+        assert k.dup_probability == 0.0
+        assert not k.reorder
+        assert k.burst_period == 0
+        assert k.starve_windows == ()
+        assert not k.partitioned
+        assert k.fair
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"dup_probability": 1.5},
+            {"dup_probability": -0.1},
+            {"dup_probability": 0.5, "dup_max_delay": 0},
+            {"delay_lo": 0},
+            {"delay_lo": 9, "delay_hi": 3},
+            {"burst_period": 4, "burst_len": 5},
+            {"starve_windows": ((10, 5, (0,)),)},
+            {"partition_start": 10, "partition_end": 5},
+            {"partition_groups": ((0, 1), (1, 2))},
+            {"omega_churn_period": 0},
+            {"sigma_reshuffle_period": 0},
+            {"stabilization_span": -1},
+        ],
+    )
+    def test_bad_values_rejected(self, changes):
+        with pytest.raises(ValueError):
+            ChaosKnobs(**changes)
+
+    def test_partitioned_requires_window_and_groups(self):
+        assert not ChaosKnobs(partition_start=0, partition_end=50).partitioned
+        assert not ChaosKnobs(partition_groups=((0,), (1,))).partitioned
+        k = ChaosKnobs(
+            partition_start=0, partition_end=50, partition_groups=((0,), (1,))
+        )
+        assert k.partitioned
+
+    def test_only_reorder_forfeits_fairness(self):
+        assert not ChaosKnobs(reorder=True).fair
+        busy = ChaosKnobs(
+            dup_probability=0.3,
+            burst_period=40,
+            burst_len=10,
+            burst_extra=20,
+            starve_windows=((100, 200, (0, 1)),),
+            partition_start=0,
+            partition_end=400,
+            partition_groups=((0, 1), (2, 3)),
+        )
+        assert busy.fair
+
+
+class TestRoundTrip:
+    def test_with_returns_new_frozen_value(self):
+        k = ChaosKnobs()
+        k2 = k.with_(dup_probability=0.5)
+        assert k.dup_probability == 0.0
+        assert k2.dup_probability == 0.5
+
+    def test_json_round_trip_preserves_everything(self):
+        k = ChaosKnobs(
+            dup_probability=0.25,
+            dup_max_delay=9,
+            reorder=True,
+            burst_period=50,
+            burst_len=5,
+            burst_extra=30,
+            delay_lo=2,
+            delay_hi=11,
+            starve_windows=((10, 60, (0, 2)), (100, 120, (1,))),
+            partition_start=5,
+            partition_end=500,
+            partition_groups=((0,), (1, 2)),
+            omega_churn_period=1,
+            sigma_reshuffle_period=1,
+            stabilization_span=777,
+        )
+        wire = json.dumps(k.to_dict())
+        assert ChaosKnobs.from_dict(json.loads(wire)) == k
+
+    def test_round_trip_default(self):
+        k = ChaosKnobs()
+        assert ChaosKnobs.from_dict(json.loads(json.dumps(k.to_dict()))) == k

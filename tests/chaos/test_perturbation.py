@@ -1,0 +1,80 @@
+"""Detector perturbation stays in-spec.
+
+The chaos knobs speed up Ω churn and Σ reshuffling and stretch the
+stabilization window, but a perturbed oracle must still generate
+histories its own specification accepts — otherwise the harness would
+be injecting out-of-model faults and any "violation" it finds would be
+meaningless.  These tests close that loop with the same spec checkers
+the analysis layer uses.
+"""
+
+import random
+
+import pytest
+
+from repro.core.detectors import OmegaOracle, SigmaOracle, omega_sigma_oracle
+from repro.core.failure_pattern import FailurePattern
+from repro.core.specs import check_omega, check_omega_sigma, check_sigma
+
+HORIZON = 800
+
+
+def patterns(n):
+    return [
+        FailurePattern.crash_free(n),
+        FailurePattern.single_crash(n, 0, 10),
+        FailurePattern(n, {pid: 40 * (pid + 1) for pid in range(n - 1)}),
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+@pytest.mark.parametrize("n", [3, 5])
+class TestPerturbedOraclesAdmissible:
+    def test_fast_churn_omega(self, n, seed):
+        oracle = OmegaOracle(churn_period=1, stabilization_span=HORIZON // 3)
+        for pattern in patterns(n):
+            h = oracle.build_history(pattern, HORIZON, random.Random(seed))
+            assert check_omega(h, pattern).ok
+
+    def test_fast_reshuffle_sigma(self, n, seed):
+        oracle = SigmaOracle(reshuffle_period=1, stabilization_span=HORIZON // 3)
+        for pattern in patterns(n):
+            h = oracle.build_history(pattern, HORIZON, random.Random(seed))
+            assert check_sigma(h, pattern).ok
+
+    def test_perturbed_product_oracle(self, n, seed):
+        oracle = omega_sigma_oracle(
+            churn_period=1,
+            reshuffle_period=1,
+            stabilization_span=HORIZON // 3,
+        )
+        for pattern in patterns(n):
+            h = oracle.build_history(pattern, HORIZON, random.Random(seed))
+            assert check_omega_sigma(h, pattern).ok
+
+
+def test_default_knobs_reproduce_historical_histories():
+    """The perturbation dials must be invisible at their defaults: the
+    seeded histories the rest of the suite pins down cannot move."""
+    pattern = FailurePattern.crash_free(4)
+    legacy = OmegaOracle().build_history(pattern, 200, random.Random(5))
+    knobbed = OmegaOracle(churn_period=7, stabilization_span=None).build_history(
+        pattern, 200, random.Random(5)
+    )
+    for pid in range(4):
+        assert list(legacy.samples_of(pid)) == list(knobbed.samples_of(pid))
+
+
+def test_faster_churn_changes_prefix_noise():
+    pattern = FailurePattern.crash_free(4)
+    slow = OmegaOracle(churn_period=7).build_history(
+        pattern, 400, random.Random(5)
+    )
+    fast = OmegaOracle(churn_period=1).build_history(
+        pattern, 400, random.Random(5)
+    )
+    differs = any(
+        list(slow.samples_of(pid)) != list(fast.samples_of(pid))
+        for pid in range(4)
+    )
+    assert differs

@@ -34,6 +34,28 @@ def one_arg_value(x):
     return x
 
 
+def fn_square(x):
+    return x * x
+
+
+def fn_raise(x):
+    raise RuntimeError(f"deliberate failure on {x}")
+
+
+def fn_hard_exit(x):
+    """Kill the worker process without unwinding — simulates a segfault."""
+    import os
+
+    os._exit(17)
+
+
+def fn_sleep(x, duration):
+    import time
+
+    time.sleep(duration)
+    return x
+
+
 def consensus_spec(n=4, seed=0, f=0, horizon=60_000, **overrides):
     base = dict(
         n=n,

@@ -51,9 +51,52 @@ class TestPolicyMechanics:
 
     def test_rejects_bad_construction(self):
         with pytest.raises(ValueError):
-            TransientPartition([{0}], start=10, end=10)
+            TransientPartition([{0}], start=10, end=9)
         with pytest.raises(ValueError):
             TransientPartition([{0, 1}, {1, 2}], start=0, end=5)
+
+    def test_empty_window_never_severs(self):
+        """start == end is the empty window a shrinker degenerates to:
+        the policy behaves exactly like OldestFirstDelivery."""
+        policy = TransientPartition([{0, 1}, {2, 3}], start=10, end=10)
+        rng = random.Random(0)
+        for now in (0, 9, 10, 11, 100):
+            assert not policy.severed(msg(0, 2), now=now)
+        ready = [msg(0, 1, send_time=5, msg_id=1), msg(2, 1, send_time=1, msg_id=2)]
+        assert policy.choose(ready, now=10, rng=rng).msg_id == 2
+
+    def test_singleton_groups_isolate_every_pair(self):
+        policy = TransientPartition([{0}, {1}, {2}], start=0, end=100)
+        for sender in range(3):
+            for dest in range(3):
+                if sender != dest:
+                    assert policy.severed(msg(sender, dest), now=50)
+        # A singleton group still talks to itself (self-addressed
+        # broadcast legs are within-group by definition).
+        assert not policy.severed(msg(0, 0), now=50)
+
+    def test_backlog_drains_oldest_first_after_healing(self):
+        """Messages held back by the window come out in (send_time,
+        msg_id) order once the partition heals, interleaved with any
+        fresher traffic — the healed policy is plain oldest-first."""
+        policy = TransientPartition([{0, 1}, {2, 3}], start=0, end=20)
+        rng = random.Random(0)
+        backlog = [
+            msg(2, 0, send_time=3, msg_id=7),
+            msg(3, 0, send_time=1, msg_id=5),
+            msg(2, 0, send_time=1, msg_id=4),
+            msg(1, 0, send_time=15, msg_id=9),  # within-group, fresher
+        ]
+        # During the window only the within-group message may pass.
+        assert policy.choose(backlog, now=10, rng=rng).msg_id == 9
+        # After healing the cross-group backlog drains oldest-first.
+        drained = []
+        remaining = list(backlog)
+        while remaining:
+            chosen = policy.choose(remaining, now=25, rng=rng)
+            drained.append(chosen.msg_id)
+            remaining.remove(chosen)
+        assert drained == [4, 5, 7, 9]
 
 
 class TestAlgorithmsUnderPartition:
