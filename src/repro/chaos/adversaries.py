@@ -80,6 +80,10 @@ class DuplicatingDelivery(DeliveryPolicy):
             raise ValueError("max_depth must be >= 1")
         self.inner = inner or OldestFirstDelivery()
         self.fair = self.inner.fair
+        # Selection is delegated wholesale, so the indexed network may
+        # use its oldest-first fast path whenever the inner policy does;
+        # duplicate_after fires on either path.
+        self.oldest_first_selection = self.inner.oldest_first_selection
         self.probability = probability
         self.max_delay = max_delay
         self.max_depth = max_depth

@@ -57,6 +57,9 @@ class FailureDetectorHistory:
         self.cache_size = cache_size
         self._value_fn = value_fn
         self._cache: List[OrderedDict[int, Any]] = [OrderedDict() for _ in range(n)]
+        #: Optional duck-typed perf-counter bag (the sim layer attaches a
+        #: :class:`repro.sim.perf.PerfCounters`; core never imports sim).
+        self.perf = None
 
     def value(self, pid: int, t: int) -> Any:
         """``H(pid, t)``."""
@@ -64,9 +67,14 @@ class FailureDetectorHistory:
             raise ValueError(f"unknown process {pid}")
         if t < 0:
             raise ValueError(f"negative time {t}")
+        perf = self.perf
+        if perf is not None:
+            perf.detector_value_calls += 1
         memo = self._cache[pid]
         try:
             memo.move_to_end(t)
+            if perf is not None:
+                perf.detector_cache_hits += 1
             return memo[t]
         except KeyError:
             pass

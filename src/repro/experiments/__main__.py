@@ -8,10 +8,13 @@ Usage::
     python -m repro.experiments --jobs 4 E1 E3   # 4 worker processes
     python -m repro.experiments --cache .cache   # reuse cached runs
     python -m repro.experiments --fail-fast      # stop at first mismatch
+    python -m repro.experiments --profile E1     # dump hot-path counters
 
 ``--jobs``/``--cache`` configure the campaign engine every experiment
 routes its runs through (see :mod:`repro.runner`): ``--jobs 0`` uses
 every core, ``--cache`` with no path uses the default on-disk store.
+``--profile`` collects each campaign's aggregated perf counters (see
+``docs/PERF.md``) and writes them as JSON (default ``PROFILE_sim.json``).
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import sys
 import time
 
 from repro.experiments.common import all_experiments
-from repro.runner import configure
+from repro.runner import configure, profile
 
 
 def main(argv=None) -> int:
@@ -55,6 +58,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="stop at the first experiment whose verdict mismatches",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="PROFILE_sim.json",
+        default=None,
+        metavar="PATH",
+        help="dump per-campaign perf counters as JSON (see docs/PERF.md)",
+    )
     args = parser.parse_args(argv)
 
     registry = all_experiments()
@@ -64,6 +75,8 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiments: {unknown}; have {list(registry)}")
 
     configure(workers=args.jobs, cache=args.cache)
+    if args.profile:
+        profile.enable()
 
     failures = []
     for experiment_id in wanted:
@@ -79,6 +92,17 @@ def main(argv=None) -> int:
                 if remaining:
                     print(f"--fail-fast: skipping {remaining}", file=sys.stderr)
                 break
+
+    if args.profile:
+        payload = profile.dump(args.profile)
+        total = payload["total"]
+        scanned = total.get("messages_scanned", 0)
+        delivered = total.get("messages_delivered", 0)
+        per_delivery = scanned / delivered if delivered else 0.0
+        print(
+            f"profile: {len(payload['campaigns'])} campaigns -> "
+            f"{args.profile} (scanned/delivery {per_delivery:.2f})"
+        )
 
     if failures:
         print(f"MISMATCHES: {failures}", file=sys.stderr)

@@ -48,6 +48,7 @@ from repro.runner.executor import (
     execute_job_guarded,
     make_executor,
 )
+from repro.runner import profile
 from repro.runner.fingerprint import canonical, fingerprint
 from repro.runner.spec import FnSpec, RunSpec, fn_spec, run_spec
 from repro.runner.summary import DecisionRecord, FnSummary, JobFailure, RunSummary
@@ -69,6 +70,7 @@ __all__ = [
     "make_executor",
     "canonical",
     "fingerprint",
+    "profile",
     "FnSpec",
     "RunSpec",
     "fn_spec",

@@ -15,6 +15,7 @@ import itertools
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.runner import profile
 from repro.runner.cache import ResultCache
 from repro.runner.config import resolve_cache, resolve_timeout, resolve_workers
 from repro.runner.executor import make_executor
@@ -84,6 +85,18 @@ class CampaignResult:
         if len(matches) != 1:
             raise KeyError(f"{len(matches)} summaries match {tags!r}")
         return matches[0]
+
+    def perf_totals(self) -> Dict[str, int]:
+        """Summed hot-path counters across every cell that has them.
+
+        Cached summaries carry the counters of the run that populated
+        the cache; FnSpec cells and failures contribute nothing.
+        """
+        from repro.sim.perf import aggregate
+
+        return aggregate(
+            getattr(s, "perf", None) or {} for s in self.summaries
+        )
 
     def __repr__(self) -> str:
         return (
@@ -180,7 +193,7 @@ class Campaign:
             for slot in pending[key]:
                 results[slot] = summary
 
-        return CampaignResult(
+        result = CampaignResult(
             jobs=self.jobs,
             summaries=results,
             hits=hits,
@@ -190,6 +203,9 @@ class Campaign:
             incidents=list(getattr(executor, "incidents", [])),
             cache_events=store.drain_events() if store is not None else [],
         )
+        if profile.is_enabled():
+            profile.record(self.name, result)
+        return result
 
 
 def run_jobs(

@@ -29,7 +29,8 @@ from repro.runner.fingerprint import fingerprint
 
 #: Bump when run semantics change in a way that should invalidate every
 #: cached result regardless of source-hash salting.
-SPEC_FORMAT = 1
+#: 2: RunSpec grew ``time_leap``; RunSummary grew ``perf``.
+SPEC_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,10 @@ class RunSpec:
     stop: Optional[CallSpec] = None
     grace: int = 0
     trace_mode: str = "lite"
+    #: Opt-in quiescence time-leap (see :meth:`repro.sim.system.System.run`);
+    #: trace-neutral, so two specs differing only here produce equal
+    #: stable digests — but distinct fingerprints/cache keys.
+    time_leap: bool = False
     summarize: Optional[CallSpec] = None
     #: Free-form labels echoed into the summary (axis coordinates,
     #: row keys); part of the fingerprint so distinct cells never

@@ -49,6 +49,11 @@ class RunSummary:
     operations: Dict[str, Tuple[int, int]]  # component -> (completed, total)
     trace_digest: str
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Hot-path counter snapshot (:mod:`repro.sim.perf`).  Observability
+    #: only: excluded from :meth:`stable_digest` because different buffer
+    #: engines / time-leap settings legitimately count differently while
+    #: producing identical traces.
+    perf: Dict[str, int] = field(default_factory=dict)
     wall_clock: float = 0.0
     cached: bool = False
 
@@ -86,6 +91,11 @@ class RunSummary:
             operations={c: (done, total) for c, (done, total) in ops.items()},
             trace_digest=trace.digest(),
             metrics=metrics,
+            perf=(
+                trace.perf.as_dict()
+                if getattr(trace, "perf", None) is not None
+                else {}
+            ),
             wall_clock=wall_clock,
         )
 
@@ -110,13 +120,14 @@ class RunSummary:
     def stable_digest(self) -> str:
         """Content hash of every run-determined field.
 
-        Excludes ``wall_clock`` and ``cached`` — the only fields allowed
-        to differ between serial, pooled and cached executions.
+        Excludes ``wall_clock``, ``cached`` and ``perf`` — the only
+        fields allowed to differ between serial, pooled, cached and
+        differently-engined executions of one spec.
         """
         stable = {
             k: v
             for k, v in self.__dict__.items()
-            if k not in ("wall_clock", "cached")
+            if k not in ("wall_clock", "cached", "perf")
         }
         return fingerprint(stable, salt="run-summary")
 

@@ -1,0 +1,111 @@
+"""Perf counters for the simulation hot path.
+
+A :class:`PerfCounters` value is a flat bag of integers incremented by
+the network buffers, the run loop and the detector history while a
+:class:`~repro.sim.system.System` executes.  The counters are
+*observability*, not semantics: two runs of the same spec on different
+engine implementations (reference vs indexed buffers, time-leap on vs
+off) produce identical traces but legitimately different counters — so
+they are excluded from every determinism digest and only ever compared
+as performance evidence.
+
+Counter semantics (see ``docs/PERF.md`` for the full story):
+
+``ticks``
+    Steps recorded by the run loop, including synthesized λ-steps.
+``lambda_steps``
+    Steps in which no message was delivered.
+``ticks_leaped`` / ``leap_windows``
+    λ-steps synthesized by the quiescence time-leap, and how many
+    contiguous windows they came in.
+``messages_sent`` / ``messages_delivered``
+    Mirror of the network's send/deliver totals.
+``messages_scanned``
+    Buffer entries examined while building ready lists or picking a
+    message.  The headline machine-independent metric: the reference
+    buffer scans O(pending) per pick, the indexed buffer amortizes to
+    O(1 + log pending); ``messages_scanned / messages_delivered`` is
+    what the perf-smoke CI job gates on.
+``ready_promotions``
+    Messages moved from the not-yet-ready heap into the ready pool.
+``heap_pushes`` / ``heap_pops``
+    Indexed-buffer heap operations (zero on the reference engine).
+``fast_path_picks``
+    Deliveries served by the oldest-first indexed fast path without
+    materializing a ready list.
+``detector_value_calls`` / ``detector_cache_hits``
+    :meth:`FailureDetectorHistory.value` calls and LRU memo hits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+FIELDS = (
+    "ticks",
+    "lambda_steps",
+    "ticks_leaped",
+    "leap_windows",
+    "messages_sent",
+    "messages_delivered",
+    "messages_scanned",
+    "ready_promotions",
+    "heap_pushes",
+    "heap_pops",
+    "fast_path_picks",
+    "detector_value_calls",
+    "detector_cache_hits",
+)
+
+
+class PerfCounters:
+    """A flat, mergeable registry of hot-path counters."""
+
+    __slots__ = FIELDS
+
+    def __init__(self) -> None:
+        for name in FIELDS:
+            setattr(self, name, 0)
+
+    # -- export / aggregation ------------------------------------------
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in FIELDS}
+
+    def merge(self, other: Mapping[str, int]) -> None:
+        """Add another counter snapshot (dict or PerfCounters) in place."""
+        if isinstance(other, PerfCounters):
+            other = other.as_dict()
+        for name, value in other.items():
+            if name in self.__slots__:
+                setattr(self, name, getattr(self, name) + int(value))
+
+    # -- derived ratios -------------------------------------------------
+    def scanned_per_delivery(self) -> float:
+        """Buffer entries examined per delivered message (amortized)."""
+        if not self.messages_delivered:
+            return 0.0
+        return self.messages_scanned / self.messages_delivered
+
+    def leap_ratio(self) -> float:
+        """Fraction of recorded steps synthesized by the time-leap."""
+        if not self.ticks:
+            return 0.0
+        return self.ticks_leaped / self.ticks
+
+    def detector_hit_rate(self) -> float:
+        if not self.detector_value_calls:
+            return 0.0
+        return self.detector_cache_hits / self.detector_value_calls
+
+    def __repr__(self) -> str:
+        busy = {k: v for k, v in self.as_dict().items() if v}
+        return f"PerfCounters({busy})"
+
+
+def aggregate(snapshots: Iterable[Mapping[str, int]]) -> Dict[str, int]:
+    """Sum counter dicts (e.g. the ``perf`` field of many RunSummaries)."""
+    total = PerfCounters()
+    for snap in snapshots:
+        if snap:
+            total.merge(snap)
+    return total.as_dict()

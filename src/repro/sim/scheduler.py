@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from bisect import bisect_right
 from typing import Iterable, Optional, Sequence, Set, Tuple
 
 
@@ -41,7 +42,12 @@ class RandomScheduler(Scheduler):
 
 
 class RoundRobinScheduler(Scheduler):
-    """Cycle deterministically through alive processes."""
+    """Cycle deterministically through alive processes.
+
+    Contract: ``alive`` must be in ascending pid order —
+    :meth:`System.run` maintains it that way (it filters a ``range``),
+    so ``pick`` scans it directly instead of re-sorting every tick.
+    """
 
     fair = True
 
@@ -51,13 +57,14 @@ class RoundRobinScheduler(Scheduler):
     def pick(
         self, alive: Sequence[int], now: int, rng: random.Random
     ) -> Optional[int]:
-        candidates = sorted(alive)
-        for pid in candidates:
-            if pid > self._last:
+        last = self._last
+        for pid in alive:
+            if pid > last:
                 self._last = pid
                 return pid
-        self._last = candidates[0]
-        return candidates[0]
+        first = alive[0]
+        self._last = first
+        return first
 
 
 class WeightedScheduler(Scheduler):
@@ -129,13 +136,30 @@ class WindowedStarvationScheduler(Scheduler):
                 raise ValueError(f"starvation window [{start}, {end}) is inverted")
             self.windows.append((start, end, frozenset(pids)))
         self.inner = inner or RandomScheduler()
+        # Interval index: between two consecutive window boundaries the
+        # starved set is constant, so precompute it once and answer
+        # per-tick queries with a bisect instead of a window sweep.
+        boundaries = sorted(
+            {start for start, _, _ in self.windows}
+            | {end for _, end, _ in self.windows}
+        )
+        self._boundaries = boundaries
+        self._active = []
+        for point in boundaries:
+            starved = frozenset().union(
+                *(
+                    pids
+                    for start, end, pids in self.windows
+                    if start <= point < end
+                )
+            )
+            self._active.append(starved)
 
     def _starved(self, now: int) -> Set[int]:
-        starved: Set[int] = set()
-        for start, end, pids in self.windows:
-            if start <= now < end:
-                starved |= pids
-        return starved
+        idx = bisect_right(self._boundaries, now) - 1
+        if idx < 0:
+            return frozenset()
+        return self._active[idx]
 
     def pick(
         self, alive: Sequence[int], now: int, rng: random.Random

@@ -25,6 +25,7 @@ Use :class:`SystemBuilder` for ergonomic construction::
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.detector import FailureDetector
@@ -32,6 +33,7 @@ from repro.core.environment import Environment
 from repro.core.failure_pattern import FailurePattern
 from repro.core.history import FailureDetectorHistory
 from repro.sim.network import DelayModel, DeliveryPolicy, Network
+from repro.sim.perf import PerfCounters
 from repro.sim.process import Component, ProcessContext, ProcessHost
 from repro.sim.rng import RngStreams
 from repro.sim.scheduler import RandomScheduler, Scheduler
@@ -57,6 +59,7 @@ class System:
         delay_model: Optional[DelayModel] = None,
         delivery_policy: Optional[DeliveryPolicy] = None,
         trace_mode: str = "full",
+        time_leap: bool = False,
     ):
         if pattern.n != n:
             raise ValueError(f"pattern over {pattern.n} processes, system over {n}")
@@ -68,19 +71,24 @@ class System:
         self.horizon = horizon
         self.pattern = pattern
         self.streams = RngStreams(seed)
+        self.perf = PerfCounters()
         self.trace = RunTrace(pattern, horizon, mode=trace_mode)
+        self.trace.perf = self.perf
         self.network = Network(
             n,
             self.streams.get("network"),
             delay_model=delay_model,
             delivery_policy=delivery_policy,
+            perf=self.perf,
         )
         self.scheduler = scheduler or RandomScheduler()
+        self.time_leap = time_leap
         self.detector_history: Optional[FailureDetectorHistory] = None
         if detector is not None:
             self.detector_history = detector.build_history(
                 pattern, horizon + 1, self.streams.get("detector")
             )
+            self.detector_history.perf = self.perf
         self._detector_component = detector_component
 
         self.hosts: List[ProcessHost] = []
@@ -113,6 +121,7 @@ class System:
             delay_model=spec.resolve_delay_model(),
             delivery_policy=spec.resolve_delivery_policy(),
             trace_mode=spec.trace_mode,
+            time_leap=getattr(spec, "time_leap", False),
         )
 
     def _wire_detector(self, host: ProcessHost) -> None:
@@ -144,6 +153,20 @@ class System:
         first holds — needed when eventual detector properties or
         background extraction tasks should be observed past the
         "foreground" algorithm's completion.
+
+        With ``time_leap=True`` the loop may *synthesize* stretches of
+        λ-steps instead of executing them: whenever every alive process
+        is quiescent (see :attr:`Component.quiescent`) and no buffered
+        message is deliverable, every tick until the next event —
+        earliest ``ready_at``, next crash, the grace deadline, the
+        horizon — is provably a λ-step of whichever process the
+        scheduler picks, so the loop records those steps (scheduler
+        state, rng stream, digest bytes, detector samples all exact)
+        without running the per-tick machinery.  The leap is forced off
+        under unfair schedulers or delivery policies, and requires
+        ``stop_when`` predicates to be state-based (decisions,
+        operations, component state — not raw step counts), which every
+        predicate in this repo is.
         """
         rng_sched = self.streams.get("scheduler")
         stop_at: Optional[int] = None
@@ -154,7 +177,16 @@ class System:
         events = self.pattern.crash_events()
         next_event = 0
         alive = [p for p in range(self.n) if not self.pattern.crashed(p, 0)]
-        for t in range(1, self.horizon + 1):
+        trace = self.trace
+        network = self.network
+        scheduler = self.scheduler
+        perf = self.perf
+        leap_enabled = (
+            self.time_leap and scheduler.fair and network.delivery_policy.fair
+        )
+        completed = True
+        t = 1
+        while t <= self.horizon:
             self.now = t
             while next_event < len(events) and events[next_event][0] <= t:
                 crashed_pid = events[next_event][1]
@@ -162,32 +194,106 @@ class System:
                     alive.remove(crashed_pid)
                 next_event += 1
             if not alive:
-                self.trace.stop_reason = "all-crashed"
+                trace.stop_reason = "all-crashed"
+                completed = False
                 break
-            pid = self.scheduler.pick(alive, t, rng_sched)
+            pid = scheduler.pick(alive, t, rng_sched)
             if pid is None:
-                self.trace.stop_reason = "scheduler-halt"
+                trace.stop_reason = "scheduler-halt"
+                completed = False
                 break
             host = self.hosts[pid]
-            message = self.network.pick_for(pid, t)
+            message = network.pick_for(pid, t)
             delivered = host.take_step(t, message)
             detector_value = host.ctx.detector()
-            self.trace.record_step(
+            perf.ticks += 1
+            if delivered is None:
+                perf.lambda_steps += 1
+            trace.record_step(
                 Step(time=t, pid=pid, message=delivered, detector_value=detector_value)
             )
             if stop_when is not None and stop_at is None and stop_when(self):
                 stop_at = t
             if stop_at is not None and t >= stop_at + grace:
-                self.trace.stop_reason = "stop-condition"
+                trace.stop_reason = "stop-condition"
+                completed = False
                 break
-        else:
-            self.trace.stop_reason = (
+            if leap_enabled and t < self.horizon:
+                leaped = self._try_leap(
+                    t, alive, events, next_event, stop_at, grace, rng_sched
+                )
+                if leaped is not None:
+                    t = leaped
+            t += 1
+        if completed:
+            trace.stop_reason = (
                 "stop-condition" if stop_at is not None else "horizon"
             )
-        self.trace.messages_sent = self.network.sent_count
-        self.trace.messages_delivered = self.network.delivered_count
-        self.trace.final_time = self.now
-        return self.trace
+        trace.messages_sent = network.sent_count
+        trace.messages_delivered = network.delivered_count
+        trace.final_time = self.now
+        return trace
+
+    def _try_leap(
+        self,
+        t: int,
+        alive: List[int],
+        events: Sequence[Tuple[int, int]],
+        next_event: int,
+        stop_at: Optional[int],
+        grace: int,
+        rng_sched,
+    ) -> Optional[int]:
+        """Synthesize the λ-only window after tick ``t``; returns its end.
+
+        Returns the last synthesized tick (the caller resumes the
+        normal loop at the following one), or None when no tick can be
+        skipped.  Preconditions checked here: every alive process
+        quiescent, no deliverable message before the window's end.  The
+        window is cut just before the next crash event (``alive``
+        changes there) and before the grace deadline (that tick must
+        run the normal stop check).
+        """
+        for pid in alive:
+            if not self.hosts[pid].quiescent:
+                return None
+        end = self.horizon
+        if next_event < len(events):
+            end = min(end, events[next_event][0] - 1)
+        if stop_at is not None:
+            end = min(end, stop_at + grace - 1)
+        next_ready = self.network.next_ready_time(alive, t)
+        if next_ready is not None:
+            if next_ready <= t:
+                return None
+            end = min(end, next_ready - 1)
+        if end <= t:
+            return None
+        trace = self.trace
+        hosts = self.hosts
+        for tt in range(t + 1, end + 1):
+            self.now = tt
+            pid = self.scheduler.pick(alive, tt, rng_sched)
+            if pid is None:
+                # The leap is gated on scheduler.fair, and fair
+                # schedulers never halt; resuming the normal loop here
+                # would replay the pick and fork the rng stream.
+                raise RuntimeError(
+                    f"scheduler {type(self.scheduler).__name__} claims "
+                    f"fair=True but halted at t={tt} during a time-leap"
+                )
+            host = hosts[pid]
+            ctx = host.ctx
+            ctx.now = tt
+            host.steps_taken += 1
+            trace.record_lambda_step(tt, pid, ctx.detector())
+        skipped = end - t
+        perf = self.perf
+        perf.ticks += skipped
+        perf.lambda_steps += skipped
+        perf.ticks_leaped += skipped
+        perf.leap_windows += 1
+        return end
 
     # ------------------------------------------------------------------
     # Conveniences
@@ -216,6 +322,7 @@ class SystemBuilder:
         self._delivery_policy: Optional[DeliveryPolicy] = None
         self._factories: List[Tuple[str, ComponentFactory]] = []
         self._trace_mode: str = "full"
+        self._time_leap: bool = False
 
     def pattern(self, pattern: FailurePattern) -> "SystemBuilder":
         self._pattern = pattern
@@ -264,6 +371,11 @@ class SystemBuilder:
         self._trace_mode = mode
         return self
 
+    def time_leap(self, enabled: bool = True) -> "SystemBuilder":
+        """Opt in to the quiescence time-leap (see :meth:`System.run`)."""
+        self._time_leap = enabled
+        return self
+
     def build(self) -> System:
         if self._pattern is not None:
             pattern = self._pattern
@@ -287,7 +399,27 @@ class SystemBuilder:
             delay_model=self._delay_model,
             delivery_policy=self._delivery_policy,
             trace_mode=self._trace_mode,
+            time_leap=self._time_leap,
         )
+
+
+@contextmanager
+def network_implementation(impl):
+    """Temporarily swap the buffer engine :class:`System` constructs.
+
+    ``System.__init__`` resolves ``Network`` from this module's globals
+    at call time, so rebinding it here redirects every system built
+    inside the ``with`` block — how the golden determinism suite and
+    the simulator bench run identical specs on
+    :class:`~repro.sim.network.ReferenceNetwork` vs the indexed engine.
+    """
+    global Network
+    previous = Network
+    Network = impl
+    try:
+        yield
+    finally:
+        Network = previous
 
 
 def decided(component: str) -> StopPredicate:

@@ -78,6 +78,8 @@ class TaskletDriver:
         so that a tasklet unblocked by another one within the same step
         still runs in that step.
         """
+        if not self._tasklets:
+            return
         progressed = self._pass(tick_waitsteps=True)
         for _ in range(self.MAX_CASCADE - 1):
             if not progressed:

@@ -110,10 +110,18 @@ class RunTrace:
         #: Arbitrary per-run annotations set by components/experiments.
         self.annotations: Dict[str, Any] = {}
         self._decided: Dict[Tuple[int, str], Decision] = {}
+        self._component_decided: Dict[str, set] = {}
         self._next_op_id = 0
         self._step_total = 0
         self._steps_by_pid = [0] * pattern.n
         self._digest = hashlib.sha256()
+        # Step digest bytes are buffered and hashed in batches; sha256
+        # over the concatenation equals per-step updates, so digests stay
+        # byte-identical while the hot loop skips a hash call per tick.
+        self._digest_parts: List[bytes] = []
+        #: Optional :class:`~repro.sim.perf.PerfCounters` attached by the
+        #: running system; surfaced through campaign summaries.
+        self.perf = None
 
     @property
     def record_full(self) -> bool:
@@ -127,13 +135,39 @@ class RunTrace:
         self._step_total += 1
         self._steps_by_pid[step.pid] += 1
         msg_id = step.message.msg_id if step.message is not None else -1
-        self._digest.update(b"s%d:%d:%d" % (step.time, step.pid, msg_id))
+        self._digest_parts.append(b"s%d:%d:%d" % (step.time, step.pid, msg_id))
+        if len(self._digest_parts) >= 4096:
+            self._flush_digest()
         if self.record_full:
             self.steps.append(step)
             if step.detector_value is not None:
                 self.detector_samples.record(
                     step.pid, step.time, step.detector_value
                 )
+
+    def record_lambda_step(self, time: int, pid: int, detector_value: Any) -> None:
+        """Record a λ-step without building a :class:`Step` in lite mode.
+
+        Used by the quiescence time-leap to synthesize the skipped
+        ticks: digest bytes, counters, retained steps and detector
+        samples all match what :meth:`record_step` would have produced
+        for ``Step(time, pid, None, detector_value)``.
+        """
+        self.final_time = time
+        self._step_total += 1
+        self._steps_by_pid[pid] += 1
+        self._digest_parts.append(b"s%d:%d:-1" % (time, pid))
+        if len(self._digest_parts) >= 4096:
+            self._flush_digest()
+        if self.record_full:
+            self.steps.append(Step(time, pid, None, detector_value))
+            if detector_value is not None:
+                self.detector_samples.record(pid, time, detector_value)
+
+    def _flush_digest(self) -> None:
+        if self._digest_parts:
+            self._digest.update(b"".join(self._digest_parts))
+            self._digest_parts.clear()
 
     def record_decision(self, decision: Decision) -> None:
         key = (decision.pid, decision.component)
@@ -144,7 +178,13 @@ class RunTrace:
                 f"{decision.value!r}"
             )
         self._decided[key] = decision
+        self._component_decided.setdefault(decision.component, set()).add(
+            decision.pid
+        )
         self.decisions.append(decision)
+        # Flush buffered step bytes first so the decision lands in the
+        # digest at the same byte offset as with unbuffered updates.
+        self._flush_digest()
         self._digest.update(
             f"d{decision.time}:{decision.pid}:{decision.component}:"
             f"{decision.value!r}".encode()
@@ -175,11 +215,13 @@ class RunTrace:
         return [d for d in self.decisions if d.component == component]
 
     def decided_pids(self, component: str) -> set[int]:
-        return {d.pid for d in self.decisions if d.component == component}
+        return set(self._component_decided.get(component, ()))
 
     def all_correct_decided(self, component: str) -> bool:
         """Whether every correct process has decided in ``component``."""
-        return self.pattern.correct <= self.decided_pids(component)
+        return self.pattern.correct <= self._component_decided.get(
+            component, frozenset()
+        )
 
     def step_count(self, pid: Optional[int] = None) -> int:
         # In full mode count the retained list (tests may append to it
@@ -194,6 +236,7 @@ class RunTrace:
 
     def digest(self) -> str:
         """Order-sensitive hash of the schedule + decision sequence."""
+        self._flush_digest()
         return self._digest.hexdigest()
 
     def decision_latency(self, component: str) -> Optional[int]:

@@ -11,6 +11,7 @@ from repro.sim.scheduler import (
     RoundRobinScheduler,
     StarvationScheduler,
     WeightedScheduler,
+    WindowedStarvationScheduler,
 )
 
 
@@ -37,6 +38,24 @@ class TestRoundRobin:
         # process 1 crashes; rotation continues among the rest
         picks = [sched.pick([0, 2], t, rng) for t in range(4)]
         assert picks == [2, 0, 2, 0]
+
+    def test_requires_ascending_alive(self):
+        """Pins the documented contract: ``alive`` must be ascending.
+
+        System.run always passes an ascending list (it filters a range
+        and removes crashed pids in place), so pick no longer re-sorts.
+        An out-of-order list therefore yields first-pid-greater-than-
+        last scanning order, NOT sorted order — if this test starts
+        failing because pick sorts again, the hot path regressed.
+        """
+        sched = RoundRobinScheduler()
+        rng = random.Random(0)
+        # Ascending input behaves exactly as before the fast path.
+        assert [sched.pick([0, 1, 2], t, rng) for t in range(3)] == [0, 1, 2]
+        # Out-of-order input exposes the scan order (first pid > _last).
+        sched = RoundRobinScheduler()
+        assert sched.pick([2, 0, 1], 0, rng) == 2
+        assert sched.pick([2, 0, 1], 1, rng) == 2  # wraps to alive[0]
 
 
 class TestWeighted:
@@ -70,6 +89,48 @@ class TestStarvation:
         sched = StarvationScheduler({0, 1})
         rng = random.Random(0)
         assert sched.pick([0, 1], 0, rng) is None
+
+
+class TestWindowedStarvation:
+    WINDOWS = [
+        (10, 20, {0}),
+        (15, 30, {1, 2}),
+        (30, 30, {3}),  # empty window: boundary only, never active
+        (40, 50, {0, 3}),
+    ]
+
+    def _reference_starved(self, windows, now):
+        starved = set()
+        for start, end, pids in windows:
+            if start <= now < end:
+                starved |= set(pids)
+        return starved
+
+    def test_interval_index_matches_window_sweep(self):
+        sched = WindowedStarvationScheduler(self.WINDOWS)
+        for now in range(0, 60):
+            expected = self._reference_starved(self.WINDOWS, now)
+            assert set(sched._starved(now)) == expected, f"at t={now}"
+
+    def test_no_windows(self):
+        sched = WindowedStarvationScheduler([])
+        assert not sched._starved(0)
+        assert not sched._starved(1000)
+
+    def test_starves_inside_window_only(self):
+        sched = WindowedStarvationScheduler(
+            [(5, 10, {1})], inner=RoundRobinScheduler()
+        )
+        rng = random.Random(0)
+        inside = {sched.pick([0, 1, 2], t, rng) for t in range(5, 10)}
+        assert 1 not in inside
+        after = {sched.pick([0, 1, 2], t, rng) for t in range(10, 20)}
+        assert 1 in after
+
+    def test_ignores_window_covering_all_alive(self):
+        sched = WindowedStarvationScheduler([(0, 100, {0, 1})])
+        rng = random.Random(0)
+        assert sched.pick([0, 1], 3, rng) is not None
 
 
 class TestBurst:

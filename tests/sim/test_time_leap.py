@@ -1,0 +1,232 @@
+"""The quiescence time-leap: identical traces, skipped machinery.
+
+Every test compares a ``time_leap=True`` run against the plain run of
+the same system and asserts *bit-identical* observables (step lists,
+digests, detector samples, final state) — the leap's whole contract is
+that it only changes how fast λ-stretches are executed, never what they
+contain.
+"""
+
+import random
+
+from repro.core.detectors import omega_sigma_oracle
+from repro.core.failure_pattern import FailurePattern
+from repro.sim.network import ConstantDelay, HoldingDelivery
+from repro.sim.process import Component
+from repro.sim.scheduler import RoundRobinScheduler, StarvationScheduler
+from repro.sim.system import SystemBuilder, decided
+
+
+class SparsePinger(Component):
+    """Message-driven ring: long silences between deliveries.
+
+    No ``on_step`` override, no tasklets — quiescent whenever the ball
+    is in flight, which with a long constant delay is almost always.
+    """
+
+    name = "ping"
+
+    def __init__(self, hops: int = 20):
+        super().__init__()
+        self.hops = hops
+        self.seen = 0
+        self.done = False
+
+    def _finish(self):
+        if not self.done:
+            self.done = True
+            self.decide("done")
+
+    def on_start(self):
+        if self.pid == 0:
+            self.send((self.pid + 1) % self.n, ("ball", 0))
+
+    def on_message(self, sender, payload, meta):
+        if payload[0] == "done":
+            self._finish()
+            return
+        _, hop = payload
+        self.seen += 1
+        if hop + 1 < self.hops:
+            self.send((self.pid + 1) % self.n, ("ball", hop + 1))
+        else:
+            self._finish()
+            self.broadcast(("done",), include_self=False)
+
+
+class SelfDriving(Component):
+    """Overrides on_step — never quiescent, so never leaped over."""
+
+    name = "busy"
+
+    def __init__(self):
+        super().__init__()
+        self.steps = 0
+
+    def on_step(self):
+        self.steps += 1
+
+
+def _build(time_leap, horizon=8_000, scheduler=None, delivery=None,
+           pattern=None, component=None, detector=None, seed=3, n=3):
+    builder = (
+        SystemBuilder(n=n, seed=seed, horizon=horizon)
+        .delays(ConstantDelay(150))
+        .component("ping", component or (lambda pid: SparsePinger()))
+        .time_leap(time_leap)
+    )
+    if scheduler is not None:
+        builder.scheduler(scheduler)
+    if delivery is not None:
+        builder.delivery(delivery)
+    if pattern is not None:
+        builder.pattern(pattern)
+    if detector is not None:
+        builder.detector(detector)
+    return builder.build()
+
+
+def assert_identical(a, b):
+    assert a.digest() == b.digest()
+    assert a.steps == b.steps
+    assert a.decisions == b.decisions
+    assert a.stop_reason == b.stop_reason
+    assert a.final_time == b.final_time
+    assert a.messages_sent == b.messages_sent
+    assert a.messages_delivered == b.messages_delivered
+    for pid in range(a.pattern.n):
+        assert list(a.detector_samples.samples_of(pid)) == list(
+            b.detector_samples.samples_of(pid)
+        )
+
+
+class TestLeapEquivalence:
+    def test_sparse_run_leaps_and_matches(self):
+        plain = _build(False)
+        leaping = _build(True)
+        ta = plain.run()
+        tb = leaping.run()
+        assert_identical(ta, tb)
+        assert plain.perf.ticks_leaped == 0
+        assert leaping.perf.ticks_leaped > 0.9 * leaping.perf.ticks
+        assert leaping.perf.leap_windows > 0
+        # Same total recorded ticks either way.
+        assert leaping.perf.ticks == plain.perf.ticks
+
+    def test_round_robin_scheduler_state_preserved(self):
+        ta = _build(False, scheduler=RoundRobinScheduler()).run()
+        tb = _build(True, scheduler=RoundRobinScheduler()).run()
+        assert_identical(ta, tb)
+
+    def test_with_detector_samples(self):
+        ta = _build(False, detector=omega_sigma_oracle()).run()
+        tb = _build(True, detector=omega_sigma_oracle()).run()
+        assert_identical(ta, tb)
+
+    def test_with_crash_events(self):
+        pattern = FailurePattern(3, {2: 2_500})
+        ta = _build(False, pattern=pattern).run()
+        tb = _build(True, pattern=pattern).run()
+        assert_identical(ta, tb)
+
+    def test_stop_with_grace_tail(self):
+        ta = _build(False, horizon=20_000)
+        tb = _build(True, horizon=20_000)
+        ra = ta.run(stop_when=decided("ping"), grace=700)
+        rb = tb.run(stop_when=decided("ping"), grace=700)
+        assert_identical(ra, rb)
+        assert ra.stop_reason == "stop-condition"
+        # The grace tail is pure λ — prime leap territory.
+        assert tb.perf.ticks_leaped > 0
+
+
+class TestLeapGating:
+    def test_off_by_default(self):
+        system = _build(False)
+        assert not system.time_leap
+        system.run()
+        assert system.perf.ticks_leaped == 0
+
+    def test_forced_off_for_unfair_scheduler(self):
+        system = _build(True, scheduler=StarvationScheduler({2}))
+        system.run()
+        assert system.perf.ticks_leaped == 0
+
+    def test_forced_off_for_unfair_delivery(self):
+        system = _build(
+            True, delivery=HoldingDelivery(lambda m, now: False)
+        )
+        system.run()
+        assert system.perf.ticks_leaped == 0
+
+    def test_self_driving_component_blocks_leap(self):
+        system = _build(
+            True,
+            horizon=2_000,
+            component=lambda pid: SelfDriving(),
+        )
+        trace = system.run()
+        assert system.perf.ticks_leaped == 0
+        # Every alive process really did run on_step every scheduled tick.
+        # (The builder registers the factory under the name "ping".)
+        total = sum(
+            system.component_at(pid, "ping").steps for pid in range(3)
+        )
+        assert total == trace.step_count()
+
+
+class TestQuiescenceContract:
+    def test_message_driven_component_is_quiescent(self):
+        assert SparsePinger().quiescent
+
+    def test_on_step_override_is_not(self):
+        assert not SelfDriving().quiescent
+
+    def test_host_with_pending_tasklet_is_not_quiescent(self):
+        system = _build(False)
+        host = system.hosts[0]
+        assert not host.quiescent  # not started yet
+        system.run()
+        assert host.quiescent
+
+        def gen():
+            yield None
+
+        host.spawn(gen())
+        assert not host.quiescent
+
+
+def test_rng_stream_unaffected_by_leap():
+    """The scheduler rng is consumed identically tick for tick."""
+    a = _build(False, seed=11)
+    b = _build(True, seed=11)
+    a.run()
+    b.run()
+    rng_a = a.streams.get("scheduler")
+    rng_b = b.streams.get("scheduler")
+    assert [rng_a.random() for _ in range(5)] == [
+        rng_b.random() for _ in range(5)
+    ]
+
+
+def test_from_spec_threads_time_leap():
+    from repro.runner import call, run_spec
+
+    spec = run_spec(
+        n=3, seed=3, horizon=8_000,
+        delay_model=ConstantDelay(150),
+        components=[("ping", call(_pinger_factory))],
+        trace_mode="full",
+    )
+    from repro.sim.system import System
+
+    plain = System.from_spec(spec)
+    leaping = System.from_spec(spec.with_(time_leap=True))
+    assert not plain.time_leap
+    assert leaping.time_leap
+    assert_identical(plain.run(), leaping.run())
+    assert leaping.perf.ticks_leaped > 0
+
+
+def _pinger_factory():
+    return lambda pid: SparsePinger()
