@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test test-fast bench experiments examples all
+.PHONY: install test test-fast test-explore explore-smoke bench experiments examples all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,19 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+# The deep model-checking suite: full assignment/crash frontiers on
+# both engines.  Opt-in (minutes of CPU).
+test-explore:
+	REPRO_EXPLORE_DEEP=1 $(PYTHON) -m pytest tests/explore -m explore
+
+# Shallow exhaustive sweep of every clean target on both engines, plus
+# mutant detection — what the explore-smoke CI job runs.
+explore-smoke:
+	$(PYTHON) -m repro.explore --target all --depth 5 --engine both --stats
+	$(PYTHON) -m repro.explore --target eagerquit --expect-violation --stop-on-first --engine both
+	$(PYTHON) -m repro.explore --target hastycommit --expect-violation --stop-on-first --engine both
+	$(PYTHON) -m repro.explore --target submajority --expect-violation --stop-on-first --max-runs 2500 --engine both
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -44,10 +44,23 @@ from repro.chaos.artifact import (
 from repro.chaos.crashes import MODES, CrashScheduleFuzzer
 from repro.chaos.fuzz import FuzzReport, Violation, generate_cases, run_fuzz
 from repro.chaos.knobs import ChaosKnobs
-from repro.chaos.mutants import SubMajorityConsensusCore, submajority_factory
-from repro.chaos.shrink import run_case, shrink_case, still_violates
+from repro.chaos.mutants import (
+    EagerQuitQCCore,
+    HastyCommitNBACCore,
+    SubMajorityConsensusCore,
+    eagerquit_factory,
+    hastycommit_factory,
+    submajority_factory,
+)
+from repro.chaos.shrink import (
+    greedy_shrink,
+    run_case,
+    shrink_case,
+    still_violates,
+)
 from repro.chaos.targets import (
     CLEAN_TARGETS,
+    MUTANT_TARGETS,
     TARGETS,
     FuzzCase,
     build_spec,
@@ -76,11 +89,17 @@ __all__ = [
     "run_fuzz",
     "ChaosKnobs",
     "SubMajorityConsensusCore",
+    "EagerQuitQCCore",
+    "HastyCommitNBACCore",
     "submajority_factory",
+    "eagerquit_factory",
+    "hastycommit_factory",
     "run_case",
+    "greedy_shrink",
     "shrink_case",
     "still_violates",
     "CLEAN_TARGETS",
+    "MUTANT_TARGETS",
     "TARGETS",
     "FuzzCase",
     "build_spec",

@@ -27,6 +27,13 @@ from repro.chaos.targets import FuzzCase, violated_safety
 
 FORMAT = "repro-chaos-artifact/1"
 
+#: The explorer freezes its violations in a sibling format
+#: (:mod:`repro.explore.artifact`); the loader and :func:`replay`
+#: accept both so one replay suite covers fuzzer and explorer
+#: witnesses alike.
+EXPLORE_FORMAT = "repro-explore-artifact/1"
+_KNOWN_FORMATS = frozenset({FORMAT, EXPLORE_FORMAT})
+
 
 def case_to_dict(case: FuzzCase) -> Dict[str, Any]:
     return {
@@ -77,11 +84,13 @@ def write_artifact(
 
 
 def load_artifact(path: Path) -> Dict[str, Any]:
+    """Load any repro violation artifact (chaos or explore format)."""
     document = json.loads(Path(path).read_text())
-    if document.get("format") != FORMAT:
+    if document.get("format") not in _KNOWN_FORMATS:
         raise ValueError(
-            f"{path} is not a chaos artifact "
-            f"(format {document.get('format')!r}, want {FORMAT!r})"
+            f"{path} is not a repro artifact "
+            f"(format {document.get('format')!r}, "
+            f"want one of {sorted(_KNOWN_FORMATS)})"
         )
     return document
 
@@ -101,7 +110,18 @@ class ReplayResult:
 
 
 def replay(document: Dict[str, Any]) -> ReplayResult:
-    """Re-execute an artifact's case and compare against the recording."""
+    """Re-execute an artifact's case and compare against the recording.
+
+    Dispatches on the document's ``format``: chaos artifacts replay the
+    seeded fuzz case, explore artifacts replay the recorded choice
+    trace (lazy import — the explorer depends on this module, not the
+    other way around).
+    """
+    if document.get("format") == EXPLORE_FORMAT:
+        from repro.explore.artifact import replay as replay_explore
+
+        return replay_explore(document)
+
     from repro.chaos.shrink import run_case
 
     case = case_from_dict(document["case"])

@@ -12,6 +12,16 @@ process that currently believes itself the Ω leader can run a whole
 ballot against itself alone — two processes holding that belief at once
 (routine before Ω stabilises, especially under churn) decide their own
 proposals independently, violating Uniform Agreement.
+
+:class:`EagerQuitQCCore` breaks Figure 2's branch test: it treats *any*
+non-⊥ Ψ value as the failure signal and quits.  On a crash-free run Ψ
+switches to (Ω, Σ) and the mutant still returns Q — a Q decision with
+no prior failure, which QC Validity forbids.
+
+:class:`HastyCommitNBACCore` breaks Figure 4's vote-gathering: it
+decides straight off its *own* vote, never waiting for the others.  A
+single No voter elsewhere makes its Commit violate NBAC Validity (and
+the No voter's Abort then breaks Uniform Agreement too).
 """
 
 from __future__ import annotations
@@ -20,6 +30,12 @@ from typing import Any, Set
 
 from repro.consensus.interface import consensus_component
 from repro.consensus.paxos import OmegaSigmaConsensusCore
+from repro.core.detector import BOTTOM
+from repro.nbac.from_qc import NBACFromQCCore
+from repro.nbac.spec import ABORT, COMMIT, YES
+from repro.qc.psi_qc import PsiQCCore
+from repro.qc.spec import Q
+from repro.sim.tasklets import WaitUntil
 
 
 class SubMajorityConsensusCore(OmegaSigmaConsensusCore):
@@ -47,3 +63,58 @@ def submajority_factory(proposals_items, quorum_size: int = 1):
     return consensus_component(
         lambda pid: SubMajorityConsensusCore(proposals[pid], quorum_size)
     )
+
+
+class EagerQuitQCCore(PsiQCCore):
+    """Figure 2 with the branch test inverted into a blanket quit.
+
+    The correct core returns Q only when Ψ behaves like FS — which Ψ
+    may do only after a failure.  This mutant decides Q on the first
+    non-⊥ sample regardless of its shape, so a crash-free run (where Ψ
+    necessarily behaves like (Ω, Σ)) still quits: QC Validity's "Q
+    implies a prior failure" clause breaks within a couple of steps.
+    """
+
+    def _run(self):
+        yield WaitUntil(
+            lambda: self.proposal is not None and self._psi() is not BOTTOM
+        )
+        self.branch_taken = "fs"
+        self.decide(Q)
+
+
+def eagerquit_factory(proposals_items):
+    """Component factory for the eager-quit QC mutant."""
+    proposals = dict(proposals_items)
+    return consensus_component(lambda pid: EagerQuitQCCore(proposals[pid]))
+
+
+class HastyCommitNBACCore(NBACFromQCCore):
+    """Figure 4 without the wait: decide straight off the local vote.
+
+    The correct core gathers every vote (or an FS red) and runs QC so
+    that all processes reach the same outcome for the same reason.
+    This mutant broadcasts its vote and immediately decides Commit on
+    its own Yes — NBAC Validity (Commit requires *all* votes Yes)
+    breaks as soon as any other process voted No.
+    """
+
+    def _run(self):
+        yield WaitUntil(lambda: self.vote is not None)
+        self.broadcast(("VOTE", self.vote))
+        self.decide(COMMIT if self.vote == YES else ABORT)
+
+
+def hastycommit_nbac_core(vote=None):
+    """A (Ψ, FS)-wired hasty-commit core, mirroring ``psi_fs_nbac_core``."""
+    return HastyCommitNBACCore(
+        vote=vote,
+        qc_factory=lambda: PsiQCCore(psi_extract=lambda d: d[0]),
+        fs_extract=lambda d: d[1],
+    )
+
+
+def hastycommit_factory(votes_items):
+    """Component factory for the hasty-commit NBAC mutant."""
+    votes = dict(votes_items)
+    return consensus_component(lambda pid: hastycommit_nbac_core(votes[pid]))

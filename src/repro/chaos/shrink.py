@@ -18,7 +18,16 @@ practice because each family is monotone.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Tuple,
+)
 
 from repro.chaos.knobs import ChaosKnobs
 from repro.chaos.targets import FuzzCase, build_spec, violated_safety
@@ -109,6 +118,42 @@ def _candidates(case: FuzzCase) -> Iterator[Tuple[str, FuzzCase]]:
         yield f"seed-{probe}", case.with_(seed=probe)
 
 
+def greedy_shrink(
+    initial: Any,
+    candidates: Callable[[Any], Iterable[Tuple[str, Any]]],
+    accept: Callable[[Any], bool],
+    budget: int,
+) -> Tuple[Any, Dict[str, object]]:
+    """The greedy delta-debug fixpoint loop, state-shape agnostic.
+
+    ``candidates(current)`` yields labeled strictly-reducing edits, most
+    valuable first; ``accept(candidate)`` re-checks the property being
+    preserved (usually by re-executing a deterministic run).  After
+    every acceptance the loop restarts from the first edit; it stops at
+    a fixpoint or when ``budget`` evaluations are spent.  Shared by the
+    chaos :func:`shrink_case` and the explorer's choice-trace shrinker
+    (:func:`repro.explore.shrink.shrink_violation`).
+    """
+    current = initial
+    evals = 0
+    accepted: List[str] = []
+    progress = True
+    while progress and evals < budget:
+        progress = False
+        for label, candidate in candidates(current):
+            if candidate == current:
+                continue
+            evals += 1
+            if accept(candidate):
+                current = candidate
+                accepted.append(label)
+                progress = True
+                break
+            if evals >= budget:
+                break
+    return current, {"evals": evals, "accepted": accepted}
+
+
 def shrink_case(
     case: FuzzCase,
     violated: Sequence[str],
@@ -120,21 +165,9 @@ def shrink_case(
     accepted, in order).  The input case is assumed to violate
     ``violated`` already (it is never re-checked, saving one eval).
     """
-    current = case
-    evals = 0
-    accepted: List[str] = []
-    progress = True
-    while progress and evals < budget:
-        progress = False
-        for label, candidate in _candidates(current):
-            if candidate == current:
-                continue
-            evals += 1
-            if still_violates(candidate, violated):
-                current = candidate
-                accepted.append(label)
-                progress = True
-                break
-            if evals >= budget:
-                break
-    return current, {"evals": evals, "accepted": accepted}
+    return greedy_shrink(
+        case,
+        _candidates,
+        lambda candidate: still_violates(candidate, violated),
+        budget,
+    )

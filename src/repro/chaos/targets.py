@@ -23,7 +23,11 @@ from typing import Any, Callable, Dict, List, Tuple
 
 from repro.chaos.adversaries import make_delay, make_delivery, make_scheduler
 from repro.chaos.knobs import ChaosKnobs
-from repro.chaos.mutants import submajority_factory
+from repro.chaos.mutants import (
+    eagerquit_factory,
+    hastycommit_factory,
+    submajority_factory,
+)
 from repro.consensus.chandra_toueg import ChandraTouegConsensusCore
 from repro.consensus.interface import consensus_component
 from repro.consensus.paxos import OmegaSigmaConsensusCore
@@ -223,6 +227,26 @@ def _build_submajority(n, seed, horizon, knobs):
     )
 
 
+def _build_eagerquit(n, seed, horizon, knobs):
+    items = _proposal_items(n)
+    return dict(
+        detector=PsiOracle(),
+        components=[("qc", call(eagerquit_factory, items))],
+        stop=call(decided, "qc"),
+        summarize=call(agreement_summary, "qc", "qc", items),
+    )
+
+
+def _build_hastycommit(n, seed, horizon, knobs):
+    items = tuple(sorted(_votes(n, seed).items()))
+    return dict(
+        detector=psi_fs_oracle(),
+        components=[("nbac", call(hastycommit_factory, items))],
+        stop=call(decided, "nbac"),
+        summarize=call(agreement_summary, "nbac", "nbac", items),
+    )
+
+
 TARGETS: Dict[str, Target] = {
     t.name: t
     for t in (
@@ -236,11 +260,17 @@ TARGETS: Dict[str, Target] = {
             safety_clauses=("linearizability",),
         ),
         Target("submajority", _build_submajority),
+        Target("eagerquit", _build_eagerquit),
+        Target("hastycommit", _build_hastycommit),
     )
 }
 
 #: The correct algorithms: zero safety violations expected, ever.
 CLEAN_TARGETS: Tuple[str, ...] = ("paxos", "ct", "qc", "nbac", "register")
+
+#: The seeded bugs of :mod:`repro.chaos.mutants`: every one must be
+#: detectable — the chaos fuzzer and the explorer both assert it.
+MUTANT_TARGETS: Tuple[str, ...] = ("submajority", "eagerquit", "hastycommit")
 
 
 # -- cases -------------------------------------------------------------

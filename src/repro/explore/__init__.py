@@ -1,0 +1,78 @@
+"""Bounded model checking of the simulator's nondeterminism.
+
+The chaos layer (:mod:`repro.chaos`) *samples* adversarial runs; this
+package *enumerates* them.  A :class:`~repro.explore.control
+.ChoiceController` drives the stock :class:`~repro.sim.system.System`
+through its scheduler/delivery extension points, turning every
+scheduler pick and message-delivery pick into an explicit indexed
+choice; :func:`~repro.explore.engine.explore_case` exhausts the
+resulting bounded tree by replay-based DFS with partial-order and
+state-dedup reductions; the frontier (:mod:`repro.explore.frontier`)
+enumerates detector assignments and crash schedules across subtree
+roots and fans the work out as a :mod:`repro.runner` campaign.
+Violating leaves are judged by the chaos targets' own property hooks,
+shrunk (:mod:`repro.explore.shrink`), and frozen as replayable
+artifacts (:mod:`repro.explore.artifact`).
+
+See ``docs/EXPLORER.md`` for the search strategy and the soundness
+arguments behind the two reductions.
+"""
+
+from repro.explore.assignments import (
+    assignments_for,
+    decode_value,
+    default_assignment,
+)
+from repro.explore.cases import (
+    ENGINES,
+    ExploreCase,
+    build_system,
+    case_from_dict,
+    case_to_dict,
+    resolve_parts,
+    run_controlled,
+)
+from repro.explore.control import (
+    ChoiceController,
+    ChoicePoint,
+    ExploringDelivery,
+    ExploringScheduler,
+)
+from repro.explore.engine import ExploreResult, Violation, explore_case
+from repro.explore.frontier import (
+    DEFAULT_SEEDS,
+    SMOKE_DEPTHS,
+    crash_schedules,
+    enumerate_roots,
+    frontier_campaign,
+    run_frontier,
+)
+from repro.explore.state import fingerprint, sanitize
+
+__all__ = [
+    "ENGINES",
+    "DEFAULT_SEEDS",
+    "SMOKE_DEPTHS",
+    "ChoiceController",
+    "ChoicePoint",
+    "ExploreCase",
+    "ExploreResult",
+    "ExploringDelivery",
+    "ExploringScheduler",
+    "Violation",
+    "assignments_for",
+    "build_system",
+    "case_from_dict",
+    "case_to_dict",
+    "crash_schedules",
+    "decode_value",
+    "default_assignment",
+    "enumerate_roots",
+    "explore_case",
+    "fingerprint",
+    "frontier_campaign",
+    "resolve_parts",
+    "run_controlled",
+    "run_frontier",
+    "sanitize",
+]

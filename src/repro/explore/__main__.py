@@ -1,0 +1,242 @@
+"""``python -m repro.explore`` — the bounded model checker's front door.
+
+Recipes (see ``docs/EXPLORER.md`` for the full tour):
+
+Exhaust one clean target at its pinned smoke depth::
+
+    python -m repro.explore --target paxos --stats
+
+Everything clean, shallower, on the reference engine::
+
+    python -m repro.explore --target all --depth 6 --engine reference
+
+Hunt a seeded bug and keep the shrunk witness::
+
+    python -m repro.explore --target submajority --expect-violation \\
+        --stop-on-first --out artifacts/
+
+Measure what the reductions buy::
+
+    python -m repro.explore --target ct --depth 7 --stats --no-por
+    python -m repro.explore --target ct --depth 7 --stats
+
+The exit code is 0 when every explored target matched expectation —
+no violations normally, at least one under ``--expect-violation`` —
+and 1 otherwise, so CI can call this directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.chaos.targets import CLEAN_TARGETS, MUTANT_TARGETS, TARGETS
+from repro.explore.cases import ENGINES, case_from_dict
+from repro.explore.engine import Violation
+from repro.explore.frontier import SMOKE_DEPTHS, enumerate_roots, run_frontier
+
+
+def _parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explore",
+        description="Exhaustively explore bounded schedules of a target.",
+    )
+    parser.add_argument(
+        "--target",
+        default="all",
+        help=(
+            "target name, 'all' (every clean target) or 'mutants' "
+            f"(every seeded bug); targets: {', '.join(sorted(TARGETS))}"
+        ),
+    )
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="step budget per run (default: the target's pinned smoke depth)",
+    )
+    parser.add_argument(
+        "--procs", type=int, default=2, help="system size n (default 2)"
+    )
+    parser.add_argument(
+        "--crashes",
+        type=int,
+        default=0,
+        help="max crashes enumerated at the frontier (default 0)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES + ("both",),
+        default="indexed",
+        help="network engine to drive (default indexed)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="campaign worker processes (default: runner's choice)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        help="campaign cache directory for finished subtrees (default off)",
+    )
+    parser.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        help="truncate each root after this many runs (default unbounded)",
+    )
+    parser.add_argument(
+        "--stop-on-first",
+        action="store_true",
+        help="stop each root at its first violation",
+    )
+    parser.add_argument(
+        "--expect-violation",
+        action="store_true",
+        help="invert the verdict: fail unless a violation is found",
+    )
+    parser.add_argument(
+        "--no-por", action="store_true", help="disable partial-order pruning"
+    )
+    parser.add_argument(
+        "--no-dedup", action="store_true", help="disable state deduplication"
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-root and aggregate search statistics",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory for shrunk violation artifacts (default: none kept)",
+    )
+    return parser.parse_args(argv)
+
+
+def _targets(name: str) -> List[str]:
+    if name == "all":
+        return list(CLEAN_TARGETS)
+    if name == "mutants":
+        return list(MUTANT_TARGETS)
+    if name not in TARGETS:
+        raise SystemExit(
+            f"unknown target {name!r}; have {sorted(TARGETS)}, 'all', 'mutants'"
+        )
+    return [name]
+
+
+def _emit_artifacts(
+    summaries: List[Dict[str, Any]], out: Path
+) -> List[Path]:
+    from repro.explore.artifact import write_artifact
+    from repro.explore.shrink import shrink_violation
+
+    written = []
+    for summary in summaries:
+        for index, raw in enumerate(summary["violations"]):
+            violation = Violation(
+                case=case_from_dict(summary["case"]),
+                engine=summary["engine"],
+                choices=tuple(raw["choices"]),
+                violated=tuple(raw["violated"]),
+                metrics={},
+                decisions=tuple(tuple(d) for d in raw["decisions"]),
+                final_time=raw["final_time"],
+                por=summary["por"],
+            )
+            case, choices, stats = shrink_violation(violation)
+            path = out / (
+                f"{case.target}-{violation.violated[0]}-{index}.json"
+            )
+            write_artifact(
+                path,
+                case,
+                choices,
+                violation.violated,
+                engine=violation.engine,
+                por=violation.por,
+                shrink_stats=stats,
+            )
+            written.append(path)
+    return written
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    engines = list(ENGINES) if args.engine == "both" else [args.engine]
+    failures = 0
+    for target in _targets(args.target):
+        depth = (
+            args.depth
+            if args.depth is not None
+            else SMOKE_DEPTHS.get(target, 8)
+        )
+        roots = enumerate_roots(
+            target, args.procs, depth=depth, max_crashes=args.crashes
+        )
+        for engine in engines:
+            summaries = run_frontier(
+                roots,
+                engine=engine,
+                workers=args.workers,
+                cache=args.cache if args.cache is not None else False,
+                por=not args.no_por,
+                dedup=not args.no_dedup,
+                stop_on_first_violation=args.stop_on_first,
+                max_runs=args.max_runs,
+            )
+            totals = {
+                "runs": 0,
+                "states": 0,
+                "dedup_hits": 0,
+                "por_pruned": 0,
+                "violations": 0,
+            }
+            complete = True
+            for summary in summaries:
+                for key in totals:
+                    totals[key] += summary["stats"][key]
+                complete = complete and summary["complete"]
+                if args.stats:
+                    case = summary["case"]
+                    print(
+                        f"  root {case['target']} seed={case['seed']} "
+                        f"crashes={case['crashes']} "
+                        f"assignment={json.dumps(case['assignment'])}: "
+                        f"{summary['stats']}"
+                    )
+            found = totals["violations"] > 0
+            verdict = (
+                ("VIOLATION FOUND" if found else "no violation (UNEXPECTED)")
+                if args.expect_violation
+                else ("VIOLATIONS" if found else "ok")
+            )
+            bad = found != args.expect_violation
+            failures += bad
+            print(
+                f"{target} [{engine}] depth={depth} roots={len(roots)}: "
+                f"{verdict}"
+                + ("" if complete else " (truncated)")
+                + (
+                    f" — runs={totals['runs']} states={totals['states']} "
+                    f"dedup_hits={totals['dedup_hits']} "
+                    f"por_pruned={totals['por_pruned']}"
+                    if args.stats
+                    else ""
+                )
+            )
+            if args.out is not None and found:
+                for path in _emit_artifacts(summaries, args.out):
+                    print(f"  wrote {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Detector assignments: the explorer's third axis of nondeterminism.
+
+The sim's oracle detectors sample one admissible history per run from a
+seeded RNG — fine for fuzzing, wrong for exhaustive search, where the
+detector's latitude must be *enumerated*, not drawn.  The explorer
+therefore bypasses the oracle layer entirely: each exploration root
+fixes one **constant per-process assignment** of detector values, and
+every process reads its value unchanged at every step of that subtree.
+
+Why constants are admissible prefixes
+-------------------------------------
+
+The explorer only ever examines the first ``depth`` ticks of a run, so
+an assignment need only be a prefix of *some* admissible infinite
+history:
+
+* Ω / ◇S accuracy and completeness are **eventual** properties — any
+  finite prefix of leaders or suspicion sets extends to an admissible
+  history, so every constant is fair game (including the adversarial
+  "everyone believes themselves leader" and "everyone suspects everyone
+  else" assignments that drive the interesting schedules).
+* Σ's intersection is **perpetual** — it must hold within the window.
+  The families below only emit quorum vectors that pairwise intersect
+  (all-full, or a shared pivot process).
+* Ψ constant at an (Ω, Σ) value is a Ψ whose initial ⊥ period had
+  length zero and which committed to the (Ω, Σ) branch at time 0 —
+  admissible for any failure pattern.  A constant FS branch is *not*
+  enumerated: ``red`` from time 0 would claim a failure before one
+  happened (inadmissible), and the branch-switch histories that make
+  ``red`` admissible are not constant.  Consequence: explored NBAC/QC
+  runs never exercise the FS-quit paths — those stay covered by the
+  chaos fuzzer's sampled histories, as ``docs/EXPLORER.md`` spells out.
+* FS constant ``green`` is always admissible (the red switch is only
+  ever *eventually* required, after a crash).
+
+Encodings are nested tuples of primitives — hashable (they sit inside
+frozen :class:`~repro.explore.cases.ExploreCase`), JSON-able (they ride
+inside artifacts), and decoded to the live detector vocabulary of
+:mod:`repro.core.detector` right before a run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+Encoded = Tuple[Any, ...]
+Assignment = Tuple[Encoded, ...]  # one encoded value per pid
+
+
+def decode_value(enc: Encoded) -> Any:
+    """An encoded constant back into detector-vocabulary values."""
+    kind = enc[0]
+    if kind == "os":  # (Ω, Σ): (leader, quorum)
+        return (enc[1], frozenset(enc[2]))
+    if kind in ("susp", "sigma"):  # ◇S suspicions / Σ quorum
+        return frozenset(enc[1])
+    if kind == "pf":  # (Ψ, FS) product of Corollary 10
+        return (decode_value(enc[1]), enc[2])
+    raise ValueError(f"unknown assignment encoding {enc!r}")
+
+
+def _os(leader: int, quorum: Tuple[int, ...]) -> Encoded:
+    return ("os", leader, tuple(quorum))
+
+
+def _os_assignments(n: int) -> List[Assignment]:
+    """(Ω, Σ) vectors: every uniform leader plus the selfish split,
+    crossed with all-full and shared-pivot quorums."""
+    full = tuple(range(n))
+    pivot = (0,)
+    leader_vectors = [tuple(leader for _ in range(n)) for leader in range(n)]
+    leader_vectors.append(tuple(range(n)))  # everyone believes in itself
+    quorum_vectors = [tuple(full for _ in range(n)), tuple(pivot for _ in range(n))]
+    return [
+        tuple(_os(leaders[p], quorums[p]) for p in range(n))
+        for leaders in leader_vectors
+        for quorums in quorum_vectors
+    ]
+
+
+def _ct_assignments(n: int) -> List[Assignment]:
+    """◇S suspicion vectors: trusting, mutually-suspicious, pile-on-0."""
+    none: Assignment = tuple(("susp", ()) for _ in range(n))
+    mutual: Assignment = tuple(
+        ("susp", tuple(q for q in range(n) if q != p)) for p in range(n)
+    )
+    pile_on_zero: Assignment = tuple(("susp", (0,)) for _ in range(n))
+    return [none, mutual, pile_on_zero]
+
+
+def _psi_fs_assignments(n: int, leaders_only_zero: bool = False) -> List[Assignment]:
+    """(Ψ, FS) vectors: Ψ committed to (Ω, Σ) at time 0, FS green."""
+    full = tuple(range(n))
+    leader_vectors = [tuple(0 for _ in range(n))]
+    if not leaders_only_zero:
+        leader_vectors.append(tuple(range(n)))
+    return [
+        tuple(("pf", _os(leaders[p], full), "green") for p in range(n))
+        for leaders in leader_vectors
+    ]
+
+
+def _sigma_assignments(n: int) -> List[Assignment]:
+    full = tuple(range(n))
+    return [
+        tuple(("sigma", full) for _ in range(n)),
+        tuple(("sigma", (0,)) for _ in range(n)),
+    ]
+
+
+def assignments_for(target: str, n: int) -> List[Assignment]:
+    """The enumerated assignment family for one target."""
+    if target in ("paxos", "qc", "submajority"):
+        return _os_assignments(n)
+    if target == "ct":
+        return _ct_assignments(n)
+    if target == "nbac":
+        return _psi_fs_assignments(n)
+    if target == "hastycommit":
+        # The vote bug fires on any assignment; one root suffices.
+        return _psi_fs_assignments(n, leaders_only_zero=True)
+    if target == "eagerquit":
+        # Any non-⊥ Ψ triggers the bug; one (Ω, Σ)-shaped root suffices.
+        full = tuple(range(n))
+        return [tuple(_os(0, full) for _ in range(n))]
+    if target == "register":
+        return _sigma_assignments(n)
+    raise ValueError(f"no assignment family for target {target!r}")
+
+
+def default_assignment(target: str, n: int) -> Assignment:
+    """The family's first member — used when a case pins none."""
+    return assignments_for(target, n)[0]

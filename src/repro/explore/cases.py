@@ -1,0 +1,251 @@
+"""Explore cases: one pinned subtree root, and its controlled runs.
+
+An :class:`ExploreCase` is to the explorer what
+:class:`~repro.chaos.targets.FuzzCase` is to the fuzzer: the frozen,
+JSON-able coordinate of one unit of work.  It pins the target
+algorithm, the system size, the step budget (``depth`` doubles as the
+sim horizon — one tick is one step), the crash schedule, and one
+constant detector assignment (:mod:`repro.explore.assignments`).  What
+it deliberately does *not* pin is the schedule: the whole point is that
+:func:`run_controlled` executes one *chosen path* of the case's tree,
+as directed by a :class:`~repro.explore.control.ChoiceController`.
+
+The algorithm stacks come straight from the chaos target table
+(:data:`repro.chaos.targets.TARGETS`) so the explorer and the fuzzer
+judge the very same code with the very same property hooks.  Only two
+deviations:
+
+* the oracle detector is discarded — every process's
+  ``ctx._detector_provider`` is rebound to the case's constant value;
+* the register workload is swapped for a one-op-per-process variant
+  (the default 3-op workload pushes exhaustive depth out of reach; one
+  concurrent read/write pair per process is already the smallest
+  history with a nontrivial linearization order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.chaos.knobs import ChaosKnobs
+from repro.chaos.targets import TARGETS
+from repro.core.failure_pattern import FailurePattern
+from repro.explore.assignments import decode_value, default_assignment
+from repro.explore.control import (
+    ChoiceController,
+    ExploringDelivery,
+    ExploringScheduler,
+)
+from repro.registers.workload import RegisterWorkload
+from repro.runner import call
+from repro.sim.network import ConstantDelay, Network, ReferenceNetwork
+from repro.sim.system import System, network_implementation
+
+#: The two buffer engines the explorer can drive; the controlled runs
+#: are bit-identical across them (both hand ``choose`` the ready list
+#: in ascending msg_id order), which a tier-1 property test pins.
+ENGINES = ("indexed", "reference")
+
+
+def explore_register_workload_factory(seed: int):
+    """The shrunk register workload used under exploration (see module
+    doc); module-level so specs and artifacts can reference it."""
+    return lambda pid: RegisterWorkload(
+        registers=("x",), ops_per_process=1, think_steps=1, seed=seed
+    )
+
+
+@dataclass(frozen=True)
+class ExploreCase:
+    """One exploration root, fully pinned and JSON-able.
+
+    ``depth`` is the step budget: controlled runs use it as the sim
+    horizon, so every explored path has at most ``depth`` steps.
+    ``assignment`` is a per-pid tuple of encoded detector constants
+    (empty = the target family's default).  ``seed`` only reaches the
+    target builder (it selects e.g. the NBAC vote vector) — no RNG
+    influences a controlled run's choices.
+    """
+
+    target: str
+    n: int
+    depth: int
+    seed: int = 0
+    crashes: Tuple[Tuple[int, int], ...] = ()
+    assignment: Tuple[Tuple[Any, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.target not in TARGETS:
+            raise ValueError(
+                f"unknown target {self.target!r}; have {sorted(TARGETS)}"
+            )
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+
+    def with_(self, **changes: Any) -> "ExploreCase":
+        return replace(self, **changes)
+
+    @property
+    def pattern(self) -> FailurePattern:
+        return FailurePattern(self.n, dict(self.crashes))
+
+    @property
+    def resolved_assignment(self) -> Tuple[Tuple[Any, ...], ...]:
+        return self.assignment or default_assignment(self.target, self.n)
+
+    def describe(self) -> str:
+        return (
+            f"{self.target}(n={self.n}, depth={self.depth}, "
+            f"seed={self.seed}, crashes={dict(self.crashes)})"
+        )
+
+
+def _tuplify(value: Any) -> Any:
+    """JSON round-trips lists; cases are frozen around nested tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def case_to_dict(case: ExploreCase) -> Dict[str, Any]:
+    return {
+        "target": case.target,
+        "n": case.n,
+        "depth": case.depth,
+        "seed": case.seed,
+        "crashes": [list(c) for c in case.crashes],
+        "assignment": [list(_listify(enc)) for enc in case.assignment],
+    }
+
+
+def _listify(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return [_listify(v) for v in value]
+    return value
+
+
+def case_from_dict(data: Dict[str, Any]) -> ExploreCase:
+    return ExploreCase(
+        target=data["target"],
+        n=int(data["n"]),
+        depth=int(data["depth"]),
+        seed=int(data.get("seed", 0)),
+        crashes=_tuplify(data.get("crashes", ())),
+        assignment=_tuplify(data.get("assignment", ())),
+    )
+
+
+@dataclass
+class CaseParts:
+    """The resolved pieces of a case's algorithm stack."""
+
+    components: List[Tuple[str, Callable[[int], Any]]]
+    stop: Callable[[System], bool]
+    summarize: Callable[[System, Any], Dict[str, Any]]
+    safety_clauses: Tuple[str, ...]
+    component_name: str = field(default="")
+
+
+def resolve_parts(case: ExploreCase) -> CaseParts:
+    """Resolve the target's component stack and hooks for this case."""
+    target = TARGETS[case.target]
+    built = target.build(case.n, case.seed, case.depth, ChaosKnobs())
+    components = []
+    for name, spec in built["components"]:
+        if case.target == "register" and name == "workload":
+            spec = call(explore_register_workload_factory, case.seed)
+        components.append((name, spec.resolve()))
+    return CaseParts(
+        components=components,
+        stop=built["stop"].resolve(),
+        summarize=built["summarize"].resolve(),
+        safety_clauses=target.safety_clauses,
+        component_name=components[0][0],
+    )
+
+
+def build_system(
+    case: ExploreCase,
+    controller: ChoiceController,
+    parts: Optional[CaseParts] = None,
+    engine: str = "indexed",
+) -> System:
+    """One fully-wired controlled system for this case.
+
+    The system is the stock :class:`~repro.sim.system.System` — the
+    controller plugs in through the scheduler/delivery extension points,
+    the delay model is pinned to ``ConstantDelay(1)`` (delivery *order*
+    is the controller's to choose, so variable delays would only
+    duplicate schedules the delivery choice already covers), and the
+    detector providers are rebound to the case's constants.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
+    if parts is None:
+        parts = resolve_parts(case)
+    impl = Network if engine == "indexed" else ReferenceNetwork
+    with network_implementation(impl):
+        system = System(
+            n=case.n,
+            seed=case.seed,
+            horizon=case.depth,
+            pattern=case.pattern,
+            component_factories=parts.components,
+            detector=None,
+            scheduler=ExploringScheduler(controller),
+            delay_model=ConstantDelay(1),
+            delivery_policy=ExploringDelivery(controller),
+            trace_mode="full",
+        )
+    for host, enc in zip(system.hosts, case.resolved_assignment):
+        value = decode_value(enc)
+        host.ctx._detector_provider = lambda v=value: v
+    return system
+
+
+def run_controlled(
+    case: ExploreCase,
+    prefix: Tuple[int, ...] = (),
+    engine: str = "indexed",
+    parts: Optional[CaseParts] = None,
+    tick_hook: Optional[Callable[[int], bool]] = None,
+    por: bool = True,
+) -> Tuple[System, ChoiceController]:
+    """Execute one path of the case's choice tree.
+
+    Replays ``prefix``, then takes default choices to the end of the
+    step budget (or the target's stop condition).  Returns the finished
+    system and the controller whose :attr:`log` describes the path
+    actually taken.  Deterministic in ``(case, prefix, engine, por)`` —
+    the replay-regression suite pins this.
+
+    ``por`` must match the setting under which the prefix was recorded:
+    a choice index names a position in the controller's *menu*, and the
+    POR filter shapes the menu, so the step context (previous actor,
+    freshly sent messages, crash boundary) is re-tracked here exactly as
+    the exploration engine tracks it.  ``tick_hook`` chains after that
+    bookkeeping.
+    """
+    if parts is None:
+        parts = resolve_parts(case)
+    controller = ChoiceController(prefix)
+    controller.por_enabled = por
+    system = build_system(case, controller, parts=parts, engine=engine)
+
+    sent_this_tick = []
+    for host in system.hosts:
+        host.ctx.add_outgoing_hook(sent_this_tick.append)
+    crash_times = {t for _, t in case.crashes}
+
+    def context_hook(now: int) -> bool:
+        fresh = list(sent_this_tick)
+        sent_this_tick.clear()
+        controller.set_step_context(
+            controller.last_actor, fresh, now in crash_times
+        )
+        return True if tick_hook is None else tick_hook(now)
+
+    controller.tick_hook = context_hook
+    system.run(stop_when=parts.stop)
+    return system, controller

@@ -1,0 +1,223 @@
+"""The choice controller: turning the sim's nondeterminism into a log.
+
+The simulator exposes its per-tick nondeterminism at two points — the
+scheduler's process pick and the network's delivery pick.  Two further
+families are enumerated once per exploration root rather than per step
+(constant failure-detector assignments and crash schedules; see
+:mod:`repro.explore.assignments` and :mod:`repro.explore.frontier`).
+
+:class:`ChoiceController` replaces both per-tick picks with a *choice
+log* replay: a prefix of option indices is consumed verbatim, and every
+decision beyond the prefix takes option 0 while recording how many
+options existed.  The DFS engine re-runs the system once per explored
+path and pushes the untaken siblings of every recorded decision — the
+standard stateless-model-checking loop, which is the only sound option
+here because component state includes live generator frames that cannot
+be snapshotted.
+
+The controller also implements the partial-order reduction's *enabled
+set* filtering (see ``docs/EXPLORER.md`` for the soundness argument):
+when the previous step was taken by process ``q``, a process ``p < q``
+may only be scheduled to deliver a message *sent during* that step —
+any other step of ``p`` commutes with ``q``'s, and the swapped schedule
+(the class representative with the lexicographically smaller pid
+sequence) is explored separately.
+
+:class:`ExploringScheduler` and :class:`ExploringDelivery` are thin
+adapters plugging the controller into the unmodified
+:class:`~repro.sim.system.System` run loop via the existing
+``Scheduler`` / ``DeliveryPolicy`` extension points — no engine fork.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.network import DeliveryPolicy, Message
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class ChoicePoint:
+    """One recorded decision: what kind, what was taken, out of how many."""
+
+    kind: str  # "sched" or "deliv"
+    time: int
+    chosen: int
+    options: int
+
+
+class ChoiceController:
+    """Replays a choice prefix, then takes defaults while recording.
+
+    One controller drives one run.  ``prefix`` is the path to replay;
+    decisions past its end take index 0.  After the run, :attr:`log`
+    holds every decision made with its option count — the engine reads
+    it to push sibling prefixes.
+
+    ``tick_hook`` (installed by the engine) runs at the start of every
+    scheduler pick — i.e. right after the previous tick's atomic step
+    completed — and is where state fingerprinting and dedup live.
+    Returning False halts the run: the scheduler then returns None and
+    the run loop winds down cleanly as a ``scheduler-halt``.
+    """
+
+    def __init__(self, prefix: Sequence[int] = ()):
+        self.prefix: Tuple[int, ...] = tuple(prefix)
+        self.log: List[ChoicePoint] = []
+        self.tick_hook: Optional[Callable[[int], bool]] = None
+        #: The actor of the tick currently executing (engine reads it
+        #: from the next tick's hook to build the POR context).
+        self.last_actor: Optional[int] = None
+        # POR context for the upcoming tick, installed via
+        # :meth:`set_step_context` by the engine's tick hook.
+        self.prev_pid: Optional[int] = None
+        self.fresh: List[Message] = []
+        self.fresh_ids: Set[int] = set()
+        self.boundary: bool = False  # crash event at this tick
+        self.por_enabled: bool = True
+        self.por_pruned: int = 0
+        self._deliver_fresh_only: bool = False
+
+    @property
+    def replaying(self) -> bool:
+        """Whether the next decision still comes from the prefix."""
+        return len(self.log) < len(self.prefix)
+
+    # -- the core decision primitive -----------------------------------
+    def choose(self, kind: str, time: int, options: int) -> int:
+        """Record one decision with ``options`` alternatives; return the
+        option index this run takes."""
+        if options < 1:
+            raise ValueError(f"{kind} choice at t={time} with no options")
+        position = len(self.log)
+        if position < len(self.prefix):
+            chosen = self.prefix[position]
+            if not 0 <= chosen < options:
+                raise ValueError(
+                    f"replay mismatch: prefix[{position}]={chosen} but "
+                    f"{kind} choice at t={time} has {options} options"
+                )
+        else:
+            chosen = 0
+        self.log.append(
+            ChoicePoint(kind=kind, time=time, chosen=chosen, options=options)
+        )
+        return chosen
+
+    # -- scheduler-side ------------------------------------------------
+    def pick_pid(self, alive: Sequence[int], now: int) -> int:
+        """The scheduler decision: which alive process steps at ``now``.
+
+        With the POR on, processes with a pid below the previous step's
+        actor are only eligible when they can consume a message that
+        step just sent (a *dependent* continuation); their independent
+        steps are pruned because the swapped interleaving reaches the
+        same state and is explored under an earlier sibling.  Crash
+        boundaries (a crash event at this tick) disable the filter —
+        the alive set changed between the two steps, so the swap
+        argument does not apply.  If the filter would empty the enabled
+        set it is skipped entirely (exploring a redundant interleaving
+        is sound; halting the run here would not be judged).
+        """
+        restricted = False
+        allowed = list(alive)
+        prev = self.prev_pid
+        if self.por_enabled and prev is not None and not self.boundary:
+            fresh_dests = {m.dest for m in self.fresh}
+            filtered = [
+                pid for pid in alive if pid >= prev or pid in fresh_dests
+            ]
+            if filtered:
+                restricted = True
+                self.por_pruned += len(allowed) - len(filtered)
+                allowed = filtered
+        index = self.choose("sched", now, len(allowed))
+        pid = allowed[index]
+        self._deliver_fresh_only = (
+            restricted and prev is not None and pid < prev
+        )
+        self.last_actor = pid
+        return pid
+
+    # -- delivery-side -------------------------------------------------
+    def pick_message(
+        self, ready: List[Message], now: int
+    ) -> Optional[Message]:
+        """The delivery decision: which ready message (or λ = None).
+
+        Options are the ready list in ascending ``msg_id`` order — the
+        order both network engines guarantee — with λ appended last, so
+        the default (index 0) is the oldest message and progress is the
+        first path explored.  Under the POR's fresh-only restriction
+        the λ option and every stale message are pruned (both commute
+        with the previous step).
+        """
+        if self._deliver_fresh_only:
+            options = [m for m in ready if m.msg_id in self.fresh_ids]
+            if options:
+                self.por_pruned += len(ready) + 1 - len(options)
+                index = self.choose("deliv", now, len(options))
+                return options[index]
+            # The pid was admitted by the scheduler filter, so a fresh
+            # message is buffered for it — but messages sent during the
+            # previous tick only become ready one tick later, and here
+            # the actor followed the sender after a gap.  Fall back to
+            # the unrestricted menu (sound, merely redundant).
+        index = self.choose("deliv", now, len(ready) + 1)
+        if index == len(ready):
+            return None  # λ-step chosen despite ready messages
+        return ready[index]
+
+    # -- POR context handoff (engine tick hook calls this) -------------
+    def set_step_context(
+        self,
+        prev_pid: Optional[int],
+        fresh: List[Message],
+        boundary: bool,
+    ) -> None:
+        """Install the previous step's POR context for the next tick."""
+        self.prev_pid = prev_pid
+        self.fresh = list(fresh)
+        self.fresh_ids = {m.msg_id for m in fresh}
+        self.boundary = boundary
+
+
+class ExploringScheduler(Scheduler):
+    """Scheduler adapter: delegates every pick to the controller.
+
+    Declared unfair — the explorer enumerates adversarial schedules, so
+    nothing downstream may assume fairness (and the quiescence
+    time-leap, gated on ``fair``, stays off).
+    """
+
+    fair = False
+
+    def __init__(self, controller: ChoiceController):
+        self.controller = controller
+
+    def pick(
+        self, alive: Sequence[int], now: int, rng: random.Random
+    ) -> Optional[int]:
+        controller = self.controller
+        hook = controller.tick_hook
+        if hook is not None and not hook(now):
+            return None  # dedup halt: the run loop winds down cleanly
+        return controller.pick_pid(alive, now)
+
+
+class ExploringDelivery(DeliveryPolicy):
+    """Delivery-policy adapter: delegates every pick to the controller."""
+
+    fair = False
+    oldest_first_selection = False
+
+    def __init__(self, controller: ChoiceController):
+        self.controller = controller
+
+    def choose(
+        self, ready: List[Message], now: int, rng: random.Random
+    ) -> Optional[Message]:
+        return self.controller.pick_message(ready, now)

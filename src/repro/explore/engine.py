@@ -1,0 +1,275 @@
+"""The bounded DFS over one case's choice tree.
+
+Stateless model checking by replay: component state contains live
+generator frames, so the explorer never snapshots — it re-executes.
+Each iteration pops a choice prefix off the DFS stack, runs the system
+once (:func:`repro.explore.cases.build_system` + the stock
+``System.run`` loop) replaying that prefix and defaulting beyond it,
+then pushes a sibling prefix for every untaken alternative the run
+recorded.  The tree is rooted at the empty prefix; exhaustion of the
+stack means every schedule/delivery interleaving of the case within
+its step budget has been covered (up to the two sound reductions).
+
+The two reductions, and how they compose:
+
+* **POR** lives in the controller's enabled-set filter
+  (:meth:`~repro.explore.control.ChoiceController.pick_pid`): scheduling
+  independent steps in descending-pid order is pruned, so each
+  Mazurkiewicz trace survives through its lexicographically smallest
+  linearization.
+* **Dedup** lives in the per-tick hook installed here: at the start of
+  every tick the whole system state is fingerprinted
+  (:mod:`repro.explore.state`); if an earlier path already explored
+  this state with at least as many ticks remaining, the run halts (the
+  scheduler returns None → a clean ``scheduler-halt``) and its subtree
+  is skipped.  The fingerprint *includes the POR context*, because the
+  filter makes the set of allowed continuations depend on it — hashing
+  the raw state alone would merge nodes with different enabled sets and
+  lose schedules.  Two guards keep the composition honest: the check
+  only arms after the run has made its first post-prefix choice (a
+  sibling must not be killed by its own parent's footprints), and a
+  halted run's trace is never judged or counted as a leaf (its
+  continuations — and decisions — are covered by the path that
+  recorded the state).
+
+Leaves are judged by the same summarize hooks and safety clauses the
+chaos fuzzer uses; a violating leaf becomes a
+:class:`Violation` carrying the exact choice list that reproduces it.
+Safety violations are monotone under extension (a decision made is
+made forever), so judging completed paths only — never dedup-halted
+ones — loses nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.explore.cases import CaseParts, ExploreCase, build_system, resolve_parts
+from repro.explore.control import ChoiceController
+from repro.explore.state import fingerprint, sanitize, _sorted_by_repr
+from repro.sim.network import Message
+from repro.sim.perf import PerfCounters
+
+
+@dataclass
+class Violation:
+    """One violating leaf: everything needed to replay and re-judge it."""
+
+    case: ExploreCase
+    engine: str
+    choices: Tuple[int, ...]
+    violated: Tuple[str, ...]
+    metrics: Dict[str, Any]
+    decisions: Tuple[Tuple[int, str, str], ...]
+    final_time: int
+    #: Choice indices name positions in the controller's menus, and the
+    #: POR filter shapes the menus — replay must use the same setting.
+    por: bool = True
+
+
+@dataclass
+class ExploreResult:
+    """The outcome of exhausting (or truncating) one case's tree."""
+
+    case: ExploreCase
+    engine: str
+    por: bool
+    dedup: bool
+    runs: int = 0
+    states: int = 0
+    dedup_hits: int = 0
+    por_pruned: int = 0
+    #: Complete ⟺ the DFS stack drained (no max_runs truncation and no
+    #: stop-on-first-violation early exit).
+    complete: bool = True
+    violations: List[Violation] = field(default_factory=list)
+    #: Decision vectors of every completed (non-halted) leaf — the
+    #: observable outcomes of the case, used by the soundness tests to
+    #: compare pruned against unpruned and indexed against reference.
+    decision_vectors: Set[Tuple[Tuple[int, str, str], ...]] = field(
+        default_factory=set
+    )
+    counters: PerfCounters = field(default_factory=PerfCounters)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "runs": self.runs,
+            "states": self.states,
+            "dedup_hits": self.dedup_hits,
+            "por_pruned": self.por_pruned,
+            "violations": len(self.violations),
+            "decision_vectors": len(self.decision_vectors),
+        }
+
+
+def _decision_vector(trace) -> Tuple[Tuple[int, str, str], ...]:
+    return tuple(
+        sorted((d.pid, d.component, repr(d.value)) for d in trace.decisions)
+    )
+
+
+def _por_context(
+    por: bool, prev: Optional[int], fresh: List[Message], boundary: bool
+) -> Tuple[Any, ...]:
+    if not por:
+        return ()
+    return (
+        prev,
+        boundary,
+        _sorted_by_repr(
+            (m.sender, m.dest, m.component, sanitize(m.payload)) for m in fresh
+        ),
+    )
+
+
+def explore_case(
+    case: ExploreCase,
+    engine: str = "indexed",
+    por: bool = True,
+    dedup: bool = True,
+    stop_on_first_violation: bool = False,
+    max_runs: Optional[int] = None,
+    counters: Optional[PerfCounters] = None,
+) -> ExploreResult:
+    """Exhaust the bounded choice tree of ``case`` on ``engine``.
+
+    ``por=False`` / ``dedup=False`` disable the respective reduction —
+    the soundness tests run both ways and compare decision-vector sets
+    and verdicts.  ``max_runs`` is a safety valve for callers probing
+    tractability; a truncated result has ``complete=False``.
+    """
+    parts = resolve_parts(case)
+    result = ExploreResult(
+        case=case,
+        engine=engine,
+        por=por,
+        dedup=dedup,
+        counters=counters if counters is not None else PerfCounters(),
+    )
+    crash_times = {t for _, t in case.crashes}
+    first_crash = min(crash_times) if crash_times else None
+    last_crash = max(crash_times) if crash_times else None
+    visited: Dict[str, int] = {}
+    stack: List[Tuple[int, ...]] = [()]
+
+    while stack:
+        if max_runs is not None and result.runs >= max_runs:
+            result.complete = False
+            break
+        prefix = stack.pop()
+        controller, trace = _run_path(
+            case, parts, prefix, engine, por, dedup,
+            visited, crash_times, first_crash, last_crash, result,
+        )
+        result.runs += 1
+        result.counters.explore_runs += 1
+        result.por_pruned += controller.por_pruned
+        result.counters.explore_por_pruned += controller.por_pruned
+
+        taken = tuple(point.chosen for point in controller.log)
+        for position in range(len(prefix), len(taken)):
+            for alternative in range(1, controller.log[position].options):
+                stack.append(taken[:position] + (alternative,))
+
+        if trace.stop_reason == "scheduler-halt":
+            continue  # dedup-halted: subtree covered elsewhere, not a leaf
+        result.decision_vectors.add(_decision_vector(trace))
+        metrics = parts.summarize(controller._system, trace)
+        violated = tuple(
+            clause
+            for clause in parts.safety_clauses
+            if not metrics.get(clause, True)
+        )
+        if violated:
+            result.counters.explore_violations += 1
+            result.violations.append(
+                Violation(
+                    case=case,
+                    engine=engine,
+                    choices=taken,
+                    violated=violated,
+                    metrics=dict(metrics),
+                    decisions=_decision_vector(trace),
+                    final_time=trace.final_time,
+                    por=por,
+                )
+            )
+            if stop_on_first_violation:
+                result.complete = False
+                break
+    return result
+
+
+def _run_path(
+    case: ExploreCase,
+    parts: CaseParts,
+    prefix: Tuple[int, ...],
+    engine: str,
+    por: bool,
+    dedup: bool,
+    visited: Dict[str, int],
+    crash_times: Set[int],
+    first_crash: Optional[int],
+    last_crash: Optional[int],
+    result: ExploreResult,
+):
+    """One controlled run: replay ``prefix``, default onward, observe."""
+    controller = ChoiceController(prefix)
+    controller.por_enabled = por
+    system = build_system(case, controller, parts=parts, engine=engine)
+    # The judge needs the system alongside the trace; stash it where the
+    # caller can reach it without re-threading return values.
+    controller._system = system
+
+    sent_this_tick: List[Message] = []
+    for host in system.hosts:
+        host.ctx.add_outgoing_hook(sent_this_tick.append)
+
+    def tick_hook(now: int) -> bool:
+        # The previous tick's step is complete: hand its POR context to
+        # the controller before this tick's picks.
+        fresh = list(sent_this_tick)
+        sent_this_tick.clear()
+        prev = controller.last_actor
+        boundary = now in crash_times
+        controller.set_step_context(prev, fresh, boundary)
+        if not dedup:
+            return True
+        crashes_pending = last_crash is not None and last_crash > now
+        key = fingerprint(
+            system,
+            now,
+            crashes_pending,
+            first_crash,
+            _por_context(por, prev, fresh, boundary),
+        )
+        remaining = case.depth - now + 1
+        seen = visited.get(key)
+        if len(controller.log) <= len(prefix):
+            # Still replaying (or about to make the first divergent
+            # choice): these states are the parent run's own footprints —
+            # record, never halt.
+            if seen is None:
+                result.states += 1
+                result.counters.explore_states += 1
+            if seen is None or seen < remaining:
+                visited[key] = remaining
+            return True
+        if seen is not None and seen >= remaining:
+            result.dedup_hits += 1
+            result.counters.explore_dedup_hits += 1
+            return False
+        if seen is None:
+            result.states += 1
+            result.counters.explore_states += 1
+        visited[key] = remaining
+        return True
+
+    controller.tick_hook = tick_hook
+    trace = system.run(stop_when=parts.stop)
+    return controller, trace

@@ -1,0 +1,223 @@
+"""The frontier: root enumeration and the parallel exploration campaign.
+
+A single :func:`~repro.explore.engine.explore_case` call exhausts one
+subtree — one target, one constant detector assignment, one crash
+schedule.  The frontier is the cartesian family of such roots
+(:func:`enumerate_roots`): the detector assignments from
+:mod:`repro.explore.assignments`, crossed with a small crash-schedule
+family, crossed with the seeds that vary the target's inputs (NBAC's
+vote vectors).  Together the roots cover every source of
+nondeterminism the sim exposes: scheduling and delivery are enumerated
+*inside* each subtree by the controller, detector values and crash
+points *across* subtrees by the frontier.
+
+Execution rides the stock :class:`~repro.runner.campaign.Campaign`
+machinery: each root becomes an :class:`~repro.runner.spec.FnSpec`
+cell calling :func:`explore_root` (module-level, picklable arguments
+only), so the frontier gets the runner's worker pool, its failure
+isolation, and its fingerprint-keyed on-disk cache — a finished
+subtree whose case and options are unchanged is a cache hit, never
+re-explored.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.explore.assignments import assignments_for
+from repro.explore.cases import ExploreCase, case_from_dict, case_to_dict
+from repro.explore.engine import ExploreResult, Violation, explore_case
+from repro.runner import Campaign, call, fn_spec
+
+#: Pinned per-target smoke depths: deep enough that every mutant's
+#: violation is reachable and shallow enough that the paired clean
+#: target exhausts in seconds.  Mutant/clean pairs share a depth
+#: (submajority↔paxos, eagerquit↔qc, hastycommit↔nbac) so "the mutant
+#: fires where the clean target is silent" is an apples-to-apples
+#: statement; the regression tests pin these numbers.
+SMOKE_DEPTHS: Dict[str, int] = {
+    "paxos": 10,
+    "submajority": 10,
+    "ct": 10,
+    "qc": 10,
+    "eagerquit": 10,
+    "nbac": 6,
+    "hastycommit": 6,
+    "register": 7,
+}
+
+#: Seeds worth enumerating per target (the seed only feeds the target
+#: builder).  NBAC's vote vector is seed-derived: even seeds vote
+#: all-Yes, odd seeds carry one No — both matter, for the clean target
+#: (both outcomes verified) and for hastycommit (the bug needs a No).
+DEFAULT_SEEDS: Dict[str, Tuple[int, ...]] = {
+    "nbac": (0, 1),
+    "hastycommit": (0, 1),
+}
+
+
+def crash_schedules(
+    n: int, depth: int, max_crashes: int
+) -> List[Tuple[Tuple[int, int], ...]]:
+    """The crash-schedule family: boundary times, every victim.
+
+    Times come from the window edges — ``1`` (crashed before its first
+    step) and mid-window — because a crash commutes with every step it
+    is not adjacent to; intermediate times add schedules the
+    in-subtree interleaving enumeration already distinguishes better.
+    At least one process always survives.
+    """
+    schedules: List[Tuple[Tuple[int, int], ...]] = [()]
+    if max_crashes < 1:
+        return schedules
+    times = sorted({1, max(2, depth // 2)})
+    for pid in range(n):
+        for t in times:
+            schedules.append(((pid, t),))
+    if max_crashes >= 2:
+        early = times[0]
+        if n >= 3:  # keep at least one process alive
+            for a in range(n):
+                for b in range(a + 1, n):
+                    schedules.append(((a, early), (b, early)))
+    return schedules
+
+
+def enumerate_roots(
+    target: str,
+    n: int,
+    depth: Optional[int] = None,
+    max_crashes: int = 0,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[ExploreCase]:
+    """Every exploration root for one target at one size."""
+    if depth is None:
+        depth = SMOKE_DEPTHS.get(target, 8)
+    if seeds is None:
+        seeds = DEFAULT_SEEDS.get(target, (0,))
+    roots = []
+    for seed in seeds:
+        for assignment in assignments_for(target, n):
+            for crashes in crash_schedules(n, depth, max_crashes):
+                if len(crashes) >= n:
+                    continue
+                roots.append(
+                    ExploreCase(
+                        target=target,
+                        n=n,
+                        depth=depth,
+                        seed=seed,
+                        crashes=crashes,
+                        assignment=assignment,
+                    )
+                )
+    return roots
+
+
+def result_to_dict(result: ExploreResult) -> Dict[str, Any]:
+    """A picklable, JSON-able summary of one explored subtree."""
+    return {
+        "case": case_to_dict(result.case),
+        "engine": result.engine,
+        "por": result.por,
+        "dedup": result.dedup,
+        "complete": result.complete,
+        "stats": result.stats(),
+        "decision_vectors": sorted(
+            [list(entry) for entry in vector]
+            for vector in result.decision_vectors
+        ),
+        "violations": [
+            {
+                "choices": list(v.choices),
+                "violated": list(v.violated),
+                "decisions": [list(entry) for entry in v.decisions],
+                "final_time": v.final_time,
+            }
+            for v in result.violations
+        ],
+    }
+
+
+def explore_root(
+    case_dict: Dict[str, Any],
+    engine: str = "indexed",
+    por: bool = True,
+    dedup: bool = True,
+    stop_on_first_violation: bool = False,
+    max_runs: Optional[int] = None,
+) -> Dict[str, Any]:
+    """One frontier cell: exhaust one root, return its summary dict.
+
+    Module-level with primitive arguments so Campaign workers can
+    import and the result cache can fingerprint it.
+    """
+    result = explore_case(
+        case_from_dict(case_dict),
+        engine=engine,
+        por=por,
+        dedup=dedup,
+        stop_on_first_violation=stop_on_first_violation,
+        max_runs=max_runs,
+    )
+    return result_to_dict(result)
+
+
+def frontier_campaign(
+    roots: Iterable[ExploreCase],
+    engine: str = "indexed",
+    por: bool = True,
+    dedup: bool = True,
+    stop_on_first_violation: bool = False,
+    max_runs: Optional[int] = None,
+) -> Campaign:
+    """The Campaign whose cells are the given exploration roots."""
+    jobs = []
+    for index, root in enumerate(roots):
+        jobs.append(
+            fn_spec(
+                call(
+                    explore_root,
+                    case_to_dict(root),
+                    engine=engine,
+                    por=por,
+                    dedup=dedup,
+                    stop_on_first_violation=stop_on_first_violation,
+                    max_runs=max_runs,
+                ),
+                target=root.target,
+                root=index,
+                engine=engine,
+            )
+        )
+    return Campaign(jobs, name="explore-frontier")
+
+
+def run_frontier(
+    roots: Sequence[ExploreCase],
+    engine: str = "indexed",
+    workers: Optional[int] = None,
+    cache: Any = False,
+    por: bool = True,
+    dedup: bool = True,
+    stop_on_first_violation: bool = False,
+    max_runs: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Explore every root in parallel; summaries in root order.
+
+    ``cache`` is the campaign cache control — pass a directory (or
+    True) to make finished subtrees persistent across invocations.
+    """
+    campaign = frontier_campaign(
+        roots,
+        engine=engine,
+        por=por,
+        dedup=dedup,
+        stop_on_first_violation=stop_on_first_violation,
+        max_runs=max_runs,
+    )
+    outcome = campaign.run(workers=workers, cache=cache)
+    if not outcome.ok:
+        failure = outcome.failures[0]
+        raise RuntimeError(f"frontier cell failed: {failure}")
+    return [summary.value for summary in outcome.summaries]

@@ -1,0 +1,276 @@
+"""State fingerprinting for the explorer's visited-set deduplication.
+
+Two explored paths that land the whole system in the same state have
+identical futures — the second subtree is the first one re-run.  The
+fingerprint makes "same state" checkable: a canonical, hashable
+summary of everything that can influence any future step or any
+property verdict, and *nothing else*.
+
+What goes in, and why:
+
+* **component state** — every attribute of every component (and,
+  recursively, protocol cores, child cores, pending tasklet generators
+  with their instruction pointers and locals).  Generators are the hard
+  part: a tasklet's continuation is ``(code position, locals, the
+  generator it delegates to)``, which
+  :func:`sanitize` captures via ``gi_frame.f_lasti`` /
+  ``gi_frame.f_locals`` / ``gi_yieldfrom``.
+* **network buffers** — per-destination *multisets* of
+  ``(sender, component, payload)``.  Message ids are deliberately
+  excluded (they encode the path, not the state), and so is
+  ``ready_at``: the explorer always runs ``ConstantDelay(1)``, so every
+  buffered message is ready from the next tick onward and readiness
+  carries no extra information.
+* **decisions** — value, pid, component, and whether the decision
+  preceded the first crash (the QC Validity clause keys on that order,
+  so two states differing only there must not merge).
+* **operation history** — for register runs, the full
+  invocation/response record including times: linearizability is a
+  property of the whole history, so register states only merge when
+  their histories match exactly.  (Blunt but sound; the POR does the
+  heavy pruning for registers.)
+* **absolute time** — included only while crash events are still
+  pending: until the last scheduled crash fires, wall-clock position
+  determines which failure-pattern suffix is still ahead.  After it,
+  states are time-translation-invariant and the fingerprint says so by
+  omission, which is where most dedup hits come from.
+* **the POR context** — previous actor and the fresh-message multiset.
+  The controller's enabled-set filter keys on these, so two occurrences
+  of the same raw state under different contexts allow different
+  continuations and must not merge (this is what makes dedup and POR
+  sound *together*, not just separately).
+
+Anything :func:`sanitize` cannot faithfully canonicalise becomes a
+globally unique ``("opaque", ...)`` token, so unknown values can cause
+missed merges but never a wrong one — dedup degrades toward plain DFS,
+never toward unsoundness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import types
+from random import Random
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.sim.network import Message, Network, ReferenceNetwork
+from repro.sim.process import ProcessHost
+from repro.sim.tasklets import WaitSteps, WaitUntil
+from repro.sim.trace import RunTrace
+
+#: Attributes never part of protocol state: host plumbing, trace/network
+#: backrefs, and listener closures wired up by the component layer.
+_SKIP_ATTRS = frozenset(
+    {
+        "ctx",
+        "_host",
+        "_network",
+        "_trace",
+        "_decide_listeners",
+        "_outgoing_hooks",
+        "_incoming_hooks",
+    }
+)
+
+#: Recursion ceiling; anything deeper degrades to an opaque token.
+_MAX_DEPTH = 40
+
+# Globally unique opaque tokens: a state containing one never equals
+# anything (not even a literal revisit of itself) — conservative, sound.
+_opaque_serial = 0
+
+
+def _opaque(value: Any) -> Tuple[Any, ...]:
+    global _opaque_serial
+    _opaque_serial += 1
+    return ("opaque", type(value).__name__, _opaque_serial)
+
+
+def _sorted_by_repr(items: Iterable[Any]) -> Tuple[Any, ...]:
+    return tuple(sorted(items, key=repr))
+
+
+def sanitize(value: Any, _depth: int = 0, _stack: Tuple[int, ...] = ()) -> Any:
+    """Canonicalise ``value`` into nested tuples of primitives.
+
+    Equal protocol states produce equal structures; structures that
+    cannot be proven equal come out globally unique (see module doc).
+    ``_stack`` carries the ids of objects on the current recursion path
+    so reference cycles (component ↔ core, predicate closures over
+    ``self``) become position-stable ``("cycle", type)`` markers.
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if _depth > _MAX_DEPTH:
+        return _opaque(value)
+    obj_id = id(value)
+    if obj_id in _stack:
+        return ("cycle", type(value).__name__)
+    stack = _stack + (obj_id,)
+    depth = _depth + 1
+
+    if isinstance(value, (tuple, list)):
+        tag = "t" if isinstance(value, tuple) else "l"
+        return (tag,) + tuple(sanitize(v, depth, stack) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return ("s",) + _sorted_by_repr(sanitize(v, depth, stack) for v in value)
+    if isinstance(value, dict):
+        return ("d",) + _sorted_by_repr(
+            (sanitize(k, depth, stack), sanitize(v, depth, stack))
+            for k, v in value.items()
+        )
+
+    if isinstance(value, WaitSteps):
+        return ("wait-steps", value.remaining)
+    if isinstance(value, WaitUntil):
+        return ("wait-until", sanitize(value.predicate, depth, stack))
+    if isinstance(value, Message):
+        return (
+            "msg",
+            value.sender,
+            value.dest,
+            value.component,
+            sanitize(value.payload, depth, stack),
+        )
+    if isinstance(value, Random):
+        # The full Mersenne state, hashed: future draws depend on it.
+        return ("rng", hashlib.sha256(repr(value.getstate()).encode()).hexdigest())
+    if isinstance(value, types.GeneratorType):
+        frame = value.gi_frame
+        if frame is None:
+            return ("gen", value.gi_code.co_qualname, "exhausted")
+        local_items = _sorted_by_repr(
+            (name, sanitize(v, depth, stack))
+            for name, v in frame.f_locals.items()
+            if name != "self"  # covered by the owning component's walk
+        )
+        return (
+            "gen",
+            value.gi_code.co_qualname,
+            frame.f_lasti,
+            local_items,
+            sanitize(value.gi_yieldfrom, depth, stack),
+        )
+    if isinstance(value, types.FunctionType):
+        cells = value.__closure__ or ()
+        return (
+            "fn",
+            value.__module__,
+            value.__qualname__,
+            value.__code__.co_firstlineno,
+            tuple(sanitize(c.cell_contents, depth, stack) for c in cells),
+        )
+    if isinstance(value, types.MethodType):
+        return (
+            "method",
+            value.__func__.__qualname__,
+            sanitize(value.__self__, depth, stack),
+        )
+    if isinstance(value, (Network, ReferenceNetwork, RunTrace)):
+        # Backrefs that slipped past the skip list; never protocol state.
+        return ("ref", type(value).__name__)
+
+    # Generic object: type tag + its attribute dict (minus plumbing).
+    state = getattr(value, "__dict__", None)
+    if state is None and hasattr(type(value), "__slots__"):
+        state = {
+            name: getattr(value, name)
+            for name in type(value).__slots__
+            if hasattr(value, name)
+        }
+    if state is not None:
+        return (
+            "obj",
+            type(value).__module__,
+            type(value).__qualname__,
+            _sorted_by_repr(
+                (k, sanitize(v, depth, stack))
+                for k, v in state.items()
+                if k not in _SKIP_ATTRS
+            ),
+        )
+    return _opaque(value)
+
+
+def host_canonical(host: ProcessHost) -> Tuple[Any, ...]:
+    """One process's canonical state: components + pending tasklets."""
+    components = tuple(
+        (name, sanitize(comp)) for name, comp in sorted(host.components.items())
+    )
+    tasklets = tuple(
+        (task.name, task.started, sanitize(task.wait), sanitize(task.gen))
+        for task in host._driver._tasklets
+        if not task.done
+    )
+    return (host._started, components, tasklets)
+
+
+def _buffered(network: Any, dest: int) -> List[Message]:
+    """Every in-flight message for ``dest``, either engine."""
+    if hasattr(network, "_buffers"):  # indexed engine
+        buf = network._buffers[dest]
+        return [m for _, _, m in buf.future] + list(buf.ready.values())
+    return list(network._pending[dest])  # reference engine
+
+
+def buffers_canonical(network: Any) -> Tuple[Any, ...]:
+    """Per-destination multisets of (sender, component, payload)."""
+    per_dest = []
+    for dest in range(network.n):
+        per_dest.append(
+            _sorted_by_repr(
+                (m.sender, m.component, sanitize(m.payload))
+                for m in _buffered(network, dest)
+            )
+        )
+    return tuple(per_dest)
+
+
+def decisions_canonical(
+    trace: RunTrace, first_crash: Optional[int]
+) -> Tuple[Any, ...]:
+    """Decisions as an order-free set, tagged with crash-relative order."""
+    return _sorted_by_repr(
+        (
+            d.pid,
+            d.component,
+            sanitize(d.value),
+            first_crash is not None and d.time >= first_crash,
+        )
+        for d in trace.decisions
+    )
+
+
+def operations_canonical(trace: RunTrace) -> Tuple[Any, ...]:
+    """The full op history, times included (see module doc)."""
+    return tuple(
+        (
+            op.pid,
+            op.component,
+            op.kind,
+            sanitize(op.args),
+            op.invoke_time,
+            op.response_time,
+            sanitize(op.result),
+        )
+        for op in trace.operations
+    )
+
+
+def fingerprint(
+    system: Any,
+    now: int,
+    crashes_pending: bool,
+    first_crash: Optional[int],
+    por_context: Tuple[Any, ...],
+) -> str:
+    """The dedup key for the system's state at the start of tick ``now``."""
+    structure = (
+        tuple(host_canonical(host) for host in system.hosts),
+        buffers_canonical(system.network),
+        decisions_canonical(system.trace, first_crash),
+        operations_canonical(system.trace),
+        now if crashes_pending else None,
+        por_context,
+    )
+    return hashlib.sha256(repr(structure).encode()).hexdigest()

