@@ -25,6 +25,9 @@ explore-smoke:
 	$(PYTHON) -m repro.explore --target eagerquit --expect-violation --stop-on-first --engine both
 	$(PYTHON) -m repro.explore --target hastycommit --expect-violation --stop-on-first --engine both
 	$(PYTHON) -m repro.explore --target submajority --expect-violation --stop-on-first --max-runs 2500 --engine both
+	$(PYTHON) -m repro.explore --target nbac --procs 3 --symmetry --require-complete --stats
+	$(PYTHON) -m repro.explore --target hastycommit --procs 3 --symmetry --expect-violation --stop-on-first
+	$(PYTHON) benchmarks/bench_explorer.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

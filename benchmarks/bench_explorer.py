@@ -1,0 +1,128 @@
+"""Benchmarks of the explorer's hot path: fingerprints and reductions.
+
+Four pinned cases spanning the target families are each exhausted
+under every fingerprint mode — ``legacy`` (PR4's sanitize-and-hash
+path, the wall-clock baseline), ``naive`` (the byte encoder without
+caching, the fingerprint-work baseline), ``incremental`` (caching plus
+cross-run replay-digest reuse), and ``incremental`` with the
+pid-symmetry reduction where the target admits it.
+
+The machine-independent gates — what the CI explore-smoke job checks —
+always hold:
+
+* every mode agrees on decision vectors, violation count and
+  completeness (the modes change *cost*, never the search);
+* ``naive`` and plain ``incremental`` walk identical trees (same run
+  count — they compute identical digests byte-for-byte, which the
+  equivalence suite pins separately);
+* the incremental engine does ≥3x less fingerprint work than naive
+  (``explore_fp_nodes``, an encoder node count — machine-independent).
+
+The wall-clock speedup of incremental over legacy is recorded in the
+report and only asserted under ``BENCH_EXPLORE_STRICT=1`` (CI sets
+it; laptops under load may not).  Run without pytest via
+``python benchmarks/bench_explorer.py`` to write ``BENCH_explore.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.explore.cases import ExploreCase
+from repro.explore.engine import explore_case
+from repro.explore.symmetry import SYMMETRY_SAFE_TARGETS
+
+#: The pinned cases.  ct exercises deep detector-driven branching,
+#: nbac n=2/n=3 are the frontier the overhaul targets, paxos brings a
+#: consensus stack with richer per-host state.
+CASES = (
+    ExploreCase(target="ct", n=2, depth=7),
+    ExploreCase(target="nbac", n=2, depth=6, seed=1),
+    ExploreCase(target="paxos", n=2, depth=8),
+    ExploreCase(target="nbac", n=3, depth=5),
+)
+
+MIN_FP_WORK_REDUCTION = 3.0
+MIN_WALL_SPEEDUP = 2.0
+
+
+def _explore(case, fingerprint_mode, symmetry=None):
+    started = time.perf_counter()
+    result = explore_case(
+        case, fingerprint_mode=fingerprint_mode, symmetry=symmetry
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "elapsed_seconds": round(elapsed, 3),
+        "runs": result.runs,
+        "states": result.states,
+        "dedup_hits": result.dedup_hits,
+        "violations": len(result.violations),
+        "complete": result.complete,
+        "fp_nodes": result.counters.explore_fp_nodes,
+        "replay_steps": result.counters.explore_replay_steps,
+        "opaque_tokens": result.counters.explore_opaque_tokens,
+        "_vectors": result.decision_vectors,
+        "_elapsed_raw": elapsed,
+    }
+
+
+def run_case_bench(case) -> dict:
+    modes = {
+        "legacy": _explore(case, "legacy"),
+        "naive": _explore(case, "naive"),
+        "incremental": _explore(case, "incremental"),
+    }
+    if case.target in SYMMETRY_SAFE_TARGETS:
+        modes["incremental_symmetry"] = _explore(
+            case, "incremental", symmetry="auto"
+        )
+
+    # The search must be mode-invariant (symmetry may merge runs but
+    # must preserve the observable outcomes).
+    base = modes["legacy"]
+    for name, mode in modes.items():
+        assert mode["_vectors"] == base["_vectors"], (case, name)
+        assert mode["violations"] == base["violations"], (case, name)
+        assert mode["complete"] and base["complete"], (case, name)
+    assert modes["naive"]["runs"] == modes["incremental"]["runs"], case
+
+    fp_reduction = modes["naive"]["fp_nodes"] / modes["incremental"]["fp_nodes"]
+    assert fp_reduction >= MIN_FP_WORK_REDUCTION, (case, fp_reduction)
+    wall_speedup = (
+        modes["legacy"]["_elapsed_raw"] / modes["incremental"]["_elapsed_raw"]
+    )
+    for mode in modes.values():
+        del mode["_vectors"], mode["_elapsed_raw"]
+    return {
+        "case": case.describe(),
+        "fp_work_reduction": round(fp_reduction, 2),
+        "wall_speedup_incremental_vs_legacy": round(wall_speedup, 2),
+        "modes": modes,
+    }
+
+
+def run_benchmark(report_path: str = "BENCH_explore.json") -> dict:
+    cases = [run_case_bench(case) for case in CASES]
+    speedups = [c["wall_speedup_incremental_vs_legacy"] for c in cases]
+    report = {
+        "min_fp_work_reduction": min(c["fp_work_reduction"] for c in cases),
+        "min_wall_speedup": min(speedups),
+        "cases": cases,
+    }
+    if os.environ.get("BENCH_EXPLORE_STRICT"):
+        assert report["min_wall_speedup"] >= MIN_WALL_SPEEDUP, report
+    Path(report_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_explorer_bench_small():
+    """The pytest-visible slice: the two cheap cases, counter gates only."""
+    for case in CASES[:2]:
+        result = run_case_bench(case)
+        assert result["fp_work_reduction"] >= MIN_FP_WORK_REDUCTION
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_benchmark(), indent=2))

@@ -6,16 +6,20 @@ package *enumerates* them.  A :class:`~repro.explore.control
 through its scheduler/delivery extension points, turning every
 scheduler pick and message-delivery pick into an explicit indexed
 choice; :func:`~repro.explore.engine.explore_case` exhausts the
-resulting bounded tree by replay-based DFS with partial-order and
-state-dedup reductions; the frontier (:mod:`repro.explore.frontier`)
-enumerates detector assignments and crash schedules across subtree
-roots and fans the work out as a :mod:`repro.runner` campaign.
+resulting bounded tree by replay-based DFS with partial-order,
+state-dedup and pid-symmetry reductions (the incremental fingerprint
+engine behind dedup lives in :mod:`repro.explore.state`, the symmetry
+group in :mod:`repro.explore.symmetry`); the frontier
+(:mod:`repro.explore.frontier`) enumerates detector assignments and
+crash schedules across subtree roots and fans the work out as a
+:mod:`repro.runner` campaign, and :mod:`repro.explore.shard` splits a
+single oversized case into campaign cells of its own.
 Violating leaves are judged by the chaos targets' own property hooks,
 shrunk (:mod:`repro.explore.shrink`), and frozen as replayable
 artifacts (:mod:`repro.explore.artifact`).
 
-See ``docs/EXPLORER.md`` for the search strategy and the soundness
-arguments behind the two reductions.
+See ``docs/EXPLORER.md`` for the search strategy, the soundness
+arguments behind the reductions, and the performance notes.
 """
 
 from repro.explore.assignments import (
@@ -38,41 +42,70 @@ from repro.explore.control import (
     ExploringDelivery,
     ExploringScheduler,
 )
-from repro.explore.engine import ExploreResult, Violation, explore_case
+from repro.explore.engine import (
+    FINGERPRINT_MODES,
+    ExploreResult,
+    Violation,
+    explore_case,
+)
 from repro.explore.frontier import (
     DEFAULT_SEEDS,
     SMOKE_DEPTHS,
+    SMOKE_DEPTHS_N3,
     crash_schedules,
     enumerate_roots,
     frontier_campaign,
     run_frontier,
 )
-from repro.explore.state import fingerprint, sanitize
+from repro.explore.shard import (
+    explore_case_sharded,
+    explore_shard,
+    merge_summaries,
+    split_case,
+)
+from repro.explore.state import FingerprintEngine, fingerprint, sanitize
+from repro.explore.symmetry import (
+    SYMMETRY_SAFE_TARGETS,
+    admissible_perms,
+    collapse_symmetric_roots,
+    resolve_symmetry,
+)
 
 __all__ = [
     "ENGINES",
     "DEFAULT_SEEDS",
+    "FINGERPRINT_MODES",
     "SMOKE_DEPTHS",
+    "SMOKE_DEPTHS_N3",
+    "SYMMETRY_SAFE_TARGETS",
     "ChoiceController",
     "ChoicePoint",
     "ExploreCase",
     "ExploreResult",
     "ExploringDelivery",
     "ExploringScheduler",
+    "FingerprintEngine",
     "Violation",
+    "admissible_perms",
     "assignments_for",
     "build_system",
     "case_from_dict",
     "case_to_dict",
+    "collapse_symmetric_roots",
     "crash_schedules",
     "decode_value",
     "default_assignment",
     "enumerate_roots",
     "explore_case",
+    "explore_case_sharded",
+    "explore_shard",
     "fingerprint",
     "frontier_campaign",
+    "merge_summaries",
     "resolve_parts",
+    "resolve_symmetry",
     "run_controlled",
     "run_frontier",
     "sanitize",
+    "split_case",
 ]

@@ -20,6 +20,11 @@ Measure what the reductions buy::
     python -m repro.explore --target ct --depth 7 --stats --no-por
     python -m repro.explore --target ct --depth 7 --stats
 
+Exhaust the n=3 NBAC frontier, every reduction on, and insist on it::
+
+    python -m repro.explore --target nbac --procs 3 --symmetry \\
+        --require-complete --stats
+
 The exit code is 0 when every explored target matched expectation —
 no violations normally, at least one under ``--expect-violation`` —
 and 1 otherwise, so CI can call this directly.
@@ -35,8 +40,14 @@ from typing import Any, Dict, List
 
 from repro.chaos.targets import CLEAN_TARGETS, MUTANT_TARGETS, TARGETS
 from repro.explore.cases import ENGINES, case_from_dict
-from repro.explore.engine import Violation
-from repro.explore.frontier import SMOKE_DEPTHS, enumerate_roots, run_frontier
+from repro.explore.engine import FINGERPRINT_MODES, Violation
+from repro.explore.frontier import (
+    SMOKE_DEPTHS,
+    SMOKE_DEPTHS_N3,
+    enumerate_roots,
+    run_frontier,
+)
+from repro.explore.symmetry import collapse_symmetric_roots
 
 
 def _parse_args(argv) -> argparse.Namespace:
@@ -107,6 +118,25 @@ def _parse_args(argv) -> argparse.Namespace:
         "--no-dedup", action="store_true", help="disable state deduplication"
     )
     parser.add_argument(
+        "--symmetry",
+        action="store_true",
+        help=(
+            "enable pid-symmetry reduction where sound (auto-gated per "
+            "target) and collapse symmetric frontier roots"
+        ),
+    )
+    parser.add_argument(
+        "--fingerprint-mode",
+        choices=FINGERPRINT_MODES,
+        default="incremental",
+        help="dedup fingerprint engine (default incremental)",
+    )
+    parser.add_argument(
+        "--require-complete",
+        action="store_true",
+        help="fail unless every root's tree was exhausted (no truncation)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print per-root and aggregate search statistics",
@@ -173,14 +203,17 @@ def main(argv=None) -> int:
     engines = list(ENGINES) if args.engine == "both" else [args.engine]
     failures = 0
     for target in _targets(args.target):
-        depth = (
-            args.depth
-            if args.depth is not None
-            else SMOKE_DEPTHS.get(target, 8)
-        )
+        if args.depth is not None:
+            depth = args.depth
+        elif args.procs >= 3 and target in SMOKE_DEPTHS_N3:
+            depth = SMOKE_DEPTHS_N3[target]
+        else:
+            depth = SMOKE_DEPTHS.get(target, 8)
         roots = enumerate_roots(
             target, args.procs, depth=depth, max_crashes=args.crashes
         )
+        if args.symmetry:
+            roots = collapse_symmetric_roots(roots)
         for engine in engines:
             summaries = run_frontier(
                 roots,
@@ -191,6 +224,8 @@ def main(argv=None) -> int:
                 dedup=not args.no_dedup,
                 stop_on_first_violation=args.stop_on_first,
                 max_runs=args.max_runs,
+                symmetry="auto" if args.symmetry else None,
+                fingerprint_mode=args.fingerprint_mode,
             )
             totals = {
                 "runs": 0,
@@ -198,6 +233,9 @@ def main(argv=None) -> int:
                 "dedup_hits": 0,
                 "por_pruned": 0,
                 "violations": 0,
+                "replay_steps": 0,
+                "fp_nodes": 0,
+                "opaque_tokens": 0,
             }
             complete = True
             for summary in summaries:
@@ -219,6 +257,9 @@ def main(argv=None) -> int:
                 else ("VIOLATIONS" if found else "ok")
             )
             bad = found != args.expect_violation
+            if args.require_complete and not complete:
+                bad = True
+                verdict += " INCOMPLETE"
             failures += bad
             print(
                 f"{target} [{engine}] depth={depth} roots={len(roots)}: "
@@ -227,7 +268,10 @@ def main(argv=None) -> int:
                 + (
                     f" — runs={totals['runs']} states={totals['states']} "
                     f"dedup_hits={totals['dedup_hits']} "
-                    f"por_pruned={totals['por_pruned']}"
+                    f"por_pruned={totals['por_pruned']} "
+                    f"replay_steps={totals['replay_steps']} "
+                    f"fp_nodes={totals['fp_nodes']} "
+                    f"opaque_tokens={totals['opaque_tokens']}"
                     if args.stats
                     else ""
                 )

@@ -26,6 +26,7 @@ deviations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.chaos.knobs import ChaosKnobs
@@ -147,8 +148,16 @@ class CaseParts:
     component_name: str = field(default="")
 
 
+@lru_cache(maxsize=32)
 def resolve_parts(case: ExploreCase) -> CaseParts:
-    """Resolve the target's component stack and hooks for this case."""
+    """Resolve the target's component stack and hooks for this case.
+
+    Memoized: the resolved parts are deterministic in the (frozen,
+    hashable) case and stateless across runs — ``explore_case`` already
+    shares one ``CaseParts`` across thousands of replays, and the
+    shrinker/judge replay paths call this once per replay, so the memo
+    removes the per-replay target.build cost.
+    """
     target = TARGETS[case.target]
     built = target.build(case.n, case.seed, case.depth, ChaosKnobs())
     components = []

@@ -39,7 +39,7 @@ from repro.sim.network import DeliveryPolicy, Message
 from repro.sim.scheduler import Scheduler
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChoicePoint:
     """One recorded decision: what kind, what was taken, out of how many."""
 
@@ -178,9 +178,14 @@ class ChoiceController:
         fresh: List[Message],
         boundary: bool,
     ) -> None:
-        """Install the previous step's POR context for the next tick."""
+        """Install the previous step's POR context for the next tick.
+
+        The caller hands over ownership of ``fresh`` (both call sites
+        build a fresh list per tick), so no defensive copy is taken on
+        this per-tick path.
+        """
         self.prev_pid = prev_pid
-        self.fresh = list(fresh)
+        self.fresh = fresh
         self.fresh_ids = {m.msg_id for m in fresh}
         self.boundary = boundary
 

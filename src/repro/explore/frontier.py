@@ -46,6 +46,17 @@ SMOKE_DEPTHS: Dict[str, int] = {
     "register": 7,
 }
 
+#: Pinned smoke depths at n=3 — the size the hot-path overhaul makes
+#: tractable.  Only the symmetry-safe NBAC pair is registered: the
+#: mutant/clean pairing mirrors the n=2 table (hastycommit's premature
+#: COMMIT fires at this depth while clean nbac exhausts violation-free
+#: within the CI explore-smoke budget), and the regression tests pin
+#: both halves.
+SMOKE_DEPTHS_N3: Dict[str, int] = {
+    "nbac": 6,
+    "hastycommit": 6,
+}
+
 #: Seeds worth enumerating per target (the seed only feeds the target
 #: builder).  NBAC's vote vector is seed-derived: even seeds vote
 #: all-Yes, odd seeds carry one No — both matter, for the clean target
@@ -122,7 +133,10 @@ def result_to_dict(result: ExploreResult) -> Dict[str, Any]:
         "por": result.por,
         "dedup": result.dedup,
         "complete": result.complete,
+        "symmetry": result.symmetry,
+        "fingerprint_mode": result.fingerprint_mode,
         "stats": result.stats(),
+        "counters": result.counters.as_dict(),
         "decision_vectors": sorted(
             [list(entry) for entry in vector]
             for vector in result.decision_vectors
@@ -146,6 +160,8 @@ def explore_root(
     dedup: bool = True,
     stop_on_first_violation: bool = False,
     max_runs: Optional[int] = None,
+    symmetry: Any = None,
+    fingerprint_mode: str = "incremental",
 ) -> Dict[str, Any]:
     """One frontier cell: exhaust one root, return its summary dict.
 
@@ -159,6 +175,8 @@ def explore_root(
         dedup=dedup,
         stop_on_first_violation=stop_on_first_violation,
         max_runs=max_runs,
+        symmetry=symmetry,
+        fingerprint_mode=fingerprint_mode,
     )
     return result_to_dict(result)
 
@@ -170,6 +188,8 @@ def frontier_campaign(
     dedup: bool = True,
     stop_on_first_violation: bool = False,
     max_runs: Optional[int] = None,
+    symmetry: Any = None,
+    fingerprint_mode: str = "incremental",
 ) -> Campaign:
     """The Campaign whose cells are the given exploration roots."""
     jobs = []
@@ -184,6 +204,8 @@ def frontier_campaign(
                     dedup=dedup,
                     stop_on_first_violation=stop_on_first_violation,
                     max_runs=max_runs,
+                    symmetry=symmetry,
+                    fingerprint_mode=fingerprint_mode,
                 ),
                 target=root.target,
                 root=index,
@@ -202,6 +224,8 @@ def run_frontier(
     dedup: bool = True,
     stop_on_first_violation: bool = False,
     max_runs: Optional[int] = None,
+    symmetry: Any = None,
+    fingerprint_mode: str = "incremental",
 ) -> List[Dict[str, Any]]:
     """Explore every root in parallel; summaries in root order.
 
@@ -215,6 +239,8 @@ def run_frontier(
         dedup=dedup,
         stop_on_first_violation=stop_on_first_violation,
         max_runs=max_runs,
+        symmetry=symmetry,
+        fingerprint_mode=fingerprint_mode,
     )
     outcome = campaign.run(workers=workers, cache=cache)
     if not outcome.ok:

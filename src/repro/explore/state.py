@@ -44,6 +44,25 @@ Anything :func:`sanitize` cannot faithfully canonicalise becomes a
 globally unique ``("opaque", ...)`` token, so unknown values can cause
 missed merges but never a wrong one — dedup degrades toward plain DFS,
 never toward unsoundness.
+
+Two generations of the machinery live here:
+
+* the **legacy path** (:func:`sanitize` + :func:`fingerprint` and the
+  ``*_canonical`` helpers) — the original every-tick full
+  re-canonicalisation.  Kept verbatim: it is the PR 4 wall-clock
+  baseline that ``benchmarks/bench_explorer.py`` measures against, and
+  its per-value behaviour is pinned by tier-1 unit tests.
+* the **byte engine** (:class:`FingerprintEngine`) — the hot path.  It
+  encodes values bottom-up into self-delimiting byte strings (the
+  encoded bytes double as the stable sort keys that replace the old
+  ``repr``-based sorting), caches per-host and per-destination
+  encodings across ticks keyed on dirty tracking, and can canonicalise
+  the assembled state under a group of process-id permutations
+  (symmetry reduction — see :mod:`repro.explore.symmetry` and
+  ``docs/EXPLORER.md`` for the soundness argument).  Its ``naive`` mode
+  runs the identical encoding with every cache disabled; a tier-1
+  equivalence suite asserts the two modes produce byte-identical
+  digest sequences.
 """
 
 from __future__ import annotations
@@ -51,7 +70,17 @@ from __future__ import annotations
 import hashlib
 import types
 from random import Random
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.sim.network import Message, Network, ReferenceNetwork
 from repro.sim.process import ProcessHost
@@ -274,3 +303,530 @@ def fingerprint(
         por_context,
     )
     return hashlib.sha256(repr(structure).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The byte engine: incremental, symmetry-aware fingerprinting.
+# ---------------------------------------------------------------------------
+
+#: A cacheable encoding of one value (or one composite section):
+#: ``data`` is the self-delimiting canonical byte string, ``ambiguous``
+#: the set of ints in ``[0, n)`` that appeared at *untagged* positions
+#: (positions not structurally known to be pids — see the symmetry
+#: validity rule below), ``opaque`` whether an unencodable value was
+#: reached anywhere inside.
+class EncodedUnit(NamedTuple):
+    data: bytes
+    ambiguous: FrozenSet[int]
+    opaque: bool
+
+
+class _Encoder:
+    """Bottom-up canonical byte encoding of Python values.
+
+    The encoding mirrors :func:`sanitize` case by case but emits
+    self-delimiting bytes instead of nested tuples, so container
+    canonical order is a plain lexicographic sort of child encodings —
+    no ``repr`` calls — and the final digest hashes bytes that already
+    exist instead of ``repr`` of a tuple tree.
+
+    Two accumulators ride along with every encode call:
+
+    * ``ambig`` — every ``int`` in ``[0, n)`` encountered at a position
+      that is *not* structurally known to be a non-pid.  Structurally
+      known non-pids (wait counters, instruction offsets, line numbers,
+      operation timestamps) are encoded through dedicated branches that
+      skip the accumulator.  The symmetry reduction may only apply a
+      permutation that fixes every accumulated int (see
+      :class:`FingerprintEngine`).
+    * ``opaque`` — set when a value cannot be decomposed (no
+      ``__dict__``/``__slots__``) or recursion exceeds ``_MAX_DEPTH``.
+
+    ``nodes`` counts every value-tree node visited — the
+    ``explore_fp_nodes`` work metric.
+    """
+
+    __slots__ = ("n", "ambig", "opaque", "nodes")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.ambig: set = set()
+        self.opaque = False
+        self.nodes = 0
+
+    def enc(self, value: Any, depth: int = 0, stack: Tuple[int, ...] = ()) -> bytes:
+        self.nodes += 1
+        if value is None:
+            return b"N;"
+        if value is True:  # bool before int: True == 1 but is never a pid
+            return b"T;"
+        if value is False:
+            return b"F;"
+        if isinstance(value, int):
+            if 0 <= value < self.n:
+                self.ambig.add(value)
+            return b"i%d;" % value
+        if isinstance(value, float):
+            return b"f" + repr(value).encode() + b";"
+        if isinstance(value, str):
+            raw = value.encode("utf-8", "backslashreplace")
+            return b"s%d:" % len(raw) + raw
+        if isinstance(value, bytes):
+            return b"b%d:" % len(value) + value
+        if depth > _MAX_DEPTH:
+            self.opaque = True
+            return b"?" + type(value).__name__.encode() + b";"
+        obj_id = id(value)
+        if obj_id in stack:
+            return b"c" + type(value).__name__.encode() + b";"
+        stack = stack + (obj_id,)
+        depth += 1
+
+        if isinstance(value, tuple):
+            return b"(" + b"".join(self.enc(v, depth, stack) for v in value) + b")"
+        if isinstance(value, list):
+            return b"[" + b"".join(self.enc(v, depth, stack) for v in value) + b"]"
+        if isinstance(value, (set, frozenset)):
+            return b"{" + b"".join(sorted(self.enc(v, depth, stack) for v in value)) + b"}"
+        if isinstance(value, dict):
+            items = sorted(
+                self.enc(k, depth, stack) + self.enc(v, depth, stack)
+                for k, v in value.items()
+            )
+            return b"<" + b"".join(items) + b">"
+
+        if isinstance(value, WaitSteps):
+            return b"W%d;" % value.remaining  # a duration, never a pid
+        if isinstance(value, WaitUntil):
+            return b"U" + self.enc(value.predicate, depth, stack)
+        if isinstance(value, Message):
+            # Untagged position (a message stored inside component
+            # state): sender/dest are pid-valued, so route them through
+            # the plain int branch and let the accumulator see them.
+            return (
+                b"M"
+                + self.enc(value.sender, depth, stack)
+                + self.enc(value.dest, depth, stack)
+                + self.enc(value.component, depth, stack)
+                + self.enc(value.payload, depth, stack)
+            )
+        if isinstance(value, Random):
+            digest = hashlib.sha256(repr(value.getstate()).encode()).digest()
+            return b"R" + digest
+        if isinstance(value, types.GeneratorType):
+            frame = value.gi_frame
+            if frame is None:
+                return b"gX" + self.enc(value.gi_code.co_qualname, depth, stack)
+            local_items = sorted(
+                self.enc(name, depth, stack) + self.enc(v, depth, stack)
+                for name, v in frame.f_locals.items()
+                if name != "self"  # covered by the owning component's walk
+            )
+            return (
+                b"g"
+                + self.enc(value.gi_code.co_qualname, depth, stack)
+                + b"@%d;" % frame.f_lasti  # instruction offset, never a pid
+                + b"".join(local_items)
+                + b"/"
+                + self.enc(value.gi_yieldfrom, depth, stack)
+            )
+        if isinstance(value, types.FunctionType):
+            cells = value.__closure__ or ()
+            return (
+                b"L"
+                + self.enc(value.__module__, depth, stack)
+                + self.enc(value.__qualname__, depth, stack)
+                + b"#%d;" % value.__code__.co_firstlineno  # never a pid
+                + b"("
+                + b"".join(self.enc(c.cell_contents, depth, stack) for c in cells)
+                + b")"
+            )
+        if isinstance(value, types.MethodType):
+            return (
+                b"m"
+                + self.enc(value.__func__.__qualname__, depth, stack)
+                + self.enc(value.__self__, depth, stack)
+            )
+        if isinstance(value, (Network, ReferenceNetwork, RunTrace)):
+            return b"r" + type(value).__name__.encode() + b";"
+
+        state = getattr(value, "__dict__", None)
+        if state is None and hasattr(type(value), "__slots__"):
+            state = {
+                name: getattr(value, name)
+                for name in type(value).__slots__
+                if hasattr(value, name)
+            }
+        if state is not None:
+            items = sorted(
+                self.enc(k, depth, stack) + self.enc(v, depth, stack)
+                for k, v in state.items()
+                if k not in _SKIP_ATTRS
+            )
+            return (
+                b"o"
+                + self.enc(type(value).__module__, depth, stack)
+                + self.enc(type(value).__qualname__, depth, stack)
+                + b"<"
+                + b"".join(items)
+                + b">"
+            )
+        self.opaque = True
+        return b"?" + type(value).__name__.encode() + b";"
+
+
+def _with_length(data: bytes) -> bytes:
+    return b"%d:" % len(data) + data
+
+
+class FingerprintEngine:
+    """Incremental, symmetry-aware dedup keys for one exploration.
+
+    One engine serves one :func:`~repro.explore.engine.explore_case`
+    call: :meth:`begin_run` resets the per-run caches before each
+    controlled replay, :meth:`fingerprint` produces the dedup key at
+    the start of each tick.  Two modes share one encoding:
+
+    * ``"incremental"`` — per-host encodings are reused while the
+      host's ``steps_taken`` is unchanged (hosts only mutate inside
+      their own ``take_step``, so the step counter self-validates the
+      cache); per-destination buffer encodings are reused until the
+      destination is dirtied (a message was sent to it, or its owner
+      acted and may have consumed one); decision encodings are
+      append-only; completed-operation encodings are frozen.
+    * ``"naive"`` — the identical encoding with every cache disabled,
+      the oracle the equivalence suite compares byte-for-byte against.
+
+    **Symmetry.** ``perms`` is the case's admissible permutation group
+    (:func:`repro.explore.symmetry.admissible_perms`; identity-only
+    when the reduction is off).  A permutation ``perm`` is *valid* at a
+    state only if it fixes every ambiguous int the encoding collected —
+    any ``int`` in ``[0, n)`` sitting at a position not structurally
+    known to be a pid, because relabeling the tagged positions (host
+    slots, buffer destinations and senders, decision/operation pids,
+    the POR context) while leaving an untagged pid reference behind
+    would merge semantically different states.  The canonical form is
+    the lexicographic minimum of the assembled bytes over the valid
+    permutations.
+
+    **Opacity.** When any encoded value is opaque the assembly gets a
+    ``(run serial, tick)`` suffix — unique per fingerprint call within
+    this engine, so the state can never merge with anything (matching
+    the legacy globally-unique-token semantics) while staying
+    deterministic, which keeps naive and incremental byte-identical.
+    The ``explore_opaque_tokens`` counter makes the degradation
+    visible.
+    """
+
+    MODES = ("incremental", "naive")
+
+    def __init__(
+        self,
+        n: int,
+        mode: str = "incremental",
+        counters: Any = None,
+        perms: Optional[Sequence[Tuple[int, ...]]] = None,
+    ):
+        if mode not in self.MODES:
+            raise ValueError(f"unknown fingerprint mode {mode!r}; have {self.MODES}")
+        self.n = n
+        self.mode = mode
+        self.counters = counters
+        self.perms: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(p) for p in (perms or [tuple(range(n))])
+        )
+        self._encoder = _Encoder(n)
+        self._nodes_synced = 0
+        self._run_serial = 0
+        self._system: Any = None
+        # per-run caches (incremental mode)
+        self._host_cache: Dict[int, Tuple[Tuple[int, bool], EncodedUnit]] = {}
+        self._buffer_cache: Dict[int, List[Tuple[int, EncodedUnit]]] = {}
+        self._dirty: set = set()
+        self._decision_cache: List[Tuple[int, EncodedUnit]] = []
+        self._operation_cache: List[Optional[Tuple[int, EncodedUnit]]] = []
+
+    # -- lifecycle ------------------------------------------------------
+    def begin_run(self, system: Any) -> None:
+        """Reset per-run caches; every replay rebuilds fresh objects."""
+        self._run_serial += 1
+        self._system = system
+        self._host_cache.clear()
+        self._buffer_cache.clear()
+        self._dirty = set(range(self.n))
+        self._decision_cache = []
+        self._operation_cache = []
+
+    @property
+    def nodes(self) -> int:
+        """Value-tree nodes encoded so far (the fp-work metric)."""
+        return self._encoder.nodes
+
+    # -- unit encoding --------------------------------------------------
+    def _unit(self, build: Any) -> EncodedUnit:
+        """Run ``build(encoder)`` with isolated ambiguity/opacity
+        accumulators, so the result is cacheable on its own."""
+        enc = self._encoder
+        saved_ambig, saved_opaque = enc.ambig, enc.opaque
+        enc.ambig, enc.opaque = set(), False
+        data = build(enc)
+        unit = EncodedUnit(data, frozenset(enc.ambig), enc.opaque)
+        enc.ambig, enc.opaque = saved_ambig, saved_opaque
+        return unit
+
+    def _encode_host(self, host: ProcessHost) -> EncodedUnit:
+        def build(enc: _Encoder) -> bytes:
+            parts = [b"H", b"T;" if host._started else b"F;"]
+            for name, comp in sorted(host.components.items()):
+                parts.append(enc.enc(name))
+                parts.append(enc.enc(comp))
+            parts.append(b"|")
+            for task in host._driver._tasklets:
+                if task.done:
+                    continue
+                # The tasklet name (``"comp@pid"``) is cosmetic — only
+                # ever rendered in an error message — and pid-derived,
+                # so it is deliberately excluded: keeping it would block
+                # every symmetry merge for free.
+                parts.append(b"t")
+                parts.append(b"T;" if task.started else b"F;")
+                parts.append(enc.enc(task.wait))
+                parts.append(enc.enc(task.gen))
+            return b"".join(parts)
+
+        return self._unit(build)
+
+    def _host_units(self) -> List[EncodedUnit]:
+        counters = self.counters
+        units = []
+        for pid, host in enumerate(self._system.hosts):
+            if self.mode == "incremental":
+                version = (host.steps_taken, host._started)
+                cached = self._host_cache.get(pid)
+                if cached is not None and cached[0] == version:
+                    if counters is not None:
+                        counters.explore_fp_host_hits += 1
+                    units.append(cached[1])
+                    continue
+                if counters is not None:
+                    counters.explore_fp_host_misses += 1
+                unit = self._encode_host(host)
+                self._host_cache[pid] = (version, unit)
+            else:
+                unit = self._encode_host(host)
+            units.append(unit)
+        return units
+
+    def _buffer_entries(self, dest: int) -> List[Tuple[int, EncodedUnit]]:
+        if self.mode == "incremental" and dest not in self._dirty:
+            cached = self._buffer_cache.get(dest)
+            if cached is not None:
+                return cached
+        entries = []
+        for message in _buffered(self._system.network, dest):
+            # The sender is kept outside the encoded bytes: it is a
+            # *tagged* pid position, relabeled at assembly time.
+            unit = self._unit(
+                lambda enc, m=message: enc.enc(m.component) + enc.enc(m.payload)
+            )
+            entries.append((message.sender, unit))
+        if self.mode == "incremental":
+            self._buffer_cache[dest] = entries
+        return entries
+
+    def _decision_entries(self, first_crash: Optional[int]) -> List[Tuple[int, EncodedUnit]]:
+        decisions = self._system.trace.decisions
+        cache = self._decision_cache if self.mode == "incremental" else []
+        while len(cache) < len(decisions):  # append-only record
+            decision = decisions[len(cache)]
+            postcrash = first_crash is not None and decision.time >= first_crash
+            unit = self._unit(
+                lambda enc, d=decision, p=postcrash: (
+                    enc.enc(d.component)
+                    + enc.enc(d.value)
+                    + (b"T;" if p else b"F;")
+                )
+            )
+            cache.append((decision.pid, unit))
+        return cache
+
+    def _operation_entries(self) -> List[Tuple[int, EncodedUnit]]:
+        operations = self._system.trace.operations
+        cache = self._operation_cache if self.mode == "incremental" else []
+        while len(cache) < len(operations):
+            cache.append(None)
+        entries: List[Tuple[int, EncodedUnit]] = []
+        for index, op in enumerate(operations):
+            cached = cache[index]
+            if cached is not None:
+                entries.append(cached)
+                continue
+            unit = self._unit(
+                lambda enc, o=op: (
+                    enc.enc(o.component)
+                    + enc.enc(o.kind)
+                    + enc.enc(o.args)
+                    + b"@%d;" % o.invoke_time  # timestamps, never pids
+                    + (
+                        b"@%d;" % o.response_time
+                        if o.response_time is not None
+                        else b"N;"
+                    )
+                    + enc.enc(o.result)
+                )
+            )
+            entry = (op.pid, unit)
+            if self.mode == "incremental" and not op.pending:
+                cache[index] = entry  # records mutate until completion
+            entries.append(entry)
+        return entries
+
+    # -- assembly -------------------------------------------------------
+    def _assemble(
+        self,
+        perm: Tuple[int, ...],
+        host_units: List[EncodedUnit],
+        buffer_entries: List[List[Tuple[int, EncodedUnit]]],
+        decision_entries: List[Tuple[int, EncodedUnit]],
+        operation_entries: List[Tuple[int, EncodedUnit]],
+        time_part: bytes,
+        por_part: Optional[Tuple[Optional[int], bool, List[Tuple[int, int, EncodedUnit]]]],
+    ) -> bytes:
+        n = self.n
+        parts = [b"FP1"]
+        slots: List[bytes] = [b""] * n
+        for pid in range(n):
+            slots[perm[pid]] = host_units[pid].data
+        for data in slots:
+            parts.append(_with_length(data))
+        parts.append(b"|B")
+        buffer_slots: List[bytes] = [b""] * n
+        for dest in range(n):
+            encoded = sorted(
+                b"e%d;" % perm[sender] + unit.data
+                for sender, unit in buffer_entries[dest]
+            )
+            buffer_slots[perm[dest]] = b"".join(encoded)
+        for data in buffer_slots:
+            parts.append(_with_length(data))
+        parts.append(b"|D")
+        parts.append(
+            b"".join(
+                sorted(
+                    b"d%d;" % perm[pid] + unit.data
+                    for pid, unit in decision_entries
+                )
+            )
+        )
+        parts.append(b"|O")
+        for pid, unit in operation_entries:
+            parts.append(b"p%d;" % perm[pid] + unit.data)
+        parts.append(time_part)
+        if por_part is None:
+            parts.append(b"|P0")
+        else:
+            prev, boundary, fresh_entries = por_part
+            parts.append(b"|P1")
+            parts.append(b"v%d;" % perm[prev] if prev is not None else b"vN;")
+            parts.append(b"T;" if boundary else b"F;")
+            parts.append(
+                b"".join(
+                    sorted(
+                        b"f%d,%d;" % (perm[sender], perm[dest]) + unit.data
+                        for sender, dest, unit in fresh_entries
+                    )
+                )
+            )
+        return b"".join(parts)
+
+    # -- the dedup key --------------------------------------------------
+    def fingerprint(
+        self,
+        now: int,
+        crashes_pending: bool,
+        first_crash: Optional[int],
+        prev: Optional[int],
+        fresh: Sequence[Message],
+        boundary: bool,
+        por: bool,
+    ) -> str:
+        """The dedup key for the system state at the start of ``now``.
+
+        Covers the same ground as the legacy :func:`fingerprint` —
+        hosts, buffers, decisions, operations, absolute time while
+        crashes are pending, and the POR context when the POR is on —
+        via the byte encoding, canonicalised under the valid subset of
+        the engine's permutation group.
+        """
+        if self.mode == "incremental":
+            if prev is not None:
+                self._dirty.add(prev)  # its buffer may have drained
+            for message in fresh:
+                self._dirty.add(message.dest)
+        host_units = self._host_units()
+        buffer_entries = [self._buffer_entries(d) for d in range(self.n)]
+        if self.mode == "incremental":
+            self._dirty.clear()
+        decision_entries = self._decision_entries(first_crash)
+        operation_entries = self._operation_entries()
+        time_part = b"|t%d;" % now if crashes_pending else b"|tN;"
+        por_part = None
+        if por:
+            fresh_entries = [
+                (
+                    m.sender,
+                    m.dest,
+                    self._unit(
+                        lambda enc, msg=m: enc.enc(msg.component)
+                        + enc.enc(msg.payload)
+                    ),
+                )
+                for m in fresh
+            ]
+            por_part = (prev, boundary, fresh_entries)
+
+        ambiguous: set = set()
+        opaque = False
+        for unit in host_units:
+            ambiguous |= unit.ambiguous
+            opaque = opaque or unit.opaque
+        for entries in buffer_entries:
+            for _, unit in entries:
+                ambiguous |= unit.ambiguous
+                opaque = opaque or unit.opaque
+        for _, unit in decision_entries:
+            ambiguous |= unit.ambiguous
+            opaque = opaque or unit.opaque
+        for _, unit in operation_entries:
+            ambiguous |= unit.ambiguous
+            opaque = opaque or unit.opaque
+        if por_part is not None:
+            for _, _, unit in por_part[2]:
+                ambiguous |= unit.ambiguous
+                opaque = opaque or unit.opaque
+
+        args = (
+            host_units,
+            buffer_entries,
+            decision_entries,
+            operation_entries,
+            time_part,
+            por_part,
+        )
+        best = self._assemble(self.perms[0], *args)
+        for perm in self.perms[1:]:
+            # Valid only when every untagged pid reference is fixed —
+            # moving tagged slots around an unmoved untagged reference
+            # would relabel the state inconsistently.
+            if all(perm[a] == a for a in ambiguous):
+                candidate = self._assemble(perm, *args)
+                if candidate < best:
+                    best = candidate
+        if opaque:
+            best += b"!%d@%d;" % (self._run_serial, now)
+            if self.counters is not None:
+                self.counters.explore_opaque_tokens += 1
+        if self.counters is not None:
+            self.counters.explore_fp_nodes += self._encoder.nodes - self._nodes_synced
+            self._nodes_synced = self._encoder.nodes
+        return hashlib.sha256(best).hexdigest()

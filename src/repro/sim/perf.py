@@ -44,6 +44,26 @@ Counter semantics (see ``docs/PERF.md`` for the full story):
     alternatives suppressed by the partial-order reduction.
 ``explore_violations``
     Explored traces whose clause-level verdict broke a safety clause.
+``explore_replay_steps``
+    Choices served from a replayed prefix rather than freshly made —
+    the measurable redundancy of stateless replay-based search (see
+    ``docs/EXPLORER.md``).
+``explore_fp_nodes``
+    Value-tree nodes visited while encoding state fingerprints.  The
+    headline explorer metric: the incremental engine re-encodes only
+    what changed since the last tick, the naive engine re-encodes
+    everything; their ``explore_fp_nodes`` ratio is what the
+    explore-smoke CI bench gates on.
+``explore_fp_host_hits`` / ``explore_fp_host_misses``
+    Per-host canonical encodings reused from (respectively recomputed
+    into) the incremental fingerprint cache.
+``explore_opaque_tokens``
+    Fingerprints poisoned by an unencodable value: each one gets a
+    never-matching token, so dedup silently degrades toward plain DFS.
+    Nonzero values here explain a low dedup-hit rate.
+``explore_shards``
+    Subtree shards dispatched by the sharded search
+    (:mod:`repro.explore.shard`).
 """
 
 from __future__ import annotations
@@ -69,6 +89,12 @@ FIELDS = (
     "explore_dedup_hits",
     "explore_por_pruned",
     "explore_violations",
+    "explore_replay_steps",
+    "explore_fp_nodes",
+    "explore_fp_host_hits",
+    "explore_fp_host_misses",
+    "explore_opaque_tokens",
+    "explore_shards",
 )
 
 

@@ -1,0 +1,92 @@
+"""The fingerprint engines are interchangeable, byte for byte.
+
+The incremental engine's whole value proposition is that its caching
+is *invisible*: every dedup key it produces must equal — as a string —
+the key the uncached naive encoder produces for the same state, on
+every state of a real search, or the caches are lying about dirtiness
+somewhere.  ``explore_case(digest_log=...)`` collects every key in
+hook order, so equality of the logs pins both the per-state bytes and
+the search trajectory at once.
+
+The legacy (PR4) path hashes a different canonical form, so its keys
+are not comparable — for it the contract is outcome equality only.
+"""
+
+import pytest
+
+from repro.explore import ExploreCase, explore_case
+from repro.explore.state import _Encoder
+
+CASES = [
+    ExploreCase(
+        target="ct",
+        n=2,
+        depth=6,
+        assignment=(("susp", (1,)), ("susp", (0,))),
+    ),
+    ExploreCase(target="nbac", n=2, depth=5, seed=1),
+    ExploreCase(target="nbac", n=2, depth=5, crashes=((1, 2),)),
+    ExploreCase(target="register", n=2, depth=5),
+    ExploreCase(target="paxos", n=2, depth=6),
+]
+IDS = ["ct", "nbac-seed1", "nbac-crash", "register", "paxos"]
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_naive_and_incremental_digests_byte_identical(case):
+    naive_log, incr_log = [], []
+    naive = explore_case(case, fingerprint_mode="naive", digest_log=naive_log)
+    incr = explore_case(
+        case, fingerprint_mode="incremental", digest_log=incr_log
+    )
+    assert naive_log, "no digests collected — dedup never ran"
+    assert naive_log == incr_log
+    assert naive.runs == incr.runs and naive.states == incr.states
+    assert naive.dedup_hits == incr.dedup_hits
+    assert naive.decision_vectors == incr.decision_vectors
+    assert (
+        naive.counters.explore_opaque_tokens
+        == incr.counters.explore_opaque_tokens
+    )
+    # The caches must actually have saved encoder work, not just agreed.
+    assert incr.counters.explore_fp_nodes < naive.counters.explore_fp_nodes
+
+
+@pytest.mark.parametrize("case", CASES[:2], ids=IDS[:2])
+def test_legacy_mode_reaches_same_outcomes(case):
+    legacy = explore_case(case, fingerprint_mode="legacy")
+    incr = explore_case(case, fingerprint_mode="incremental")
+    assert legacy.complete and incr.complete
+    assert legacy.decision_vectors == incr.decision_vectors
+    assert {(v.violated, v.decisions) for v in legacy.violations} == {
+        (v.violated, v.decisions) for v in incr.violations
+    }
+
+
+class TestEncoder:
+    def test_deterministic_and_discriminating(self):
+        value = {"a": (1, 2), "b": {3, 4}, "c": None}
+        assert _Encoder(2).enc(value) == _Encoder(2).enc(value)
+        assert _Encoder(2).enc({"a": 1}) != _Encoder(2).enc({"a": 2})
+
+    def test_bool_is_not_an_ambiguous_int(self):
+        enc = _Encoder(2)
+        data = enc.enc((True, False, 1))
+        assert enc.ambig == {1}
+        # And True must not encode like 1 (True == 1 in Python).
+        assert _Encoder(2).enc((True,)) != _Encoder(2).enc((1,))
+        assert data
+
+    def test_out_of_range_ints_are_unambiguous(self):
+        enc = _Encoder(2)
+        enc.enc((5, -1, 0))
+        assert enc.ambig == {0}
+
+    def test_undecomposable_objects_flag_opaque(self):
+        enc = _Encoder(2)
+        enc.enc(object())
+        assert enc.opaque
+        # Opaque encodings are deterministic (the nonce that prevents
+        # merging is appended at assembly, keyed on run and tick) —
+        # that is what keeps naive and incremental byte-identical.
+        assert _Encoder(2).enc(object()) == _Encoder(2).enc(object())

@@ -67,3 +67,41 @@ def test_reductions_preserve_outcomes(case):
     assert results[(True, False)].por_pruned > 0
     # Dedup never fires while it is disabled.
     assert full.dedup_hits == 0 and full.states == 0
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        ExploreCase(
+            target="nbac",
+            n=2,
+            depth=6,
+            assignment=(
+                ("pf", ("os", 0, (0, 1)), "green"),
+                ("pf", ("os", 1, (0, 1)), "green"),
+            ),
+        ),
+        ExploreCase(target="hastycommit", n=3, depth=5, seed=1),
+    ],
+    ids=["nbac-identity-leaders", "hastycommit-n3-seed1"],
+)
+def test_symmetry_dimension_preserves_outcomes(case):
+    """The full matrix with the pid-symmetry reduction switched in.
+
+    One clean root with a nontrivial group at n=2 (identity leaders —
+    the default all-0-leader assignment pins pid 0) and one violating
+    root at n=3 (odd seed pins the No voter, leaving a 2-element
+    group), against the fully unreduced, symmetry-free baseline.  Both
+    engines are held to the same answer under full reduction.
+    """
+    baseline = _outcomes(explore_case(case, por=False, dedup=False))
+    assert baseline["vectors"], "unreduced search found no leaves"
+    for por, dedup in CONFIGS:
+        result = explore_case(case, por=por, dedup=dedup, symmetry="auto")
+        assert result.complete and result.symmetry
+        assert _outcomes(result) == baseline, (
+            f"symmetry over por={por} dedup={dedup} changed the outcomes"
+        )
+    reference = explore_case(case, engine="reference", symmetry="auto")
+    assert reference.complete
+    assert _outcomes(reference) == baseline

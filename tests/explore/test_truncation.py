@@ -1,0 +1,72 @@
+"""The ``complete`` flag tells the truth about truncation.
+
+A frontier consumer (``--require-complete``, the n=3 smoke gate) keys
+exhaustiveness claims on ``ExploreResult.complete``, so the flag must
+be ``False`` exactly when the search gave up with work still stacked —
+under ``max_runs``, and under ``stop_on_first_violation`` when (and
+only when) prefixes remained.  The boundary cases are the interesting
+ones: a budget that exactly covers the tree is not a truncation, and a
+first-violation exit whose stack had already drained is not either.
+"""
+
+import pytest
+
+from repro.explore import ExploreCase, explore_case
+
+CLEAN = ExploreCase(target="nbac", n=2, depth=5, seed=0)
+VIOLATING = ExploreCase(target="hastycommit", n=2, depth=6, seed=1)
+
+
+def test_exact_budget_is_not_truncation():
+    full = explore_case(CLEAN)
+    assert full.complete
+    again = explore_case(CLEAN, max_runs=full.runs)
+    assert again.complete
+    assert again.runs == full.runs
+    assert again.decision_vectors == full.decision_vectors
+
+
+@pytest.mark.parametrize("budget", [1, 5])
+def test_short_budget_truncates(budget):
+    result = explore_case(CLEAN, max_runs=budget)
+    assert result.runs == budget
+    assert not result.complete
+
+
+def test_stop_on_first_with_stacked_work_truncates():
+    result = explore_case(VIOLATING, stop_on_first_violation=True)
+    assert len(result.violations) == 1
+    assert not result.complete
+    # Sanity: the tree really has more beyond the first violation.
+    full = explore_case(VIOLATING)
+    assert full.complete and len(full.violations) > 1
+
+
+def test_stop_on_first_with_drained_stack_is_complete():
+    """The edge: the violation lands on the last stacked prefix.
+
+    Rooting the DFS at a violating leaf's full choice path replays
+    exactly that one run — no divergent positions, so no siblings are
+    pushed and the stack drains in the same iteration that fires the
+    violation.  Early exit never happened, so ``complete`` stays True.
+    """
+    witness = explore_case(VIOLATING, stop_on_first_violation=True)
+    choices = witness.violations[0].choices
+    result = explore_case(
+        VIOLATING,
+        stop_on_first_violation=True,
+        initial_stack=[choices],
+    )
+    assert result.runs == 1
+    assert len(result.violations) == 1
+    assert result.complete
+
+
+def test_max_runs_composes_with_stop_on_first():
+    # Whichever trips first — the budget or the violation — work is
+    # still stacked after one run of this tree, so it's a truncation.
+    result = explore_case(
+        VIOLATING, stop_on_first_violation=True, max_runs=1
+    )
+    assert result.runs == 1
+    assert not result.complete
