@@ -1,8 +1,9 @@
 # Convenience targets for the reproduction.
 
 PYTHON ?= python3
+STORE ?= .repro-store
 
-.PHONY: install test test-fast test-explore explore-smoke bench experiments examples all
+.PHONY: install test test-fast test-explore explore-smoke bench experiments examples store-report store-trend all
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -34,6 +35,16 @@ bench:
 
 experiments:
 	$(PYTHON) -m repro.experiments
+
+# The persistent campaign database (docs/STORE.md).  STORE overrides
+# the directory: `make store-report STORE=/tmp/db`.
+store-report:
+	PYTHONPATH=src $(PYTHON) -m repro.store --db $(STORE) summarise
+
+store-trend:
+	PYTHONPATH=src $(PYTHON) -m repro.store --db $(STORE) trend BENCH_sim || true
+	PYTHONPATH=src $(PYTHON) -m repro.store --db $(STORE) trend BENCH_explore || true
+	PYTHONPATH=src $(PYTHON) -m repro.store --db $(STORE) trend BENCH_runner || true
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -22,15 +22,25 @@ The wall-clock speedup of incremental over legacy is recorded in the
 report and only asserted under ``BENCH_EXPLORE_STRICT=1`` (CI sets
 it; laptops under load may not).  Run without pytest via
 ``python benchmarks/bench_explorer.py`` to write ``BENCH_explore.json``.
+
+The **sharded** section pins the store-backed visited-set exchange on
+the n=3 NBAC tree: sequential shards sharing fingerprints through a
+throwaway campaign database must visit **no more states** than the
+single-process walk (exact recovery), while the same split with
+isolated visited sets re-explores — ``dedup_recovered_states`` is the
+redundancy the exchange eliminated, gated ≥ 0 here and trended by
+``python -m repro.store check BENCH_explore``.
 """
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
 from repro.explore.cases import ExploreCase
 from repro.explore.engine import explore_case
+from repro.explore.shard import explore_case_sharded
 from repro.explore.symmetry import SYMMETRY_SAFE_TARGETS
 
 #: The pinned cases.  ct exercises deep detector-driven branching,
@@ -103,6 +113,62 @@ def run_case_bench(case) -> dict:
     }
 
 
+#: The sharded-exchange case and split depth (in recorded choices).
+SHARDED_CASE = CASES[3]
+SHARD_DEPTH = 4
+
+
+def run_sharded_bench(case=SHARDED_CASE, shard_depth=SHARD_DEPTH) -> dict:
+    """Pin the store-backed cross-shard dedup on one deep case.
+
+    Sequential shards (workers=1) exchanging fingerprints through the
+    store must match the single-process walk's outcomes and visit no
+    more states; isolated shards measure what the exchange recovers.
+    """
+    started = time.perf_counter()
+    single = explore_case(case)
+    single_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    isolated = explore_case_sharded(
+        case, shard_depth=shard_depth, workers=1
+    )
+    isolated_s = time.perf_counter() - started
+
+    with tempfile.TemporaryDirectory() as tmp:
+        started = time.perf_counter()
+        shared = explore_case_sharded(
+            case, shard_depth=shard_depth, workers=1, store=tmp
+        )
+        shared_s = time.perf_counter() - started
+
+    # The search itself is invariant under sharding, with or without
+    # the exchange...
+    for name, result in (("isolated", isolated), ("shared", shared)):
+        assert result.decision_vectors == single.decision_vectors, name
+        assert len(result.violations) == len(single.violations), name
+        assert result.complete and single.complete, name
+    # ...and sequential shards with the shared visited set never visit
+    # more states than the single-process walk.
+    assert shared.states <= single.states, (shared.states, single.states)
+    recovered = isolated.states - shared.states
+    assert recovered >= 0, (isolated.states, shared.states)
+    return {
+        "case": case.describe(),
+        "shard_depth": shard_depth,
+        "single": {"states": single.states, "runs": single.runs,
+                   "elapsed_seconds": round(single_s, 3)},
+        "isolated": {"states": isolated.states, "runs": isolated.runs,
+                     "shards": isolated.counters.explore_shards,
+                     "elapsed_seconds": round(isolated_s, 3)},
+        "shared": {"states": shared.states, "runs": shared.runs,
+                   "shards": shared.counters.explore_shards,
+                   "elapsed_seconds": round(shared_s, 3)},
+        "dedup_recovered_states": recovered,
+        "dedup_recovered_runs": isolated.runs - shared.runs,
+    }
+
+
 def run_benchmark(report_path: str = "BENCH_explore.json") -> dict:
     cases = [run_case_bench(case) for case in CASES]
     speedups = [c["wall_speedup_incremental_vs_legacy"] for c in cases]
@@ -110,6 +176,7 @@ def run_benchmark(report_path: str = "BENCH_explore.json") -> dict:
         "min_fp_work_reduction": min(c["fp_work_reduction"] for c in cases),
         "min_wall_speedup": min(speedups),
         "cases": cases,
+        "sharded": run_sharded_bench(),
     }
     if os.environ.get("BENCH_EXPLORE_STRICT"):
         assert report["min_wall_speedup"] >= MIN_WALL_SPEEDUP, report

@@ -35,6 +35,54 @@ EXPLORE_FORMAT = "repro-explore-artifact/1"
 _KNOWN_FORMATS = frozenset({FORMAT, EXPLORE_FORMAT})
 
 
+def parse_format(value: Any) -> tuple:
+    """``(family, version)`` out of a ``family/N`` format string.
+
+    Returns ``(None, None)`` for anything that is not shaped like an
+    artifact header at all — the caller distinguishes "not ours" from
+    "ours, but a version this code does not read".
+    """
+    if not isinstance(value, str) or "/" not in value:
+        return None, None
+    family, _, version = value.rpartition("/")
+    if not family:
+        return None, None
+    try:
+        return family, int(version)
+    except ValueError:
+        return None, None
+
+
+def check_format(
+    path: Path,
+    document: Dict[str, Any],
+    known: frozenset,
+    noun: str = "repro artifact",
+) -> None:
+    """Refuse anything but a known format, with the right diagnosis.
+
+    A recognised family at an unsupported version gets a version error
+    (the file is real but written by other code — don't guess at its
+    fields); everything else is simply not an artifact.
+    """
+    value = document.get("format")
+    if value in known:
+        return
+    family, version = parse_format(value)
+    supported = {parse_format(f)[0]: parse_format(f)[1] for f in known}
+    if family in supported:
+        raise ValueError(
+            f"{path}: {family} version {version} is not supported; this "
+            f"code reads version {supported[family]}.  Re-generate the "
+            f"artifact with the current tree (or replay it with the tree "
+            f"that wrote it)."
+        )
+    raise ValueError(
+        f"{path} is not a{'n' if noun[0] in 'aeiou' else ''} {noun} "
+        f"(format {value!r}, want one of {sorted(known)})"
+    )
+
+
 def case_to_dict(case: FuzzCase) -> Dict[str, Any]:
     return {
         "target": case.target,
@@ -86,12 +134,7 @@ def write_artifact(
 def load_artifact(path: Path) -> Dict[str, Any]:
     """Load any repro violation artifact (chaos or explore format)."""
     document = json.loads(Path(path).read_text())
-    if document.get("format") not in _KNOWN_FORMATS:
-        raise ValueError(
-            f"{path} is not a repro artifact "
-            f"(format {document.get('format')!r}, "
-            f"want one of {sorted(_KNOWN_FORMATS)})"
-        )
+    check_format(Path(path), document, _KNOWN_FORMATS)
     return document
 
 

@@ -222,6 +222,7 @@ def run_fuzz(
     out_dir: Optional[Path] = None,
     shrink: bool = True,
     shrink_budget: int = 48,
+    store: Any = None,
 ) -> FuzzReport:
     """One fuzz campaign; see the module docstring for the shape."""
     unknown = [t for t in targets if t not in TARGETS]
@@ -253,7 +254,7 @@ def run_fuzz(
                 path = Path(out_dir) / (
                     f"chaos-{case.target}-seed{case.seed}.json"
                 )
-                write_artifact(
+                document = write_artifact(
                     path,
                     final,
                     violated,
@@ -261,6 +262,11 @@ def run_fuzz(
                     violation.shrink_stats,
                 )
                 violation.artifact_path = path
+                if store is not None:
+                    # Witness also lands in the campaign database, so
+                    # `repro.store summarise` counts it alongside the
+                    # explorer's.
+                    store.record_witness(document)
             violations.append(violation)
         elif liveness_missed(case, summary.metrics):
             liveness_misses.append(case)
@@ -302,6 +308,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--no-shrink", action="store_true")
     parser.add_argument(
+        "--store", type=Path, default=None,
+        help="campaign database to file violation witnesses into "
+        "(directory or .sqlite path; see docs/STORE.md)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="small fixed budget for CI (overrides rounds/horizon)",
     )
@@ -324,6 +335,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     rounds, horizon = args.rounds, args.horizon
     if args.smoke:
         rounds, horizon = 2, 20_000
+    store = None
+    if args.store is not None:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
     report = run_fuzz(
         targets=tuple(t.strip() for t in args.targets.split(",") if t.strip()),
         rounds=rounds,
@@ -334,7 +350,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         timeout=args.timeout,
         out_dir=args.out,
         shrink=not args.no_shrink,
+        store=store,
     )
+    if store is not None:
+        store.close()
     print(report.render())
     if not report.safe:
         print("SAFETY VIOLATIONS FOUND", file=sys.stderr)

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments --seed 7 E4      # different seed
     python -m repro.experiments --jobs 4 E1 E3   # 4 worker processes
     python -m repro.experiments --cache .cache   # reuse cached runs
+    python -m repro.experiments --cache .repro-store \\
+        --cache-backend sqlite                   # persistent campaign DB
     python -m repro.experiments --fail-fast      # stop at first mismatch
     python -m repro.experiments --profile E1     # dump hot-path counters
 
@@ -25,6 +27,7 @@ import time
 
 from repro.experiments.common import all_experiments
 from repro.runner import configure, profile
+from repro.runner.config import CACHE_BACKENDS
 
 
 def main(argv=None) -> int:
@@ -54,6 +57,17 @@ def main(argv=None) -> int:
         help="cache run results on disk (optional directory)",
     )
     parser.add_argument(
+        "--cache-backend",
+        choices=CACHE_BACKENDS,
+        default=None,
+        metavar="NAME",
+        help=(
+            "what --cache resolves to: 'json' per-entry files or "
+            "'sqlite', the persistent campaign database "
+            "(docs/STORE.md; default json or $REPRO_RUNNER_CACHE_BACKEND)"
+        ),
+    )
+    parser.add_argument(
         "--fail-fast",
         action="store_true",
         help="stop at the first experiment whose verdict mismatches",
@@ -74,7 +88,11 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}; have {list(registry)}")
 
-    configure(workers=args.jobs, cache=args.cache)
+    configure(
+        workers=args.jobs,
+        cache=args.cache,
+        cache_backend=args.cache_backend,
+    )
     if args.profile:
         profile.enable()
 

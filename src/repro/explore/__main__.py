@@ -40,6 +40,7 @@ from typing import Any, Dict, List
 
 from repro.chaos.targets import CLEAN_TARGETS, MUTANT_TARGETS, TARGETS
 from repro.explore.cases import ENGINES, case_from_dict
+from repro.runner.config import CACHE_BACKENDS, configure
 from repro.explore.engine import FINGERPRINT_MODES, Violation
 from repro.explore.frontier import (
     SMOKE_DEPTHS,
@@ -94,6 +95,25 @@ def _parse_args(argv) -> argparse.Namespace:
         "--cache",
         default=None,
         help="campaign cache directory for finished subtrees (default off)",
+    )
+    parser.add_argument(
+        "--cache-backend",
+        choices=CACHE_BACKENDS,
+        default=None,
+        help=(
+            "what --cache resolves to: per-entry JSON files or the "
+            "persistent SQLite store (default: json, or "
+            "$REPRO_RUNNER_CACHE_BACKEND)"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help=(
+            "campaign database to file violation witnesses into "
+            "(directory or .sqlite path; see docs/STORE.md)"
+        ),
     )
     parser.add_argument(
         "--max-runs",
@@ -163,9 +183,12 @@ def _targets(name: str) -> List[str]:
 
 
 def _emit_artifacts(
-    summaries: List[Dict[str, Any]], out: Path
+    summaries: List[Dict[str, Any]],
+    out: Path = None,
+    store: Any = None,
 ) -> List[Path]:
-    from repro.explore.artifact import write_artifact
+    """Shrink every violation; file it to ``out`` and/or ``store``."""
+    from repro.explore.artifact import build_document, write_artifact
     from repro.explore.shrink import shrink_violation
 
     written = []
@@ -182,25 +205,44 @@ def _emit_artifacts(
                 por=summary["por"],
             )
             case, choices, stats = shrink_violation(violation)
-            path = out / (
-                f"{case.target}-{violation.violated[0]}-{index}.json"
-            )
-            write_artifact(
-                path,
-                case,
-                choices,
-                violation.violated,
-                engine=violation.engine,
-                por=violation.por,
-                shrink_stats=stats,
-            )
-            written.append(path)
+            if out is not None:
+                path = out / (
+                    f"{case.target}-{violation.violated[0]}-{index}.json"
+                )
+                document = write_artifact(
+                    path,
+                    case,
+                    choices,
+                    violation.violated,
+                    engine=violation.engine,
+                    por=violation.por,
+                    shrink_stats=stats,
+                )
+                written.append(path)
+            else:
+                document = build_document(
+                    case,
+                    choices,
+                    violation.violated,
+                    engine=violation.engine,
+                    por=violation.por,
+                    shrink_stats=stats,
+                )
+            if store is not None:
+                store.record_witness(document)
     return written
 
 
 def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
     engines = list(ENGINES) if args.engine == "both" else [args.engine]
+    if args.cache_backend is not None:
+        configure(cache_backend=args.cache_backend)
+    store = None
+    if args.store is not None:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
     failures = 0
     for target in _targets(args.target):
         if args.depth is not None:
@@ -276,9 +318,13 @@ def main(argv=None) -> int:
                     else ""
                 )
             )
-            if args.out is not None and found:
-                for path in _emit_artifacts(summaries, args.out):
+            if (args.out is not None or store is not None) and found:
+                for path in _emit_artifacts(summaries, args.out, store):
                     print(f"  wrote {path}")
+                if store is not None:
+                    print(f"  filed witnesses into {store.path}")
+    if store is not None:
+        store.close()
     return 1 if failures else 0
 
 

@@ -67,8 +67,7 @@ def judge(
     }
 
 
-def write_artifact(
-    path: Path,
+def build_document(
     case: ExploreCase,
     choices: Sequence[int],
     violated: Sequence[str],
@@ -76,7 +75,7 @@ def write_artifact(
     por: bool = True,
     shrink_stats: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Serialise one violating schedule; returns the written document.
+    """One violating schedule as its artifact document (not yet on disk).
 
     The expected digest/decisions are recomputed by replaying here, so
     the artifact always records what the committed code actually does.
@@ -88,7 +87,7 @@ def write_artifact(
             f"artifact would not reproduce clauses {sorted(missing)}; "
             f"replay violated {verdict['violated']}"
         )
-    document = {
+    return {
         "format": EXPLORE_FORMAT,
         "case": case_to_dict(case),
         "engine": engine,
@@ -102,6 +101,22 @@ def write_artifact(
         },
         "shrink": shrink_stats or {},
     }
+
+
+def write_artifact(
+    path: Path,
+    case: ExploreCase,
+    choices: Sequence[int],
+    violated: Sequence[str],
+    engine: str = "indexed",
+    por: bool = True,
+    shrink_stats: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Serialise one violating schedule; returns the written document."""
+    document = build_document(
+        case, choices, violated, engine=engine, por=por,
+        shrink_stats=shrink_stats,
+    )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
@@ -109,12 +124,14 @@ def write_artifact(
 
 
 def load_artifact(path: Path) -> Dict[str, Any]:
+    """Load one explore artifact; wrong versions refused with a diagnosis."""
+    from repro.chaos.artifact import check_format
+
     document = json.loads(Path(path).read_text())
-    if document.get("format") != EXPLORE_FORMAT:
-        raise ValueError(
-            f"{path} is not an explore artifact "
-            f"(format {document.get('format')!r}, want {EXPLORE_FORMAT!r})"
-        )
+    check_format(
+        Path(path), document, frozenset({EXPLORE_FORMAT}),
+        noun="explore artifact",
+    )
     return document
 
 

@@ -197,6 +197,7 @@ def explore_case(
     choice_limit: Optional[int] = None,
     shard_roots: Optional[List[Tuple[int, ...]]] = None,
     digest_log: Optional[List[str]] = None,
+    exchange: Optional[Any] = None,
 ) -> ExploreResult:
     """Exhaust the bounded choice tree of ``case`` on ``engine``.
 
@@ -216,6 +217,14 @@ def explore_case(
     protocol (:mod:`repro.explore.shard`).  ``digest_log``, when given,
     collects every dedup key in hook order (the fingerprint-equivalence
     suite compares these across modes byte-for-byte).
+
+    ``exchange`` (a :class:`repro.store.exchange.FingerprintExchange`)
+    shares the visited set across shard processes through the campaign
+    database: the walk starts from ``exchange.visited`` — states other
+    shards already exhausted dedup-halt here exactly like locally
+    recorded ones — and every visited-set write is noted for batched
+    publication.  ``states`` then counts only newly recorded states, so
+    summed shard counts measure distinct coverage.
     """
     if fingerprint_mode not in FINGERPRINT_MODES:
         raise ValueError(
@@ -246,7 +255,7 @@ def explore_case(
     crash_times = {t for _, t in case.crashes}
     first_crash = min(crash_times) if crash_times else None
     last_crash = max(crash_times) if crash_times else None
-    visited: Dict[str, int] = {}
+    visited: Dict[str, int] = exchange.visited if exchange is not None else {}
     stack: List[Tuple[int, ...]] = (
         [tuple(p) for p in initial_stack] if initial_stack is not None else [()]
     )
@@ -270,7 +279,7 @@ def explore_case(
             visited, crash_times, first_crash, last_crash, result,
             fp_engine, choice_limit,
             prev_digests if reuse_digests else None, shared, run_digests,
-            digest_log,
+            digest_log, exchange,
         )
         if reuse_digests:
             prev_digests = run_digests
@@ -329,6 +338,8 @@ def explore_case(
                 if stack:
                     result.complete = False
                 break
+    if exchange is not None:
+        exchange.sync()
     return result
 
 
@@ -350,6 +361,7 @@ def _run_path(
     shared: int,
     run_digests: List[Tuple[int, str]],
     digest_log: Optional[List[str]],
+    exchange: Optional[Any] = None,
 ):
     """One controlled run: replay ``prefix``, default onward, observe.
 
@@ -421,6 +433,8 @@ def _run_path(
                     result.counters.explore_states += 1
                 if seen is None or seen < remaining:
                     visited[key] = remaining
+                    if exchange is not None:
+                        exchange.note(key, remaining)
             elif seen is not None and seen >= remaining:
                 result.dedup_hits += 1
                 result.counters.explore_dedup_hits += 1
@@ -430,6 +444,8 @@ def _run_path(
                     result.states += 1
                     result.counters.explore_states += 1
                 visited[key] = remaining
+                if exchange is not None:
+                    exchange.note(key, remaining)
         if (
             choice_limit is not None
             and logged >= choice_limit

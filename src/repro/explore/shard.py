@@ -22,23 +22,37 @@ cells:
 3. **Merge** (:func:`merge_summaries`): stats are summed, decision
    vectors unioned, violations concatenated, ``complete`` AND-ed.
 
-**Why per-shard visited sets stay sound.**  Each shard deduplicates
+**Cross-shard dedup.**  Without a store, each shard deduplicates
 against states recorded inside its own subtree only.  A state reached
 in shard A that was already explored in shard B is *not* merged — the
 walk degrades toward plain DFS across the shard boundary, re-exploring
-work but never skipping it.  Conversely the splitter's own dedup may
-drop a would-be shard root whose cutoff state an earlier splitter run
-already recorded with at least as many ticks remaining — sound for the
-same reason dedup is always sound: the recording path's subtree (be it
-splitter-inline or inside the earlier shard) covers the dropped one's
-continuations.  Shard roots can sit slightly deeper than the nominal
-cutoff: a popped prefix that already exceeds the limit halts at its
-first post-replay tick, never mid-replay, so the deferred subtree is
-re-entered exactly where the splitter left it.
+work but never skipping it.  Passing ``store=`` to
+:func:`explore_case_sharded` recovers the lost dedup: the splitter and
+every shard share one visited set through the campaign database's
+``fingerprints`` table (:class:`repro.store.exchange
+.FingerprintExchange`) — each shard seeds its visited dict from the
+table, publishes new states in batches, and pulls the delta other
+shards inserted since its last sync.  With sequential shards
+(``workers=1``) the recovery is exact: the merged walk visits no more
+states than the single-process one (``tests/explore/test_shared_dedup
+.py`` and the BENCH_explore sharded gate pin this); parallel shards
+may re-explore states discovered between syncs — redundancy, never
+lost coverage.
+
+The splitter's own dedup may drop a would-be shard root whose cutoff
+state an earlier splitter run already recorded with at least as many
+ticks remaining — sound for the same reason dedup is always sound: the
+recording path's subtree (be it splitter-inline or inside the earlier
+shard) covers the dropped one's continuations.  Shard roots can sit
+slightly deeper than the nominal cutoff: a popped prefix that already
+exceeds the limit halts at its first post-replay tick, never
+mid-replay, so the deferred subtree is re-entered exactly where the
+splitter left it.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.explore.cases import ExploreCase, case_from_dict, case_to_dict
@@ -56,6 +70,7 @@ def split_case(
     choice_limit: int = 6,
     symmetry: Any = None,
     fingerprint_mode: str = "incremental",
+    exchange: Any = None,
 ) -> Tuple[ExploreResult, List[Tuple[int, ...]]]:
     """Phase 1: judge the shallow leaves, collect the shard roots."""
     shard_roots: List[Tuple[int, ...]] = []
@@ -68,6 +83,7 @@ def split_case(
         fingerprint_mode=fingerprint_mode,
         choice_limit=choice_limit,
         shard_roots=shard_roots,
+        exchange=exchange,
     )
     return shallow, shard_roots
 
@@ -80,17 +96,33 @@ def explore_shard(
     dedup: bool = True,
     symmetry: Any = None,
     fingerprint_mode: str = "incremental",
+    store_path: Optional[str] = None,
+    scope: Optional[str] = None,
+    exchange_batch: int = 256,
 ) -> Dict[str, Any]:
-    """One campaign cell: exhaust one shard subtree, return its summary."""
-    result = explore_case(
-        case_from_dict(case_dict),
-        engine=engine,
-        por=por,
-        dedup=dedup,
-        symmetry=symmetry,
-        fingerprint_mode=fingerprint_mode,
-        initial_stack=[tuple(prefix)],
-    )
+    """One campaign cell: exhaust one shard subtree, return its summary.
+
+    ``store_path``/``scope`` (both or neither) join the shard to the
+    shared visited set: states other shards published are dedup hits
+    here, and this shard's new states are published back.
+    """
+    from repro.store.exchange import open_exchange
+
+    exchange = open_exchange(store_path, scope, batch=exchange_batch)
+    try:
+        result = explore_case(
+            case_from_dict(case_dict),
+            engine=engine,
+            por=por,
+            dedup=dedup,
+            symmetry=symmetry,
+            fingerprint_mode=fingerprint_mode,
+            initial_stack=[tuple(prefix)],
+            exchange=exchange,
+        )
+    finally:
+        if exchange is not None:
+            exchange.store.close()
     return result_to_dict(result)
 
 
@@ -180,6 +212,8 @@ def explore_case_sharded(
     cache: Any = False,
     symmetry: Any = None,
     fingerprint_mode: str = "incremental",
+    store: Any = None,
+    exchange_batch: int = 256,
 ) -> ExploreResult:
     """Exhaust one case with its subtrees fanned out as campaign cells.
 
@@ -188,41 +222,97 @@ def explore_case_sharded(
     decision vectors, violations and completeness; ``runs``/``states``
     may exceed the serial walk's by the cross-shard redundancy the
     module doc describes.
+
+    ``store`` (a :class:`~repro.store.db.ResultStore`, a store
+    directory, or a ``.sqlite`` path) turns on the shared visited set:
+    splitter and shards exchange fingerprints through the store, and
+    with ``workers=1`` the merged ``states`` never exceeds the
+    single-process walk's.  The exchange scope is salted with a fresh
+    per-invocation token and its rows are cleared once the search
+    merges — the shared set coordinates shards *within* one search; a
+    later independent search must not dedup against a finished one
+    (it would skip subtrees whose results live in the earlier run's
+    report, not its own).
     """
-    shallow, shard_roots = split_case(
-        case,
-        engine=engine,
-        por=por,
-        dedup=dedup,
-        choice_limit=shard_depth,
-        symmetry=symmetry,
-        fingerprint_mode=fingerprint_mode,
-    )
-    base = result_to_dict(shallow)
-    if not shard_roots:
-        merged = merge_summaries(base, [])
-        return _result_from_summary(case, merged)
-    jobs = [
-        fn_spec(
-            call(
-                explore_shard,
-                case_to_dict(case),
-                list(root),
-                engine=engine,
-                por=por,
-                dedup=dedup,
-                symmetry=symmetry,
-                fingerprint_mode=fingerprint_mode,
+    store_path: Optional[str] = None
+    scope: Optional[str] = None
+    splitter_exchange = None
+    opened = None
+    owned = False
+    if store is not None:
+        from repro.store.db import ResultStore
+        from repro.store.exchange import FingerprintExchange, exchange_scope
+
+        owned = not isinstance(store, ResultStore)
+        opened = ResultStore(store) if owned else store
+        store_path = str(opened.path)
+        scope = "{}:{}".format(
+            exchange_scope(
+                case_to_dict(case), engine, por, dedup, symmetry,
+                fingerprint_mode,
             ),
-            target=case.target,
-            shard=index,
-            engine=engine,
+            os.urandom(8).hex(),
         )
-        for index, root in enumerate(shard_roots)
-    ]
-    campaign = Campaign(jobs, name="explore-shards")
-    outcome = campaign.run(workers=workers, cache=cache)
-    if not outcome.ok:
-        raise RuntimeError(f"shard cell failed: {outcome.failures[0]}")
-    merged = merge_summaries(base, [s.value for s in outcome.summaries])
-    return _result_from_summary(case, merged)
+        splitter_exchange = FingerprintExchange(
+            opened, scope, batch=exchange_batch
+        )
+    try:
+        shallow, shard_roots = split_case(
+            case,
+            engine=engine,
+            por=por,
+            dedup=dedup,
+            choice_limit=shard_depth,
+            symmetry=symmetry,
+            fingerprint_mode=fingerprint_mode,
+            exchange=splitter_exchange,
+        )
+        if splitter_exchange is not None:
+            # The splitter's states are committed before any shard seeds
+            # its visited set (explore_case's final sync already
+            # published; flush covers any other buffered writers).
+            splitter_exchange.store.flush()
+        base = result_to_dict(shallow)
+        if not shard_roots:
+            merged = merge_summaries(base, [])
+            return _result_from_summary(case, merged)
+        extra: Dict[str, Any] = {}
+        if store_path is not None:
+            # Only present when a store is in play, so cache fingerprints
+            # of store-less sharded runs are unchanged from earlier
+            # releases.
+            extra = {
+                "store_path": store_path,
+                "scope": scope,
+                "exchange_batch": exchange_batch,
+            }
+        jobs = [
+            fn_spec(
+                call(
+                    explore_shard,
+                    case_to_dict(case),
+                    list(root),
+                    engine=engine,
+                    por=por,
+                    dedup=dedup,
+                    symmetry=symmetry,
+                    fingerprint_mode=fingerprint_mode,
+                    **extra,
+                ),
+                target=case.target,
+                shard=index,
+                engine=engine,
+            )
+            for index, root in enumerate(shard_roots)
+        ]
+        campaign = Campaign(jobs, name="explore-shards")
+        outcome = campaign.run(workers=workers, cache=cache)
+        if not outcome.ok:
+            raise RuntimeError(f"shard cell failed: {outcome.failures[0]}")
+        merged = merge_summaries(base, [s.value for s in outcome.summaries])
+        return _result_from_summary(case, merged)
+    finally:
+        if opened is not None:
+            opened.clear_fingerprints(scope)
+            if owned:
+                opened.close()

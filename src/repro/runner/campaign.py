@@ -12,6 +12,7 @@ campaign's cells regardless of executor or cache state.
 from __future__ import annotations
 
 import itertools
+import logging
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
@@ -23,6 +24,8 @@ from repro.runner.spec import FnSpec, RunSpec
 from repro.runner.summary import JobFailure
 
 Job = Union[RunSpec, FnSpec]
+
+logger = logging.getLogger("repro.runner")
 
 
 class CampaignResult:
@@ -62,6 +65,18 @@ class CampaignResult:
     def ok(self) -> bool:
         """True iff every cell produced a real summary."""
         return not self.failures
+
+    @property
+    def cache_corruption(self) -> int:
+        """How many corrupt/unreadable cache entries were discarded.
+
+        A torn entry is recoverable (the cell recomputes) but worth
+        surfacing: repeated corruption means a sick disk or a writer
+        being killed mid-batch, not bad luck.
+        """
+        return sum(
+            1 for e in self.cache_events if e.get("kind") == "cache-corrupt"
+        )
 
     def __iter__(self):
         return iter(self.summaries)
@@ -203,6 +218,19 @@ class Campaign:
             incidents=list(getattr(executor, "incidents", [])),
             cache_events=store.drain_events() if store is not None else [],
         )
+        if result.cache_corruption:
+            logger.warning(
+                "campaign %s: discarded %d corrupt cache entr%s (recomputed; "
+                "see CampaignResult.cache_events)",
+                self.name or "<unnamed>",
+                result.cache_corruption,
+                "y" if result.cache_corruption == 1 else "ies",
+            )
+        if store is not None and hasattr(store, "record_campaign"):
+            # Store-backed caches file every execution, making resume
+            # auditable: `repro.store summarise` shows the re-run with
+            # hits == cells and executed == 0.
+            store.record_campaign(result, self.name, keys)
         if profile.is_enabled():
             profile.record(self.name, result)
         return result

@@ -15,6 +15,9 @@ Environment variables:
 * ``REPRO_RUNNER_JOBS`` — worker count (``0`` = all cores, ``1`` = serial);
 * ``REPRO_RUNNER_CACHE`` — ``off``/``0`` disables, ``on``/``1`` uses the
   default directory, anything else is used as the cache directory path;
+* ``REPRO_RUNNER_CACHE_BACKEND`` — ``json`` (the per-entry pickle-file
+  store, the default) or ``sqlite`` (the persistent campaign database,
+  :mod:`repro.store`);
 * ``REPRO_RUNNER_TIMEOUT`` — per-job wall-clock budget in seconds
   (``0`` or unset = no limit).
 """
@@ -22,12 +25,16 @@ Environment variables:
 from __future__ import annotations
 
 import os
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from repro.runner.cache import ResultCache
 
+#: Recognised cache backends (the ``--cache-backend`` choices).
+CACHE_BACKENDS = ("json", "sqlite")
+
 _workers: Optional[int] = None
-_cache: Optional[Union[bool, ResultCache]] = None
+_cache: Optional[Union[bool, str, Any]] = None
+_cache_backend: Optional[str] = None
 _timeout: Optional[float] = None
 
 
@@ -35,25 +42,33 @@ def configure(
     workers: Optional[int] = None,
     cache: Optional[Union[bool, str, ResultCache]] = None,
     timeout: Optional[float] = None,
+    cache_backend: Optional[str] = None,
 ) -> None:
     """Set process-wide defaults (CLI entry points call this once)."""
-    global _workers, _cache, _timeout
+    global _workers, _cache, _cache_backend, _timeout
+    if cache_backend is not None:
+        if cache_backend not in CACHE_BACKENDS:
+            raise ValueError(
+                f"unknown cache backend {cache_backend!r}; "
+                f"have {CACHE_BACKENDS}"
+            )
+        _cache_backend = cache_backend
     if workers is not None:
         _workers = workers
     if cache is not None:
-        if isinstance(cache, str):
-            _cache = ResultCache(cache)
-        else:
-            _cache = cache
+        # Strings/bools stay unresolved until resolve_cache so a later
+        # cache_backend choice still applies to them.
+        _cache = cache
     if timeout is not None:
         _timeout = timeout
 
 
 def reset() -> None:
     """Back to built-in defaults (used by tests)."""
-    global _workers, _cache, _timeout
+    global _workers, _cache, _cache_backend, _timeout
     _workers = None
     _cache = None
+    _cache_backend = None
     _timeout = None
 
 
@@ -89,9 +104,42 @@ def resolve_timeout(timeout: Optional[float] = None) -> Optional[float]:
     return timeout
 
 
+def resolve_cache_backend(backend: Optional[str] = None) -> str:
+    """Which cache implementation a bare directory/True resolves to."""
+    if backend is None:
+        backend = _cache_backend
+    if backend is None:
+        backend = os.environ.get("REPRO_RUNNER_CACHE_BACKEND")
+    if backend is None:
+        return "json"
+    backend = backend.strip().lower()
+    if backend not in CACHE_BACKENDS:
+        raise ValueError(
+            f"unknown cache backend {backend!r}; have {CACHE_BACKENDS}"
+        )
+    return backend
+
+
+def _build_cache(root: Optional[str], backend: Optional[str]):
+    if resolve_cache_backend(backend) == "sqlite":
+        from repro.store.cache import StoreResultCache
+
+        return StoreResultCache(root)
+    return ResultCache(root)
+
+
 def resolve_cache(
     cache: Optional[Union[bool, str, ResultCache]] = None,
-) -> Optional[ResultCache]:
+    backend: Optional[str] = None,
+):
+    """The cache object a campaign should consult, or None.
+
+    A ready-made cache object (:class:`ResultCache` or
+    :class:`~repro.store.cache.StoreResultCache`) passes through
+    untouched; ``True``/a directory string is built with the resolved
+    backend (``backend`` argument → ``configure(cache_backend=...)`` →
+    ``$REPRO_RUNNER_CACHE_BACKEND`` → ``json``).
+    """
     if cache is None:
         cache = _cache
     if cache is None:
@@ -101,13 +149,13 @@ def resolve_cache(
             if lowered in ("off", "0", "false", "no", ""):
                 return None
             if lowered in ("on", "1", "true", "yes"):
-                return ResultCache()
-            return ResultCache(env)
+                return _build_cache(None, backend)
+            return _build_cache(env, backend)
         return None
     if cache is False:
         return None
     if cache is True:
-        return ResultCache()
+        return _build_cache(None, backend)
     if isinstance(cache, str):
-        return ResultCache(cache)
+        return _build_cache(cache, backend)
     return cache

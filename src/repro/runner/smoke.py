@@ -7,10 +7,17 @@ the cheapest whole-stack check that the spec layer, the process pool,
 and the simulator still produce byte-identical results.  CI calls this
 after the tier-1 suite; it is also handy after local surgery on the
 runner or the sim loop.
+
+``--incremental DIR`` instead exercises the persistent store end to
+end: the grid runs once against a SQLite-backed cache in ``DIR``, then
+again — the second pass must execute **zero** cells (every one a cache
+hit), which is what CI's incremental re-verify job asserts after
+restoring the store from its cache.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -34,6 +41,41 @@ def build_campaign() -> Campaign:
         label=("(Omega,Sigma)", "Omega+majorities", "CT <>S [4]", "CT S [4]"),
     )
     return e01 + e03
+
+
+def incremental(store_dir: str, workers: int = 2) -> int:
+    """Run the grid twice against the SQLite cache; pass 2 must hit 100%.
+
+    Returns 0 when the warm pass executed nothing and every summary's
+    digest matches the cold pass — the store round-tripped the whole
+    grid.  Tolerant of a pre-populated store (CI restores it from
+    cache): the cold pass may itself be fully cached.
+    """
+    from repro.store.cache import StoreResultCache
+
+    campaign = build_campaign()
+    print(
+        f"incremental smoke: {len(campaign)} runs against "
+        f"{store_dir!r} (sqlite backend)"
+    )
+    cold = campaign.run(workers=workers, cache=StoreResultCache(store_dir))
+    print(f"  pass 1: {cold.hits} cached, {cold.executed} executed")
+    warm = campaign.run(workers=workers, cache=StoreResultCache(store_dir))
+    print(f"  pass 2: {warm.hits} cached, {warm.executed} executed")
+    if not cold.ok or not warm.ok:
+        print("FAIL: campaign cells failed")
+        return 1
+    if warm.executed != 0 or warm.hits != len(campaign):
+        print(
+            f"FAIL: warm pass should be fully cached, executed "
+            f"{warm.executed} of {len(campaign)}"
+        )
+        return 1
+    if [s.stable_digest() for s in cold] != [s.stable_digest() for s in warm]:
+        print("FAIL: cached summaries diverged from computed ones")
+        return 1
+    print(f"ok: warm pass replayed {warm.hits} cells from the store")
+    return 0
 
 
 def main(workers: int = 2) -> int:
@@ -68,5 +110,21 @@ def main(workers: int = 2) -> int:
     return 0
 
 
+def _cli(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.runner.smoke")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--incremental",
+        metavar="DIR",
+        default=None,
+        help="store directory: run the grid twice through the SQLite "
+        "cache and assert the second pass executes nothing",
+    )
+    args = parser.parse_args(argv)
+    if args.incremental is not None:
+        return incremental(args.incremental, workers=args.workers)
+    return main(workers=args.workers)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(_cli())

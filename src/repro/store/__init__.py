@@ -1,0 +1,57 @@
+"""The persistent result store: campaigns as a queryable artifact.
+
+One WAL-mode SQLite file accumulates everything the system computes —
+run/fn summaries (doubling as the campaign cache's SQLite backend),
+campaign executions, the explorer's cross-shard visited-set
+fingerprints, chaos/explore violation witnesses, and BENCH history —
+so "millions of runs" survive the process that produced them and
+resume, dedup and trend queries become one ``SELECT``.
+
+* :class:`ResultStore` — the file, its single write connection with
+  buffered batch inserts, and read-only query connections
+  (:mod:`repro.store.db`);
+* :class:`StoreResultCache` — the campaign-cache adapter behind
+  ``--cache-backend sqlite`` (:mod:`repro.store.cache`);
+* :class:`FingerprintExchange` — batched cross-shard visited-set
+  exchange for the sharded explorer (:mod:`repro.store.exchange`);
+* :mod:`repro.store.bench` — BENCH history plus the perf-trend gate;
+* ``python -m repro.store`` — ``summarise`` / ``show`` / ``trend`` /
+  ``check`` / ``--migrate`` (:mod:`repro.store.__main__`).
+
+Schema and versioning live in :mod:`repro.store.schema`: every row
+carries a format version, the file carries a schema version, and a
+mismatch is refused with a clear error instead of silently misread.
+See ``docs/STORE.md`` for the tour.
+"""
+
+from repro.store.cache import StoreResultCache
+from repro.store.db import (
+    BufferedWriter,
+    CorruptPayload,
+    DEFAULT_STORE_DIR,
+    ResultStore,
+    StoreError,
+    decode_payload,
+    encode_payload,
+    resolve_store_path,
+)
+from repro.store.exchange import FingerprintExchange, exchange_scope, open_exchange
+from repro.store.schema import ROW_FORMAT, SCHEMA_VERSION, SchemaVersionError
+
+__all__ = [
+    "BufferedWriter",
+    "CorruptPayload",
+    "DEFAULT_STORE_DIR",
+    "FingerprintExchange",
+    "ResultStore",
+    "ROW_FORMAT",
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "StoreError",
+    "StoreResultCache",
+    "decode_payload",
+    "encode_payload",
+    "exchange_scope",
+    "open_exchange",
+    "resolve_store_path",
+]

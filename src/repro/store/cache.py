@@ -1,0 +1,104 @@
+"""The store-backed result cache: ``ResultCache``'s SQLite twin.
+
+:class:`StoreResultCache` speaks the exact interface
+:meth:`repro.runner.campaign.Campaign.run` consumes — ``get(key)`` /
+``put(key, summary)`` / ``drain_events()`` / ``salt`` — so the runner
+swaps backends without knowing which one it holds (the
+``--cache-backend`` flag / ``REPRO_RUNNER_CACHE_BACKEND`` variable
+pick one; see :func:`repro.runner.config.resolve_cache`).
+
+Differences from the JSON-file backend, all upside:
+
+* results live in **one** WAL-mode SQLite file instead of thousands of
+  two-level directory entries, so campaigns survive across processes
+  and CI runs cheaply (one file to ``actions/cache``);
+* ``put`` is buffered (one committed transaction per batch) — a killed
+  writer loses at most its uncommitted tail, never committed rows;
+* every executed campaign is recorded as a ``campaigns`` row keyed by
+  the digest of its cell keys, which is what makes resume *visible*:
+  ``python -m repro.store summarise`` shows the re-run executing 0
+  cells.
+
+A torn or foreign row is handled exactly like a corrupt cache file:
+deleted, surfaced as a ``cache-corrupt`` event, treated as a miss.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.store.db import CorruptPayload, ResultStore
+
+
+class StoreResultCache:
+    """Campaign-facing adapter over :class:`~repro.store.db.ResultStore`.
+
+    ``batch`` is the buffered-writer batch size; campaigns flush on
+    completion (``drain_events``), so in-flight rows are bounded by it.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        salt: Optional[str] = None,
+        store: Optional[ResultStore] = None,
+        batch: int = 64,
+    ):
+        from repro.runner.cache import code_salt
+
+        self.store = store if store is not None else ResultStore(root, batch=batch)
+        self.salt = salt if salt is not None else code_salt()
+        self.events: List[Dict[str, Any]] = []
+        #: Rows put but possibly not yet flushed; consulted by ``get``
+        #: so a same-process re-run never misses its own results.
+        self._pending: Dict[str, Any] = {}
+
+    @property
+    def root(self):
+        return self.store.path
+
+    def get(self, key: str) -> Optional[Any]:
+        """The stored summary for ``key``, or None on miss/corruption."""
+        if key in self._pending:
+            return self._pending[key]
+        try:
+            return self.store.get_summary(key, self.salt)
+        except CorruptPayload as exc:
+            self.events.append(
+                {"kind": "cache-corrupt", "key": key, "reason": exc.reason}
+            )
+            return None
+
+    def put(self, key: str, summary: Any) -> None:
+        """Record a summary (buffered; committed by the next flush)."""
+        self._pending[key] = summary
+        self.store.put_summary(key, self.salt, summary)
+
+    def drain_events(self) -> List[Dict[str, Any]]:
+        """Flush buffered rows, then hand over the integrity events."""
+        self.store.flush()
+        self._pending.clear()
+        events, self.events = self.events, []
+        return events
+
+    def record_campaign(self, result, name: Optional[str], keys) -> None:
+        """File the campaign row for one finished :meth:`Campaign.run`."""
+        self.store.record_campaign(
+            name=name,
+            digest=self.store.campaign_digest(keys),
+            salt=self.salt,
+            cells=len(result.summaries),
+            hits=result.hits,
+            executed=result.executed,
+            failures=len(result.failures),
+            corrupt=result.cache_corruption,
+            wall_clock=result.wall_clock,
+            workers=result.workers,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreResultCache(path={str(self.store.path)!r}, "
+            f"salt={self.salt[:12]!r})"
+        )

@@ -1,0 +1,443 @@
+"""The campaign database: one WAL-mode SQLite file, one writer.
+
+Connection discipline (the pyotter pattern): a store object owns a
+single lazily-opened **write connection** whose inserts go through
+:class:`BufferedWriter`\\ s — rows accumulate in memory and land in one
+``executemany`` per batch, each batch one committed transaction, so a
+killed writer loses at most its uncommitted tail and never corrupts
+the file.  Queries that must not block (or be blocked by) the writer —
+the reporting CLI, worker processes pulling fingerprints — open
+short-lived **read-only** connections (``mode=ro``).  WAL mode plus a
+busy timeout lets many processes read while one writes, which is
+exactly the campaign shape: one parent recording, N workers polling.
+
+Every open checks the file's stamped schema version first and refuses
+a mismatch with a clear error (see :mod:`repro.store.schema`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.store.schema import (
+    ROW_FORMAT,
+    SCHEMA_VERSION,
+    SchemaVersionError,
+    StoreError,
+    check_version,
+    create_schema,
+    migrate,
+)
+
+#: Default store location, overridable via $REPRO_STORE_DIR.  Kept
+#: separate from the JSON cache root so the two backends never shadow
+#: each other's artifacts.
+DEFAULT_STORE_DIR = ".repro-store"
+STORE_FILENAME = "store.sqlite"
+
+#: Summary payload framing: magic + hex sha256(payload)[:32] + pickle.
+#: Same belt-and-braces as the JSON-file cache — SQLite checksums
+#: pages, not rows, and a foreign row should read as corrupt, not as a
+#: wrong summary.
+_MAGIC = b"RPST1\n"
+_CHECKSUM_LEN = 32
+
+
+class CorruptPayload(StoreError):
+    """A stored summary payload failed its frame or checksum check."""
+
+    def __init__(self, reason: str):
+        self.reason = reason
+        super().__init__(reason)
+
+
+def encode_payload(summary: Any) -> bytes:
+    """Pickle ``summary`` into the checksummed frame."""
+    payload = pickle.dumps(summary, protocol=pickle.HIGHEST_PROTOCOL)
+    checksum = hashlib.sha256(payload).hexdigest()[:_CHECKSUM_LEN].encode()
+    return _MAGIC + checksum + payload
+
+
+def decode_payload(blob: bytes) -> Any:
+    """The summary back out of a frame; :class:`CorruptPayload` if torn."""
+    header_len = len(_MAGIC) + _CHECKSUM_LEN
+    if len(blob) < header_len or not blob.startswith(_MAGIC):
+        raise CorruptPayload("bad magic (foreign or truncated payload)")
+    stored = blob[len(_MAGIC) : header_len]
+    payload = blob[header_len:]
+    actual = hashlib.sha256(payload).hexdigest()[:_CHECKSUM_LEN].encode()
+    if stored != actual:
+        raise CorruptPayload("checksum mismatch (truncated or bit-rotted)")
+    try:
+        return pickle.loads(payload)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
+        raise CorruptPayload(f"payload does not unpickle: {exc}")
+
+
+def resolve_store_path(root: Optional[os.PathLike] = None) -> Path:
+    """The store file under ``root`` (default ``$REPRO_STORE_DIR``)."""
+    if root is None:
+        root = os.environ.get("REPRO_STORE_DIR", DEFAULT_STORE_DIR)
+    root = Path(root)
+    if root.suffix == ".sqlite":
+        return root
+    return root / STORE_FILENAME
+
+
+class BufferedWriter:
+    """Batched ``executemany`` inserts; one transaction per flush."""
+
+    def __init__(self, con: sqlite3.Connection, sql: str, batch: int = 256):
+        self.con = con
+        self.sql = sql
+        self.batch = max(1, batch)
+        self.rows: List[Tuple] = []
+
+    def insert(self, *row: Any) -> None:
+        self.rows.append(row)
+        if len(self.rows) >= self.batch:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self.rows:
+            return
+        with self.con:  # one committed transaction per batch
+            self.con.executemany(self.sql, self.rows)
+        self.rows.clear()
+
+
+class ResultStore:
+    """One campaign database file; see the module doc for the shape.
+
+    ``batch`` sizes the buffered summary writer (1 = commit per put —
+    what the crash-safety tests use to pin "no committed row is ever
+    lost").
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        batch: int = 64,
+        create: bool = True,
+    ):
+        self.path = resolve_store_path(root)
+        self.batch = batch
+        self._write: Optional[sqlite3.Connection] = None
+        if create and not self.path.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            con = self._connect(self.path)
+            try:
+                create_schema(con)
+            finally:
+                con.close()
+        elif not self.path.exists():
+            raise StoreError(f"no store at {self.path}")
+        self._writers: Dict[str, BufferedWriter] = {}
+
+    # -- connections ---------------------------------------------------
+    @staticmethod
+    def _connect(path: Path, read_only: bool = False) -> sqlite3.Connection:
+        if read_only:
+            con = sqlite3.connect(
+                f"file:{path}?mode=ro", uri=True, timeout=30.0
+            )
+        else:
+            con = sqlite3.connect(path, timeout=30.0)
+            con.execute("PRAGMA journal_mode=WAL")
+            con.execute("PRAGMA synchronous=NORMAL")
+        con.execute("PRAGMA busy_timeout=30000")
+        return con
+
+    @property
+    def write_connection(self) -> sqlite3.Connection:
+        """The store's single write connection (opened on first use)."""
+        if self._write is None:
+            con = self._connect(self.path)
+            check_version(con, self.path)
+            self._write = con
+        return self._write
+
+    def read_connection(self) -> sqlite3.Connection:
+        """A fresh read-only connection (caller closes)."""
+        con = self._connect(self.path, read_only=True)
+        check_version(con, self.path)
+        return con
+
+    def _writer(self, table: str, sql: str) -> BufferedWriter:
+        writer = self._writers.get(table)
+        if writer is None:
+            writer = BufferedWriter(self.write_connection, sql, self.batch)
+            self._writers[table] = writer
+        return writer
+
+    def flush(self) -> None:
+        """Commit every buffered row."""
+        for writer in self._writers.values():
+            writer.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._write is not None:
+            self._write.close()
+            self._write = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ResultStore({str(self.path)!r})"
+
+    # -- run summaries -------------------------------------------------
+    def put_summary(self, key: str, salt: str, summary: Any) -> None:
+        """Record one cell result (buffered; see :meth:`flush`)."""
+        kind = "fn" if type(summary).__name__ == "FnSummary" else "run"
+        self._writer(
+            "run_summaries",
+            "INSERT OR REPLACE INTO run_summaries "
+            "(key, salt, format, kind, digest, tags, wall_clock, created, "
+            "payload) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+        ).insert(
+            key,
+            salt,
+            ROW_FORMAT,
+            kind,
+            summary.stable_digest(),
+            json.dumps(getattr(summary, "tags", {}), sort_keys=True, default=repr),
+            getattr(summary, "wall_clock", 0.0),
+            time.time(),
+            encode_payload(summary),
+        )
+
+    def get_summary(self, key: str, salt: str) -> Optional[Any]:
+        """The stored summary, or None on miss.
+
+        Raises :class:`CorruptPayload` on a torn row (the caller decides
+        whether that is an event or an error) — the row is deleted first
+        so the next lookup is a clean miss.
+        """
+        row = self.write_connection.execute(
+            "SELECT format, payload FROM run_summaries "
+            "WHERE key = ? AND salt = ?",
+            (key, salt),
+        ).fetchone()
+        if row is None:
+            return None
+        row_format, blob = row
+        if row_format != ROW_FORMAT:
+            self.delete_summary(key, salt)
+            raise CorruptPayload(
+                f"row format v{row_format}, this code writes v{ROW_FORMAT}"
+            )
+        try:
+            return decode_payload(blob)
+        except CorruptPayload:
+            self.delete_summary(key, salt)
+            raise
+
+    def delete_summary(self, key: str, salt: str) -> None:
+        with self.write_connection as con:
+            con.execute(
+                "DELETE FROM run_summaries WHERE key = ? AND salt = ?",
+                (key, salt),
+            )
+
+    # -- campaigns -----------------------------------------------------
+    @staticmethod
+    def campaign_digest(keys: Sequence[str]) -> str:
+        """Content hash of a campaign's ordered cell-key list."""
+        digest = hashlib.sha256()
+        for key in keys:
+            digest.update(key.encode())
+            digest.update(b"\n")
+        return digest.hexdigest()
+
+    def record_campaign(
+        self,
+        name: Optional[str],
+        digest: str,
+        salt: str,
+        cells: int,
+        hits: int,
+        executed: int,
+        failures: int,
+        corrupt: int,
+        wall_clock: float,
+        workers: int,
+    ) -> None:
+        """One executed campaign, committed immediately."""
+        self.flush()  # cell rows land before (never after) their campaign
+        with self.write_connection as con:
+            con.execute(
+                "INSERT INTO campaigns (format, name, digest, salt, cells, "
+                "hits, executed, failures, corrupt, wall_clock, workers, "
+                "created) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    ROW_FORMAT,
+                    name,
+                    digest,
+                    salt,
+                    cells,
+                    hits,
+                    executed,
+                    failures,
+                    corrupt,
+                    wall_clock,
+                    workers,
+                    time.time(),
+                ),
+            )
+
+    # -- explorer fingerprints -----------------------------------------
+    def load_fingerprints(self, scope: str) -> Tuple[Dict[str, int], int]:
+        """Every published ``fp → remaining`` in ``scope``.
+
+        Returns ``(visited, high_water)`` where ``high_water`` is the
+        max rowid seen — the cursor for :meth:`fingerprints_since`.
+        """
+        con = self.read_connection()
+        try:
+            visited: Dict[str, int] = {}
+            high = 0
+            for rowid, fp, remaining in con.execute(
+                "SELECT id, fp, remaining FROM fingerprints WHERE scope = ?",
+                (scope,),
+            ):
+                visited[fp] = remaining
+                high = max(high, rowid)
+            return visited, high
+        finally:
+            con.close()
+
+    def fingerprints_since(
+        self, scope: str, after: int
+    ) -> Tuple[List[Tuple[str, int]], int]:
+        """Fingerprints inserted after rowid ``after`` (batched pull)."""
+        con = self.read_connection()
+        try:
+            rows = con.execute(
+                "SELECT id, fp, remaining FROM fingerprints "
+                "WHERE scope = ? AND id > ?",
+                (scope, after),
+            ).fetchall()
+        finally:
+            con.close()
+        high = after
+        out = []
+        for rowid, fp, remaining in rows:
+            out.append((fp, remaining))
+            high = max(high, rowid)
+        return out, high
+
+    def publish_fingerprints(
+        self, scope: str, items: Iterable[Tuple[str, int]]
+    ) -> None:
+        """Upsert a batch of ``(fp, remaining)``; keeps the max depth."""
+        rows = [(scope, fp, remaining, ROW_FORMAT) for fp, remaining in items]
+        if not rows:
+            return
+        with self.write_connection as con:
+            con.executemany(
+                "INSERT INTO fingerprints (scope, fp, remaining, format) "
+                "VALUES (?, ?, ?, ?) "
+                "ON CONFLICT (scope, fp) DO UPDATE SET "
+                "remaining = max(remaining, excluded.remaining)",
+                rows,
+            )
+
+    def clear_fingerprints(self, scope: str) -> None:
+        """Drop one scope's rows — a finished search's coordination state.
+
+        The shared visited set only coordinates shards *within* one
+        search invocation; once merged, a later independent search must
+        not dedup against it (it would silently skip subtrees whose
+        results live in the earlier run's report, not its own).
+        """
+        with self.write_connection as con:
+            con.execute("DELETE FROM fingerprints WHERE scope = ?", (scope,))
+
+    # -- witnesses -----------------------------------------------------
+    def record_witness(self, document: Dict[str, Any]) -> None:
+        """File one chaos/explore violation artifact document."""
+        family = "explore" if "explore" in document.get("format", "") else "chaos"
+        self._writer(
+            "witnesses",
+            "INSERT INTO witnesses (format, family, target, violated, "
+            "document, created) VALUES (?, ?, ?, ?, ?, ?)",
+        ).insert(
+            ROW_FORMAT,
+            family,
+            document.get("case", {}).get("target", "?"),
+            json.dumps(document.get("violated", []), sort_keys=True),
+            json.dumps(document, sort_keys=True),
+            time.time(),
+        )
+
+    # -- bench history -------------------------------------------------
+    def record_bench(
+        self, bench: str, metrics: Dict[str, float], report: Dict[str, Any]
+    ) -> None:
+        with self.write_connection as con:
+            con.execute(
+                "INSERT INTO bench_history (format, bench, metrics, report, "
+                "created) VALUES (?, ?, ?, ?, ?)",
+                (
+                    ROW_FORMAT,
+                    bench,
+                    json.dumps(metrics, sort_keys=True),
+                    json.dumps(report, sort_keys=True),
+                    time.time(),
+                ),
+            )
+
+    def bench_rows(
+        self, bench: str, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """History rows for one bench, oldest first."""
+        con = self.read_connection()
+        try:
+            sql = (
+                "SELECT id, metrics, created FROM bench_history "
+                "WHERE bench = ? ORDER BY id"
+            )
+            rows = con.execute(sql, (bench,)).fetchall()
+        finally:
+            con.close()
+        if limit is not None:
+            rows = rows[-limit:]
+        return [
+            {"id": rowid, "metrics": json.loads(metrics), "created": created}
+            for rowid, metrics, created in rows
+        ]
+
+    # -- maintenance ---------------------------------------------------
+    def migrate(self) -> int:
+        """Walk the file to the current schema version; returns it."""
+        con = self._connect(self.path)
+        try:
+            return migrate(con, self.path)
+        finally:
+            con.close()
+
+
+__all__ = [
+    "BufferedWriter",
+    "CorruptPayload",
+    "DEFAULT_STORE_DIR",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "StoreError",
+    "decode_payload",
+    "encode_payload",
+    "resolve_store_path",
+]

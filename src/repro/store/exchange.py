@@ -1,0 +1,116 @@
+"""Batched cross-shard visited-set exchange through the store.
+
+PR 5's sharded subtree search gave every shard an isolated visited
+set: a state explored in shard A was re-explored in shard B — sound,
+but the documented ~30% run inflation on the n=3 NBAC tree.  The
+exchange recovers cross-shard dedup without giving up process
+isolation: each shard *seeds* its visited dict from the shared
+``fingerprints`` table, *publishes* its newly-recorded states in
+batches, and on every publish *pulls* whatever other shards inserted
+since its last sync (cursored by rowid, so a pull reads only the
+delta).
+
+Soundness is inherited from in-process dedup: a published ``(fp,
+remaining)`` row means some shard exhausted that state's subtree with
+``remaining`` ticks left, so any shard reaching the state with no more
+ticks remaining can halt — the continuations are covered elsewhere.
+The batch boundary only costs redundancy (two shards may both explore
+a state discovered between syncs), never coverage.  With sequential
+shards the recovery is exact: the merged search visits no more states
+than the single-process walk, which the sharded BENCH_explore gate and
+``tests/explore/test_shared_dedup.py`` pin.
+
+The scope string names one comparable search — case plus every option
+that shapes fingerprints — and includes the code salt, so stale rows
+from an edited tree are invisible rather than wrong.  The shard layer
+additionally salts the scope with a per-invocation token and clears it
+after merging: the shared set coordinates shards *within* one search,
+and a later independent search must not dedup against a finished one
+(its results live in the earlier report, not the new one).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.store.db import ResultStore
+
+
+def exchange_scope(
+    case_dict: Dict[str, Any],
+    engine: str,
+    por: bool,
+    dedup: bool,
+    symmetry: Any,
+    fingerprint_mode: str,
+) -> str:
+    """The shared-visited-set scope for one (case, options) search.
+
+    Any parameter that changes fingerprint bytes or dedup semantics
+    must be in here: mixing scopes would merge incomparable searches.
+    """
+    from repro.runner.cache import code_salt
+    from repro.runner.fingerprint import fingerprint
+
+    return fingerprint(
+        {
+            "case": case_dict,
+            "engine": engine,
+            "por": por,
+            "dedup": dedup,
+            "symmetry": repr(symmetry),
+            "fingerprint_mode": fingerprint_mode,
+            "code": code_salt(),
+        },
+        salt="explore-scope:1",
+    )
+
+
+class FingerprintExchange:
+    """One shard's window onto the shared visited set.
+
+    ``visited`` is the live dict the engine reads and writes; the
+    exchange seeds it from the store, tracks local additions, and every
+    ``batch`` new states publishes them and folds in remote ones.
+    """
+
+    def __init__(self, store: ResultStore, scope: str, batch: int = 256):
+        self.store = store
+        self.scope = scope
+        self.batch = max(1, batch)
+        self.visited, self._cursor = store.load_fingerprints(scope)
+        self._pending: Dict[str, int] = {}
+        self.published = 0
+        self.pulled = 0
+
+    def note(self, fp: str, remaining: int) -> None:
+        """Called by the engine on every visited-set write."""
+        seen = self._pending.get(fp)
+        if seen is None or seen < remaining:
+            self._pending[fp] = remaining
+        if len(self._pending) >= self.batch:
+            self.sync()
+
+    def sync(self) -> None:
+        """Publish pending states; pull and merge the remote delta."""
+        if self._pending:
+            self.store.publish_fingerprints(self.scope, self._pending.items())
+            self.published += len(self._pending)
+            self._pending.clear()
+        fresh, self._cursor = self.store.fingerprints_since(
+            self.scope, self._cursor
+        )
+        for fp, remaining in fresh:
+            seen = self.visited.get(fp)
+            if seen is None or seen < remaining:
+                self.visited[fp] = remaining
+        self.pulled += len(fresh)
+
+
+def open_exchange(
+    store_path: Optional[str], scope: Optional[str], batch: int = 256
+) -> Optional[FingerprintExchange]:
+    """An exchange for worker-side use, or None when no store is given."""
+    if store_path is None or scope is None:
+        return None
+    return FingerprintExchange(ResultStore(store_path), scope, batch=batch)

@@ -1,0 +1,192 @@
+"""Versioned schema for the campaign database.
+
+One SQLite file holds everything the ROADMAP calls "millions of runs
+as a queryable artifact": run/fn summaries keyed exactly like the
+on-disk :class:`~repro.runner.cache.ResultCache` (spec fingerprint ×
+code salt), campaign executions with their cell digests, the
+explorer's cross-shard visited-set fingerprints, chaos/explore
+violation witnesses, and ``BENCH_*.json`` history rows.
+
+Every table carries an explicit per-row ``format`` column **and** the
+file carries a whole-schema version in the ``meta`` table.  A store
+written by a different schema version is refused with a clear error at
+open time — never silently misread — and ``python -m repro.store
+--migrate`` walks :data:`MIGRATIONS` forward one version at a time.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Callable, Dict
+
+#: Whole-file schema version, stamped into ``meta('schema_version')``.
+#: Bump on any table/column change and register a migration below.
+SCHEMA_VERSION = 1
+
+#: Per-row format version written into every row's ``format`` column.
+#: Tracks the *payload* conventions (pickle framing, JSON shapes)
+#: independently of table layout.
+ROW_FORMAT = 1
+
+TABLES = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS run_summaries (
+    key        TEXT NOT NULL,              -- spec content fingerprint
+    salt       TEXT NOT NULL,              -- source-tree hash (cache salt)
+    format     INTEGER NOT NULL,           -- row format version
+    kind       TEXT NOT NULL,              -- 'run' | 'fn'
+    digest     TEXT NOT NULL,              -- summary.stable_digest()
+    tags       TEXT NOT NULL,              -- JSON tag dict
+    wall_clock REAL NOT NULL,
+    created    REAL NOT NULL,
+    payload    BLOB NOT NULL,              -- checksummed pickle frame
+    PRIMARY KEY (salt, key)
+);
+
+CREATE TABLE IF NOT EXISTS campaigns (
+    id         INTEGER PRIMARY KEY,
+    format     INTEGER NOT NULL,
+    name       TEXT,
+    digest     TEXT NOT NULL,              -- hash of the cell-key list
+    salt       TEXT NOT NULL,
+    cells      INTEGER NOT NULL,
+    hits       INTEGER NOT NULL,
+    executed   INTEGER NOT NULL,
+    failures   INTEGER NOT NULL,
+    corrupt    INTEGER NOT NULL,
+    wall_clock REAL NOT NULL,
+    workers    INTEGER NOT NULL,
+    created    REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS campaigns_digest ON campaigns (digest, salt);
+
+CREATE TABLE IF NOT EXISTS fingerprints (
+    id        INTEGER PRIMARY KEY,
+    scope     TEXT NOT NULL,               -- case/options fingerprint
+    fp        TEXT NOT NULL,               -- state digest
+    remaining INTEGER NOT NULL,            -- ticks left when recorded
+    format    INTEGER NOT NULL,
+    UNIQUE (scope, fp)
+);
+
+CREATE TABLE IF NOT EXISTS witnesses (
+    id       INTEGER PRIMARY KEY,
+    format   INTEGER NOT NULL,
+    family   TEXT NOT NULL,                -- 'chaos' | 'explore'
+    target   TEXT NOT NULL,
+    violated TEXT NOT NULL,                -- JSON clause list
+    document TEXT NOT NULL,                -- the full artifact JSON
+    created  REAL NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS bench_history (
+    id      INTEGER PRIMARY KEY,
+    format  INTEGER NOT NULL,
+    bench   TEXT NOT NULL,                 -- 'BENCH_sim', 'BENCH_explore', ...
+    metrics TEXT NOT NULL,                 -- JSON {metric: number}
+    report  TEXT NOT NULL,                 -- the full BENCH_*.json document
+    created REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS bench_history_bench ON bench_history (bench, id);
+"""
+
+
+class StoreError(RuntimeError):
+    """Any campaign-database failure the caller should see."""
+
+
+class SchemaVersionError(StoreError):
+    """The file speaks a different schema version than the code."""
+
+    def __init__(self, path, found: int, expected: int):
+        self.path = path
+        self.found = found
+        self.expected = expected
+        direction = (
+            "run `python -m repro.store --migrate --db %s` to upgrade it"
+            % path
+            if found < expected
+            else "it was written by newer code; upgrade this checkout"
+        )
+        super().__init__(
+            f"store {path} has schema v{found}, this code speaks "
+            f"v{expected}; {direction}"
+        )
+
+
+def create_schema(con: sqlite3.Connection) -> None:
+    """Create every table and stamp the current schema version."""
+    con.executescript(TABLES)
+    con.execute(
+        "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+        ("schema_version", str(SCHEMA_VERSION)),
+    )
+    con.commit()
+
+
+def read_version(con: sqlite3.Connection) -> int:
+    """The file's stamped schema version; 0 for a pre-versioned file."""
+    try:
+        row = con.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+    except sqlite3.OperationalError:
+        return 0  # no meta table: a store from before versioning
+    if row is None:
+        return 0
+    try:
+        return int(row[0])
+    except (TypeError, ValueError):
+        return 0
+
+
+def check_version(con: sqlite3.Connection, path) -> None:
+    """Refuse (loudly) to touch a store from another schema version."""
+    found = read_version(con)
+    if found != SCHEMA_VERSION:
+        raise SchemaVersionError(path, found, SCHEMA_VERSION)
+
+
+def _migrate_0_to_1(con: sqlite3.Connection) -> None:
+    """v0 → v1: create any missing table and stamp the version.
+
+    v0 is the pre-versioned layout (same tables, no ``meta`` stamp), so
+    the table DDL is idempotent over it.
+    """
+    create_schema(con)
+
+
+#: from-version → in-place migration to from-version + 1.
+MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
+    0: _migrate_0_to_1,
+}
+
+
+def migrate(con: sqlite3.Connection, path) -> int:
+    """Walk the file forward to :data:`SCHEMA_VERSION`; returns it.
+
+    Raises :class:`SchemaVersionError` for files from the future (no
+    down-migrations) and :class:`StoreError` on a gap in the chain.
+    """
+    version = read_version(con)
+    if version > SCHEMA_VERSION:
+        raise SchemaVersionError(path, version, SCHEMA_VERSION)
+    while version < SCHEMA_VERSION:
+        step = MIGRATIONS.get(version)
+        if step is None:
+            raise StoreError(
+                f"no migration registered from schema v{version} "
+                f"(store {path})"
+            )
+        step(con)
+        con.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(version + 1)),
+        )
+        con.commit()
+        version = read_version(con)
+    return version

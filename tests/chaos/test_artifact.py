@@ -73,3 +73,38 @@ class TestWriteLoadReplay:
         assert result.reproduced
         assert not result.deterministic
         assert not result.ok
+
+
+class TestFormatVersioning:
+    """A recognised family at a foreign version is refused with a
+    version diagnosis, not mistaken for "not an artifact"."""
+
+    def test_parse_format(self):
+        from repro.chaos.artifact import parse_format
+
+        assert parse_format("repro-chaos-artifact/1") == (
+            "repro-chaos-artifact", 1,
+        )
+        assert parse_format("repro-chaos-artifact/oops") == (None, None)
+        assert parse_format("no-slash") == (None, None)
+        assert parse_format(None) == (None, None)
+
+    def test_future_chaos_version_refused_with_version_error(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format": "repro-chaos-artifact/2"}))
+        with pytest.raises(ValueError, match="version 2 is not supported"):
+            load_artifact(path)
+
+    def test_future_explore_version_refused_with_version_error(self, tmp_path):
+        from repro.explore.artifact import load_artifact as load_explore
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format": "repro-explore-artifact/9"}))
+        with pytest.raises(ValueError, match="version 9 is not supported"):
+            load_explore(path)
+
+    def test_alien_format_still_not_an_artifact(self, tmp_path):
+        path = tmp_path / "alien.json"
+        path.write_text(json.dumps({"format": "someone-elses-format/3"}))
+        with pytest.raises(ValueError, match="not a repro artifact"):
+            load_artifact(path)

@@ -1,0 +1,15 @@
+"""Importable cell functions for the store tests.
+
+FnSpec targets must be module-level (worker processes and the
+crash-safety child process re-import them), so they live here.
+"""
+
+from __future__ import annotations
+
+
+def square(x):
+    return x * x
+
+
+def cube(x):
+    return x * x * x

@@ -1,0 +1,156 @@
+"""The SQLite cache backend, driven through real campaigns.
+
+Pins the tentpole behaviours: a completed campaign re-run against the
+store executes zero cells, the execution is recorded as a ``campaigns``
+row the CLI can report, corruption surfaces as ``cache_events`` (and a
+warning) rather than wrong results, and backend selection routes
+through :func:`repro.runner.config.resolve_cache`.
+"""
+
+import logging
+
+import pytest
+
+from repro.runner import Campaign, ResultCache, call, fn_spec
+from repro.runner import config as runner_config
+from repro.store import ResultStore, StoreResultCache
+from repro.store.report import summarise
+
+from tests.store import helpers
+
+
+@pytest.fixture(autouse=True)
+def _clean_runner_config():
+    yield
+    runner_config.reset()
+
+
+def _grid(count=4):
+    return Campaign(
+        [fn_spec(call(helpers.square, i), i=i) for i in range(count)],
+        name="store-grid",
+    )
+
+
+class TestCampaignResume:
+    def test_warm_rerun_executes_nothing(self, tmp_path):
+        campaign = _grid()
+        cold = campaign.run(cache=StoreResultCache(tmp_path))
+        warm = campaign.run(cache=StoreResultCache(tmp_path))
+        assert cold.executed == len(campaign) and cold.hits == 0
+        assert warm.executed == 0 and warm.hits == len(campaign)
+        assert [s.value for s in warm] == [s.value for s in cold]
+        assert all(s.cached for s in warm)
+
+    def test_same_process_cache_object_sees_unflushed_puts(self, tmp_path):
+        cache = StoreResultCache(tmp_path, batch=1000)  # nothing flushes early
+        campaign = _grid()
+        campaign.run(cache=cache)
+        warm = campaign.run(cache=cache)
+        assert warm.executed == 0
+
+    def test_campaign_rows_recorded_and_reported(self, tmp_path):
+        campaign = _grid()
+        campaign.run(cache=StoreResultCache(tmp_path))
+        campaign.run(cache=StoreResultCache(tmp_path))
+        store = ResultStore(tmp_path)
+        rows = store.read_connection().execute(
+            "SELECT name, cells, hits, executed, digest FROM campaigns "
+            "ORDER BY id"
+        ).fetchall()
+        assert len(rows) == 2
+        # Same cells → same digest; second run fully cached.
+        assert rows[0][4] == rows[1][4]
+        assert rows[0][3] == len(campaign) and rows[1][3] == 0
+        report = summarise(store)
+        assert "1 fully cached re-run(s)" in report
+        store.close()
+
+    def test_resume_runs_exactly_the_missing_cells(self, tmp_path):
+        # Half the grid computed, then the full grid resumes: only the
+        # other half executes.
+        full = _grid(6)
+        Campaign(full.jobs[:3], name="half").run(
+            cache=StoreResultCache(tmp_path)
+        )
+        resumed = full.run(cache=StoreResultCache(tmp_path))
+        assert resumed.hits == 3 and resumed.executed == 3
+        assert resumed.ok
+
+    def test_salt_partitions_backends_apart(self, tmp_path):
+        campaign = _grid()
+        campaign.run(cache=StoreResultCache(tmp_path, salt="salt-a"))
+        other = campaign.run(cache=StoreResultCache(tmp_path, salt="salt-b"))
+        assert other.hits == 0 and other.executed == len(campaign)
+
+
+class TestCorruption:
+    def _corrupt_all(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with store.write_connection as con:
+            con.execute("UPDATE run_summaries SET payload = X'00'")
+        store.close()
+
+    def test_corrupt_rows_recompute_and_surface(self, tmp_path, caplog):
+        campaign = _grid()
+        campaign.run(cache=StoreResultCache(tmp_path))
+        self._corrupt_all(tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.runner"):
+            result = campaign.run(cache=StoreResultCache(tmp_path))
+        assert result.hits == 0 and result.executed == len(campaign)
+        assert result.ok
+        assert result.cache_corruption == len(campaign)
+        kinds = {e["kind"] for e in result.cache_events}
+        assert kinds == {"cache-corrupt"}
+        assert any("corrupt cache entr" in r.message for r in caplog.records)
+
+    def test_corruption_heals_for_the_next_run(self, tmp_path):
+        campaign = _grid()
+        campaign.run(cache=StoreResultCache(tmp_path))
+        self._corrupt_all(tmp_path)
+        campaign.run(cache=StoreResultCache(tmp_path))  # recomputes
+        healed = campaign.run(cache=StoreResultCache(tmp_path))
+        assert healed.executed == 0 and healed.cache_corruption == 0
+
+
+class TestBackendSelection:
+    def test_default_is_json(self, tmp_path):
+        cache = runner_config.resolve_cache(str(tmp_path))
+        assert isinstance(cache, ResultCache)
+
+    def test_configured_sqlite(self, tmp_path):
+        runner_config.configure(cache_backend="sqlite")
+        cache = runner_config.resolve_cache(str(tmp_path))
+        assert isinstance(cache, StoreResultCache)
+
+    def test_env_sqlite(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_CACHE_BACKEND", "sqlite")
+        cache = runner_config.resolve_cache(str(tmp_path))
+        assert isinstance(cache, StoreResultCache)
+
+    def test_argument_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNNER_CACHE_BACKEND", "sqlite")
+        cache = runner_config.resolve_cache(str(tmp_path), backend="json")
+        assert isinstance(cache, ResultCache)
+
+    def test_ready_made_cache_passes_through(self, tmp_path):
+        ready = StoreResultCache(tmp_path)
+        assert runner_config.resolve_cache(ready) is ready
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            runner_config.configure(cache_backend="mongodb")
+        with pytest.raises(ValueError):
+            runner_config.resolve_cache_backend("mongodb")
+
+    def test_both_backends_share_spec_fingerprints(self, tmp_path):
+        # Same spec, either backend: one executes, the other's key would
+        # hit its own store — the fingerprint is backend-independent.
+        spec = fn_spec(call(helpers.cube, 3), i=3)
+        json_cache = ResultCache(str(tmp_path / "json"))
+        sqlite_cache = StoreResultCache(tmp_path / "sqlite")
+        Campaign([spec]).run(cache=json_cache)
+        Campaign([spec]).run(cache=sqlite_cache)
+        assert json_cache.salt == sqlite_cache.salt
+        warm = Campaign([spec]).run(cache=StoreResultCache(tmp_path / "sqlite"))
+        assert warm.hits == 1
