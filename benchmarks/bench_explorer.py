@@ -30,6 +30,13 @@ single-process walk (exact recovery), while the same split with
 isolated visited sets re-explores — ``dedup_recovered_states`` is the
 redundancy the exchange eliminated, gated ≥ 0 here and trended by
 ``python -m repro.store check BENCH_explore``.
+
+The **frontier** section runs the same case through the crash-tolerant
+dynamic frontier (:mod:`repro.explore.frontierd`) at 1/2/4 workers and
+once more at 4 workers under a kill rate of 0.3 — every run must
+reproduce the serial walk exactly; the report records the scaling
+curve and the recovery overhead (chaos wall clock over clean wall
+clock at the same worker count).
 """
 
 import json
@@ -169,6 +176,70 @@ def run_sharded_bench(case=SHARDED_CASE, shard_depth=SHARD_DEPTH) -> dict:
     }
 
 
+def run_frontier_bench(case=SHARDED_CASE, shard_depth=SHARD_DEPTH) -> dict:
+    """Scale the dynamic frontier over worker counts, then hurt it.
+
+    Three clean runs (1/2/4 workers) measure scaling of the
+    crash-tolerant work-stealing frontier on the same deep case the
+    sharded section pins; a fourth runs 4 workers under the seeded
+    :class:`~repro.chaos.workers.WorkerKiller` to price recovery.
+    Every run must reproduce the serial walk's decision vectors,
+    violations and completeness — scaling and kills change wall clock,
+    never the search.
+    """
+    from repro.explore.frontierd import explore_case_dynamic
+
+    started = time.perf_counter()
+    single = explore_case(case)
+    single_s = time.perf_counter() - started
+
+    def gate(result, name):
+        assert result.decision_vectors == single.decision_vectors, name
+        assert len(result.violations) == len(single.violations), name
+        assert result.complete, name
+
+    scaling = {}
+    for workers in (1, 2, 4):
+        result = explore_case_dynamic(
+            case, workers=workers, shard_depth=shard_depth, lease_ttl=5.0
+        )
+        gate(result, f"workers={workers}")
+        block = result.frontier
+        scaling[str(workers)] = {
+            "wall_clock": block["wall_clock"],
+            "runs": result.runs,
+            "recoveries": block["recoveries"],
+        }
+
+    chaos = explore_case_dynamic(
+        case,
+        workers=4,
+        shard_depth=shard_depth,
+        lease_ttl=1.5,
+        chaos_kill_rate=0.3,
+        chaos_seed=7,
+    )
+    gate(chaos, "chaos")
+    chaos_block = chaos.frontier
+    clean_wall = scaling["4"]["wall_clock"]
+    return {
+        "case": case.describe(),
+        "shard_depth": shard_depth,
+        "single_elapsed_seconds": round(single_s, 3),
+        "scaling": scaling,
+        "recovery": {
+            "kill_rate": 0.3,
+            "wall_clock": chaos_block["wall_clock"],
+            "kills": chaos_block["kills"],
+            "recoveries": chaos_block["recoveries"],
+            "respawns": chaos_block["respawns"],
+            "overhead_vs_clean": round(
+                chaos_block["wall_clock"] / clean_wall, 2
+            ) if clean_wall else None,
+        },
+    }
+
+
 def run_benchmark(report_path: str = "BENCH_explore.json") -> dict:
     cases = [run_case_bench(case) for case in CASES]
     speedups = [c["wall_speedup_incremental_vs_legacy"] for c in cases]
@@ -177,6 +248,7 @@ def run_benchmark(report_path: str = "BENCH_explore.json") -> dict:
         "min_wall_speedup": min(speedups),
         "cases": cases,
         "sharded": run_sharded_bench(),
+        "frontier": run_frontier_bench(),
     }
     if os.environ.get("BENCH_EXPLORE_STRICT"):
         assert report["min_wall_speedup"] >= MIN_WALL_SPEEDUP, report

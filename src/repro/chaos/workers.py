@@ -1,0 +1,67 @@
+"""Worker-killer chaos injector for the dynamic explorer frontier.
+
+The other chaos adversaries attack the *simulated* system; this one
+attacks the checker itself.  :class:`WorkerKiller` SIGKILLs frontier
+worker processes mid-shard — no ``atexit``, no ``finally``, no chance
+to release a lease — which is exactly the crash model the paper's
+failure detectors abstract (and the crash model
+:mod:`repro.explore.frontierd`'s lease recovery must survive).  The
+``frontier-chaos-smoke`` CI job and ``tests/explore/test_frontierd.py``
+drive the frontier under this injector and assert the merged result is
+still complete and byte-identical to the serial walk.
+
+Only workers *currently holding a lease* are eligible: killing an idle
+worker tests nothing (the coordinator respawns it and no state is in
+flight), while killing a lease holder forces the whole recovery path —
+heartbeat silence, lease expiry, requeue, and a retry by a different
+process.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, Iterable, List
+
+
+class WorkerKiller:
+    """SIGKILL lease-holding frontier workers at a Poisson-ish rate.
+
+    ``rate`` is the expected number of kills per worker per second of
+    leased work; each poll the per-worker kill probability over the
+    elapsed ``dt`` is ``1 - exp(-rate * dt)``, so the schedule is
+    insensitive to how often the coordinator polls.  Seeded, so a test
+    failure's kill schedule is as reproducible as wall-clock timing
+    allows.
+    """
+
+    def __init__(self, rate: float, seed: int = 0):
+        self.rate = max(0.0, rate)
+        self.rng = random.Random(seed)
+        self.kills: List[str] = []
+
+    def maybe_kill(
+        self,
+        processes: Dict[str, Any],
+        leased: Iterable[str],
+        dt: float,
+    ) -> List[str]:
+        """Roll the dice for every lease-holding live worker.
+
+        ``processes`` maps worker name → process handle (anything with
+        ``is_alive()`` and ``kill()``); ``leased`` names the workers
+        currently holding leases.  Returns the names killed this poll.
+        """
+        if self.rate <= 0.0 or dt <= 0.0:
+            return []
+        probability = 1.0 - math.exp(-self.rate * dt)
+        killed = []
+        for name in leased:
+            process = processes.get(name)
+            if process is None or not process.is_alive():
+                continue
+            if self.rng.random() < probability:
+                process.kill()
+                killed.append(name)
+        self.kills.extend(killed)
+        return killed

@@ -12,8 +12,11 @@ engine behind dedup lives in :mod:`repro.explore.state`, the symmetry
 group in :mod:`repro.explore.symmetry`); the frontier
 (:mod:`repro.explore.frontier`) enumerates detector assignments and
 crash schedules across subtree roots and fans the work out as a
-:mod:`repro.runner` campaign, and :mod:`repro.explore.shard` splits a
-single oversized case into campaign cells of its own.
+:mod:`repro.runner` campaign, :mod:`repro.explore.shard` splits a
+single oversized case into campaign cells of its own, and
+:mod:`repro.explore.frontierd` runs the crash-tolerant work-stealing
+variant: long-lived workers pulling shard roots from a store-backed
+queue under expiring leases, surviving SIGKILL mid-shard.
 Violating leaves are judged by the chaos targets' own property hooks,
 shrunk (:mod:`repro.explore.shrink`), and frozen as replayable
 artifacts (:mod:`repro.explore.artifact`).
@@ -57,6 +60,10 @@ from repro.explore.frontier import (
     frontier_campaign,
     run_frontier,
 )
+from repro.explore.frontierd import (
+    explore_case_dynamic,
+    run_frontier_dynamic,
+)
 from repro.explore.shard import (
     explore_case_sharded,
     explore_shard,
@@ -97,6 +104,7 @@ __all__ = [
     "default_assignment",
     "enumerate_roots",
     "explore_case",
+    "explore_case_dynamic",
     "explore_case_sharded",
     "explore_shard",
     "fingerprint",
@@ -106,6 +114,7 @@ __all__ = [
     "resolve_symmetry",
     "run_controlled",
     "run_frontier",
+    "run_frontier_dynamic",
     "sanitize",
     "split_case",
 ]

@@ -25,6 +25,13 @@ Exhaust the n=3 NBAC frontier, every reduction on, and insist on it::
     python -m repro.explore --target nbac --procs 3 --symmetry \\
         --require-complete --stats
 
+The same frontier on crash-tolerant work-stealing workers, with the
+chaos injector SIGKILLing them mid-shard to prove recovery::
+
+    python -m repro.explore --target nbac --procs 3 --symmetry \\
+        --frontier dynamic --workers 4 --lease-ttl 2 \\
+        --chaos-kill-rate 0.3 --require-complete --stats
+
 The exit code is 0 when every explored target matched expectation —
 no violations normally, at least one under ``--expect-violation`` —
 and 1 otherwise, so CI can call this directly.
@@ -90,6 +97,42 @@ def _parse_args(argv) -> argparse.Namespace:
         type=int,
         default=None,
         help="campaign worker processes (default: runner's choice)",
+    )
+    parser.add_argument(
+        "--frontier",
+        choices=("static", "dynamic"),
+        default="static",
+        help=(
+            "how roots are executed: 'static' (one campaign cell per "
+            "root) or 'dynamic' (crash-tolerant work-stealing workers "
+            "pulling shard roots from a store-backed queue under "
+            "expiring leases; see docs/EXPLORER.md)"
+        ),
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=5.0,
+        help=(
+            "dynamic frontier: seconds before a silent worker's lease "
+            "expires and its shard is requeued (default 5)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-kill-rate",
+        type=float,
+        default=0.0,
+        help=(
+            "dynamic frontier: SIGKILL lease-holding workers at this "
+            "expected rate per worker-second — the recovery smoke test "
+            "(default 0, off)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the worker-killer schedule (default 0)",
     )
     parser.add_argument(
         "--cache",
@@ -238,6 +281,13 @@ def main(argv=None) -> int:
     engines = list(ENGINES) if args.engine == "both" else [args.engine]
     if args.cache_backend is not None:
         configure(cache_backend=args.cache_backend)
+    if args.frontier == "dynamic" and (
+        args.stop_on_first or args.max_runs is not None
+    ):
+        raise SystemExit(
+            "--frontier dynamic always exhausts its roots; it does not "
+            "combine with --stop-on-first or --max-runs"
+        )
     store = None
     if args.store is not None:
         from repro.store import ResultStore
@@ -257,18 +307,35 @@ def main(argv=None) -> int:
         if args.symmetry:
             roots = collapse_symmetric_roots(roots)
         for engine in engines:
-            summaries = run_frontier(
-                roots,
-                engine=engine,
-                workers=args.workers,
-                cache=args.cache if args.cache is not None else False,
-                por=not args.no_por,
-                dedup=not args.no_dedup,
-                stop_on_first_violation=args.stop_on_first,
-                max_runs=args.max_runs,
-                symmetry="auto" if args.symmetry else None,
-                fingerprint_mode=args.fingerprint_mode,
-            )
+            if args.frontier == "dynamic":
+                from repro.explore.frontierd import run_frontier_dynamic
+
+                summaries = run_frontier_dynamic(
+                    roots,
+                    engine=engine,
+                    workers=args.workers or 2,
+                    por=not args.no_por,
+                    dedup=not args.no_dedup,
+                    symmetry="auto" if args.symmetry else None,
+                    fingerprint_mode=args.fingerprint_mode,
+                    store=store,
+                    lease_ttl=args.lease_ttl,
+                    chaos_kill_rate=args.chaos_kill_rate,
+                    chaos_seed=args.chaos_seed,
+                )
+            else:
+                summaries = run_frontier(
+                    roots,
+                    engine=engine,
+                    workers=args.workers,
+                    cache=args.cache if args.cache is not None else False,
+                    por=not args.no_por,
+                    dedup=not args.no_dedup,
+                    stop_on_first_violation=args.stop_on_first,
+                    max_runs=args.max_runs,
+                    symmetry="auto" if args.symmetry else None,
+                    fingerprint_mode=args.fingerprint_mode,
+                )
             totals = {
                 "runs": 0,
                 "states": 0,
@@ -318,6 +385,20 @@ def main(argv=None) -> int:
                     else ""
                 )
             )
+            if args.frontier == "dynamic" and summaries:
+                block = summaries[0].get("frontier", {})
+                incident_count = sum(
+                    len(s.get("incidents", [])) for s in summaries
+                )
+                print(
+                    f"  frontier: workers={block.get('workers')} "
+                    f"recoveries={block.get('recoveries')} "
+                    f"kills={block.get('kills')} "
+                    f"respawns={block.get('respawns')} "
+                    f"quarantined={block.get('quarantined')} "
+                    f"incidents={incident_count} "
+                    f"wall_clock={block.get('wall_clock')}s"
+                )
             if (args.out is not None or store is not None) and found:
                 for path in _emit_artifacts(summaries, args.out, store):
                     print(f"  wrote {path}")

@@ -119,6 +119,12 @@ class ExploreResult:
     counters: PerfCounters = field(default_factory=PerfCounters)
     symmetry: bool = False
     fingerprint_mode: str = "incremental"
+    #: Structured records of degraded-but-survived events from the
+    #: distributed paths — failed shard cells folded into a partial
+    #: merge, expired worker leases, quarantined shards.  Always empty
+    #: for a plain in-process walk; non-empty incidents of kind
+    #: ``shard-failed``/``shard-quarantined`` imply ``complete=False``.
+    incidents: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:

@@ -150,6 +150,7 @@ def result_to_dict(result: ExploreResult) -> Dict[str, Any]:
             }
             for v in result.violations
         ],
+        "incidents": list(result.incidents),
     }
 
 

@@ -1,0 +1,530 @@
+"""Crash-tolerant work-stealing frontier: the dynamic explorer daemon.
+
+The static shard pipeline (:mod:`repro.explore.shard`) splits a case
+once, dispatches the subtrees as campaign cells, and hopes every cell
+survives.  This module replaces that with the architecture the paper
+itself studies, applied to the checker: a set of long-lived worker
+processes that *cannot be trusted not to crash*, coordinated through
+an unreliable timeout-based failure detector.
+
+**The protocol.**  Shard roots live as claimable items in the store's
+``work_queue`` (:meth:`repro.store.db.ResultStore.claim_work`).  A
+worker claims the oldest pending item under an *expiring lease*, runs
+the subtree walk, and reports completion in one atomic transaction —
+summary, deferred fingerprints, and any re-split children land
+together, or not at all.  While it works, a heartbeat thread extends
+the lease; a worker SIGKILLed mid-shard simply goes silent.  The
+coordinator polls :meth:`~repro.store.db.ResultStore.requeue_expired`:
+an expired lease is a *suspicion* (the timeout-as-failure-detector
+pattern — like ◇P, it may be wrong about a merely slow worker), so the
+item goes back to pending with capped exponential backoff and the
+completion transaction, not the suspicion, is the arbiter: exactly one
+completion per item is ever accepted, a late one from a falsely
+suspected worker either lands first (fine — the walk is deterministic)
+or is rejected wholesale, publishing nothing.  An item that keeps
+dying past its retry budget is *quarantined*: the merged case reports
+``complete=False`` with a structured incident instead of raising away
+its siblings' finished work.
+
+**Work stealing.**  Static splitting serializes on its deepest shard.
+Here a worker that claims a shard while the queue is starved
+(``pending == 0`` with other workers live) re-splits it: the walk runs
+with ``choice_limit`` pushed ``split_step`` choices deeper, judged
+leaves stay in this shard's summary, and the halted prefixes are
+enqueued as fresh roots in the same completion transaction — so
+stragglers shrink instead of the run serializing, and a crash before
+completion enqueues no duplicate children.
+
+**Completeness.**  The merged result equals the serial walk's because
+(1) split soundness: a splitter/re-splitter's deferred prefixes are
+pairwise-disjoint subtrees that exactly cover its halted runs, (2)
+publication soundness: a fingerprint reaches the shared visited set
+only in the transaction that also records its walk's summary (and, for
+a re-split, its children), so every published state's subtree is
+covered by merged results and still-queued items, and (3) the queue
+drains only when nothing is pending or leased — at which point every
+root is done (merged) or quarantined (``complete=False``).  The
+SIGKILL tests in ``tests/explore/test_frontierd.py`` pin (vectors,
+violations, completeness) against :func:`~repro.explore.engine
+.explore_case` under injected kills.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.explore.cases import ExploreCase, case_from_dict, case_to_dict
+from repro.explore.engine import ExploreResult, explore_case
+from repro.explore.frontier import result_to_dict
+from repro.explore.shard import (
+    _result_from_summary,
+    merge_summaries,
+    split_case,
+)
+
+#: Environment hook for the quarantine tests: when set, every worker
+#: raises instead of walking, driving each item through its full retry
+#: budget into quarantine without any process-level violence.
+CHAOS_FAIL_ENV = "REPRO_FRONTIERD_CHAOS_FAIL"
+
+#: Environment hook for the SIGKILL tests: seconds a worker sleeps
+#: right after claiming (heartbeats still flowing), giving the test a
+#: deterministic mid-shard window in which to kill it.
+CHAOS_STALL_ENV = "REPRO_FRONTIERD_CHAOS_STALL"
+
+DEFAULT_LEASE_TTL = 5.0
+DEFAULT_RETRY_LIMIT = 3
+DEFAULT_SPLIT_STEP = 6
+DEFAULT_SHARD_DEPTH = 6
+
+
+def _queue_scope(token: str) -> str:
+    return f"frontier:{token}"
+
+
+def _heartbeat_main(
+    store_path: str,
+    work_id: int,
+    worker: str,
+    ttl: float,
+    stop: threading.Event,
+) -> None:
+    """Keep one lease alive until told to stop.
+
+    Runs in its own thread with its *own* store object — sqlite3
+    connections are bound to their creating thread.  A worker that is
+    killed takes this thread down with it, which is the whole point:
+    heartbeats stop exactly when the process stops.
+    """
+    from repro.store.db import ResultStore
+
+    try:
+        store = ResultStore(store_path)
+    except Exception:  # noqa: BLE001 — a dead heartbeat just expires
+        return
+    try:
+        while not stop.wait(max(0.05, ttl / 3.0)):
+            try:
+                if not store.heartbeat_work(work_id, worker, ttl):
+                    return  # lease lost: stop advertising liveness
+            except Exception:  # noqa: BLE001
+                continue  # transient store contention; try again
+    finally:
+        store.close()
+
+
+def _run_item(
+    store: Any,
+    queue_scope: str,
+    item: Dict[str, Any],
+    options: Dict[str, Any],
+) -> Tuple[Dict[str, Any], List[Tuple[str, int]], List[Dict[str, Any]]]:
+    """Walk one shard; returns (summary, fingerprints, children).
+
+    The exchange is fresh per item: a worker's visited dict must never
+    carry states from a walk whose completion was not accepted (they
+    would claim coverage nothing merged), so each item seeds from the
+    store and hands its pending set to the completion transaction.
+    """
+    from repro.store.exchange import FingerprintExchange
+
+    case = case_from_dict(item["case"])
+    prefix = tuple(item["prefix"])
+    scope = item["scope"]
+    exchange = FingerprintExchange(
+        store,
+        scope,
+        batch=options.get("exchange_batch", 256),
+        pull_interval=options.get("sync_interval", 0.5),
+    )
+    choice_limit = None
+    if options.get("workers", 1) > 1:
+        status = store.work_status(queue_scope)
+        if status["pending"] == 0:
+            # The queue is starved while siblings idle: steal from
+            # ourselves by re-splitting this shard a step deeper.
+            choice_limit = len(prefix) + options.get(
+                "split_step", DEFAULT_SPLIT_STEP
+            )
+    shard_roots: Optional[List[Tuple[int, ...]]] = (
+        [] if choice_limit is not None else None
+    )
+    result = explore_case(
+        case,
+        engine=options.get("engine", "indexed"),
+        por=options.get("por", True),
+        dedup=options.get("dedup", True),
+        symmetry=options.get("symmetry"),
+        fingerprint_mode=options.get("fingerprint_mode", "incremental"),
+        initial_stack=[prefix],
+        choice_limit=choice_limit,
+        shard_roots=shard_roots,
+        exchange=exchange,
+    )
+    children = [
+        {
+            "case": item["case"],
+            "prefix": list(root),
+            "scope": scope,
+            "case_index": item["case_index"],
+        }
+        for root in (shard_roots or [])
+    ]
+    return result_to_dict(result), exchange.take_pending(), children
+
+
+def _worker_main(
+    store_path: str,
+    queue_scope: str,
+    worker: str,
+    options: Dict[str, Any],
+) -> None:
+    """One frontier worker: claim, walk, complete, repeat until drained."""
+    from repro.store.db import ResultStore, drain_busy_retries
+
+    ttl = options.get("lease_ttl", DEFAULT_LEASE_TTL)
+    store = ResultStore(store_path)
+    try:
+        while True:
+            item = store.claim_work(queue_scope, worker, ttl)
+            if item is None:
+                status = store.work_status(queue_scope)
+                if status["pending"] == 0 and status["leased"] == 0:
+                    return  # drained: every item is done or quarantined
+                time.sleep(0.05)
+                continue
+            stop = threading.Event()
+            beater = threading.Thread(
+                target=_heartbeat_main,
+                args=(store_path, item.id, worker, ttl, stop),
+                daemon=True,
+            )
+            beater.start()
+            try:
+                if os.environ.get(CHAOS_FAIL_ENV):
+                    raise RuntimeError(
+                        f"chaos: {CHAOS_FAIL_ENV} poisoned this worker"
+                    )
+                stall = os.environ.get(CHAOS_STALL_ENV)
+                if stall:
+                    time.sleep(float(stall))
+                summary, fingerprints, children = _run_item(
+                    store, queue_scope, item.item, options
+                )
+                summary["counters"]["store_busy_retries"] = (
+                    summary["counters"].get("store_busy_retries", 0)
+                    + drain_busy_retries()
+                )
+                store.complete_work(
+                    item.id,
+                    worker,
+                    summary,
+                    fingerprint_scope=item.item["scope"],
+                    fingerprints=fingerprints,
+                    children=children,
+                )
+            except Exception as exc:  # noqa: BLE001 — fail the item, live on
+                store.fail_work(
+                    item.id,
+                    worker,
+                    {
+                        "kind": "worker-exception",
+                        "error_type": type(exc).__name__,
+                        "message": str(exc),
+                        "traceback": traceback.format_exc(limit=8),
+                        "worker": worker,
+                    },
+                    retry_limit=options.get(
+                        "retry_limit", DEFAULT_RETRY_LIMIT
+                    ),
+                )
+            finally:
+                stop.set()
+                beater.join(timeout=1.0)
+    finally:
+        store.close()
+
+
+class _FrontierWorkers:
+    """The coordinator's view of its worker fleet: spawn, track, respawn."""
+
+    def __init__(
+        self,
+        store_path: str,
+        queue_scope: str,
+        count: int,
+        options: Dict[str, Any],
+    ):
+        self.store_path = store_path
+        self.queue_scope = queue_scope
+        self.count = count
+        self.options = options
+        self.context = multiprocessing.get_context("spawn")
+        self.generation = 0
+        self.processes: Dict[str, Any] = {}
+        self.respawns = 0
+
+    def spawn(self, how_many: int) -> None:
+        for _ in range(how_many):
+            name = f"w{self.generation}"
+            self.generation += 1
+            process = self.context.Process(
+                target=_worker_main,
+                args=(self.store_path, self.queue_scope, name, self.options),
+                daemon=True,
+            )
+            process.start()
+            self.processes[name] = process
+
+    def live(self) -> int:
+        return sum(1 for p in self.processes.values() if p.is_alive())
+
+    def reap_and_respawn(self) -> int:
+        """Replace dead workers so kills cost recovery time, not capacity."""
+        dead = [n for n, p in self.processes.items() if not p.is_alive()]
+        for name in dead:
+            self.processes.pop(name).join(timeout=0.1)
+        deficit = self.count - self.live()
+        if deficit > 0:
+            self.spawn(deficit)
+            self.respawns += deficit
+        return len(dead)
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        deadline = time.monotonic() + timeout
+        for process in self.processes.values():
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in self.processes.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+
+
+def run_frontier_dynamic(
+    roots: Sequence[ExploreCase],
+    engine: str = "indexed",
+    workers: int = 2,
+    por: bool = True,
+    dedup: bool = True,
+    symmetry: Any = None,
+    fingerprint_mode: str = "incremental",
+    store: Any = None,
+    shard_depth: int = DEFAULT_SHARD_DEPTH,
+    split_step: int = DEFAULT_SPLIT_STEP,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    retry_limit: int = DEFAULT_RETRY_LIMIT,
+    exchange_batch: int = 256,
+    sync_interval: float = 0.5,
+    chaos_kill_rate: float = 0.0,
+    chaos_seed: int = 0,
+) -> List[Dict[str, Any]]:
+    """Explore every root through the crash-tolerant dynamic frontier.
+
+    Returns one merged summary dict per root, in root order — the same
+    shape :func:`repro.explore.frontier.run_frontier` produces, plus an
+    ``incidents`` list and a ``frontier`` accounting block (workers,
+    respawns, recoveries, quarantines).  ``store`` may be a
+    :class:`~repro.store.db.ResultStore`, a path, or None (a private
+    store under a temp directory, deleted with it).
+
+    ``chaos_kill_rate`` arms :class:`repro.chaos.workers.WorkerKiller`
+    against our own fleet — the CI smoke proof that recovery works.
+    """
+    import tempfile
+
+    from repro.chaos.workers import WorkerKiller
+    from repro.store.db import ResultStore, drain_busy_retries
+    from repro.store.exchange import FingerprintExchange, exchange_scope
+
+    token = os.urandom(8).hex()
+    queue_scope = _queue_scope(token)
+    tempdir = None
+    owned = not isinstance(store, ResultStore)
+    if store is None:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-frontier-")
+        store = ResultStore(tempdir.name)
+    elif owned:
+        store = ResultStore(store)
+
+    options = {
+        "engine": engine,
+        "por": por,
+        "dedup": dedup,
+        "symmetry": symmetry,
+        "fingerprint_mode": fingerprint_mode,
+        "workers": workers,
+        "lease_ttl": lease_ttl,
+        "retry_limit": retry_limit,
+        "split_step": split_step,
+        "exchange_batch": exchange_batch,
+        "sync_interval": sync_interval,
+    }
+    scopes: List[str] = []
+    bases: List[Dict[str, Any]] = []
+    incidents: List[Dict[str, Any]] = []
+    started = time.perf_counter()
+    try:
+        # Phase 1 — split every root in-process (bounded by shard_depth,
+        # cheap) and enqueue the subtrees.  The splitter's fingerprints
+        # publish before any worker seeds: its walk is complete, its
+        # deferred subtrees are exactly the items below.
+        items: List[Dict[str, Any]] = []
+        for index, case in enumerate(roots):
+            case_dict = case_to_dict(case)
+            scope = "{}:{}".format(
+                exchange_scope(
+                    case_dict, engine, por, dedup, symmetry, fingerprint_mode
+                ),
+                token,
+            )
+            scopes.append(scope)
+            splitter_exchange = FingerprintExchange(
+                store, scope, batch=exchange_batch
+            )
+            shallow, shard_roots = split_case(
+                case,
+                engine=engine,
+                por=por,
+                dedup=dedup,
+                choice_limit=shard_depth,
+                symmetry=symmetry,
+                fingerprint_mode=fingerprint_mode,
+                exchange=splitter_exchange,
+            )
+            splitter_exchange.publish_pending()
+            bases.append(result_to_dict(shallow))
+            items.extend(
+                {
+                    "case": case_dict,
+                    "prefix": list(root),
+                    "scope": scope,
+                    "case_index": index,
+                }
+                for root in shard_roots
+            )
+        store.enqueue_work(queue_scope, items)
+        store.flush()
+
+        # Phase 2 — run the fleet against the queue until it drains.
+        fleet = _FrontierWorkers(
+            str(store.path), queue_scope, workers, options
+        )
+        killer = WorkerKiller(chaos_kill_rate, seed=chaos_seed)
+        if items:
+            fleet.spawn(workers)
+        poll = max(0.05, lease_ttl / 4.0)
+        last_poll = time.monotonic()
+        recoveries = 0
+        try:
+            while items:
+                time.sleep(poll)
+                now = time.monotonic()
+                expired = store.requeue_expired(
+                    queue_scope, retry_limit=retry_limit
+                )
+                recoveries += len(expired)
+                incidents.extend(expired)
+                status = store.work_status(queue_scope)
+                if status["pending"] == 0 and status["leased"] == 0:
+                    break
+                killer.maybe_kill(
+                    fleet.processes,
+                    store.leased_workers(queue_scope),
+                    now - last_poll,
+                )
+                last_poll = now
+                fleet.reap_and_respawn()
+        finally:
+            fleet.shutdown()
+
+        # Phase 3 — merge per root; quarantined shards degrade the
+        # verdict to complete=False instead of discarding siblings.
+        by_case: Dict[int, List[Dict[str, Any]]] = {}
+        for _, item, summary in store.work_results(queue_scope):
+            by_case.setdefault(item["case_index"], []).append(summary)
+        quarantined = store.work_quarantined(queue_scope)
+        # work_quarantined is the authoritative quarantine list (it also
+        # covers worker-exception quarantines the poll loop never saw);
+        # drop the poll loop's own quarantine records to avoid doubles.
+        incidents = [
+            i for i in incidents if i["kind"] != "shard-quarantined"
+        ]
+        incidents.extend(quarantined)
+        summaries = []
+        frontier_block = {
+            "workers": workers,
+            "lease_ttl": lease_ttl,
+            "recoveries": recoveries,
+            "kills": len(killer.kills),
+            "respawns": fleet.respawns,
+            "quarantined": len(quarantined),
+            "store_busy_retries": drain_busy_retries(),
+            "wall_clock": round(time.perf_counter() - started, 3),
+        }
+        for index in range(len(bases)):
+            merged = merge_summaries(bases[index], by_case.get(index, []))
+            case_incidents = [
+                incident
+                for incident in incidents
+                if incident.get("item", {}).get("case_index") == index
+                or "item" not in incident
+            ]
+            merged["incidents"] = (
+                merged.get("incidents", []) + case_incidents
+            )
+            if any(
+                q["item"]["case_index"] == index for q in quarantined
+            ):
+                merged["complete"] = False
+            merged["frontier"] = frontier_block
+            summaries.append(merged)
+        return summaries
+    finally:
+        store.clear_work(queue_scope)
+        for scope in scopes:
+            store.release_scope(scope)
+        if owned:
+            store.close()
+        if tempdir is not None:
+            tempdir.cleanup()
+
+
+def explore_case_dynamic(
+    case: ExploreCase,
+    engine: str = "indexed",
+    workers: int = 2,
+    por: bool = True,
+    dedup: bool = True,
+    symmetry: Any = None,
+    fingerprint_mode: str = "incremental",
+    store: Any = None,
+    shard_depth: int = DEFAULT_SHARD_DEPTH,
+    **kwargs: Any,
+) -> ExploreResult:
+    """One case through the dynamic frontier, as an ExploreResult.
+
+    The API twin of :func:`repro.explore.shard.explore_case_sharded`
+    with crash-tolerant workers; equivalent to
+    :func:`~repro.explore.engine.explore_case` in decision vectors,
+    violations and completeness whenever nothing was quarantined.
+    """
+    summaries = run_frontier_dynamic(
+        [case],
+        engine=engine,
+        workers=workers,
+        por=por,
+        dedup=dedup,
+        symmetry=symmetry,
+        fingerprint_mode=fingerprint_mode,
+        store=store,
+        shard_depth=shard_depth,
+        **kwargs,
+    )
+    result = _result_from_summary(case, summaries[0])
+    result.frontier = dict(summaries[0].get("frontier", {}))
+    return result

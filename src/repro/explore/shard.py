@@ -31,13 +31,15 @@ work but never skipping it.  Passing ``store=`` to
 every shard share one visited set through the campaign database's
 ``fingerprints`` table (:class:`repro.store.exchange
 .FingerprintExchange`) — each shard seeds its visited dict from the
-table, publishes new states in batches, and pulls the delta other
+table, publishes its states **once its walk completes** (deferred
+publication; a cell that dies mid-walk publishes nothing, so retries
+never dedup against unexhausted subtrees), and pulls the delta other
 shards inserted since its last sync.  With sequential shards
 (``workers=1``) the recovery is exact: the merged walk visits no more
 states than the single-process one (``tests/explore/test_shared_dedup
 .py`` and the BENCH_explore sharded gate pin this); parallel shards
-may re-explore states discovered between syncs — redundancy, never
-lost coverage.
+may re-explore states a sibling has not yet published — redundancy,
+never lost coverage.
 
 The splitter's own dedup may drop a would-be shard root whose cutoff
 state an earlier splitter run already recorded with at least as many
@@ -120,6 +122,12 @@ def explore_shard(
             initial_stack=[tuple(prefix)],
             exchange=exchange,
         )
+        if exchange is not None:
+            # Deferred publication (see repro.store.exchange): only a
+            # walk that ran to completion may claim coverage.  A cell
+            # that dies mid-walk publishes nothing, so its retry (or a
+            # sibling shard) never dedup-halts on unexhausted states.
+            exchange.publish_pending()
     finally:
         if exchange is not None:
             exchange.store.close()
@@ -141,6 +149,7 @@ def merge_summaries(
     counters.merge(base.get("counters", {}))
     vectors = {tuple(tuple(entry) for entry in v) for v in base["decision_vectors"]}
     violations = list(base["violations"])
+    incidents = list(base.get("incidents", []))
     complete = base["complete"]
     for summary in shard_summaries:
         for key, value in summary["stats"].items():
@@ -151,6 +160,7 @@ def merge_summaries(
             for v in summary["decision_vectors"]
         )
         violations.extend(summary["violations"])
+        incidents.extend(summary.get("incidents", []))
         complete = complete and summary["complete"]
     counters.explore_shards += len(shard_summaries)
     merged["stats"]["shards"] = counters.explore_shards
@@ -159,6 +169,7 @@ def merge_summaries(
     merged["counters"] = counters.as_dict()
     merged["decision_vectors"] = sorted([list(e) for e in v] for v in vectors)
     merged["violations"] = violations
+    merged["incidents"] = incidents
     merged["complete"] = complete
     merged["shards"] = len(shard_summaries)
     return merged
@@ -182,6 +193,7 @@ def _result_from_summary(case: ExploreCase, summary: Dict[str, Any]) -> ExploreR
         symmetry=summary.get("symmetry", False),
         fingerprint_mode=summary.get("fingerprint_mode", "incremental"),
     )
+    result.incidents = list(summary.get("incidents", []))
     result.decision_vectors = {
         tuple(tuple(entry) for entry in vector)
         for vector in summary["decision_vectors"]
@@ -268,9 +280,11 @@ def explore_case_sharded(
             exchange=splitter_exchange,
         )
         if splitter_exchange is not None:
-            # The splitter's states are committed before any shard seeds
-            # its visited set (explore_case's final sync already
-            # published; flush covers any other buffered writers).
+            # The splitter's walk is complete (its deferred subtrees are
+            # exactly the shard roots dispatched below), so its states
+            # may claim coverage now — before any shard seeds its
+            # visited set.
+            splitter_exchange.publish_pending()
             splitter_exchange.store.flush()
         base = result_to_dict(shallow)
         if not shard_roots:
@@ -307,12 +321,32 @@ def explore_case_sharded(
         ]
         campaign = Campaign(jobs, name="explore-shards")
         outcome = campaign.run(workers=workers, cache=cache)
+        # Partial-merge semantics: a shard cell that failed even after
+        # the executor's retries must not discard its siblings' finished
+        # work.  Completed summaries merge as usual; each failure
+        # becomes a structured incident and forces complete=False — the
+        # honest verdict, since that subtree was not exhausted.
+        done = [s.value for s in outcome.summaries if not s.failed]
+        merged = merge_summaries(base, done)
+        incidents = list(merged.get("incidents", []))
+        incidents.extend(outcome.incidents)
+        for failure in outcome.failures:
+            incidents.append(
+                {
+                    "kind": "shard-failed",
+                    "shard": failure.tags.get("shard"),
+                    "failure_kind": failure.kind,
+                    "error_type": failure.error_type,
+                    "message": failure.message,
+                    "attempts": failure.attempts,
+                }
+            )
+        merged["incidents"] = incidents
         if not outcome.ok:
-            raise RuntimeError(f"shard cell failed: {outcome.failures[0]}")
-        merged = merge_summaries(base, [s.value for s in outcome.summaries])
+            merged["complete"] = False
         return _result_from_summary(case, merged)
     finally:
         if opened is not None:
-            opened.clear_fingerprints(scope)
+            opened.release_scope(scope)
             if owned:
                 opened.close()

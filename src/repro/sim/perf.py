@@ -64,6 +64,11 @@ Counter semantics (see ``docs/PERF.md`` for the full story):
 ``explore_shards``
     Subtree shards dispatched by the sharded search
     (:mod:`repro.explore.shard`).
+``store_busy_retries``
+    SQLITE_BUSY / "database is locked" errors the campaign database
+    retried through jittered backoff (:mod:`repro.store.db`).  Nonzero
+    values are expected once many worker processes share one store
+    file; a climbing trend means the store is becoming the bottleneck.
 """
 
 from __future__ import annotations
@@ -95,6 +100,7 @@ FIELDS = (
     "explore_fp_host_misses",
     "explore_opaque_tokens",
     "explore_shards",
+    "store_busy_retries",
 )
 
 

@@ -31,9 +31,12 @@ from repro.store.db import (
     DEFAULT_STORE_DIR,
     ResultStore,
     StoreError,
+    WorkItem,
     decode_payload,
+    drain_busy_retries,
     encode_payload,
     resolve_store_path,
+    retry_locked,
 )
 from repro.store.exchange import FingerprintExchange, exchange_scope, open_exchange
 from repro.store.schema import ROW_FORMAT, SCHEMA_VERSION, SchemaVersionError
@@ -49,9 +52,12 @@ __all__ = [
     "SchemaVersionError",
     "StoreError",
     "StoreResultCache",
+    "WorkItem",
     "decode_payload",
+    "drain_busy_retries",
     "encode_payload",
     "exchange_scope",
     "open_exchange",
     "resolve_store_path",
+    "retry_locked",
 ]

@@ -53,7 +53,9 @@ def _parse_args(argv):
     trend.add_argument("bench", help="bench name, e.g. BENCH_explore")
     trend.add_argument("--limit", type=int, default=None)
     check = sub.add_parser(
-        "check", help="gate a fresh BENCH report against stored history"
+        "check",
+        help="gate a fresh BENCH report against stored history "
+        "(and sweep stale exchange scopes)",
     )
     check.add_argument("bench")
     check.add_argument(
@@ -115,6 +117,22 @@ def main(argv=None) -> int:
             )
             for line in lines:
                 print(line)
+            # Maintenance rides the CI gate: sweep coordination state
+            # leaked by killed searches (orphan fingerprint scopes,
+            # aged-out registrations, dead queue/lease rows).  The
+            # sweep_log aggregate covers the opportunistic open-time
+            # sweep too, whichever path got there first.
+            store.sweep_stale_scopes()
+            orphaned = sum(
+                len(s["orphan_scopes"]) for s in store.sweep_log
+            )
+            stale = sum(len(s["stale_scopes"]) for s in store.sweep_log)
+            if orphaned or stale:
+                rows = sum(s["fingerprint_rows"] for s in store.sweep_log)
+                print(
+                    f"swept {orphaned} orphaned and {stale} stale "
+                    f"exchange scope(s) ({rows} fingerprint row(s))"
+                )
             if args.record:
                 bench_gate.record(store, args.bench, document)
                 print(f"recorded {args.bench} into history")

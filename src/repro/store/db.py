@@ -21,10 +21,12 @@ import hashlib
 import json
 import os
 import pickle
+import random
 import sqlite3
 import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.store.schema import (
     ROW_FORMAT,
@@ -91,6 +93,68 @@ def resolve_store_path(root: Optional[os.PathLike] = None) -> Path:
     return root / STORE_FILENAME
 
 
+# -- SQLITE_BUSY retry ----------------------------------------------------
+#: With many worker processes sharing one store file, the 30s busy
+#: timeout usually absorbs contention — but SQLITE_BUSY can still
+#: surface (e.g. a writer starved past the timeout, or a deadlock
+#: broken by returning busy).  Every store operation therefore retries
+#: through :func:`retry_locked`: jittered exponential backoff, counted
+#: in a module tally that callers drain into the ``store_busy_retries``
+#: perf counter.
+BUSY_MAX_RETRIES = 6
+BUSY_BASE_DELAY = 0.05
+
+_busy_retries = 0
+
+
+def drain_busy_retries() -> int:
+    """Take (and reset) the busy-retry tally since the last drain."""
+    global _busy_retries
+    count, _busy_retries = _busy_retries, 0
+    return count
+
+
+def _is_busy_error(exc: BaseException) -> bool:
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
+
+
+def retry_locked(
+    operation: Callable[[], Any],
+    retries: int = BUSY_MAX_RETRIES,
+    base_delay: float = BUSY_BASE_DELAY,
+) -> Any:
+    """Run ``operation``, retrying SQLITE_BUSY/locked with jittered backoff.
+
+    Anything that is not a busy/locked :class:`sqlite3.OperationalError`
+    propagates immediately; so does busy after ``retries`` attempts —
+    the caller sees the real error, never a silent swallow.
+    """
+    global _busy_retries
+    attempt = 0
+    while True:
+        try:
+            return operation()
+        except sqlite3.OperationalError as exc:
+            if not _is_busy_error(exc) or attempt >= retries:
+                raise
+            attempt += 1
+            _busy_retries += 1
+            time.sleep(
+                base_delay * (2 ** (attempt - 1)) * (0.5 + random.random())
+            )
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One claimed ``work_queue`` row: the lease's subject."""
+
+    id: int
+    item: Dict[str, Any]
+    attempts: int
+    kind: str = "shard"
+
+
 class BufferedWriter:
     """Batched ``executemany`` inserts; one transaction per flush."""
 
@@ -108,8 +172,12 @@ class BufferedWriter:
     def flush(self) -> None:
         if not self.rows:
             return
-        with self.con:  # one committed transaction per batch
-            self.con.executemany(self.sql, self.rows)
+
+        def _commit() -> None:
+            with self.con:  # one committed transaction per batch
+                self.con.executemany(self.sql, self.rows)
+
+        retry_locked(_commit)
         self.rows.clear()
 
 
@@ -140,20 +208,28 @@ class ResultStore:
         elif not self.path.exists():
             raise StoreError(f"no store at {self.path}")
         self._writers: Dict[str, BufferedWriter] = {}
+        self._swept = False
+        #: Every sweep_stale_scopes result this store object performed
+        #: (the opportunistic open-time sweep included), so callers can
+        #: report GC work whichever path triggered it.
+        self.sweep_log: List[Dict[str, Any]] = []
 
     # -- connections ---------------------------------------------------
     @staticmethod
     def _connect(path: Path, read_only: bool = False) -> sqlite3.Connection:
-        if read_only:
-            con = sqlite3.connect(
-                f"file:{path}?mode=ro", uri=True, timeout=30.0
-            )
-        else:
-            con = sqlite3.connect(path, timeout=30.0)
-            con.execute("PRAGMA journal_mode=WAL")
-            con.execute("PRAGMA synchronous=NORMAL")
-        con.execute("PRAGMA busy_timeout=30000")
-        return con
+        def _open() -> sqlite3.Connection:
+            if read_only:
+                con = sqlite3.connect(
+                    f"file:{path}?mode=ro", uri=True, timeout=30.0
+                )
+            else:
+                con = sqlite3.connect(path, timeout=30.0)
+                con.execute("PRAGMA journal_mode=WAL")
+                con.execute("PRAGMA synchronous=NORMAL")
+            con.execute("PRAGMA busy_timeout=30000")
+            return con
+
+        return retry_locked(_open)
 
     @property
     def write_connection(self) -> sqlite3.Connection:
@@ -162,6 +238,7 @@ class ResultStore:
             con = self._connect(self.path)
             check_version(con, self.path)
             self._write = con
+            self._sweep_opportunistically()
         return self._write
 
     def read_connection(self) -> sqlite3.Connection:
@@ -169,6 +246,32 @@ class ResultStore:
         con = self._connect(self.path, read_only=True)
         check_version(con, self.path)
         return con
+
+    def _immediate(self, txn: Callable[[sqlite3.Connection], Any]) -> Any:
+        """Run ``txn(con)`` inside one BEGIN IMMEDIATE transaction.
+
+        The write lock is taken up front, so a multi-statement protocol
+        step (claim, complete-with-children, requeue) is atomic against
+        every other process on the file.  The whole transaction retries
+        on SQLITE_BUSY — safe because a failed BEGIN/COMMIT leaves
+        nothing applied.
+        """
+
+        def _run() -> Any:
+            con = self.write_connection
+            if con.in_transaction:  # a torn earlier batch; seal it
+                con.commit()
+            con.execute("BEGIN IMMEDIATE")
+            try:
+                value = txn(con)
+                con.execute("COMMIT")
+                return value
+            except BaseException:
+                if con.in_transaction:
+                    con.execute("ROLLBACK")
+                raise
+
+        return retry_locked(_run)
 
     def _writer(self, table: str, sql: str) -> BufferedWriter:
         writer = self._writers.get(table)
@@ -304,39 +407,55 @@ class ResultStore:
         Returns ``(visited, high_water)`` where ``high_water`` is the
         max rowid seen — the cursor for :meth:`fingerprints_since`.
         """
-        con = self.read_connection()
-        try:
-            visited: Dict[str, int] = {}
-            high = 0
-            for rowid, fp, remaining in con.execute(
-                "SELECT id, fp, remaining FROM fingerprints WHERE scope = ?",
-                (scope,),
-            ):
-                visited[fp] = remaining
-                high = max(high, rowid)
-            return visited, high
-        finally:
-            con.close()
+
+        def _load() -> Tuple[Dict[str, int], int]:
+            con = self.read_connection()
+            try:
+                visited: Dict[str, int] = {}
+                high = 0
+                for rowid, fp, remaining in con.execute(
+                    "SELECT id, fp, remaining FROM fingerprints "
+                    "WHERE scope = ?",
+                    (scope,),
+                ):
+                    visited[fp] = remaining
+                    high = max(high, rowid)
+                return visited, high
+            finally:
+                con.close()
+
+        return retry_locked(_load)
 
     def fingerprints_since(
         self, scope: str, after: int
     ) -> Tuple[List[Tuple[str, int]], int]:
         """Fingerprints inserted after rowid ``after`` (batched pull)."""
-        con = self.read_connection()
-        try:
-            rows = con.execute(
-                "SELECT id, fp, remaining FROM fingerprints "
-                "WHERE scope = ? AND id > ?",
-                (scope, after),
-            ).fetchall()
-        finally:
-            con.close()
+
+        def _pull() -> List[Tuple[int, str, int]]:
+            con = self.read_connection()
+            try:
+                return con.execute(
+                    "SELECT id, fp, remaining FROM fingerprints "
+                    "WHERE scope = ? AND id > ?",
+                    (scope, after),
+                ).fetchall()
+            finally:
+                con.close()
+
+        rows = retry_locked(_pull)
         high = after
         out = []
         for rowid, fp, remaining in rows:
             out.append((fp, remaining))
             high = max(high, rowid)
         return out, high
+
+    _FP_UPSERT = (
+        "INSERT INTO fingerprints (scope, fp, remaining, format) "
+        "VALUES (?, ?, ?, ?) "
+        "ON CONFLICT (scope, fp) DO UPDATE SET "
+        "remaining = max(remaining, excluded.remaining)"
+    )
 
     def publish_fingerprints(
         self, scope: str, items: Iterable[Tuple[str, int]]
@@ -345,14 +464,12 @@ class ResultStore:
         rows = [(scope, fp, remaining, ROW_FORMAT) for fp, remaining in items]
         if not rows:
             return
-        with self.write_connection as con:
-            con.executemany(
-                "INSERT INTO fingerprints (scope, fp, remaining, format) "
-                "VALUES (?, ?, ?, ?) "
-                "ON CONFLICT (scope, fp) DO UPDATE SET "
-                "remaining = max(remaining, excluded.remaining)",
-                rows,
-            )
+
+        def _commit() -> None:
+            with self.write_connection as con:
+                con.executemany(self._FP_UPSERT, rows)
+
+        retry_locked(_commit)
 
     def clear_fingerprints(self, scope: str) -> None:
         """Drop one scope's rows — a finished search's coordination state.
@@ -362,8 +479,486 @@ class ResultStore:
         not dedup against it (it would silently skip subtrees whose
         results live in the earlier run's report, not its own).
         """
-        with self.write_connection as con:
-            con.execute("DELETE FROM fingerprints WHERE scope = ?", (scope,))
+
+        def _commit() -> None:
+            with self.write_connection as con:
+                con.execute(
+                    "DELETE FROM fingerprints WHERE scope = ?", (scope,)
+                )
+
+        retry_locked(_commit)
+
+    # -- exchange-scope registry and GC --------------------------------
+    #: Registered scopes older than this are presumed leaked by a killed
+    #: search (a finished one releases its scope on merge) and are swept.
+    STALE_SCOPE_MAX_AGE = 24 * 3600.0
+
+    def register_scope(self, scope: str, now: Optional[float] = None) -> None:
+        """Record that a live search owns ``scope``'s fingerprint rows."""
+        now = time.time() if now is None else now
+
+        def _commit() -> None:
+            with self.write_connection as con:
+                con.execute(
+                    "INSERT OR IGNORE INTO exchange_scopes "
+                    "(scope, created, format) VALUES (?, ?, ?)",
+                    (scope, now, ROW_FORMAT),
+                )
+
+        retry_locked(_commit)
+
+    def release_scope(self, scope: str) -> None:
+        """Drop a finished search's fingerprint rows and registration."""
+
+        def _commit() -> None:
+            with self.write_connection as con:
+                con.execute(
+                    "DELETE FROM fingerprints WHERE scope = ?", (scope,)
+                )
+                con.execute(
+                    "DELETE FROM exchange_scopes WHERE scope = ?", (scope,)
+                )
+
+        retry_locked(_commit)
+
+    def sweep_stale_scopes(
+        self, max_age: Optional[float] = None, now: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Garbage-collect coordination state leaked by killed searches.
+
+        Three families go: *orphan* fingerprint scopes (rows without a
+        registration — a pre-v2 writer, or a search killed before its
+        exchange registered), *stale* registered scopes older than
+        ``max_age`` (a finished search releases its scope on merge, so
+        an old registration means its owner died), and work-queue /
+        lease rows older than ``max_age`` (a dynamic-frontier run clears
+        its queue scope when it merges).  Returns what was swept.
+        """
+        max_age = self.STALE_SCOPE_MAX_AGE if max_age is None else max_age
+        now = time.time() if now is None else now
+        cutoff = now - max_age
+
+        def _sweep(con: sqlite3.Connection) -> Dict[str, Any]:
+            orphans = [
+                scope
+                for (scope,) in con.execute(
+                    "SELECT DISTINCT f.scope FROM fingerprints f "
+                    "LEFT JOIN exchange_scopes r ON r.scope = f.scope "
+                    "WHERE r.scope IS NULL"
+                )
+            ]
+            stale = [
+                scope
+                for (scope,) in con.execute(
+                    "SELECT scope FROM exchange_scopes WHERE created < ?",
+                    (cutoff,),
+                )
+            ]
+            rows = 0
+            for scope in orphans + stale:
+                rows += con.execute(
+                    "DELETE FROM fingerprints WHERE scope = ?", (scope,)
+                ).rowcount
+                con.execute(
+                    "DELETE FROM exchange_scopes WHERE scope = ?", (scope,)
+                )
+            queue_rows = con.execute(
+                "DELETE FROM work_queue WHERE created < ?", (cutoff,)
+            ).rowcount
+            lease_rows = con.execute(
+                "DELETE FROM leases WHERE expires < ?", (cutoff,)
+            ).rowcount
+            return {
+                "orphan_scopes": orphans,
+                "stale_scopes": stale,
+                "fingerprint_rows": rows,
+                "work_rows": queue_rows,
+                "lease_rows": lease_rows,
+            }
+
+        result = self._immediate(_sweep)
+        self.sweep_log.append(result)
+        return result
+
+    def _sweep_opportunistically(self) -> None:
+        """Best-effort stale-scope sweep, once per store object.
+
+        Runs on first write-connection open so long-lived stores heal
+        themselves; a cheap existence probe keeps the common (clean)
+        case to two SELECTs and no write lock.
+        """
+        if self._swept:
+            return
+        self._swept = True
+        try:
+            cutoff = time.time() - self.STALE_SCOPE_MAX_AGE
+            con = self.write_connection
+            candidates = con.execute(
+                "SELECT EXISTS (SELECT 1 FROM fingerprints f "
+                "  LEFT JOIN exchange_scopes r ON r.scope = f.scope "
+                "  WHERE r.scope IS NULL) "
+                "OR EXISTS (SELECT 1 FROM exchange_scopes WHERE created < ?) "
+                "OR EXISTS (SELECT 1 FROM work_queue WHERE created < ?)",
+                (cutoff, cutoff),
+            ).fetchone()[0]
+            if candidates:
+                self.sweep_stale_scopes()
+        except Exception:  # noqa: BLE001 — GC must never break opens
+            pass
+
+    # -- work queue and leases -----------------------------------------
+    #: Backoff base for requeued work: attempt k waits 2^(k-1) of these.
+    WORK_BACKOFF_BASE = 0.25
+
+    def enqueue_work(
+        self,
+        scope: str,
+        items: Sequence[Dict[str, Any]],
+        kind: str = "shard",
+        now: Optional[float] = None,
+    ) -> int:
+        """Append pending work items to one scope's queue."""
+        now = time.time() if now is None else now
+        rows = [
+            (scope, kind, json.dumps(item, sort_keys=True), "pending", 0,
+             0.0, ROW_FORMAT, now)
+            for item in items
+        ]
+        if not rows:
+            return 0
+
+        def _commit() -> None:
+            with self.write_connection as con:
+                con.executemany(
+                    "INSERT INTO work_queue (scope, kind, item, status, "
+                    "attempts, not_before, format, created) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    rows,
+                )
+
+        retry_locked(_commit)
+        return len(rows)
+
+    def claim_work(
+        self,
+        scope: str,
+        worker: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> Optional[WorkItem]:
+        """Atomically lease the oldest claimable item, or None.
+
+        Claimable means pending with its backoff window (``not_before``)
+        elapsed.  The claim and its lease land in one transaction, so
+        two workers can never hold the same item.
+        """
+        now = time.time() if now is None else now
+
+        def _claim(con: sqlite3.Connection) -> Optional[WorkItem]:
+            row = con.execute(
+                "SELECT id, kind, item, attempts FROM work_queue "
+                "WHERE scope = ? AND status = 'pending' AND not_before <= ? "
+                "ORDER BY id LIMIT 1",
+                (scope, now),
+            ).fetchone()
+            if row is None:
+                return None
+            work_id, kind, item, attempts = row
+            con.execute(
+                "UPDATE work_queue SET status = 'leased', "
+                "attempts = attempts + 1 WHERE id = ?",
+                (work_id,),
+            )
+            con.execute(
+                "INSERT OR REPLACE INTO leases (work_id, scope, worker, "
+                "acquired, heartbeat, expires, format) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (work_id, scope, worker, now, now, now + ttl, ROW_FORMAT),
+            )
+            return WorkItem(
+                id=work_id, item=json.loads(item), attempts=attempts + 1,
+                kind=kind,
+            )
+
+        return self._immediate(_claim)
+
+    def heartbeat_work(
+        self,
+        work_id: int,
+        worker: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Extend one lease; False means it was lost (expired/reassigned)."""
+        now = time.time() if now is None else now
+
+        def _beat() -> int:
+            with self.write_connection as con:
+                return con.execute(
+                    "UPDATE leases SET heartbeat = ?, expires = ? "
+                    "WHERE work_id = ? AND worker = ?",
+                    (now, now + ttl, work_id, worker),
+                ).rowcount
+
+        return retry_locked(_beat) > 0
+
+    def complete_work(
+        self,
+        work_id: int,
+        worker: str,
+        result: Any,
+        fingerprint_scope: Optional[str] = None,
+        fingerprints: Sequence[Tuple[str, int]] = (),
+        children: Sequence[Dict[str, Any]] = (),
+        kind: str = "shard",
+        now: Optional[float] = None,
+    ) -> bool:
+        """Finish one item — result, fingerprints and re-split children
+        land in ONE transaction, or none of them do.
+
+        Accepted while this worker still holds the lease, or while the
+        item sits requeued-but-unclaimed (its lease expired under a slow
+        worker that then finished anyway — the work is deterministic, so
+        the late result is the right result).  Rejected once another
+        worker owns or finished the item; a rejected completion
+        publishes nothing, which is what keeps crash recovery sound: no
+        fingerprint ever claims coverage whose results were not merged.
+        """
+        now = time.time() if now is None else now
+
+        def _complete(con: sqlite3.Connection) -> bool:
+            row = con.execute(
+                "SELECT status FROM work_queue WHERE id = ?", (work_id,)
+            ).fetchone()
+            if row is None:
+                return False
+            status = row[0]
+            if status == "leased":
+                lease = con.execute(
+                    "SELECT worker FROM leases WHERE work_id = ?", (work_id,)
+                ).fetchone()
+                if lease is None or lease[0] != worker:
+                    return False
+            elif status != "pending":
+                return False  # already done or quarantined
+            con.execute(
+                "UPDATE work_queue SET status = 'done', result = ?, "
+                "error = NULL WHERE id = ?",
+                (encode_payload(result), work_id),
+            )
+            con.execute("DELETE FROM leases WHERE work_id = ?", (work_id,))
+            scope_row = con.execute(
+                "SELECT scope FROM work_queue WHERE id = ?", (work_id,)
+            ).fetchone()
+            scope = scope_row[0]
+            if fingerprint_scope is not None and fingerprints:
+                con.executemany(
+                    self._FP_UPSERT,
+                    [
+                        (fingerprint_scope, fp, remaining, ROW_FORMAT)
+                        for fp, remaining in fingerprints
+                    ],
+                )
+            if children:
+                con.executemany(
+                    "INSERT INTO work_queue (scope, kind, item, status, "
+                    "attempts, not_before, format, created) "
+                    "VALUES (?, ?, ?, 'pending', 0, 0.0, ?, ?)",
+                    [
+                        (scope, kind, json.dumps(child, sort_keys=True),
+                         ROW_FORMAT, now)
+                        for child in children
+                    ],
+                )
+            return True
+
+        return self._immediate(_complete)
+
+    def fail_work(
+        self,
+        work_id: int,
+        worker: str,
+        error: Dict[str, Any],
+        retry_limit: int = 2,
+        backoff: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> str:
+        """Report a failed attempt: requeue with backoff, or quarantine.
+
+        Returns ``'requeued'``, ``'quarantined'`` or ``'rejected'`` (the
+        lease was already lost — someone else owns the verdict now).
+        """
+        backoff = self.WORK_BACKOFF_BASE if backoff is None else backoff
+        now = time.time() if now is None else now
+
+        def _fail(con: sqlite3.Connection) -> str:
+            row = con.execute(
+                "SELECT status, attempts FROM work_queue WHERE id = ?",
+                (work_id,),
+            ).fetchone()
+            if row is None or row[0] != "leased":
+                return "rejected"
+            lease = con.execute(
+                "SELECT worker FROM leases WHERE work_id = ?", (work_id,)
+            ).fetchone()
+            if lease is None or lease[0] != worker:
+                return "rejected"
+            attempts = row[1]
+            con.execute("DELETE FROM leases WHERE work_id = ?", (work_id,))
+            if attempts > retry_limit:
+                con.execute(
+                    "UPDATE work_queue SET status = 'quarantined', "
+                    "error = ? WHERE id = ?",
+                    (json.dumps(error, sort_keys=True, default=repr),
+                     work_id),
+                )
+                return "quarantined"
+            con.execute(
+                "UPDATE work_queue SET status = 'pending', not_before = ?, "
+                "error = ? WHERE id = ?",
+                (now + backoff * (2 ** (attempts - 1)),
+                 json.dumps(error, sort_keys=True, default=repr), work_id),
+            )
+            return "requeued"
+
+        return self._immediate(_fail)
+
+    def requeue_expired(
+        self,
+        scope: str,
+        retry_limit: int = 2,
+        backoff: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """The coordinator's failure detector: requeue dead workers' items.
+
+        Every lease past its ``expires`` is the timeout-as-suspicion
+        pattern — the worker is *presumed* crashed (it may merely be
+        slow; :meth:`complete_work`'s pending-acceptance keeps that case
+        sound).  Each expired item goes back to pending with capped
+        exponential backoff, or to quarantine once its attempts exceed
+        ``retry_limit``.  Returns one structured incident per action.
+        """
+        backoff = self.WORK_BACKOFF_BASE if backoff is None else backoff
+        now = time.time() if now is None else now
+
+        def _requeue(con: sqlite3.Connection) -> List[Dict[str, Any]]:
+            rows = con.execute(
+                "SELECT l.work_id, l.worker, l.expires, w.attempts, w.item "
+                "FROM leases l JOIN work_queue w ON w.id = l.work_id "
+                "WHERE l.scope = ? AND l.expires < ? AND w.status = 'leased'",
+                (scope, now),
+            ).fetchall()
+            incidents: List[Dict[str, Any]] = []
+            for work_id, worker, expires, attempts, item in rows:
+                con.execute(
+                    "DELETE FROM leases WHERE work_id = ?", (work_id,)
+                )
+                base = {
+                    "work": work_id,
+                    "worker": worker,
+                    "attempts": attempts,
+                    "expired": round(now - expires, 3),
+                }
+                if attempts > retry_limit:
+                    con.execute(
+                        "UPDATE work_queue SET status = 'quarantined', "
+                        "error = ? WHERE id = ?",
+                        (json.dumps({"kind": "lease-expired", **base},
+                                    sort_keys=True), work_id),
+                    )
+                    incidents.append(
+                        {"kind": "shard-quarantined", **base,
+                         "item": json.loads(item)}
+                    )
+                else:
+                    con.execute(
+                        "UPDATE work_queue SET status = 'pending', "
+                        "not_before = ?, error = ? WHERE id = ?",
+                        (now + backoff * (2 ** (attempts - 1)),
+                         json.dumps({"kind": "lease-expired", **base},
+                                    sort_keys=True), work_id),
+                    )
+                    incidents.append(
+                        {"kind": "lease-expired", **base,
+                         "item": json.loads(item)}
+                    )
+            return incidents
+
+        return self._immediate(_requeue)
+
+    def work_status(self, scope: str) -> Dict[str, int]:
+        """Item counts by status for one queue scope."""
+
+        def _counts() -> Dict[str, int]:
+            counts = {
+                "pending": 0, "leased": 0, "done": 0, "quarantined": 0,
+            }
+            for status, count in self.write_connection.execute(
+                "SELECT status, COUNT(*) FROM work_queue WHERE scope = ? "
+                "GROUP BY status",
+                (scope,),
+            ):
+                counts[status] = count
+            return counts
+
+        return retry_locked(_counts)
+
+    def work_results(self, scope: str) -> List[Tuple[int, Dict[str, Any], Any]]:
+        """Every done item's ``(id, item, decoded result)``, in id order."""
+
+        def _rows() -> List[Tuple[int, str, bytes]]:
+            return self.write_connection.execute(
+                "SELECT id, item, result FROM work_queue "
+                "WHERE scope = ? AND status = 'done' ORDER BY id",
+                (scope,),
+            ).fetchall()
+
+        out = []
+        for work_id, item, blob in retry_locked(_rows):
+            out.append((work_id, json.loads(item), decode_payload(blob)))
+        return out
+
+    def work_quarantined(self, scope: str) -> List[Dict[str, Any]]:
+        """Structured incidents for the scope's quarantined items."""
+
+        def _rows() -> List[Tuple[int, str, Optional[str], int]]:
+            return self.write_connection.execute(
+                "SELECT id, item, error, attempts FROM work_queue "
+                "WHERE scope = ? AND status = 'quarantined' ORDER BY id",
+                (scope,),
+            ).fetchall()
+
+        return [
+            {
+                "kind": "shard-quarantined",
+                "work": work_id,
+                "item": json.loads(item),
+                "attempts": attempts,
+                "error": json.loads(error) if error else None,
+            }
+            for work_id, item, error, attempts in retry_locked(_rows)
+        ]
+
+    def leased_workers(self, scope: str) -> Dict[str, int]:
+        """``worker → work_id`` for every live lease in the scope."""
+
+        def _rows() -> List[Tuple[str, int]]:
+            return self.write_connection.execute(
+                "SELECT worker, work_id FROM leases WHERE scope = ?",
+                (scope,),
+            ).fetchall()
+
+        return dict(retry_locked(_rows))
+
+    def clear_work(self, scope: str) -> None:
+        """Drop one finished run's queue and lease rows."""
+
+        def _clear(con: sqlite3.Connection) -> None:
+            con.execute("DELETE FROM work_queue WHERE scope = ?", (scope,))
+            con.execute("DELETE FROM leases WHERE scope = ?", (scope,))
+
+        self._immediate(_clear)
 
     # -- witnesses -----------------------------------------------------
     def record_witness(self, document: Dict[str, Any]) -> None:
@@ -437,7 +1032,10 @@ __all__ = [
     "SCHEMA_VERSION",
     "SchemaVersionError",
     "StoreError",
+    "WorkItem",
     "decode_payload",
+    "drain_busy_retries",
     "encode_payload",
     "resolve_store_path",
+    "retry_locked",
 ]

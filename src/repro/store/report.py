@@ -64,10 +64,27 @@ def summarise(store: ResultStore) -> str:
         fp_rows = con.execute(
             "SELECT COUNT(*), COUNT(DISTINCT scope) FROM fingerprints"
         ).fetchone()
+        orphans = con.execute(
+            "SELECT COUNT(DISTINCT f.scope) FROM fingerprints f "
+            "LEFT JOIN exchange_scopes r ON r.scope = f.scope "
+            "WHERE r.scope IS NULL"
+        ).fetchone()[0]
         lines.append(
             f"explorer fingerprints: {fp_rows[0]} states over "
             f"{fp_rows[1]} scope(s)"
+            + (f", {orphans} orphaned scope(s)" if orphans else "")
         )
+
+        queue_rows = con.execute(
+            "SELECT status, COUNT(*) FROM work_queue GROUP BY status "
+            "ORDER BY status"
+        ).fetchall()
+        lease_count = con.execute("SELECT COUNT(*) FROM leases").fetchone()[0]
+        if queue_rows or lease_count:
+            by_status = ", ".join(f"{s}={c}" for s, c in queue_rows) or "empty"
+            lines.append(
+                f"work queue: {by_status}; {lease_count} live lease(s)"
+            )
 
         witness_rows = con.execute(
             "SELECT family, target, COUNT(*) FROM witnesses "

@@ -21,7 +21,12 @@ from typing import Callable, Dict
 
 #: Whole-file schema version, stamped into ``meta('schema_version')``.
 #: Bump on any table/column change and register a migration below.
-SCHEMA_VERSION = 1
+#:
+#: v2 added the distributed-frontier substrate: ``work_queue`` (shard
+#: roots as claimable items), ``leases`` (expiring per-item ownership —
+#: the timeout-as-failure-detector the coordinator reads), and
+#: ``exchange_scopes`` (the registry behind stale-scope GC).
+SCHEMA_VERSION = 2
 
 #: Per-row format version written into every row's ``format`` column.
 #: Tracks the *payload* conventions (pickle framing, JSON shapes)
@@ -92,6 +97,38 @@ CREATE TABLE IF NOT EXISTS bench_history (
     created REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS bench_history_bench ON bench_history (bench, id);
+
+CREATE TABLE IF NOT EXISTS work_queue (
+    id         INTEGER PRIMARY KEY,
+    scope      TEXT NOT NULL,              -- one dynamic-frontier run
+    kind       TEXT NOT NULL,              -- 'shard' (room to grow)
+    item       TEXT NOT NULL,              -- JSON work description
+    status     TEXT NOT NULL,              -- pending|leased|done|quarantined
+    attempts   INTEGER NOT NULL,           -- claims so far
+    not_before REAL NOT NULL,              -- earliest next claim (backoff)
+    result     BLOB,                       -- checksummed frame, once done
+    error      TEXT,                       -- last failure incident (JSON)
+    format     INTEGER NOT NULL,
+    created    REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS work_queue_scope ON work_queue (scope, status);
+
+CREATE TABLE IF NOT EXISTS leases (
+    work_id   INTEGER PRIMARY KEY,         -- the leased work_queue row
+    scope     TEXT NOT NULL,
+    worker    TEXT NOT NULL,               -- claimant identity
+    acquired  REAL NOT NULL,
+    heartbeat REAL NOT NULL,               -- last liveness signal
+    expires   REAL NOT NULL,               -- suspicion threshold
+    format    INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS leases_scope ON leases (scope, expires);
+
+CREATE TABLE IF NOT EXISTS exchange_scopes (
+    scope   TEXT PRIMARY KEY,              -- a registered fingerprint scope
+    created REAL NOT NULL,
+    format  INTEGER NOT NULL
+);
 """
 
 
@@ -160,9 +197,22 @@ def _migrate_0_to_1(con: sqlite3.Connection) -> None:
     create_schema(con)
 
 
+def _migrate_1_to_2(con: sqlite3.Connection) -> None:
+    """v1 → v2: add ``work_queue``/``leases``/``exchange_scopes``.
+
+    All three tables are new, so the idempotent DDL is the whole
+    migration.  Pre-existing ``fingerprints`` rows have no registered
+    scope; the stale-scope sweep treats them as orphans of crashed
+    pre-v2 searches and garbage-collects them (their searches either
+    finished — and would have cleared the rows — or died).
+    """
+    create_schema(con)
+
+
 #: from-version → in-place migration to from-version + 1.
 MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
     0: _migrate_0_to_1,
+    1: _migrate_1_to_2,
 }
 
 

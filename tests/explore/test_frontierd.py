@@ -1,0 +1,268 @@
+"""The crash-tolerant frontier equals the serial walk — even under fire.
+
+Three layers of proof, mirroring the lease protocol's design:
+
+* **Equivalence** — the dynamic frontier's merged result matches
+  :func:`~repro.explore.engine.explore_case` in decision vectors,
+  violations and completeness, with and without work stealing.
+* **SIGKILL recovery** — a real worker process is killed mid-shard
+  (the ``CHAOS_STALL`` hook parks it inside a claimed item, heartbeats
+  flowing, so the kill window is deterministic); the test then watches
+  the lease expire, the shard requeue, and a healthy worker produce a
+  merged result identical to the serial walk.  This is the ISSUE's
+  acceptance scenario, plus an end-to-end run under the seeded
+  :class:`~repro.chaos.workers.WorkerKiller` at kill rate ≥ 0.2.
+* **Quarantine** — a poison worker (``CHAOS_FAIL`` hook) exhausts the
+  retry budget; the run degrades to ``complete=False`` with structured
+  incidents instead of raising.
+"""
+
+import os
+import signal
+import time
+
+from repro.explore import ExploreCase, explore_case
+from repro.explore.frontierd import (
+    CHAOS_FAIL_ENV,
+    CHAOS_STALL_ENV,
+    _run_item,
+    _worker_main,
+    explore_case_dynamic,
+    run_frontier_dynamic,
+)
+from repro.store import ResultStore
+from repro.store.exchange import exchange_scope
+
+
+def _violation_set(result):
+    return {(v.violated, v.decisions) for v in result.violations}
+
+
+def _assert_equivalent(dynamic, single):
+    assert dynamic.decision_vectors == single.decision_vectors
+    assert _violation_set(dynamic) == _violation_set(single)
+    assert dynamic.complete == single.complete
+
+
+CASE = ExploreCase(target="hastycommit", n=2, depth=6, seed=1)
+
+
+def _enqueue_case(store, case, queue_scope, shard_depth=4, **options):
+    """The coordinator's phase 1, laid bare for the orchestrated tests."""
+    from repro.explore.frontier import result_to_dict
+    from repro.explore.shard import split_case
+    from repro.store.exchange import FingerprintExchange
+
+    from repro.explore.cases import case_to_dict
+
+    case_dict = case_to_dict(case)
+    scope = exchange_scope(
+        case_dict,
+        options.get("engine", "indexed"),
+        options.get("por", True),
+        options.get("dedup", True),
+        options.get("symmetry"),
+        options.get("fingerprint_mode", "incremental"),
+    ) + ":test"
+    exchange = FingerprintExchange(store, scope)
+    shallow, roots = split_case(case, choice_limit=shard_depth, exchange=exchange)
+    exchange.publish_pending()
+    store.enqueue_work(
+        queue_scope,
+        [
+            {"case": case_dict, "prefix": list(r), "scope": scope,
+             "case_index": 0}
+            for r in roots
+        ],
+    )
+    store.flush()
+    return result_to_dict(shallow), len(roots)
+
+
+class TestEquivalence:
+    def test_dynamic_equals_serial(self, tmp_path):
+        single = explore_case(CASE)
+        dynamic = explore_case_dynamic(
+            CASE, workers=2, shard_depth=4, lease_ttl=2.0, store=tmp_path
+        )
+        _assert_equivalent(dynamic, single)
+        assert dynamic.incidents == []
+
+    def test_single_worker_no_stealing(self, tmp_path):
+        single = explore_case(CASE)
+        dynamic = explore_case_dynamic(
+            CASE, workers=1, shard_depth=4, lease_ttl=2.0, store=tmp_path
+        )
+        _assert_equivalent(dynamic, single)
+
+    def test_run_cleans_up_queue_and_scopes(self, tmp_path):
+        explore_case_dynamic(CASE, workers=2, shard_depth=4, store=tmp_path)
+        store = ResultStore(tmp_path)
+        con = store.read_connection()
+        try:
+            assert con.execute(
+                "SELECT COUNT(*) FROM work_queue"
+            ).fetchone()[0] == 0
+            assert con.execute(
+                "SELECT COUNT(*) FROM leases"
+            ).fetchone()[0] == 0
+            assert con.execute(
+                "SELECT COUNT(*) FROM fingerprints"
+            ).fetchone()[0] == 0
+            assert con.execute(
+                "SELECT COUNT(*) FROM exchange_scopes"
+            ).fetchone()[0] == 0
+        finally:
+            con.close()
+            store.close()
+
+
+class TestWorkStealing:
+    def test_starved_queue_triggers_resplit(self, tmp_path):
+        # With siblings live and nothing pending, a claimed shard
+        # re-splits: judged leaves stay in its summary, halted prefixes
+        # come back as children for the others to steal.
+        store = ResultStore(tmp_path)
+        _base, roots = _enqueue_case(store, CASE, "steal-q", shard_depth=2)
+        assert roots >= 1
+        work = store.claim_work("steal-q", "w0", ttl=30.0)
+        while store.work_status("steal-q")["pending"]:
+            # Drain the queue so the claimed item sees starvation.
+            extra = store.claim_work("steal-q", "w0", ttl=30.0)
+            store.complete_work(extra.id, "w0", {"drained": True})
+        summary, fingerprints, children = _run_item(
+            store, "steal-q", work.item,
+            {"workers": 2, "split_step": 2},
+        )
+        assert children, "starved queue must produce re-split children"
+        assert all(
+            tuple(c["prefix"][: len(work.item["prefix"])])
+            == tuple(work.item["prefix"])
+            for c in children
+        ), "children stay within the parent shard's subtree"
+        assert summary["complete"]  # halted prefixes are deferred, not lost
+        assert fingerprints  # the completed walk's deferred publication
+        store.close()
+
+    def test_stealing_preserves_equivalence(self, tmp_path):
+        # Tiny shard_depth + tiny split_step force many re-splits.
+        single = explore_case(CASE)
+        dynamic = explore_case_dynamic(
+            CASE, workers=3, shard_depth=2, split_step=2,
+            lease_ttl=2.0, store=tmp_path,
+        )
+        _assert_equivalent(dynamic, single)
+
+
+class TestSigkillRecovery:
+    def test_killed_worker_lease_expires_and_shard_is_recovered(
+        self, tmp_path, monkeypatch
+    ):
+        # The ISSUE's scenario, orchestrated deterministically: a real
+        # worker process claims a shard and stalls inside it (hearts
+        # beating); SIGKILL silences it; the lease expires; the shard
+        # requeues; a healthy in-process worker drains the queue; the
+        # merged result is identical to the serial walk.
+        import multiprocessing
+
+        from repro.explore.shard import _result_from_summary, merge_summaries
+
+        single = explore_case(CASE)
+        store = ResultStore(tmp_path)
+        base, roots = _enqueue_case(store, CASE, "kill-q", shard_depth=4)
+        assert roots >= 2, "need several shards for a meaningful merge"
+
+        ttl = 1.0
+        options = {"workers": 1, "lease_ttl": ttl, "retry_limit": 3}
+        monkeypatch.setenv(CHAOS_STALL_ENV, "600")
+        context = multiprocessing.get_context("spawn")
+        victim = context.Process(
+            target=_worker_main,
+            args=(str(store.path), "kill-q", "victim", options),
+            daemon=True,
+        )
+        victim.start()
+        deadline = time.monotonic() + 30.0
+        while not store.leased_workers("kill-q"):
+            assert time.monotonic() < deadline, "victim never claimed"
+            time.sleep(0.02)
+        leased = store.leased_workers("kill-q")
+        assert "victim" in leased
+
+        os.kill(victim.pid, signal.SIGKILL)  # mid-shard, no cleanup
+        victim.join(timeout=10.0)
+        monkeypatch.delenv(CHAOS_STALL_ENV)
+
+        # The dead worker's lease expires (heartbeats stopped with it)
+        # and the coordinator's failure detector requeues the shard.
+        deadline = time.monotonic() + 30.0
+        incidents = []
+        while not incidents:
+            assert time.monotonic() < deadline, "lease never expired"
+            time.sleep(0.1)
+            incidents = store.requeue_expired("kill-q", retry_limit=3)
+        assert incidents[0]["kind"] == "lease-expired"
+        assert incidents[0]["worker"] == "victim"
+        assert store.work_status("kill-q")["pending"] >= 1
+
+        # A healthy worker (run in-process: _worker_main is just a
+        # function) drains the queue, re-claiming the recovered shard.
+        _worker_main(str(store.path), "kill-q", "healthy", options)
+        status = store.work_status("kill-q")
+        assert status["pending"] == 0 and status["leased"] == 0
+        assert status["quarantined"] == 0
+
+        merged = merge_summaries(
+            base, [s for _, _, s in store.work_results("kill-q")]
+        )
+        recovered = _result_from_summary(CASE, merged)
+        _assert_equivalent(recovered, single)
+        assert recovered.complete
+        store.close()
+
+    def test_end_to_end_under_worker_killer(self, tmp_path):
+        # The acceptance criterion: kill rate ≥ 0.2 against the n=3
+        # NBAC frontier, and the merged result is still complete and
+        # identical to the serial walk.
+        case = ExploreCase(target="nbac", n=3, depth=6)
+        single = explore_case(case, symmetry="auto")
+        dynamic = explore_case_dynamic(
+            case,
+            workers=4,
+            shard_depth=4,
+            lease_ttl=1.5,
+            symmetry="auto",
+            chaos_kill_rate=0.4,
+            chaos_seed=11,
+            store=tmp_path,
+        )
+        _assert_equivalent(dynamic, single)
+        assert dynamic.complete
+        for incident in dynamic.incidents:
+            assert incident["kind"] == "lease-expired"
+
+
+class TestQuarantine:
+    def test_poison_shards_quarantine_not_raise(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CHAOS_FAIL_ENV, "1")
+        summaries = run_frontier_dynamic(
+            [CASE],
+            workers=1,
+            shard_depth=4,
+            lease_ttl=5.0,
+            retry_limit=1,
+            store=tmp_path,
+        )
+        summary = summaries[0]
+        assert summary["complete"] is False
+        kinds = {i["kind"] for i in summary["incidents"]}
+        assert "shard-quarantined" in kinds
+        quarantined = [
+            i for i in summary["incidents"]
+            if i["kind"] == "shard-quarantined"
+        ]
+        for incident in quarantined:
+            assert incident["error"]["error_type"] == "RuntimeError"
+        # The splitter's shallow leaves survive: partial results, not
+        # an exception.
+        assert summary["stats"]["runs"] > 0

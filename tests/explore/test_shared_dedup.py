@@ -27,17 +27,38 @@ class TestExchangeMechanics:
         case = ExploreCase(target="nbac", n=2, depth=5)
         store = ResultStore(tmp_path)
         scope = "test-scope"
-        # First walk publishes everything it records...
-        first = explore_case(
-            case, exchange=FingerprintExchange(store, scope, batch=8)
-        )
+        # Publication is deferred to completion: nothing lands in the
+        # store until the walk's owner declares the walk done...
+        first_exchange = FingerprintExchange(store, scope, batch=8)
+        first = explore_case(case, exchange=first_exchange)
         assert first.states > 0
-        # ...so a second walk of the same tree re-records nothing.
+        assert store.load_fingerprints(scope)[0] == {}
+        published = first_exchange.publish_pending()
+        assert published > 0
+        # ...after which a second walk of the same tree re-records
+        # nothing.
         second = explore_case(
             case, exchange=FingerprintExchange(store, scope, batch=8)
         )
         assert second.states == 0
         assert second.decision_vectors == first.decision_vectors
+        store.close()
+
+    def test_crashed_walk_publishes_nothing(self, tmp_path):
+        # The soundness half of deferred publication: a walk abandoned
+        # mid-run (worker died, cell retried) must leave no fingerprint
+        # claiming coverage it never delivered — its pending set dies
+        # with it unless take_pending/publish_pending runs.
+        case = ExploreCase(target="nbac", n=2, depth=5)
+        store = ResultStore(tmp_path)
+        abandoned = FingerprintExchange(store, "crash-scope", batch=8)
+        explore_case(case, exchange=abandoned, max_runs=3)
+        del abandoned
+        retry = FingerprintExchange(store, "crash-scope", batch=8)
+        assert retry.visited == {}
+        result = explore_case(case, exchange=retry)
+        assert result.complete
+        assert result.decision_vectors == explore_case(case).decision_vectors
         store.close()
 
     def test_scope_covers_fingerprint_shaping_options(self):

@@ -1,0 +1,226 @@
+"""The work-queue/lease protocol: the frontier's coordination substrate.
+
+These are the store-level guarantees :mod:`repro.explore.frontierd`
+builds on: a claim and its lease are atomic, exactly one completion
+per item is ever accepted, a rejected completion publishes nothing
+(fingerprints and children ride the same transaction), expiry requeues
+with exponential backoff, and a poison item lands in quarantine after
+its retry budget.  Times are injected (``now=``) so every schedule is
+deterministic.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.store import ResultStore
+from repro.store.db import drain_busy_retries, retry_locked
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = ResultStore(tmp_path)
+    yield s
+    s.close()
+
+
+def _item(index=0):
+    return {"case_index": index, "prefix": [index], "scope": "s"}
+
+
+class TestClaimAndLease:
+    def test_claim_is_oldest_first_and_exclusive(self, store):
+        store.enqueue_work("q", [_item(0), _item(1)])
+        first = store.claim_work("q", "w1", ttl=5.0, now=10.0)
+        second = store.claim_work("q", "w2", ttl=5.0, now=10.0)
+        assert first.item["case_index"] == 0
+        assert second.item["case_index"] == 1
+        assert store.claim_work("q", "w3", ttl=5.0, now=10.0) is None
+        assert store.leased_workers("q") == {"w1": first.id, "w2": second.id}
+
+    def test_attempts_count_claims(self, store):
+        store.enqueue_work("q", [_item()])
+        assert store.claim_work("q", "w1", ttl=1.0, now=0.0).attempts == 1
+        store.requeue_expired("q", now=10.0)
+        # The requeue applies backoff: claimable only after it elapses.
+        assert store.claim_work("q", "w2", ttl=1.0, now=11.0).attempts == 2
+
+    def test_heartbeat_extends_only_the_holder(self, store):
+        store.enqueue_work("q", [_item()])
+        work = store.claim_work("q", "w1", ttl=1.0, now=0.0)
+        assert store.heartbeat_work(work.id, "w1", ttl=1.0, now=0.5)
+        assert not store.heartbeat_work(work.id, "intruder", ttl=1.0, now=0.5)
+        # The heartbeat at 0.5 pushed expiry to 1.5: not expired at 1.2.
+        assert store.requeue_expired("q", now=1.2) == []
+        assert store.requeue_expired("q", now=2.0) != []
+
+    def test_scopes_are_disjoint(self, store):
+        store.enqueue_work("q1", [_item()])
+        assert store.claim_work("q2", "w1", ttl=1.0) is None
+        assert store.work_status("q2")["pending"] == 0
+
+
+class TestCompletion:
+    def test_complete_is_atomic_with_fingerprints_and_children(self, store):
+        store.enqueue_work("q", [_item()])
+        work = store.claim_work("q", "w1", ttl=5.0, now=0.0)
+        assert store.complete_work(
+            work.id, "w1", {"runs": 7},
+            fingerprint_scope="fps", fingerprints=[("aa", 3), ("bb", 1)],
+            children=[_item(1), _item(2)],
+        )
+        assert store.work_status("q") == {
+            "pending": 2, "leased": 0, "done": 1, "quarantined": 0,
+        }
+        assert store.load_fingerprints("fps")[0] == {"aa": 3, "bb": 1}
+        results = store.work_results("q")
+        assert len(results) == 1 and results[0][2] == {"runs": 7}
+
+    def test_exactly_one_completion_is_accepted(self, store):
+        # w1's lease expires, w2 claims the retry; w1 then finishes
+        # late.  The completion transaction — not the suspicion — is
+        # the arbiter: w1 is rejected wholesale.
+        store.enqueue_work("q", [_item()])
+        w1 = store.claim_work("q", "w1", ttl=1.0, now=0.0)
+        store.requeue_expired("q", now=5.0)
+        w2 = store.claim_work("q", "w2", ttl=1.0, now=6.0)
+        assert w1.id == w2.id
+        assert not store.complete_work(
+            w1.id, "w1", {"runs": 1},
+            fingerprint_scope="fps", fingerprints=[("late", 9)],
+            children=[_item(9)],
+        )
+        # The rejected completion published NOTHING — no fingerprints
+        # claiming coverage, no duplicate children.
+        assert store.load_fingerprints("fps")[0] == {}
+        assert store.work_status("q")["pending"] == 0
+        assert store.complete_work(w2.id, "w2", {"runs": 1})
+        assert not store.complete_work(w2.id, "w2", {"runs": 1})  # done is final
+
+    def test_late_completion_of_unclaimed_requeue_is_accepted(self, store):
+        # The lease expired under a slow-but-alive worker and nobody
+        # has re-claimed yet: the late result is accepted (the walk is
+        # deterministic — it is the same result a retry would produce).
+        store.enqueue_work("q", [_item()])
+        w1 = store.claim_work("q", "w1", ttl=1.0, now=0.0)
+        store.requeue_expired("q", now=5.0)
+        assert store.complete_work(w1.id, "w1", {"runs": 2}, now=6.0)
+        assert store.work_status("q")["done"] == 1
+        # ...and the stale pending row is gone: nobody can claim it.
+        assert store.claim_work("q", "w2", ttl=1.0, now=6.0) is None
+
+
+class TestFailureAndRecovery:
+    def test_fail_requeues_with_exponential_backoff(self, store):
+        store.enqueue_work("q", [_item()])
+        work = store.claim_work("q", "w1", ttl=5.0, now=0.0)
+        assert store.fail_work(
+            work.id, "w1", {"err": "boom"}, retry_limit=3,
+            backoff=1.0, now=100.0,
+        ) == "requeued"
+        # attempts=1 → backoff 1.0 * 2^0: claimable at 101, not 100.5.
+        assert store.claim_work("q", "w2", ttl=5.0, now=100.5) is None
+        retry = store.claim_work("q", "w2", ttl=5.0, now=101.0)
+        assert retry.attempts == 2
+        assert store.fail_work(
+            retry.id, "w2", {"err": "boom"}, retry_limit=3,
+            backoff=1.0, now=200.0,
+        ) == "requeued"
+        # attempts=2 → backoff 2.0.
+        assert store.claim_work("q", "w3", ttl=5.0, now=201.0) is None
+        assert store.claim_work("q", "w3", ttl=5.0, now=202.0) is not None
+
+    def test_retry_budget_exhaustion_quarantines(self, store):
+        store.enqueue_work("q", [_item(4)])
+        verdicts = []
+        now = 0.0
+        for attempt in range(3):
+            work = store.claim_work("q", f"w{attempt}", ttl=5.0, now=now)
+            verdicts.append(
+                store.fail_work(
+                    work.id, f"w{attempt}", {"err": "poison"},
+                    retry_limit=2, backoff=0.0, now=now,
+                )
+            )
+            now += 10.0
+        assert verdicts == ["requeued", "requeued", "quarantined"]
+        quarantined = store.work_quarantined("q")
+        assert len(quarantined) == 1
+        assert quarantined[0]["item"]["case_index"] == 4
+        assert quarantined[0]["error"]["err"] == "poison"
+        assert store.claim_work("q", "w9", ttl=5.0, now=now) is None
+
+    def test_expired_lease_requeues_with_incident(self, store):
+        store.enqueue_work("q", [_item(2)])
+        work = store.claim_work("q", "dead-worker", ttl=1.0, now=0.0)
+        incidents = store.requeue_expired("q", retry_limit=2, now=10.0)
+        assert len(incidents) == 1
+        assert incidents[0]["kind"] == "lease-expired"
+        assert incidents[0]["worker"] == "dead-worker"
+        assert incidents[0]["item"]["case_index"] == 2
+        assert store.leased_workers("q") == {}
+        retry = store.claim_work("q", "w2", ttl=1.0, now=20.0)
+        assert retry.id == work.id
+
+    def test_repeated_expiry_quarantines(self, store):
+        store.enqueue_work("q", [_item()])
+        now = 0.0
+        kinds = []
+        for attempt in range(3):
+            work = store.claim_work("q", f"w{attempt}", ttl=1.0, now=now)
+            assert work is not None
+            now += 10.0
+            incidents = store.requeue_expired(
+                "q", retry_limit=2, backoff=0.0, now=now
+            )
+            kinds.extend(i["kind"] for i in incidents)
+        assert kinds == [
+            "lease-expired", "lease-expired", "shard-quarantined",
+        ]
+        assert store.work_status("q")["quarantined"] == 1
+
+    def test_clear_work_drops_the_scope(self, store):
+        store.enqueue_work("q", [_item(0), _item(1)])
+        store.claim_work("q", "w1", ttl=5.0)
+        store.clear_work("q")
+        assert store.work_status("q") == {
+            "pending": 0, "leased": 0, "done": 0, "quarantined": 0,
+        }
+        assert store.leased_workers("q") == {}
+
+
+class TestBusyRetry:
+    def test_busy_errors_are_retried_and_tallied(self):
+        drain_busy_retries()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        assert retry_locked(flaky, base_delay=0.001) == "ok"
+        assert len(attempts) == 3
+        assert drain_busy_retries() == 2
+        assert drain_busy_retries() == 0  # the tally is take-and-reset
+
+    def test_non_busy_errors_are_not_retried(self):
+        drain_busy_retries()
+
+        def broken():
+            raise sqlite3.OperationalError("no such table: nope")
+
+        with pytest.raises(sqlite3.OperationalError):
+            retry_locked(broken, base_delay=0.001)
+        assert drain_busy_retries() == 0
+
+    def test_budget_exhaustion_reraises(self):
+        drain_busy_retries()
+
+        def always_locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError):
+            retry_locked(always_locked, retries=2, base_delay=0.001)
+        assert drain_busy_retries() == 2
