@@ -55,6 +55,7 @@ from repro.explore.frontier import (
     enumerate_roots,
     run_frontier,
 )
+from repro.explore.frontierd import DEFAULT_SHARD_BUDGET
 from repro.explore.symmetry import collapse_symmetric_roots
 
 
@@ -116,6 +117,26 @@ def _parse_args(argv) -> argparse.Namespace:
         help=(
             "dynamic frontier: seconds before a silent worker's lease "
             "expires and its shard is requeued (default 5)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-budget",
+        type=int,
+        default=None,
+        help=(
+            "dynamic frontier: adaptive sizing target — workers "
+            "re-split their claims while the pending queue holds fewer "
+            f"than this many shards per worker (default {DEFAULT_SHARD_BUDGET})"
+        ),
+    )
+    parser.add_argument(
+        "--shard-depth",
+        type=int,
+        default=None,
+        help=(
+            "dynamic frontier: legacy override — pre-split every root "
+            "at this fixed choice depth instead of adaptive on-demand "
+            "splitting (default: adaptive)"
         ),
     )
     parser.add_argument(
@@ -319,6 +340,12 @@ def main(argv=None) -> int:
                     symmetry="auto" if args.symmetry else None,
                     fingerprint_mode=args.fingerprint_mode,
                     store=store,
+                    shard_depth=args.shard_depth,
+                    shard_budget=(
+                        args.shard_budget
+                        if args.shard_budget is not None
+                        else DEFAULT_SHARD_BUDGET
+                    ),
                     lease_ttl=args.lease_ttl,
                     chaos_kill_rate=args.chaos_kill_rate,
                     chaos_seed=args.chaos_seed,
@@ -392,12 +419,21 @@ def main(argv=None) -> int:
                 )
                 print(
                     f"  frontier: workers={block.get('workers')} "
+                    f"mode={block.get('shard_mode')} "
                     f"recoveries={block.get('recoveries')} "
                     f"kills={block.get('kills')} "
                     f"respawns={block.get('respawns')} "
                     f"quarantined={block.get('quarantined')} "
                     f"incidents={incident_count} "
                     f"wall_clock={block.get('wall_clock')}s"
+                )
+                print(
+                    "  coordination: "
+                    f"claims={block.get('claims')} "
+                    f"claim_round_trips={block.get('claim_round_trips')} "
+                    f"heartbeats={block.get('heartbeats')} "
+                    f"exchange_pulls={block.get('exchange_pulls')} "
+                    f"store_busy_retries={block.get('store_busy_retries')}"
                 )
             if (args.out is not None or store is not None) and found:
                 for path in _emit_artifacts(summaries, args.out, store):

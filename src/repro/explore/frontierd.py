@@ -8,12 +8,21 @@ processes that *cannot be trusted not to crash*, coordinated through
 an unreliable timeout-based failure detector.
 
 **The protocol.**  Shard roots live as claimable items in the store's
-``work_queue`` (:meth:`repro.store.db.ResultStore.claim_work`).  A
-worker claims the oldest pending item under an *expiring lease*, runs
-the subtree walk, and reports completion in one atomic transaction —
-summary, deferred fingerprints, and any re-split children land
-together, or not at all.  While it works, a heartbeat thread extends
-the lease; a worker SIGKILLed mid-shard simply goes silent.  The
+``work_queue``.  A worker claims up to a fair share of the oldest
+pending items in ONE transaction
+(:meth:`repro.store.db.ResultStore.claim_work_batch` — each item under
+its own *expiring lease*), walks the batch locally, and reports the
+whole batch in one atomic completion transaction
+(:meth:`~repro.store.db.ResultStore.complete_work_batch`) — summaries,
+deferred fingerprints, and any re-split children land together, or not
+at all.  Batching is what makes worker scaling near-linear: per-item
+claims cost one store round-trip per shard, which dominates wall clock
+the moment shards are small (the BENCH_explore ``frontier`` section
+used to scale *negatively* for exactly that reason).  While it works,
+a single heartbeat thread extends every lease the worker holds with
+one UPDATE per interval
+(:meth:`~repro.store.db.ResultStore.heartbeat_worker`); a worker
+SIGKILLed mid-batch simply goes silent.  The
 coordinator polls :meth:`~repro.store.db.ResultStore.requeue_expired`:
 an expired lease is a *suspicion* (the timeout-as-failure-detector
 pattern — like ◇P, it may be wrong about a merely slow worker), so the
@@ -26,14 +35,22 @@ dying past its retry budget is *quarantined*: the merged case reports
 ``complete=False`` with a structured incident instead of raising away
 its siblings' finished work.
 
-**Work stealing.**  Static splitting serializes on its deepest shard.
-Here a worker that claims a shard while the queue is starved
-(``pending == 0`` with other workers live) re-splits it: the walk runs
-with ``choice_limit`` pushed ``split_step`` choices deeper, judged
-leaves stay in this shard's summary, and the halted prefixes are
-enqueued as fresh roots in the same completion transaction — so
-stragglers shrink instead of the run serializing, and a crash before
-completion enqueues no duplicate children.
+**Work stealing and adaptive shard sizing.**  Static splitting
+serializes on its deepest shard; fixed-depth splitting also front-pays
+a shard count that only makes sense for one worker count.  Here both
+problems are one mechanism: a worker whose claim leaves the pending
+queue below ``shard_budget × workers`` re-splits its batch — each walk
+runs with ``choice_limit`` pushed ``split_step`` choices past its
+prefix, judged leaves stay in the shard's summary, and the halted
+prefixes are enqueued as fresh roots in the same completion
+transaction — so stragglers shrink instead of the run serializing, and
+a crash before completion enqueues no duplicate children.  By default
+(``shard_depth=None``) each root enters the queue as ONE bare item and
+this demand-driven re-splitting produces all granularity: a single
+worker never splits (its walk is the plain single-process walk plus
+one claim and one completion), while k workers split exactly while
+starved.  Passing an integer ``shard_depth`` restores the legacy
+fixed pre-split.
 
 **Completeness.**  The merged result equals the serial walk's because
 (1) split soundness: a splitter/re-splitter's deferred prefixes are
@@ -79,8 +96,24 @@ CHAOS_STALL_ENV = "REPRO_FRONTIERD_CHAOS_STALL"
 
 DEFAULT_LEASE_TTL = 5.0
 DEFAULT_RETRY_LIMIT = 3
-DEFAULT_SPLIT_STEP = 6
+#: Choices a re-split pushes past its prefix.  Small on purpose: the
+#: effective choice depth of these trees is shallow (POR + forced
+#: steps log few real choices — an n=3 depth-6 NBAC tree is ~9 choices
+#: deep), so a step of 4 fans a bare root into ~tens of children for
+#: centiseconds of splitter work, while 6 can overshoot a shallow tree
+#: entirely and split nothing.
+DEFAULT_SPLIT_STEP = 4
 DEFAULT_SHARD_DEPTH = 6
+#: Adaptive sizing target: keep the pending queue around this many
+#: claimable shards per worker.  Workers re-split their claims only
+#: while the queue sits below the target, so shard granularity tracks
+#: demand — one worker never splits at all (the whole tree is one
+#: claim), k workers split just enough to keep everyone fed.
+DEFAULT_SHARD_BUDGET = 3
+#: Most items one claim transaction may lease (the fair-share cap in
+#: :meth:`~repro.store.db.ResultStore.claim_work_batch` usually bites
+#: first; this bounds the recovery cost of losing one worker).
+DEFAULT_CLAIM_LIMIT = 16
 
 
 def _queue_scope(token: str) -> str:
@@ -89,17 +122,22 @@ def _queue_scope(token: str) -> str:
 
 def _heartbeat_main(
     store_path: str,
-    work_id: int,
+    queue_scope: str,
     worker: str,
     ttl: float,
     stop: threading.Event,
+    beats: List[int],
 ) -> None:
-    """Keep one lease alive until told to stop.
+    """Keep every lease this worker holds alive until told to stop.
 
-    Runs in its own thread with its *own* store object — sqlite3
-    connections are bound to their creating thread.  A worker that is
-    killed takes this thread down with it, which is the whole point:
-    heartbeats stop exactly when the process stops.
+    One UPDATE per interval covers the whole claimed batch
+    (:meth:`~repro.store.db.ResultStore.heartbeat_worker`) — liveness
+    traffic is per *worker*, not per item.  Runs in its own thread with
+    its *own* store object — sqlite3 connections are bound to their
+    creating thread.  A worker that is killed takes this thread down
+    with it, which is the whole point: heartbeats stop exactly when the
+    process stops.  ``beats[0]`` counts sent heartbeats for the
+    ``frontier_heartbeats`` perf counter.
     """
     from repro.store.db import ResultStore
 
@@ -110,72 +148,104 @@ def _heartbeat_main(
     try:
         while not stop.wait(max(0.05, ttl / 3.0)):
             try:
-                if not store.heartbeat_work(work_id, worker, ttl):
-                    return  # lease lost: stop advertising liveness
+                if store.heartbeat_worker(queue_scope, worker, ttl) == 0:
+                    return  # no leases left: stop advertising liveness
+                beats[0] += 1
             except Exception:  # noqa: BLE001
                 continue  # transient store contention; try again
     finally:
         store.close()
 
 
-def _run_item(
+def _run_batch(
     store: Any,
     queue_scope: str,
-    item: Dict[str, Any],
+    items: Sequence[Any],
+    status: Dict[str, int],
     options: Dict[str, Any],
-) -> Tuple[Dict[str, Any], List[Tuple[str, int]], List[Dict[str, Any]]]:
-    """Walk one shard; returns (summary, fingerprints, children).
+    counters: Any,
+) -> Tuple[
+    List[Dict[str, Any]], List[Tuple[str, List[Tuple[str, int]]]]
+]:
+    """Walk a claimed batch locally; returns (completions, fingerprints).
 
-    The exchange is fresh per item: a worker's visited dict must never
-    carry states from a walk whose completion was not accepted (they
-    would claim coverage nothing merged), so each item seeds from the
-    store and hands its pending set to the completion transaction.
+    ``completions`` is the :meth:`~repro.store.db.ResultStore
+    .complete_work_batch` payload — one ``{"work_id", "result",
+    "children"}`` dict per item.  ``fingerprints`` is the batch's
+    deferred visited-set, grouped per exchange scope: the batch shares
+    ONE exchange per scope, so later items dedup against earlier items'
+    local discoveries for free, and the shared pending set can only be
+    published (or dropped) wholesale — exactly the all-or-nothing
+    contract of the batch completion.  A batch whose completion is
+    never accepted publishes nothing; its items requeue by lease expiry
+    and are re-walked from a store-seeded exchange elsewhere.
+
+    The re-split decision is per batch, off the post-claim ``status``
+    snapshot the claim transaction returned: when the pending queue
+    sits below ``shard_budget × workers``, every item in the batch
+    walks with ``choice_limit`` pushed ``split_step`` past its prefix
+    and defers the halted subtrees as children — work stealing and
+    adaptive shard sizing are the same mechanism.
     """
     from repro.store.exchange import FingerprintExchange
 
-    case = case_from_dict(item["case"])
-    prefix = tuple(item["prefix"])
-    scope = item["scope"]
-    exchange = FingerprintExchange(
-        store,
-        scope,
-        batch=options.get("exchange_batch", 256),
-        pull_interval=options.get("sync_interval", 0.5),
-    )
-    choice_limit = None
-    if options.get("workers", 1) > 1:
-        status = store.work_status(queue_scope)
-        if status["pending"] == 0:
-            # The queue is starved while siblings idle: steal from
-            # ourselves by re-splitting this shard a step deeper.
-            choice_limit = len(prefix) + options.get(
-                "split_step", DEFAULT_SPLIT_STEP
+    workers = options.get("workers", 1)
+    budget = options.get("shard_budget", DEFAULT_SHARD_BUDGET)
+    resplit = workers > 1 and status["pending"] < budget * workers
+    split_step = options.get("split_step", DEFAULT_SPLIT_STEP)
+    exchanges: Dict[str, FingerprintExchange] = {}
+    completions: List[Dict[str, Any]] = []
+    for work in items:
+        item = work.item
+        case = case_from_dict(item["case"])
+        prefix = tuple(item["prefix"])
+        scope = item["scope"]
+        exchange = exchanges.get(scope)
+        if exchange is None:
+            exchange = exchanges[scope] = FingerprintExchange(
+                store,
+                scope,
+                batch=options.get("exchange_batch", 256),
+                pull_interval=options.get("sync_interval", 0.5),
+                counters=counters,
             )
-    shard_roots: Optional[List[Tuple[int, ...]]] = (
-        [] if choice_limit is not None else None
-    )
-    result = explore_case(
-        case,
-        engine=options.get("engine", "indexed"),
-        por=options.get("por", True),
-        dedup=options.get("dedup", True),
-        symmetry=options.get("symmetry"),
-        fingerprint_mode=options.get("fingerprint_mode", "incremental"),
-        initial_stack=[prefix],
-        choice_limit=choice_limit,
-        shard_roots=shard_roots,
-        exchange=exchange,
-    )
-    children = [
-        {
-            "case": item["case"],
-            "prefix": list(root),
-            "scope": scope,
-            "case_index": item["case_index"],
-        }
-        for root in (shard_roots or [])
+        choice_limit = (
+            len(prefix) + split_step if resplit else None
+        )
+        shard_roots: Optional[List[Tuple[int, ...]]] = (
+            [] if resplit else None
+        )
+        result = explore_case(
+            case,
+            engine=options.get("engine", "indexed"),
+            por=options.get("por", True),
+            dedup=options.get("dedup", True),
+            symmetry=options.get("symmetry"),
+            fingerprint_mode=options.get("fingerprint_mode", "incremental"),
+            initial_stack=[prefix],
+            choice_limit=choice_limit,
+            shard_roots=shard_roots,
+            exchange=exchange,
+        )
+        completions.append(
+            {
+                "work_id": work.id,
+                "result": result_to_dict(result),
+                "children": [
+                    {
+                        "case": item["case"],
+                        "prefix": list(root),
+                        "scope": scope,
+                        "case_index": item["case_index"],
+                    }
+                    for root in (shard_roots or [])
+                ],
+            }
+        )
+    return completions, [
+        (scope, exchange.take_pending())
+        for scope, exchange in exchanges.items()
     ]
-    return result_to_dict(result), exchange.take_pending(), children
 
 
 def _worker_main(
@@ -184,24 +254,42 @@ def _worker_main(
     worker: str,
     options: Dict[str, Any],
 ) -> None:
-    """One frontier worker: claim, walk, complete, repeat until drained."""
+    """One frontier worker: claim a batch, walk it, complete it, repeat.
+
+    The loop's coordination cost is what PR 8 amortizes: one claim
+    transaction leases up to a fair share of the queue, one heartbeat
+    thread covers every held lease, and one completion transaction
+    lands the whole batch — so store round-trips scale with batches,
+    not items.  The batch's coordination counters (claims, round
+    trips, heartbeats, exchange pulls, busy retries) ride into the
+    merged report on the batch's first summary; per-item engine
+    counters stay per-summary so :func:`~repro.explore.shard
+    .merge_summaries` sums stay honest.
+    """
+    from repro.sim.perf import PerfCounters
     from repro.store.db import ResultStore, drain_busy_retries
 
     ttl = options.get("lease_ttl", DEFAULT_LEASE_TTL)
+    claim_limit = options.get("claim_limit", DEFAULT_CLAIM_LIMIT)
+    workers = options.get("workers", 1)
     store = ResultStore(store_path)
+    idle_round_trips = 0
     try:
         while True:
-            item = store.claim_work(queue_scope, worker, ttl)
-            if item is None:
-                status = store.work_status(queue_scope)
+            items, status = store.claim_work_batch(
+                queue_scope, worker, ttl, claim_limit, fair_share=workers
+            )
+            if not items:
                 if status["pending"] == 0 and status["leased"] == 0:
                     return  # drained: every item is done or quarantined
+                idle_round_trips += 1
                 time.sleep(0.05)
                 continue
+            beats = [0]
             stop = threading.Event()
             beater = threading.Thread(
                 target=_heartbeat_main,
-                args=(store_path, item.id, worker, ttl, stop),
+                args=(store_path, queue_scope, worker, ttl, stop, beats),
                 daemon=True,
             )
             beater.start()
@@ -213,36 +301,44 @@ def _worker_main(
                 stall = os.environ.get(CHAOS_STALL_ENV)
                 if stall:
                     time.sleep(float(stall))
-                summary, fingerprints, children = _run_item(
-                    store, queue_scope, item.item, options
+                batch_counters = PerfCounters()
+                completions, fingerprints = _run_batch(
+                    store, queue_scope, items, status, options,
+                    batch_counters,
                 )
-                summary["counters"]["store_busy_retries"] = (
-                    summary["counters"].get("store_busy_retries", 0)
-                    + drain_busy_retries()
+                stop.set()
+                beater.join(timeout=1.0)
+                batch_counters.frontier_claims += len(items)
+                batch_counters.frontier_claim_round_trips += (
+                    idle_round_trips + 1
                 )
-                store.complete_work(
-                    item.id,
-                    worker,
-                    summary,
-                    fingerprint_scope=item.item["scope"],
-                    fingerprints=fingerprints,
-                    children=children,
-                )
-            except Exception as exc:  # noqa: BLE001 — fail the item, live on
-                store.fail_work(
-                    item.id,
-                    worker,
-                    {
-                        "kind": "worker-exception",
-                        "error_type": type(exc).__name__,
-                        "message": str(exc),
-                        "traceback": traceback.format_exc(limit=8),
-                        "worker": worker,
-                    },
-                    retry_limit=options.get(
-                        "retry_limit", DEFAULT_RETRY_LIMIT
-                    ),
-                )
+                idle_round_trips = 0
+                batch_counters.frontier_heartbeats += beats[0]
+                batch_counters.store_busy_retries += drain_busy_retries()
+                first = completions[0]["result"]
+                merged = dict(first.get("counters") or {})
+                for name, value in batch_counters.as_dict().items():
+                    if value:
+                        merged[name] = merged.get(name, 0) + value
+                first["counters"] = merged
+                store.complete_work_batch(worker, completions, fingerprints)
+            except Exception as exc:  # noqa: BLE001 — fail the batch, live on
+                incident = {
+                    "kind": "worker-exception",
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(limit=8),
+                    "worker": worker,
+                }
+                for work in items:
+                    store.fail_work(
+                        work.id,
+                        worker,
+                        incident,
+                        retry_limit=options.get(
+                            "retry_limit", DEFAULT_RETRY_LIMIT
+                        ),
+                    )
             finally:
                 stop.set()
                 beater.join(timeout=1.0)
@@ -314,7 +410,9 @@ def run_frontier_dynamic(
     symmetry: Any = None,
     fingerprint_mode: str = "incremental",
     store: Any = None,
-    shard_depth: int = DEFAULT_SHARD_DEPTH,
+    shard_depth: Optional[int] = None,
+    shard_budget: int = DEFAULT_SHARD_BUDGET,
+    claim_limit: int = DEFAULT_CLAIM_LIMIT,
     split_step: int = DEFAULT_SPLIT_STEP,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     retry_limit: int = DEFAULT_RETRY_LIMIT,
@@ -328,9 +426,16 @@ def run_frontier_dynamic(
     Returns one merged summary dict per root, in root order — the same
     shape :func:`repro.explore.frontier.run_frontier` produces, plus an
     ``incidents`` list and a ``frontier`` accounting block (workers,
-    respawns, recoveries, quarantines).  ``store`` may be a
-    :class:`~repro.store.db.ResultStore`, a path, or None (a private
-    store under a temp directory, deleted with it).
+    respawns, recoveries, quarantines, coordination counters).
+    ``store`` may be a :class:`~repro.store.db.ResultStore`, a path, or
+    None (a private store under a temp directory, deleted with it).
+
+    ``shard_depth=None`` (the default) is adaptive mode: each root is
+    enqueued as one bare item and workers re-split on demand until the
+    pending queue holds about ``shard_budget`` claimable shards per
+    worker (see the module docstring).  An integer ``shard_depth`` is
+    the legacy fixed pre-split override.  ``claim_limit`` caps how many
+    items one claim transaction may lease.
 
     ``chaos_kill_rate`` arms :class:`repro.chaos.workers.WorkerKiller`
     against our own fleet — the CI smoke proof that recovery works.
@@ -338,6 +443,8 @@ def run_frontier_dynamic(
     import tempfile
 
     from repro.chaos.workers import WorkerKiller
+    from repro.explore.symmetry import resolve_symmetry
+    from repro.sim.perf import PerfCounters
     from repro.store.db import ResultStore, drain_busy_retries
     from repro.store.exchange import FingerprintExchange, exchange_scope
 
@@ -361,6 +468,8 @@ def run_frontier_dynamic(
         "lease_ttl": lease_ttl,
         "retry_limit": retry_limit,
         "split_step": split_step,
+        "shard_budget": shard_budget,
+        "claim_limit": claim_limit,
         "exchange_batch": exchange_batch,
         "sync_interval": sync_interval,
     }
@@ -369,10 +478,15 @@ def run_frontier_dynamic(
     incidents: List[Dict[str, Any]] = []
     started = time.perf_counter()
     try:
-        # Phase 1 — split every root in-process (bounded by shard_depth,
-        # cheap) and enqueue the subtrees.  The splitter's fingerprints
-        # publish before any worker seeds: its walk is complete, its
-        # deferred subtrees are exactly the items below.
+        # Phase 1 — seed the queue.  Adaptive mode (shard_depth=None)
+        # enqueues each root as ONE bare item against an empty base
+        # summary: the first worker to claim it provides all splitting
+        # on demand, so granularity tracks the worker count instead of
+        # a guessed depth.  Legacy mode splits every root in-process
+        # (bounded by shard_depth, cheap) and enqueues the subtrees;
+        # the splitter's fingerprints publish before any worker seeds —
+        # its walk is complete, its deferred subtrees are exactly the
+        # items below.
         items: List[Dict[str, Any]] = []
         for index, case in enumerate(roots):
             case_dict = case_to_dict(case)
@@ -383,6 +497,29 @@ def run_frontier_dynamic(
                 token,
             )
             scopes.append(scope)
+            if shard_depth is None:
+                store.register_scope(scope)
+                bases.append(
+                    result_to_dict(
+                        ExploreResult(
+                            case=case,
+                            engine=engine,
+                            por=por,
+                            dedup=dedup,
+                            symmetry=resolve_symmetry(case, symmetry),
+                            fingerprint_mode=fingerprint_mode,
+                        )
+                    )
+                )
+                items.append(
+                    {
+                        "case": case_dict,
+                        "prefix": [],
+                        "scope": scope,
+                        "case_index": index,
+                    }
+                )
+                continue
             splitter_exchange = FingerprintExchange(
                 store, scope, batch=exchange_batch
             )
@@ -417,12 +554,17 @@ def run_frontier_dynamic(
         killer = WorkerKiller(chaos_kill_rate, seed=chaos_seed)
         if items:
             fleet.spawn(workers)
-        poll = max(0.05, lease_ttl / 4.0)
+        # Ramping poll: start fast so short runs are not taxed a fixed
+        # lease_ttl/4 before the drain is even noticed, back off toward
+        # lease_ttl/4 so long runs cost the store a few polls per TTL.
+        poll = 0.05
+        poll_cap = max(0.05, lease_ttl / 4.0)
         last_poll = time.monotonic()
         recoveries = 0
         try:
             while items:
                 time.sleep(poll)
+                poll = min(poll_cap, poll * 1.6)
                 now = time.monotonic()
                 expired = store.requeue_expired(
                     queue_scope, retry_limit=retry_limit
@@ -445,8 +587,10 @@ def run_frontier_dynamic(
         # Phase 3 — merge per root; quarantined shards degrade the
         # verdict to complete=False instead of discarding siblings.
         by_case: Dict[int, List[Dict[str, Any]]] = {}
+        coordination = PerfCounters()
         for _, item, summary in store.work_results(queue_scope):
             by_case.setdefault(item["case_index"], []).append(summary)
+            coordination.merge(summary.get("counters") or {})
         quarantined = store.work_quarantined(queue_scope)
         # work_quarantined is the authoritative quarantine list (it also
         # covers worker-exception quarantines the poll loop never saw);
@@ -459,10 +603,22 @@ def run_frontier_dynamic(
         frontier_block = {
             "workers": workers,
             "lease_ttl": lease_ttl,
+            "shard_mode": "adaptive" if shard_depth is None else "fixed",
+            "shard_depth": shard_depth,
+            "shard_budget": shard_budget,
+            "claim_limit": claim_limit,
             "recoveries": recoveries,
             "kills": len(killer.kills),
             "respawns": fleet.respawns,
             "quarantined": len(quarantined),
+            # Coordination traffic, summed over every accepted batch —
+            # the amortization evidence BENCH_explore's frontier
+            # section records (claims per round trip, heartbeats and
+            # pulls per run).
+            "claims": coordination.frontier_claims,
+            "claim_round_trips": coordination.frontier_claim_round_trips,
+            "heartbeats": coordination.frontier_heartbeats,
+            "exchange_pulls": coordination.exchange_pulls,
             "store_busy_retries": drain_busy_retries(),
             "wall_clock": round(time.perf_counter() - started, 3),
         }
@@ -503,7 +659,7 @@ def explore_case_dynamic(
     symmetry: Any = None,
     fingerprint_mode: str = "incremental",
     store: Any = None,
-    shard_depth: int = DEFAULT_SHARD_DEPTH,
+    shard_depth: Optional[int] = None,
     **kwargs: Any,
 ) -> ExploreResult:
     """One case through the dynamic frontier, as an ExploreResult.

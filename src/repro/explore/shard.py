@@ -108,15 +108,22 @@ def explore_shard(
     shared visited set: states other shards published are dedup hits
     here, and this shard's new states are published back.
     """
+    from repro.sim.perf import PerfCounters
     from repro.store.exchange import open_exchange
 
-    exchange = open_exchange(store_path, scope, batch=exchange_batch)
+    # The exchange shares the walk's counter bag so its store read
+    # round-trips surface as ``exchange_pulls`` in the cell's summary.
+    counters = PerfCounters()
+    exchange = open_exchange(
+        store_path, scope, batch=exchange_batch, counters=counters
+    )
     try:
         result = explore_case(
             case_from_dict(case_dict),
             engine=engine,
             por=por,
             dedup=dedup,
+            counters=counters,
             symmetry=symmetry,
             fingerprint_mode=fingerprint_mode,
             initial_stack=[tuple(prefix)],

@@ -64,6 +64,22 @@ Counter semantics (see ``docs/PERF.md`` for the full story):
 ``explore_shards``
     Subtree shards dispatched by the sharded search
     (:mod:`repro.explore.shard`).
+``frontier_claims`` / ``frontier_claim_round_trips``
+    Work items leased from the store-backed frontier queue, and the
+    claim *transactions* that leased them.  Their ratio is the batch
+    amortization (:meth:`~repro.store.db.ResultStore.claim_work_batch`
+    leases up to a fair share of the pending queue per round trip);
+    ``claims == round_trips`` means batching bought nothing.
+``frontier_heartbeats``
+    Coalesced liveness signals sent by frontier workers — one UPDATE
+    covering every lease the worker holds
+    (:meth:`~repro.store.db.ResultStore.heartbeat_worker`), however
+    many items are in flight.
+``exchange_pulls``
+    Cross-shard visited-set delta pulls executed against the store
+    (:meth:`repro.store.exchange.FingerprintExchange.pull`).  Each is
+    one read round-trip; the rowid cursor plus the minimum-interval
+    gate keep this far below the visited-set write count.
 ``store_busy_retries``
     SQLITE_BUSY / "database is locked" errors the campaign database
     retried through jittered backoff (:mod:`repro.store.db`).  Nonzero
@@ -100,6 +116,10 @@ FIELDS = (
     "explore_fp_host_misses",
     "explore_opaque_tokens",
     "explore_shards",
+    "frontier_claims",
+    "frontier_claim_round_trips",
+    "frontier_heartbeats",
+    "exchange_pulls",
     "store_busy_retries",
 )
 

@@ -35,6 +35,12 @@ TRACKED: Dict[str, Tuple[Tuple[str, str], ...]] = {
         ("min_fp_work_reduction", "higher"),
         ("min_wall_speedup", "higher"),
         ("sharded.dedup_recovered_states", "higher"),
+        # Frontier coordination amortization: 1-worker wall over the
+        # single-process walk must not creep back up, and 4 workers
+        # must keep beating 1 (ratio > 1 when they do).
+        ("frontier.overhead_1_vs_single", "lower"),
+        ("frontier.wall_1_over_wall_4", "higher"),
+        ("frontier.scaling.4.scaling_efficiency", "higher"),
     ),
     "BENCH_runner": (
         ("speedup", "higher"),

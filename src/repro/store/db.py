@@ -198,6 +198,7 @@ class ResultStore:
         self.path = resolve_store_path(root)
         self.batch = batch
         self._write: Optional[sqlite3.Connection] = None
+        self._read: Optional[sqlite3.Connection] = None
         if create and not self.path.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
             con = self._connect(self.path)
@@ -247,6 +248,21 @@ class ResultStore:
         check_version(con, self.path)
         return con
 
+    @property
+    def shared_read_connection(self) -> sqlite3.Connection:
+        """The store's own long-lived read-only connection.
+
+        Hot-path reads (the exchange's cursored fingerprint pulls, the
+        workers' queue polls) must not pay a connection open — WAL-mode
+        readers never block the writer, so one reused handle per store
+        object is safe.  Like the write connection it is bound to the
+        creating thread; threads own their own store objects.
+        """
+        if self._read is None:
+            self._read = self._connect(self.path, read_only=True)
+            check_version(self._read, self.path)
+        return self._read
+
     def _immediate(self, txn: Callable[[sqlite3.Connection], Any]) -> Any:
         """Run ``txn(con)`` inside one BEGIN IMMEDIATE transaction.
 
@@ -290,6 +306,9 @@ class ResultStore:
         if self._write is not None:
             self._write.close()
             self._write = None
+        if self._read is not None:
+            self._read.close()
+            self._read = None
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -409,20 +428,16 @@ class ResultStore:
         """
 
         def _load() -> Tuple[Dict[str, int], int]:
-            con = self.read_connection()
-            try:
-                visited: Dict[str, int] = {}
-                high = 0
-                for rowid, fp, remaining in con.execute(
-                    "SELECT id, fp, remaining FROM fingerprints "
-                    "WHERE scope = ?",
-                    (scope,),
-                ):
-                    visited[fp] = remaining
-                    high = max(high, rowid)
-                return visited, high
-            finally:
-                con.close()
+            visited: Dict[str, int] = {}
+            high = 0
+            for rowid, fp, remaining in self.shared_read_connection.execute(
+                "SELECT id, fp, remaining FROM fingerprints "
+                "WHERE scope = ?",
+                (scope,),
+            ):
+                visited[fp] = remaining
+                high = max(high, rowid)
+            return visited, high
 
         return retry_locked(_load)
 
@@ -432,15 +447,11 @@ class ResultStore:
         """Fingerprints inserted after rowid ``after`` (batched pull)."""
 
         def _pull() -> List[Tuple[int, str, int]]:
-            con = self.read_connection()
-            try:
-                return con.execute(
-                    "SELECT id, fp, remaining FROM fingerprints "
-                    "WHERE scope = ? AND id > ?",
-                    (scope, after),
-                ).fetchall()
-            finally:
-                con.close()
+            return self.shared_read_connection.execute(
+                "SELECT id, fp, remaining FROM fingerprints "
+                "WHERE scope = ? AND id > ?",
+                (scope, after),
+            ).fetchall()
 
         rows = retry_locked(_pull)
         high = after
@@ -682,6 +693,101 @@ class ResultStore:
 
         return self._immediate(_claim)
 
+    def claim_work_batch(
+        self,
+        scope: str,
+        worker: str,
+        ttl: float,
+        limit: int,
+        fair_share: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> Tuple[List[WorkItem], Dict[str, int]]:
+        """Atomically lease up to ``limit`` claimable items in one
+        transaction — the batched sibling of :meth:`claim_work`.
+
+        ``fair_share`` (the worker count) caps the batch at
+        ``ceil(claimable / fair_share)`` so one worker never vacuums a
+        queue its siblings could be draining: with k workers and n
+        claimable items nobody walks away with more than ⌈n/k⌉.  Each
+        leased item gets its own lease row — the same v2 ``leases``
+        shape per-item claims write, which is why batching needs no
+        schema bump.  Items that were already requeued (``attempts >
+        0``) are claimed solo — batches die as a unit, so isolating
+        suspects keeps quarantine attribution per-item.  Returns
+        ``(items, status)`` where ``status`` is the post-claim
+        :meth:`work_status` snapshot, read inside the same transaction
+        so callers get it for free (no extra round trip) and can size
+        re-splits off a consistent count.
+        """
+        now = time.time() if now is None else now
+
+        def _claim(con: sqlite3.Connection) -> Tuple[List[WorkItem], Dict[str, int]]:
+            claimable = con.execute(
+                "SELECT COUNT(*) FROM work_queue WHERE scope = ? "
+                "AND status = 'pending' AND not_before <= ?",
+                (scope, now),
+            ).fetchone()[0]
+            take = min(limit, claimable)
+            if fair_share is not None and fair_share > 1:
+                take = min(take, -(-claimable // fair_share))
+            items: List[WorkItem] = []
+            if take > 0:
+                rows = con.execute(
+                    "SELECT id, kind, item, attempts FROM work_queue "
+                    "WHERE scope = ? AND status = 'pending' "
+                    "AND not_before <= ? ORDER BY id LIMIT ?",
+                    (scope, now, take),
+                ).fetchall()
+                # Retried items ride solo.  A dead batch burns one
+                # attempt on every passenger, so batching suspects
+                # would let a single poison item (or an unlucky streak
+                # of kills) quarantine innocent neighbours; isolating
+                # anything already requeued keeps poison attribution
+                # per-item — exactly the per-claim semantics the
+                # single-item path has — while fresh items keep the
+                # amortized batch.
+                if rows and rows[0][3] > 0:
+                    rows = rows[:1]
+                else:
+                    for index, row in enumerate(rows):
+                        if row[3] > 0:
+                            rows = rows[:index]
+                            break
+                con.executemany(
+                    "UPDATE work_queue SET status = 'leased', "
+                    "attempts = attempts + 1 WHERE id = ?",
+                    [(row[0],) for row in rows],
+                )
+                con.executemany(
+                    "INSERT OR REPLACE INTO leases (work_id, scope, worker, "
+                    "acquired, heartbeat, expires, format) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    [
+                        (row[0], scope, worker, now, now, now + ttl,
+                         ROW_FORMAT)
+                        for row in rows
+                    ],
+                )
+                items = [
+                    WorkItem(
+                        id=work_id, item=json.loads(item),
+                        attempts=attempts + 1, kind=kind,
+                    )
+                    for work_id, kind, item, attempts in rows
+                ]
+            counts = {
+                "pending": 0, "leased": 0, "done": 0, "quarantined": 0,
+            }
+            for status, count in con.execute(
+                "SELECT status, COUNT(*) FROM work_queue WHERE scope = ? "
+                "GROUP BY status",
+                (scope,),
+            ):
+                counts[status] = count
+            return items, counts
+
+        return self._immediate(_claim)
+
     def heartbeat_work(
         self,
         work_id: int,
@@ -701,6 +807,33 @@ class ResultStore:
                 ).rowcount
 
         return retry_locked(_beat) > 0
+
+    def heartbeat_worker(
+        self,
+        scope: str,
+        worker: str,
+        ttl: float,
+        now: Optional[float] = None,
+    ) -> int:
+        """Extend every lease ``worker`` holds in ``scope`` — one UPDATE.
+
+        The coalesced liveness signal: a worker walking a claimed batch
+        sends one heartbeat per interval regardless of how many items
+        it holds, instead of one per item.  Returns the number of
+        leases renewed; 0 means the worker holds nothing (all expired
+        or reassigned) and should stop advertising liveness.
+        """
+        now = time.time() if now is None else now
+
+        def _beat() -> int:
+            with self.write_connection as con:
+                return con.execute(
+                    "UPDATE leases SET heartbeat = ?, expires = ? "
+                    "WHERE scope = ? AND worker = ?",
+                    (now, now + ttl, scope, worker),
+                ).rowcount
+
+        return retry_locked(_beat)
 
     def complete_work(
         self,
@@ -770,6 +903,91 @@ class ResultStore:
                         for child in children
                     ],
                 )
+            return True
+
+        return self._immediate(_complete)
+
+    def complete_work_batch(
+        self,
+        worker: str,
+        completions: Sequence[Dict[str, Any]],
+        fingerprints: Sequence[Tuple[str, Sequence[Tuple[str, int]]]] = (),
+        kind: str = "shard",
+        now: Optional[float] = None,
+    ) -> bool:
+        """Finish a claimed batch in ONE transaction — all or nothing.
+
+        ``completions`` is one dict per walked item: ``{"work_id",
+        "result", "children"}`` (children optional).  ``fingerprints``
+        is per *exchange scope* — ``(scope, [(fp, remaining), ...])``
+        pairs — because a batch shares one visited set per scope, so
+        its deferred states cannot be attributed to single items.
+
+        That sharing is exactly why acceptance is all-or-nothing: every
+        item must pass :meth:`complete_work`'s ownership test (leased
+        by this worker, or requeued-but-unclaimed after a false
+        suspicion) or the whole batch is rejected and publishes
+        nothing.  A partial accept would let fingerprints discovered
+        while walking a rejected item claim coverage no merged result
+        backs.  A worker whose batch is rejected simply abandons it —
+        its remaining leases expire and the coordinator's failure
+        detector requeues exactly those items.
+        """
+        now = time.time() if now is None else now
+
+        def _complete(con: sqlite3.Connection) -> bool:
+            for completion in completions:
+                work_id = completion["work_id"]
+                row = con.execute(
+                    "SELECT status FROM work_queue WHERE id = ?", (work_id,)
+                ).fetchone()
+                if row is None:
+                    return False
+                status = row[0]
+                if status == "leased":
+                    lease = con.execute(
+                        "SELECT worker FROM leases WHERE work_id = ?",
+                        (work_id,),
+                    ).fetchone()
+                    if lease is None or lease[0] != worker:
+                        return False
+                elif status != "pending":
+                    return False  # already done or quarantined
+            for completion in completions:
+                work_id = completion["work_id"]
+                con.execute(
+                    "UPDATE work_queue SET status = 'done', result = ?, "
+                    "error = NULL WHERE id = ?",
+                    (encode_payload(completion["result"]), work_id),
+                )
+                con.execute(
+                    "DELETE FROM leases WHERE work_id = ?", (work_id,)
+                )
+                children = completion.get("children") or ()
+                if children:
+                    scope = con.execute(
+                        "SELECT scope FROM work_queue WHERE id = ?",
+                        (work_id,),
+                    ).fetchone()[0]
+                    con.executemany(
+                        "INSERT INTO work_queue (scope, kind, item, status, "
+                        "attempts, not_before, format, created) "
+                        "VALUES (?, ?, ?, 'pending', 0, 0.0, ?, ?)",
+                        [
+                            (scope, kind, json.dumps(child, sort_keys=True),
+                             ROW_FORMAT, now)
+                            for child in children
+                        ],
+                    )
+            for fingerprint_scope, batch in fingerprints:
+                if batch:
+                    con.executemany(
+                        self._FP_UPSERT,
+                        [
+                            (fingerprint_scope, fp, remaining, ROW_FORMAT)
+                            for fp, remaining in batch
+                        ],
+                    )
             return True
 
         return self._immediate(_complete)
@@ -894,7 +1112,7 @@ class ResultStore:
             counts = {
                 "pending": 0, "leased": 0, "done": 0, "quarantined": 0,
             }
-            for status, count in self.write_connection.execute(
+            for status, count in self.shared_read_connection.execute(
                 "SELECT status, COUNT(*) FROM work_queue WHERE scope = ? "
                 "GROUP BY status",
                 (scope,),

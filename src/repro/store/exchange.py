@@ -101,11 +101,16 @@ class FingerprintExchange:
         scope: str,
         batch: int = 256,
         pull_interval: Optional[float] = None,
+        counters: Any = None,
     ):
         self.store = store
         self.scope = scope
         self.batch = max(1, batch)
         self.pull_interval = pull_interval
+        #: A :class:`~repro.sim.perf.PerfCounters` (or None): every
+        #: store read round-trip is tallied into ``exchange_pulls`` so
+        #: coordination overhead is observable, not inferred.
+        self.counters = counters
         store.register_scope(scope)
         self.visited, self._cursor = store.load_fingerprints(scope)
         self._pending: Dict[str, int] = {}
@@ -132,6 +137,8 @@ class FingerprintExchange:
         fresh, self._cursor = self.store.fingerprints_since(
             self.scope, self._cursor
         )
+        if self.counters is not None:
+            self.counters.exchange_pulls += 1
         for fp, remaining in fresh:
             seen = self.visited.get(fp)
             if seen is None or seen < remaining:
@@ -146,8 +153,16 @@ class FingerprintExchange:
         Deliberately does **not** publish — the pending set's fate is
         the caller's call: :meth:`publish_pending` once the walk's
         result is safe, or :meth:`take_pending` into an atomic
-        completion transaction.
+        completion transaction.  Pulls are an optimization (they only
+        add dedup information), so when a ``pull_interval`` is set the
+        sync respects it too — a batch worker walking many small items
+        through one exchange must not pay a read round-trip per item.
         """
+        if (
+            self.pull_interval is not None
+            and time.monotonic() - self._last_pull < self.pull_interval
+        ):
+            return
         self.pull()
 
     def publish_pending(self) -> int:
@@ -173,11 +188,12 @@ def open_exchange(
     scope: Optional[str],
     batch: int = 256,
     pull_interval: Optional[float] = None,
+    counters: Any = None,
 ) -> Optional[FingerprintExchange]:
     """An exchange for worker-side use, or None when no store is given."""
     if store_path is None or scope is None:
         return None
     return FingerprintExchange(
         ResultStore(store_path), scope, batch=batch,
-        pull_interval=pull_interval,
+        pull_interval=pull_interval, counters=counters,
     )

@@ -26,6 +26,14 @@ from typing import Callable, Dict
 #: roots as claimable items), ``leases`` (expiring per-item ownership —
 #: the timeout-as-failure-detector the coordinator reads), and
 #: ``exchange_scopes`` (the registry behind stale-scope GC).
+#:
+#: The batched claim/complete protocol (``claim_work_batch`` /
+#: ``complete_work_batch`` / ``heartbeat_worker``) deliberately needs
+#: no bump: a batch lease is N ordinary per-item ``leases`` rows
+#: written in one transaction, a coalesced heartbeat is one UPDATE
+#: over ``(scope, worker)``, and batch completion reuses the same
+#: ``work_queue`` status machine — so v2 stores written by per-item
+#: and batched code interoperate row-for-row.
 SCHEMA_VERSION = 2
 
 #: Per-row format version written into every row's ``format`` column.

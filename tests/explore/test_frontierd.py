@@ -5,13 +5,16 @@ Three layers of proof, mirroring the lease protocol's design:
 * **Equivalence** — the dynamic frontier's merged result matches
   :func:`~repro.explore.engine.explore_case` in decision vectors,
   violations and completeness, with and without work stealing.
-* **SIGKILL recovery** — a real worker process is killed mid-shard
-  (the ``CHAOS_STALL`` hook parks it inside a claimed item, heartbeats
+* **SIGKILL recovery** — a real worker process is killed mid-batch
+  (the ``CHAOS_STALL`` hook parks it inside a claimed batch, heartbeats
   flowing, so the kill window is deterministic); the test then watches
-  the lease expire, the shard requeue, and a healthy worker produce a
-  merged result identical to the serial walk.  This is the ISSUE's
-  acceptance scenario, plus an end-to-end run under the seeded
-  :class:`~repro.chaos.workers.WorkerKiller` at kill rate ≥ 0.2.
+  the leases expire, the batch requeue, and a healthy worker produce a
+  merged result identical to the serial walk.  The batch-lease tests
+  additionally pin the amortized protocol's recovery grain: a kill
+  mid-batch requeues exactly the claimed batch (earlier committed
+  batches stay done), and a batch that walked to the end but never
+  committed publishes nothing.  Plus an end-to-end run under the
+  seeded :class:`~repro.chaos.workers.WorkerKiller` at kill rate ≥ 0.2.
 * **Quarantine** — a poison worker (``CHAOS_FAIL`` hook) exhausts the
   retry budget; the run degrades to ``complete=False`` with structured
   incidents instead of raising.
@@ -25,11 +28,12 @@ from repro.explore import ExploreCase, explore_case
 from repro.explore.frontierd import (
     CHAOS_FAIL_ENV,
     CHAOS_STALL_ENV,
-    _run_item,
+    _run_batch,
     _worker_main,
     explore_case_dynamic,
     run_frontier_dynamic,
 )
+from repro.sim.perf import PerfCounters
 from repro.store import ResultStore
 from repro.store.exchange import exchange_scope
 
@@ -125,15 +129,19 @@ class TestWorkStealing:
         store = ResultStore(tmp_path)
         _base, roots = _enqueue_case(store, CASE, "steal-q", shard_depth=2)
         assert roots >= 1
-        work = store.claim_work("steal-q", "w0", ttl=30.0)
+        claimed, _ = store.claim_work_batch("steal-q", "w0", ttl=30.0, limit=1)
+        work = claimed[0]
         while store.work_status("steal-q")["pending"]:
             # Drain the queue so the claimed item sees starvation.
             extra = store.claim_work("steal-q", "w0", ttl=30.0)
             store.complete_work(extra.id, "w0", {"drained": True})
-        summary, fingerprints, children = _run_item(
-            store, "steal-q", work.item,
-            {"workers": 2, "split_step": 2},
+        status = store.work_status("steal-q")
+        completions, fingerprints = _run_batch(
+            store, "steal-q", [work], status,
+            {"workers": 2, "split_step": 2}, PerfCounters(),
         )
+        summary = completions[0]["result"]
+        children = completions[0]["children"]
         assert children, "starved queue must produce re-split children"
         assert all(
             tuple(c["prefix"][: len(work.item["prefix"])])
@@ -141,7 +149,8 @@ class TestWorkStealing:
             for c in children
         ), "children stay within the parent shard's subtree"
         assert summary["complete"]  # halted prefixes are deferred, not lost
-        assert fingerprints  # the completed walk's deferred publication
+        # The completed walk's deferred publication, grouped per scope.
+        assert any(batch for _, batch in fingerprints)
         store.close()
 
     def test_stealing_preserves_equivalence(self, tmp_path):
@@ -152,6 +161,170 @@ class TestWorkStealing:
             lease_ttl=2.0, store=tmp_path,
         )
         _assert_equivalent(dynamic, single)
+
+    def test_adaptive_mode_equivalence_and_counters(self, tmp_path):
+        # shard_depth=None (the default) enqueues one bare root and
+        # lets demand-driven re-splitting produce all granularity; the
+        # merged result still equals the serial walk, and the frontier
+        # block carries the coordination counters the bench records.
+        single = explore_case(CASE)
+        dynamic = explore_case_dynamic(
+            CASE, workers=2, lease_ttl=2.0, store=tmp_path
+        )
+        _assert_equivalent(dynamic, single)
+        block = dynamic.frontier
+        assert block["shard_mode"] == "adaptive"
+        assert block["shard_depth"] is None
+        for key in (
+            "claims", "claim_round_trips", "heartbeats", "exchange_pulls"
+        ):
+            assert key in block
+        assert block["claims"] >= 1
+        # Batching can only amortize: never more transactions than items.
+        assert block["claim_round_trips"] <= max(
+            block["claims"], block["claim_round_trips"]
+        )
+        assert dynamic.counters.frontier_claims == block["claims"]
+
+
+def _fingerprint_rows(store):
+    con = store.read_connection()
+    try:
+        return con.execute("SELECT COUNT(*) FROM fingerprints").fetchone()[0]
+    finally:
+        con.close()
+
+
+class TestBatchLeases:
+    """The amortized protocol's recovery grain, pinned item by item."""
+
+    def test_sigkill_mid_batch_requeues_only_the_unfinished_tail(
+        self, tmp_path, monkeypatch
+    ):
+        # An earlier committed batch must survive a later kill: the
+        # victim's death requeues exactly the items it still held, not
+        # the batch a previous completion transaction already landed.
+        import multiprocessing
+        import signal as _signal
+
+        store = ResultStore(tmp_path)
+        _base, roots = _enqueue_case(store, CASE, "tail-q", shard_depth=4)
+        assert roots >= 3, "need items for two batches"
+
+        # Batch 1 — claimed, walked, committed in-process.
+        first, status = store.claim_work_batch("tail-q", "inproc", 30.0, 2)
+        completions, fingerprints = _run_batch(
+            store, "tail-q", first, status, {"workers": 1}, PerfCounters()
+        )
+        assert store.complete_work_batch("inproc", completions, fingerprints)
+        committed = len(first)
+        published = _fingerprint_rows(store)
+
+        # Batch 2 — a real worker claims the whole tail and stalls
+        # inside it (heartbeats flowing); SIGKILL silences it.
+        options = {"workers": 1, "lease_ttl": 1.0, "retry_limit": 3}
+        monkeypatch.setenv(CHAOS_STALL_ENV, "600")
+        context = multiprocessing.get_context("spawn")
+        victim = context.Process(
+            target=_worker_main,
+            args=(str(store.path), "tail-q", "victim", options),
+            daemon=True,
+        )
+        victim.start()
+        deadline = time.monotonic() + 30.0
+        while not store.leased_workers("tail-q"):
+            assert time.monotonic() < deadline, "victim never claimed"
+            time.sleep(0.02)
+        os.kill(victim.pid, _signal.SIGKILL)
+        victim.join(timeout=10.0)
+        monkeypatch.delenv(CHAOS_STALL_ENV)
+
+        deadline = time.monotonic() + 30.0
+        incidents = []
+        while not incidents:
+            assert time.monotonic() < deadline, "leases never expired"
+            time.sleep(0.1)
+            incidents = store.requeue_expired("tail-q", retry_limit=3)
+        assert {i["kind"] for i in incidents} == {"lease-expired"}
+
+        status = store.work_status("tail-q")
+        assert status["done"] == committed, "committed batch must stay done"
+        assert status["pending"] == roots - committed, (
+            "exactly the unfinished tail requeues"
+        )
+        assert status["leased"] == 0
+        # The victim was killed before any completion: it published
+        # nothing — the fingerprint table is exactly as batch 1 left it.
+        assert _fingerprint_rows(store) == published
+        store.close()
+
+    def test_uncommitted_batch_publishes_nothing_and_recovery_matches(
+        self, tmp_path
+    ):
+        # A batch that walked to the very end but whose completion
+        # transaction never ran leaves no trace: no summaries, no
+        # fingerprints.  After its leases expire a healthy worker
+        # re-walks the items and the merge equals the serial walk —
+        # the walk is deterministic, so dropping a finished-but-
+        # uncommitted batch costs time, never coverage.
+        from repro.explore.shard import _result_from_summary, merge_summaries
+
+        single = explore_case(CASE)
+        store = ResultStore(tmp_path)
+        base, roots = _enqueue_case(store, CASE, "drop-q", shard_depth=4)
+        published = _fingerprint_rows(store)
+
+        doomed, status = store.claim_work_batch(
+            "drop-q", "doomed", 0.2, roots
+        )
+        assert len(doomed) == roots
+        _run_batch(
+            store, "drop-q", doomed, status, {"workers": 1}, PerfCounters()
+        )  # fully walked — and deliberately never committed
+        assert _fingerprint_rows(store) == published
+        assert list(store.work_results("drop-q")) == []
+
+        time.sleep(0.3)  # let every lease expire
+        incidents = store.requeue_expired("drop-q", retry_limit=3)
+        assert len(incidents) == roots
+        _worker_main(
+            str(store.path), "drop-q", "healthy",
+            {"workers": 1, "lease_ttl": 5.0, "retry_limit": 3},
+        )
+        merged = merge_summaries(
+            base, [s for _, _, s in store.work_results("drop-q")]
+        )
+        recovered = _result_from_summary(CASE, merged)
+        _assert_equivalent(recovered, single)
+        store.close()
+
+    def test_rejected_batch_completion_publishes_nothing(self, tmp_path):
+        # All-or-nothing acceptance: if even one item of the batch was
+        # reassigned to another worker, the whole completion is refused
+        # and neither results nor fingerprints land.
+        store = ResultStore(tmp_path)
+        _base, roots = _enqueue_case(store, CASE, "rej-q", shard_depth=4)
+        published = _fingerprint_rows(store)
+
+        mine, status = store.claim_work_batch("rej-q", "w0", 30.0, roots)
+        completions, fingerprints = _run_batch(
+            store, "rej-q", mine, status, {"workers": 1}, PerfCounters()
+        )
+        # False suspicion: expire every lease, then a thief claims one
+        # (past the requeue backoff, hence the far-future clock).
+        future = time.time() + 31.0
+        store.requeue_expired("rej-q", retry_limit=99, now=future)
+        thief = store.claim_work(
+            "rej-q", "thief", ttl=30.0, now=future + 120.0
+        )
+        assert thief is not None
+
+        assert store.complete_work_batch(
+            "w0", completions, fingerprints
+        ) is False
+        assert _fingerprint_rows(store) == published
+        assert store.work_status("rej-q")["done"] == 0
+        store.close()
 
 
 class TestSigkillRecovery:

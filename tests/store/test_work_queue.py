@@ -189,6 +189,146 @@ class TestFailureAndRecovery:
         assert store.leased_workers("q") == {}
 
 
+class TestBatchClaims:
+    """The amortized protocol: one transaction per batch, not per item."""
+
+    def test_batch_claim_is_oldest_first_exclusive_and_reports_status(
+        self, store
+    ):
+        store.enqueue_work("q", [_item(i) for i in range(5)])
+        items, status = store.claim_work_batch("q", "w1", 5.0, 3, now=10.0)
+        assert [w.item["case_index"] for w in items] == [0, 1, 2]
+        assert all(w.attempts == 1 for w in items)
+        # The status snapshot is post-claim and consistent with it.
+        assert status == {
+            "pending": 2, "leased": 3, "done": 0, "quarantined": 0,
+        }
+        # The batch's leases are ordinary per-item leases: exclusive.
+        others, _ = store.claim_work_batch("q", "w2", 5.0, 10, now=10.0)
+        assert [w.item["case_index"] for w in others] == [3, 4]
+
+    def test_fair_share_caps_the_batch(self, store):
+        # 5 claimable items, 4 workers: nobody takes more than ⌈5/4⌉=2.
+        store.enqueue_work("q", [_item(i) for i in range(5)])
+        items, _ = store.claim_work_batch(
+            "q", "w1", 5.0, 16, fair_share=4, now=0.0
+        )
+        assert len(items) == 2
+
+    def test_fair_share_of_one_takes_everything(self, store):
+        store.enqueue_work("q", [_item(i) for i in range(5)])
+        items, status = store.claim_work_batch(
+            "q", "solo", 5.0, 16, fair_share=1, now=0.0
+        )
+        assert len(items) == 5
+        assert status["pending"] == 0
+
+    def test_empty_queue_returns_status_without_items(self, store):
+        items, status = store.claim_work_batch("q", "w1", 5.0, 8)
+        assert items == []
+        assert status == {
+            "pending": 0, "leased": 0, "done": 0, "quarantined": 0,
+        }
+
+    def test_retried_items_are_claimed_solo(self, store):
+        # A dead batch burns one attempt on every passenger; keeping
+        # suspects out of batches is what stops a poison item (or an
+        # unlucky kill streak) from quarantining innocent neighbours.
+        store.enqueue_work("q", [_item(i) for i in range(4)])
+        batch, _ = store.claim_work_batch("q", "victim", ttl=1.0, limit=4, now=0.0)
+        assert len(batch) == 4
+        store.requeue_expired("q", retry_limit=5, backoff=0.0, now=2.0)
+        # The oldest item is now a suspect (attempts=1): claimed alone.
+        solo, status = store.claim_work_batch("q", "w1", ttl=5.0, limit=4, now=10.0)
+        assert [w.id for w in solo] == [batch[0].id]
+        assert solo[0].attempts == 2
+        assert status["pending"] == 3
+
+    def test_fresh_items_still_batch_behind_a_suspect(self, store):
+        # Oldest-first ordering puts the requeued suspect at the head;
+        # it goes out alone, and the fresh tail behind it batches as
+        # usual on the next claim.
+        store.enqueue_work("q", [_item(0)])
+        first, _ = store.claim_work_batch("q", "victim", ttl=1.0, limit=4, now=0.0)
+        store.requeue_expired("q", retry_limit=5, backoff=0.0, now=2.0)
+        store.enqueue_work("q", [_item(i) for i in (1, 2)])
+        solo, _ = store.claim_work_batch("q", "w1", ttl=5.0, limit=4, now=10.0)
+        assert [w.id for w in solo] == [first[0].id]
+        fresh, _ = store.claim_work_batch("q", "w2", ttl=5.0, limit=4, now=10.0)
+        assert len(fresh) == 2
+        assert all(w.attempts == 1 for w in fresh)
+
+    def test_heartbeat_worker_renews_every_held_lease(self, store):
+        store.enqueue_work("q", [_item(i) for i in range(3)])
+        mine, _ = store.claim_work_batch("q", "w1", 1.0, 2, now=0.0)
+        store.claim_work("q", "other", ttl=1.0, now=0.0)
+        # One UPDATE renews both of w1's leases — and only w1's.
+        assert store.heartbeat_worker("q", "w1", ttl=1.0, now=0.8) == 2
+        expired = store.requeue_expired("q", now=1.5)
+        assert {i["worker"] for i in expired} == {"other"}
+        assert store.requeue_expired("q", now=2.5) != []  # w1's lapse too
+        # A worker holding nothing gets 0: stop advertising liveness.
+        assert store.heartbeat_worker("q", "w1", ttl=1.0, now=3.0) == 0
+
+    def test_batch_completion_is_atomic_with_fingerprints_and_children(
+        self, store
+    ):
+        store.enqueue_work("q", [_item(0), _item(1)])
+        items, _ = store.claim_work_batch("q", "w1", 5.0, 2, now=0.0)
+        assert store.complete_work_batch(
+            "w1",
+            [
+                {"work_id": items[0].id, "result": {"runs": 3},
+                 "children": [_item(7)]},
+                {"work_id": items[1].id, "result": {"runs": 4}},
+            ],
+            fingerprints=[("fps", [("aa", 2), ("bb", 5)])],
+        )
+        assert store.work_status("q") == {
+            "pending": 1, "leased": 0, "done": 2, "quarantined": 0,
+        }
+        assert store.load_fingerprints("fps")[0] == {"aa": 2, "bb": 5}
+        results = {r[2]["runs"] for r in store.work_results("q")}
+        assert results == {3, 4}
+
+    def test_one_stolen_item_rejects_the_whole_batch(self, store):
+        # All-or-nothing: the batch shares one visited set per scope,
+        # so a partial accept would publish fingerprints backed by no
+        # merged result.  One reassigned item refuses everything.
+        store.enqueue_work("q", [_item(0), _item(1)])
+        mine, _ = store.claim_work_batch("q", "w1", 1.0, 2, now=0.0)
+        store.requeue_expired("q", now=5.0)
+        stolen = store.claim_work("q", "thief", ttl=5.0, now=50.0)
+        assert stolen is not None
+        assert not store.complete_work_batch(
+            "w1",
+            [
+                {"work_id": mine[0].id, "result": {"runs": 1}},
+                {"work_id": mine[1].id, "result": {"runs": 1},
+                 "children": [_item(9)]},
+            ],
+            fingerprints=[("fps", [("late", 9)])],
+        )
+        # NOTHING landed: no fingerprints, no children, no results.
+        assert store.load_fingerprints("fps")[0] == {}
+        assert store.work_results("q") == []
+        assert store.work_status("q")["done"] == 0
+
+    def test_requeued_but_unclaimed_batch_is_still_accepted(self, store):
+        # The slow-but-alive worker case, batched: every item expired
+        # and requeued but nobody re-claimed — the deterministic late
+        # result is the right result, so the batch lands.
+        store.enqueue_work("q", [_item(0), _item(1)])
+        mine, _ = store.claim_work_batch("q", "w1", 1.0, 2, now=0.0)
+        store.requeue_expired("q", now=5.0)
+        assert store.complete_work_batch(
+            "w1",
+            [{"work_id": w.id, "result": {"runs": 1}} for w in mine],
+            now=6.0,
+        )
+        assert store.work_status("q")["done"] == 2
+
+
 class TestBusyRetry:
     def test_busy_errors_are_retried_and_tallied(self):
         drain_busy_retries()
