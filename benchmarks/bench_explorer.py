@@ -75,13 +75,10 @@ SYMMETRY_GATED = {
         "rotating coordinator (round mod n) is not pid-equivariant: "
         "relabeling processes changes who coordinates each round"
     ),
-    "paxos": (
-        "proposal strings bake pids into values ('v<pid>'); the "
-        "fingerprint engine's int guard cannot relabel string payloads"
-    ),
-    "consensus": (
-        "proposal strings bake pids into values ('v<pid>'); the "
-        "fingerprint engine's int guard cannot relabel string payloads"
+    "register": (
+        "workload writes are tagged (pid, seq), baking pids into "
+        "register values; the fingerprint engine's int guard cannot "
+        "relabel payload internals"
     ),
 }
 

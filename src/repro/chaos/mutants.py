@@ -22,6 +22,17 @@ no prior failure, which QC Validity forbids.
 decides straight off its *own* vote, never waiting for the others.  A
 single No voter elsewhere makes its Commit violate NBAC Validity (and
 the No voter's Abort then breaks Uniform Agreement too).
+
+:class:`RedCommitNBACCore` breaks Figure 4's *quit path* only: when FS
+turns red before every vote arrived, it decides unilaterally off its
+own vote instead of proposing 0 to QC.  A Yes voter whose FS reddens
+while a No vote is still in flight decides Commit — NBAC Validity
+(Commit requires all-Yes) breaks.  The bug is unreachable under
+constant detector assignments: constant FS is green on every admissible
+root (red forever would claim a failure at time 0), so the red branch
+never runs and the mutant is behaviourally identical to the correct
+core.  Only the explorer's detector-switch dimension — a scripted
+green→red transition after a crash — drives the broken path.
 """
 
 from __future__ import annotations
@@ -118,3 +129,50 @@ def hastycommit_factory(votes_items):
     """Component factory for the hasty-commit NBAC mutant."""
     votes = dict(votes_items)
     return consensus_component(lambda pid: hastycommit_nbac_core(votes[pid]))
+
+
+class RedCommitNBACCore(NBACFromQCCore):
+    """Figure 4 with the FS-red path short-circuited around QC.
+
+    The correct core reacts to red by proposing 0 to QC, so every
+    process funnels through the same agreement protocol whichever way
+    its wait ended.  This mutant treats red as licence to decide alone:
+    missing votes plus a red FS yield an immediate Commit/Abort off the
+    local vote.  With a No vote still undelivered, a Yes voter's Commit
+    violates NBAC Validity.  The all-votes path is byte-for-byte the
+    parent's, so without an FS transition the mutant is unfalsifiable.
+    """
+
+    def _run(self):
+        # Lines 1-2 exactly as the parent.
+        yield WaitUntil(lambda: self.vote is not None)
+        self.broadcast(("VOTE", self.vote))
+        yield WaitUntil(lambda: len(self._votes) == self.n or self._fs_red())
+        if len(self._votes) < self.n:
+            # THE BUG: red ended the wait, and instead of proposing 0
+            # to QC we decide unilaterally off the local vote.
+            self.decide(COMMIT if self.vote == YES else ABORT)
+            return
+        # All votes arrived: the correct lines 3-11.
+        self.qc_proposal = 1 if all(
+            v == YES for v in self._votes.values()
+        ) else 0
+        qc = self.child(self.QC_TAG)
+        qc.propose(self.qc_proposal)  # type: ignore[attr-defined]
+        _, decision = yield qc.wait_decided()
+        self.decide(COMMIT if decision == 1 else ABORT)
+
+
+def redcommit_nbac_core(vote=None):
+    """A (Ψ, FS)-wired red-commit core, mirroring ``psi_fs_nbac_core``."""
+    return RedCommitNBACCore(
+        vote=vote,
+        qc_factory=lambda: PsiQCCore(psi_extract=lambda d: d[0]),
+        fs_extract=lambda d: d[1],
+    )
+
+
+def redcommit_factory(votes_items):
+    """Component factory for the red-commit NBAC mutant."""
+    votes = dict(votes_items)
+    return consensus_component(lambda pid: redcommit_nbac_core(votes[pid]))

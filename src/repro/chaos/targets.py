@@ -26,6 +26,7 @@ from repro.chaos.knobs import ChaosKnobs
 from repro.chaos.mutants import (
     eagerquit_factory,
     hastycommit_factory,
+    redcommit_factory,
     submajority_factory,
 )
 from repro.consensus.chandra_toueg import ChandraTouegConsensusCore
@@ -50,12 +51,21 @@ from repro.runner.spec import RunSpec
 from repro.sim.system import decided
 
 
-def _proposals(n: int) -> Dict[int, str]:
-    return {p: f"v{p}" for p in range(n)}
+def _proposals(n: int, seed: int) -> Dict[int, str]:
+    """Consensus proposals, derived from the seed like the NBAC votes:
+    even seeds propose uniformly, odd seeds give pid 0 the lone
+    distinct value.  The values themselves are pid-free strings —
+    never ``"v{pid}"`` — so the explorer's pid-symmetry reduction can
+    relabel states without chasing pids through payloads (odd seeds
+    pin pid 0, exactly like the vote convention)."""
+    proposals = {p: "v" for p in range(n)}
+    if seed % 2 == 1:
+        proposals[0] = "w"
+    return proposals
 
 
-def _proposal_items(n: int) -> Tuple[Tuple[int, str], ...]:
-    return tuple(sorted(_proposals(n).items()))
+def _proposal_items(n: int, seed: int) -> Tuple[Tuple[int, str], ...]:
+    return tuple(sorted(_proposals(n, seed).items()))
 
 
 def _votes(n: int, seed: int) -> Dict[int, str]:
@@ -155,7 +165,7 @@ class Target:
 
 
 def _build_paxos(n, seed, horizon, knobs):
-    items = _proposal_items(n)
+    items = _proposal_items(n, seed)
     return dict(
         detector=omega_sigma_oracle(
             churn_period=knobs.omega_churn_period,
@@ -169,7 +179,7 @@ def _build_paxos(n, seed, horizon, knobs):
 
 
 def _build_ct(n, seed, horizon, knobs):
-    items = _proposal_items(n)
+    items = _proposal_items(n, seed)
     return dict(
         detector=EventuallyStrongOracle(),
         components=[("consensus", call(ct_factory, items))],
@@ -179,7 +189,7 @@ def _build_ct(n, seed, horizon, knobs):
 
 
 def _build_qc(n, seed, horizon, knobs):
-    items = _proposal_items(n)
+    items = _proposal_items(n, seed)
     return dict(
         detector=PsiOracle(),
         components=[("qc", call(qc_factory, items))],
@@ -214,7 +224,7 @@ def _build_register(n, seed, horizon, knobs):
 
 
 def _build_submajority(n, seed, horizon, knobs):
-    items = _proposal_items(n)
+    items = _proposal_items(n, seed)
     return dict(
         detector=omega_sigma_oracle(
             churn_period=knobs.omega_churn_period,
@@ -228,7 +238,7 @@ def _build_submajority(n, seed, horizon, knobs):
 
 
 def _build_eagerquit(n, seed, horizon, knobs):
-    items = _proposal_items(n)
+    items = _proposal_items(n, seed)
     return dict(
         detector=PsiOracle(),
         components=[("qc", call(eagerquit_factory, items))],
@@ -242,6 +252,16 @@ def _build_hastycommit(n, seed, horizon, knobs):
     return dict(
         detector=psi_fs_oracle(),
         components=[("nbac", call(hastycommit_factory, items))],
+        stop=call(decided, "nbac"),
+        summarize=call(agreement_summary, "nbac", "nbac", items),
+    )
+
+
+def _build_redcommit(n, seed, horizon, knobs):
+    items = tuple(sorted(_votes(n, seed).items()))
+    return dict(
+        detector=psi_fs_oracle(),
+        components=[("nbac", call(redcommit_factory, items))],
         stop=call(decided, "nbac"),
         summarize=call(agreement_summary, "nbac", "nbac", items),
     )
@@ -262,6 +282,7 @@ TARGETS: Dict[str, Target] = {
         Target("submajority", _build_submajority),
         Target("eagerquit", _build_eagerquit),
         Target("hastycommit", _build_hastycommit),
+        Target("redcommit", _build_redcommit),
     )
 }
 
@@ -270,7 +291,17 @@ CLEAN_TARGETS: Tuple[str, ...] = ("paxos", "ct", "qc", "nbac", "register")
 
 #: The seeded bugs of :mod:`repro.chaos.mutants`: every one must be
 #: detectable — the chaos fuzzer and the explorer both assert it.
-MUTANT_TARGETS: Tuple[str, ...] = ("submajority", "eagerquit", "hastycommit")
+#: ``redcommit`` is the exception that proves the detector-switch
+#: dimension: its bug hides behind an FS green→red transition, which
+#: constant-assignment exploration (and the oracle-driven fuzzer only
+#: rarely) lines up — the explorer asserts it *with* switches and
+#: asserts clean exhaustion *without* them.
+MUTANT_TARGETS: Tuple[str, ...] = (
+    "submajority",
+    "eagerquit",
+    "hastycommit",
+    "redcommit",
+)
 
 
 # -- cases -------------------------------------------------------------

@@ -26,9 +26,15 @@ arguments behind the reductions, and the performance notes.
 """
 
 from repro.explore.assignments import (
+    assignment_requires_crash,
     assignments_for,
     decode_value,
     default_assignment,
+    fs_prefix_admissible,
+    psi_fs_prefix_admissible,
+    psi_prefix_admissible,
+    script_stages_coherent,
+    switch_scripts_for,
 )
 from repro.explore.cases import (
     ENGINES,
@@ -55,6 +61,7 @@ from repro.explore.frontier import (
     DEFAULT_SEEDS,
     SMOKE_DEPTHS,
     SMOKE_DEPTHS_N3,
+    SWITCH_MUTANTS,
     crash_schedules,
     enumerate_roots,
     frontier_campaign,
@@ -84,6 +91,7 @@ __all__ = [
     "FINGERPRINT_MODES",
     "SMOKE_DEPTHS",
     "SMOKE_DEPTHS_N3",
+    "SWITCH_MUTANTS",
     "SYMMETRY_SAFE_TARGETS",
     "ChoiceController",
     "ChoicePoint",
@@ -94,6 +102,7 @@ __all__ = [
     "FingerprintEngine",
     "Violation",
     "admissible_perms",
+    "assignment_requires_crash",
     "assignments_for",
     "build_system",
     "case_from_dict",
@@ -109,12 +118,17 @@ __all__ = [
     "explore_shard",
     "fingerprint",
     "frontier_campaign",
+    "fs_prefix_admissible",
     "merge_summaries",
+    "psi_fs_prefix_admissible",
+    "psi_prefix_admissible",
     "resolve_parts",
     "resolve_symmetry",
     "run_controlled",
     "run_frontier",
     "run_frontier_dynamic",
     "sanitize",
+    "script_stages_coherent",
     "split_case",
+    "switch_scripts_for",
 ]

@@ -52,6 +52,7 @@ from repro.explore.engine import FINGERPRINT_MODES, Violation
 from repro.explore.frontier import (
     SMOKE_DEPTHS,
     SMOKE_DEPTHS_N3,
+    SWITCH_MUTANTS,
     enumerate_roots,
     run_frontier,
 )
@@ -196,6 +197,16 @@ def _parse_args(argv) -> argparse.Namespace:
         help="invert the verdict: fail unless a violation is found",
     )
     parser.add_argument(
+        "--detector-switches",
+        action="store_true",
+        help=(
+            "enumerate detector history scripts (branch switches, leader "
+            "changes, FS reddening) as extra roots whose switch times "
+            "become in-tree choice points; auto-enabled for mutants "
+            "that need it (redcommit)"
+        ),
+    )
+    parser.add_argument(
         "--no-por", action="store_true", help="disable partial-order pruning"
     )
     parser.add_argument(
@@ -256,8 +267,12 @@ def _emit_artifacts(
     from repro.explore.shrink import shrink_violation
 
     written = []
+    index = -1
     for summary in summaries:
-        for index, raw in enumerate(summary["violations"]):
+        for raw in summary["violations"]:
+            # Numbered across summaries: two roots convicting the same
+            # target on the same clause must not overwrite each other.
+            index += 1
             violation = Violation(
                 case=case_from_dict(summary["case"]),
                 engine=summary["engine"],
@@ -322,8 +337,20 @@ def main(argv=None) -> int:
             depth = SMOKE_DEPTHS_N3[target]
         else:
             depth = SMOKE_DEPTHS.get(target, 8)
+        switches = args.detector_switches
+        crashes = args.crashes
+        if target in SWITCH_MUTANTS:
+            # Undetectable without the switch dimension and a crash to
+            # gate the FS-red script on; forcing both keeps
+            # `--target <mutant> --expect-violation` meaningful.
+            switches = True
+            crashes = max(crashes, 1)
         roots = enumerate_roots(
-            target, args.procs, depth=depth, max_crashes=args.crashes
+            target,
+            args.procs,
+            depth=depth,
+            max_crashes=crashes,
+            detector_switches=switches,
         )
         if args.symmetry:
             roots = collapse_symmetric_roots(roots)

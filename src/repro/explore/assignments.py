@@ -27,11 +27,34 @@ history:
   admissible for any failure pattern.  A constant FS branch is *not*
   enumerated: ``red`` from time 0 would claim a failure before one
   happened (inadmissible), and the branch-switch histories that make
-  ``red`` admissible are not constant.  Consequence: explored NBAC/QC
-  runs never exercise the FS-quit paths — those stay covered by the
-  chaos fuzzer's sampled histories, as ``docs/EXPLORER.md`` spells out.
-* FS constant ``green`` is always admissible (the red switch is only
-  ever *eventually* required, after a crash).
+  ``red`` admissible are not constant.
+
+History scripts
+---------------
+
+Constants miss exactly the transitions the paper's constructions hinge
+on — Ψ's ⊥ → commit switch, the FS-red quit signal, Ω leader changes —
+so the frontier can also enumerate **scripts**: an encoding
+``("script", stage₀, stage₁, …)`` whose stages are constant encodings
+(plus the script-only atoms ``("bot",)`` for ⊥ and ``("fsv", colour)``
+for a Ψ that committed to the FS branch).  A script does not pin *when*
+the switches happen — the controller turns each stage advance into an
+enumerable choice point (see :class:`~repro.explore.control.DetectorScript`),
+so one script root covers every admissible switch-time placement within
+the step budget.
+
+Admissibility now has a per-stage side condition:
+:func:`stage_requires_crash` marks the stages whose values claim a
+failure (any FS ``red``, and *any* Ψ FS-branch value — committing Ψ to
+the FS branch asserts a failure occurred even when the colour shown is
+green).  The controller only offers an advance into such a stage at a
+tick ``>= `` the case's first crash time, and the frontier only pairs
+crash-claiming scripts with crashy schedules.  Scripts must also be
+*branch-coherent* (once Ψ leaves ⊥ it never changes branch, and never
+returns to ⊥) — :func:`script_stages_coherent` checks it, and the
+prefix predicates below (:func:`psi_prefix_admissible` and friends) are
+the ground truth the differential tests hold both the enumerator and
+the chaos oracles to.
 
 Encodings are nested tuples of primitives — hashable (they sit inside
 frozen :class:`~repro.explore.cases.ExploreCase`), JSON-able (they ride
@@ -41,7 +64,15 @@ inside artifacts), and decoded to the live detector vocabulary of
 
 from __future__ import annotations
 
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.detector import (
+    BOTTOM,
+    GREEN,
+    RED,
+    is_fs_value,
+    is_omega_sigma_value,
+)
 
 Encoded = Tuple[Any, ...]
 Assignment = Tuple[Encoded, ...]  # one encoded value per pid
@@ -56,7 +87,129 @@ def decode_value(enc: Encoded) -> Any:
         return frozenset(enc[1])
     if kind == "pf":  # (Ψ, FS) product of Corollary 10
         return (decode_value(enc[1]), enc[2])
+    if kind == "bot":  # Ψ's initial ⊥ (script stages only)
+        return BOTTOM
+    if kind == "fsv":  # Ψ committed to the FS branch (script stages only)
+        return enc[1]
     raise ValueError(f"unknown assignment encoding {enc!r}")
+
+
+# -- scripts -----------------------------------------------------------
+def is_script(enc: Encoded) -> bool:
+    """Whether an assignment entry is a history script."""
+    return bool(enc) and enc[0] == "script"
+
+
+def script_stages(enc: Encoded) -> Tuple[Encoded, ...]:
+    """The stage sequence of an entry (a constant is its own one-stage
+    script)."""
+    return tuple(enc[1:]) if is_script(enc) else (enc,)
+
+
+def stage_requires_crash(enc: Encoded) -> bool:
+    """Whether outputting this stage's value claims a failure occurred.
+
+    FS accuracy is perpetual: ``red`` at ``t`` requires a crash at some
+    ``t* <= t``.  Ψ's FS branch carries the same claim for *either*
+    colour — committing to the branch asserts a failure, so even
+    ``("fsv", "green")`` is crash-gated.  Everything else (Ω leaders,
+    ◇S suspicions, Σ quorums, ⊥) is admissible on any pattern.
+    """
+    kind = enc[0]
+    if kind == "pf":  # gate on either product component
+        return stage_requires_crash(enc[1]) or enc[2] == RED
+    if kind == "fsv":
+        return True
+    return False
+
+
+def script_requires_crash(enc: Encoded) -> bool:
+    """Whether any stage of this entry is crash-gated."""
+    return any(stage_requires_crash(s) for s in script_stages(enc))
+
+
+def assignment_requires_crash(assignment: Assignment) -> bool:
+    """Whether this assignment only makes sense on a crashy pattern."""
+    return any(script_requires_crash(enc) for enc in assignment)
+
+
+def _psi_component(enc: Encoded) -> Encoded:
+    """The Ψ-branch-relevant part of a stage (the Ψ half of a product)."""
+    return enc[1] if enc[0] == "pf" else enc
+
+
+def script_stages_coherent(stages: Sequence[Encoded]) -> bool:
+    """Branch coherence of a stage sequence, checked on the Ψ component.
+
+    Ψ outputs ⊥ up to its switch time and a single branch's history
+    afterwards: a script may hold some ``("bot",)`` stages, then must
+    stay within one branch — all ``("fsv", …)`` (FS branch) or all
+    non-⊥ non-FS values ((Ω, Σ) branch) — and never return to ⊥.
+    Non-Ψ components (plain FS colours, suspicions, quorums) carry no
+    branch, so sequences without ⊥/fsv stages are trivially coherent.
+    """
+    committed: Optional[str] = None
+    for stage in stages:
+        psi = _psi_component(stage)
+        if psi[0] == "bot":
+            if committed is not None:
+                return False
+            continue
+        branch = "fs" if psi[0] == "fsv" else "other"
+        if committed is None:
+            committed = branch
+        elif committed != branch:
+            return False
+    return True
+
+
+# -- prefix admissibility (ground truth for the differential tests) ---
+def psi_prefix_admissible(
+    values: Sequence[Any], first_crash: Optional[int]
+) -> bool:
+    """Whether ``values`` (one process's Ψ outputs at ticks 0..k) is a
+    prefix of some admissible Ψ history for a pattern whose first crash
+    is at ``first_crash`` (``None`` = crash-free).
+
+    Per Section 6.1: a ⊥ prefix, then — from the switch tick onwards —
+    either FS values throughout with the switch at a tick ``>= t*``
+    (FS branch, failure required), or (Ω, Σ) values throughout
+    (always admissible).  Flicker *within* a branch is fine; returning
+    to ⊥ or mixing branches is not.
+    """
+    switch = next(
+        (i for i, v in enumerate(values) if v is not BOTTOM), None
+    )
+    if switch is None:
+        return True
+    tail = values[switch:]
+    if any(v is BOTTOM for v in tail):
+        return False
+    if all(is_fs_value(v) for v in tail):
+        return first_crash is not None and switch >= first_crash
+    return all(is_omega_sigma_value(v) for v in tail)
+
+
+def fs_prefix_admissible(
+    values: Sequence[Any], first_crash: Optional[int]
+) -> bool:
+    """FS accuracy on a prefix: ``red`` at tick ``t`` needs a crash at
+    some ``t* <= t``; ``green`` is always fine."""
+    for i, v in enumerate(values):
+        if not is_fs_value(v):
+            return False
+        if v == RED and (first_crash is None or i < first_crash):
+            return False
+    return True
+
+
+def psi_fs_prefix_admissible(
+    values: Sequence[Tuple[Any, Any]], first_crash: Optional[int]
+) -> bool:
+    """Componentwise admissibility of a (Ψ, FS) product prefix."""
+    return psi_prefix_admissible(
+        [v[0] for v in values], first_crash
+    ) and fs_prefix_admissible([v[1] for v in values], first_crash)
 
 
 def _os(leader: int, quorum: Tuple[int, ...]) -> Encoded:
@@ -114,7 +267,7 @@ def assignments_for(target: str, n: int) -> List[Assignment]:
         return _os_assignments(n)
     if target == "ct":
         return _ct_assignments(n)
-    if target == "nbac":
+    if target in ("nbac", "redcommit"):
         return _psi_fs_assignments(n)
     if target == "hastycommit":
         # The vote bug fires on any assignment; one root suffices.
@@ -126,6 +279,83 @@ def assignments_for(target: str, n: int) -> List[Assignment]:
     if target == "register":
         return _sigma_assignments(n)
     raise ValueError(f"no assignment family for target {target!r}")
+
+
+def _script(*stages: Encoded) -> Encoded:
+    assert script_stages_coherent(stages), stages
+    return ("script",) + tuple(stages)
+
+
+def _uniform(enc: Encoded, n: int) -> Assignment:
+    """The same script at every process.
+
+    Uniformity is what keeps the vector admissible wholesale: Ψ's
+    branch agreement is cross-process (everyone commits to the same
+    branch), and a shared script can only ever disagree on switch
+    *times* — which the spec explicitly allows.
+    """
+    return tuple(enc for _ in range(n))
+
+
+def switch_scripts_for(target: str, n: int) -> List[Assignment]:
+    """The history-script family for one target (``--detector-switches``).
+
+    Kept deliberately small — each script is a whole subtree whose
+    switch times the controller enumerates — and every member is
+    checked branch-coherent at construction.  Scripts containing
+    crash-gated stages are only paired with crashy schedules by the
+    frontier (:func:`~repro.explore.frontier.enumerate_roots`).
+    """
+    full = tuple(range(n))
+    os0, os1 = _os(0, full), _os(1, full)
+    if target in ("paxos", "submajority"):
+        # Ω leader change mid-window (and back — churn both ways).
+        return [
+            _uniform(_script(os0, os1), n),
+            _uniform(_script(os1, os0), n),
+        ]
+    if target == "ct":
+        # ◇S revising its suspicions: trusting → suspect-0.
+        return [
+            _uniform(_script(("susp", ()), ("susp", (0,))), n),
+        ]
+    if target in ("qc", "eagerquit"):
+        # Ψ direct: ⊥ → consensus branch; ⊥ → FS branch (quit paths,
+        # crash-gated — red and the branch-asserting green alike);
+        # ⊥ → consensus branch with a leader change after the switch.
+        return [
+            _uniform(_script(("bot",), os0), n),
+            _uniform(_script(("bot",), ("fsv", "red")), n),
+            _uniform(_script(("bot",), ("fsv", "green")), n),
+            _uniform(_script(("bot",), os0, os1), n),
+        ]
+    if target in ("nbac", "hastycommit", "redcommit"):
+        # (Ψ, FS) product: the quit path (Ψ turns FS-red), the ⊥-prefix
+        # consensus path, and the abort-via-consensus path (Ψ stays on
+        # the consensus branch while plain FS turns red — Figure 4's
+        # propose-0 trigger).
+        bot_green = ("pf", ("bot",), "green")
+        return [
+            _uniform(
+                _script(bot_green, ("pf", ("fsv", "red"), "red")), n
+            ),
+            _uniform(_script(bot_green, ("pf", os0, "green")), n),
+            _uniform(
+                _script(
+                    bot_green,
+                    ("pf", os0, "green"),
+                    ("pf", os0, "red"),
+                ),
+                n,
+            ),
+        ]
+    if target == "register":
+        # Σ is perpetual: a quorum shrink keeps pairwise intersection
+        # (full ∩ pivot = pivot), so the switch is admissible.
+        return [
+            _uniform(_script(("sigma", full), ("sigma", (0,))), n),
+        ]
+    raise ValueError(f"no script family for target {target!r}")
 
 
 def default_assignment(target: str, n: int) -> Assignment:

@@ -16,7 +16,10 @@ judge the very same code with the very same property hooks.  Only two
 deviations:
 
 * the oracle detector is discarded — every process's
-  ``ctx._detector_provider`` is rebound to the case's constant value;
+  ``ctx._detector_provider`` is rebound to the case's constant value
+  (or, for script assignments, to a live read of the run's
+  :class:`~repro.explore.control.DetectorScript` cursor, which the
+  controller advances through enumerable ``"detector"`` choices);
 * the register workload is swapped for a one-op-per-process variant
   (the default 3-op workload pushes exhaustive depth out of reach; one
   concurrent read/write pair per process is already the smallest
@@ -32,9 +35,16 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.chaos.knobs import ChaosKnobs
 from repro.chaos.targets import TARGETS
 from repro.core.failure_pattern import FailurePattern
-from repro.explore.assignments import decode_value, default_assignment
+from repro.explore.assignments import (
+    decode_value,
+    default_assignment,
+    is_script,
+    script_stages,
+    stage_requires_crash,
+)
 from repro.explore.control import (
     ChoiceController,
+    DetectorScript,
     ExploringDelivery,
     ExploringScheduler,
 )
@@ -207,7 +217,27 @@ def build_system(
             delivery_policy=ExploringDelivery(controller),
             trace_mode="full",
         )
-    for host, enc in zip(system.hosts, case.resolved_assignment):
+    assignment = case.resolved_assignment
+    if any(is_script(enc) for enc in assignment):
+        crash_times = [t for _, t in case.crashes]
+        scripts = DetectorScript(
+            values=[
+                tuple(decode_value(stage) for stage in script_stages(enc))
+                for enc in assignment
+            ],
+            gated=[
+                tuple(stage_requires_crash(stage) for stage in script_stages(enc))
+                for enc in assignment
+            ],
+            first_crash=min(crash_times) if crash_times else None,
+        )
+        controller.scripts = scripts
+        for pid, host in enumerate(system.hosts):
+            host.ctx._detector_provider = (
+                lambda p=pid, s=scripts: s.value(p)
+            )
+        return system
+    for host, enc in zip(system.hosts, assignment):
         value = decode_value(enc)
         host.ctx._detector_provider = lambda v=value: v
     return system

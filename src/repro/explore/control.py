@@ -1,9 +1,10 @@
 """The choice controller: turning the sim's nondeterminism into a log.
 
-The simulator exposes its per-tick nondeterminism at two points — the
-scheduler's process pick and the network's delivery pick.  Two further
-families are enumerated once per exploration root rather than per step
-(constant failure-detector assignments and crash schedules; see
+The simulator exposes its per-tick nondeterminism at three points — the
+scheduler's process pick, the network's delivery pick, and (for roots
+whose assignment is a history *script*) the detector's stage advance.
+Two further families are enumerated once per exploration root rather
+than per step (detector assignments/scripts and crash schedules; see
 :mod:`repro.explore.assignments` and :mod:`repro.explore.frontier`).
 
 :class:`ChoiceController` replaces both per-tick picks with a *choice
@@ -33,7 +34,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.sim.network import DeliveryPolicy, Message
 from repro.sim.scheduler import Scheduler
@@ -43,10 +44,69 @@ from repro.sim.scheduler import Scheduler
 class ChoicePoint:
     """One recorded decision: what kind, what was taken, out of how many."""
 
-    kind: str  # "sched" or "deliv"
+    kind: str  # "sched", "deliv" or "detector"
     time: int
     chosen: int
     options: int
+
+
+class DetectorScript:
+    """Per-process detector script cursors — the third choice dimension.
+
+    One instance per controlled run (installed by
+    :func:`~repro.explore.cases.build_system` when the case's assignment
+    contains scripts).  ``values[p]`` holds process ``p``'s decoded
+    stage values, ``gated[p][j]`` whether stage ``j`` claims a failure
+    (see :func:`~repro.explore.assignments.stage_requires_crash`), and
+    ``cursors[p]`` the stage ``p`` currently outputs.  The detector
+    providers read ``value(p)`` live, so a cursor advance rebinds every
+    subsequent read of that process.
+
+    Advances happen through :meth:`ChoiceController.pick_pid`: right
+    after the scheduler picks the acting process — and before its step,
+    where all its detector reads occur — the controller asks
+    :meth:`targets` for the admissible cursor positions at this tick
+    and, when there is more than one, records a ``"detector"`` choice.
+    Staying put is always option 0, so the default path is the
+    constant-prefix behaviour and switches are explored as siblings.
+    Skipping stages is allowed (a skipped stage's value window has
+    length zero, so its admissibility side condition is moot); a
+    crash-gated stage only becomes a target from the first crash tick
+    onwards.  Crashed processes never advance (they are never picked),
+    which is sound: a crashed process has no further detector reads.
+    """
+
+    __slots__ = ("values", "gated", "first_crash", "cursors")
+
+    def __init__(
+        self,
+        values: Sequence[Tuple[Any, ...]],
+        gated: Sequence[Tuple[bool, ...]],
+        first_crash: Optional[int],
+    ):
+        self.values = tuple(values)
+        self.gated = tuple(gated)
+        self.first_crash = first_crash
+        self.cursors: List[int] = [0] * len(self.values)
+
+    def value(self, pid: int) -> Any:
+        return self.values[pid][self.cursors[pid]]
+
+    def targets(self, pid: int, now: int) -> List[int]:
+        """Admissible cursor positions for ``pid`` at tick ``now``,
+        current position first."""
+        cursor = self.cursors[pid]
+        stages = self.values[pid]
+        gates = self.gated[pid]
+        crashed = self.first_crash is not None and now >= self.first_crash
+        return [cursor] + [
+            j
+            for j in range(cursor + 1, len(stages))
+            if crashed or not gates[j]
+        ]
+
+    def advance(self, pid: int, cursor: int) -> None:
+        self.cursors[pid] = cursor
 
 
 class ChoiceController:
@@ -80,6 +140,9 @@ class ChoiceController:
         self.por_enabled: bool = True
         self.por_pruned: int = 0
         self._deliver_fresh_only: bool = False
+        #: Script cursors when the case's assignment is scripted
+        #: (installed by ``build_system``); None for constant roots.
+        self.scripts: Optional[DetectorScript] = None
 
     @property
     def replaying(self) -> bool:
@@ -121,6 +184,17 @@ class ChoiceController:
         argument does not apply.  If the filter would empty the enabled
         set it is skipped entirely (exploring a redundant interleaving
         is sound; halting the run here would not be judged).
+
+        The detector dimension preserves the swap argument: a process's
+        advance menu depends only on its own cursor, the tick, and the
+        crash schedule, and it only ever *changes* between adjacent
+        ticks at the first crash tick (where a gated stage becomes
+        admissible) — which is a crash boundary, exactly where the
+        filter is already disabled.  Away from boundaries the swapped
+        interleaving offers both processes identical detector menus, so
+        every advance combination pruned here is reachable under the
+        representative schedule; the soundness matrix verifies this on
+        scripted roots.
         """
         restricted = False
         allowed = list(alive)
@@ -139,6 +213,19 @@ class ChoiceController:
         self._deliver_fresh_only = (
             restricted and prev is not None and pid < prev
         )
+        scripts = self.scripts
+        if scripts is not None:
+            # The detector decision for the acting process: how far its
+            # script cursor advances before the step (where all of its
+            # detector reads happen).  Only recorded when there is a
+            # real alternative — staying put is always admissible and
+            # always option 0, so constant-prefix behaviour remains the
+            # default path and the menu is deterministic in
+            # (cursor, now, crash schedule) for replay.
+            targets = scripts.targets(pid, now)
+            if len(targets) > 1:
+                chosen = self.choose("detector", now, len(targets))
+                scripts.advance(pid, targets[chosen])
         self.last_actor = pid
         return pid
 

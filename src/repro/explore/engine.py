@@ -412,10 +412,14 @@ def _run_path(
                 key = prev_digests[index][1]
             if key is None:
                 crashes_pending = last_crash is not None and last_crash > now
+                scripts = controller.scripts
+                cursors = (
+                    tuple(scripts.cursors) if scripts is not None else None
+                )
                 if fp_engine is not None:
                     key = fp_engine.fingerprint(
                         now, crashes_pending, first_crash,
-                        prev, fresh, boundary, por,
+                        prev, fresh, boundary, por, cursors,
                     )
                 else:
                     key = fingerprint(
@@ -424,6 +428,7 @@ def _run_path(
                         crashes_pending,
                         first_crash,
                         _por_context(por, prev, fresh, boundary),
+                        cursors,
                     )
             run_digests.append((logged, key))
             if digest_log is not None:

@@ -24,7 +24,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.explore.assignments import assignments_for
+from repro.explore.assignments import (
+    assignment_requires_crash,
+    assignments_for,
+    switch_scripts_for,
+)
 from repro.explore.cases import ExploreCase, case_from_dict, case_to_dict
 from repro.explore.engine import ExploreResult, Violation, explore_case
 from repro.runner import Campaign, call, fn_spec
@@ -43,6 +47,7 @@ SMOKE_DEPTHS: Dict[str, int] = {
     "eagerquit": 10,
     "nbac": 6,
     "hastycommit": 6,
+    "redcommit": 6,
     "register": 7,
 }
 
@@ -61,10 +66,26 @@ SMOKE_DEPTHS_N3: Dict[str, int] = {
 #: builder).  NBAC's vote vector is seed-derived: even seeds vote
 #: all-Yes, odd seeds carry one No — both matter, for the clean target
 #: (both outcomes verified) and for hastycommit (the bug needs a No).
+#: Consensus proposals follow the same convention since they went
+#: pid-free (even = uniform, odd = pid 0 distinct); those targets pin
+#: seed 1 so the explored roots keep *distinct* proposals — the only
+#: shape on which an agreement mutant like submajority can fire at all.
 DEFAULT_SEEDS: Dict[str, Tuple[int, ...]] = {
+    "paxos": (1,),
+    "ct": (1,),
+    "qc": (1,),
+    "submajority": (1,),
+    "eagerquit": (1,),
     "nbac": (0, 1),
     "hastycommit": (0, 1),
+    "redcommit": (1,),
 }
+
+#: Mutants whose bug hides behind a detector transition: undetectable
+#: under constant assignments (they exhaust clean — the tests assert
+#: it), so the CLI auto-enables ``--detector-switches`` and at least
+#: one crash for them.
+SWITCH_MUTANTS = frozenset({"redcommit"})
 
 
 def crash_schedules(
@@ -100,17 +121,33 @@ def enumerate_roots(
     depth: Optional[int] = None,
     max_crashes: int = 0,
     seeds: Optional[Sequence[int]] = None,
+    detector_switches: bool = False,
 ) -> List[ExploreCase]:
-    """Every exploration root for one target at one size."""
+    """Every exploration root for one target at one size.
+
+    With ``detector_switches`` the assignment family is extended by the
+    target's history scripts (:func:`switch_scripts_for`) — the third
+    choice dimension.  Scripts whose stages claim a failure (an FS
+    ``red``, a Ψ FS-branch commitment) are only paired with schedules
+    that actually crash someone; on a crash-free schedule no admissible
+    switch time exists, so the root would be the constant-prefix subtree
+    explored twice.
+    """
     if depth is None:
         depth = SMOKE_DEPTHS.get(target, 8)
     if seeds is None:
         seeds = DEFAULT_SEEDS.get(target, (0,))
+    assignments = list(assignments_for(target, n))
+    if detector_switches:
+        assignments.extend(switch_scripts_for(target, n))
     roots = []
     for seed in seeds:
-        for assignment in assignments_for(target, n):
+        for assignment in assignments:
+            needs_crash = assignment_requires_crash(assignment)
             for crashes in crash_schedules(n, depth, max_crashes):
                 if len(crashes) >= n:
+                    continue
+                if needs_crash and not crashes:
                     continue
                 roots.append(
                     ExploreCase(

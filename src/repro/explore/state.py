@@ -292,8 +292,15 @@ def fingerprint(
     crashes_pending: bool,
     first_crash: Optional[int],
     por_context: Tuple[Any, ...],
+    cursors: Optional[Tuple[int, ...]] = None,
 ) -> str:
-    """The dedup key for the system's state at the start of tick ``now``."""
+    """The dedup key for the system's state at the start of tick ``now``.
+
+    ``cursors`` is the detector-script cursor vector for scripted roots
+    (None for constant assignments): two states whose processes sit at
+    different script stages read different detector values from here
+    on, so the cursor is part of the state.
+    """
     structure = (
         tuple(host_canonical(host) for host in system.hosts),
         buffers_canonical(system.network),
@@ -302,6 +309,8 @@ def fingerprint(
         now if crashes_pending else None,
         por_context,
     )
+    if cursors is not None:
+        structure = structure + (cursors,)
     return hashlib.sha256(repr(structure).encode()).hexdigest()
 
 
@@ -691,6 +700,7 @@ class FingerprintEngine:
         operation_entries: List[Tuple[int, EncodedUnit]],
         time_part: bytes,
         por_part: Optional[Tuple[Optional[int], bool, List[Tuple[int, int, EncodedUnit]]]],
+        cursors: Optional[Tuple[int, ...]] = None,
     ) -> bytes:
         n = self.n
         parts = [b"FP1"]
@@ -737,6 +747,17 @@ class FingerprintEngine:
                     )
                 )
             )
+        if cursors is not None:
+            # Detector-script cursors, slotted like hosts: process p's
+            # stage index lands at slot perm[p].  Stage indices are
+            # emitted through a dedicated branch (``c%d;``) — they are
+            # structurally never pids, so they stay out of the
+            # ambiguity accumulator and cannot veto a permutation.
+            cursor_slots = [0] * n
+            for pid in range(n):
+                cursor_slots[perm[pid]] = cursors[pid]
+            parts.append(b"|S")
+            parts.append(b"".join(b"c%d;" % c for c in cursor_slots))
         return b"".join(parts)
 
     # -- the dedup key --------------------------------------------------
@@ -749,14 +770,16 @@ class FingerprintEngine:
         fresh: Sequence[Message],
         boundary: bool,
         por: bool,
+        cursors: Optional[Tuple[int, ...]] = None,
     ) -> str:
         """The dedup key for the system state at the start of ``now``.
 
         Covers the same ground as the legacy :func:`fingerprint` —
         hosts, buffers, decisions, operations, absolute time while
-        crashes are pending, and the POR context when the POR is on —
-        via the byte encoding, canonicalised under the valid subset of
-        the engine's permutation group.
+        crashes are pending, the POR context when the POR is on, and
+        the detector-script cursor vector for scripted roots — via the
+        byte encoding, canonicalised under the valid subset of the
+        engine's permutation group.
         """
         if self.mode == "incremental":
             if prev is not None:
@@ -812,6 +835,7 @@ class FingerprintEngine:
             operation_entries,
             time_part,
             por_part,
+            cursors,
         )
         best = self._assemble(self.perms[0], *args)
         for perm in self.perms[1:]:

@@ -17,7 +17,12 @@ Admissibility has three layers, all conservative:
   schedule onto itself (same victims at the same times, as a set),
   must leave the detector assignment semantically unchanged
   (:func:`relabel_assignment` — assignment encodings are fully
-  pid-tagged, so semantic relabeling is mechanical), and must fix
+  pid-tagged, so semantic relabeling is mechanical; for scripted
+  roots this is the *commuting* condition: ``π`` must map the switch
+  script vector onto itself stage by stage, so the relabeled run
+  advances through the same stage values under the same crash-gate
+  thresholds — which are ``π``-invariant because ``π`` fixes the
+  crash schedule), and must fix
   every pid the target builder treats specially for this seed
   (:func:`build_fixed_pids` — e.g. odd NBAC seeds give pid 0 the lone
   No vote).
@@ -51,10 +56,23 @@ from itertools import permutations
 from typing import Any, FrozenSet, Iterable, List, Sequence, Tuple
 
 #: Targets whose seed-derived inputs and decision values are free of
-#: pid-derived data (see module doc).  The consensus/register targets
-#: bake pids into proposal strings ("v0") or written values, and ct's
-#: rotating coordinator is not pid-equivariant — all excluded.
-SYMMETRY_SAFE_TARGETS = frozenset({"nbac", "hastycommit"})
+#: pid-derived data (see module doc).  Proposals are seed-derived
+#: pid-free strings ("v"/"w", odd seeds pinning pid 0 — mirroring the
+#: NBAC vote convention), so the whole consensus family qualifies.
+#: Still excluded: ct (the rotating coordinator — round mod n — is not
+#: pid-equivariant) and register (workload writes are tagged
+#: ``(pid, seq)``, baking pids into register values).
+SYMMETRY_SAFE_TARGETS = frozenset(
+    {
+        "paxos",
+        "qc",
+        "nbac",
+        "submajority",
+        "eagerquit",
+        "hastycommit",
+        "redcommit",
+    }
+)
 
 Perm = Tuple[int, ...]
 
@@ -66,11 +84,15 @@ def identity(n: int) -> Perm:
 def build_fixed_pids(target: str, n: int, seed: int) -> FrozenSet[int]:
     """Pids the target builder singles out for this seed.
 
-    The NBAC family derives its vote vector from the seed: even seeds
-    vote all-Yes (fully symmetric), odd seeds give pid 0 the single No
-    vote — so odd-seed permutations must fix 0.
+    The whole target table derives its per-pid inputs from the seed
+    with one convention: even seeds are uniform (all-Yes votes, equal
+    proposals — fully symmetric), odd seeds give pid 0 the lone
+    distinct input (the single No vote, the distinct proposal) — so
+    odd-seed permutations must fix 0.  Register workloads ignore the
+    convention (their per-pid values are pid-tagged regardless, which
+    is why the target sits outside :data:`SYMMETRY_SAFE_TARGETS`).
     """
-    if target in ("nbac", "hastycommit") and seed % 2 == 1:
+    if target != "register" and seed % 2 == 1:
         return frozenset({0})
     return frozenset()
 
@@ -84,6 +106,12 @@ def relabel_encoded(enc: Tuple[Any, ...], perm: Perm) -> Tuple[Any, ...]:
         return (kind, tuple(sorted(perm[q] for q in enc[1])))
     if kind == "pf":  # (Ψ, FS) product
         return ("pf", relabel_encoded(enc[1], perm), enc[2])
+    if kind == "script":  # history script: relabel stage by stage
+        return ("script",) + tuple(
+            relabel_encoded(stage, perm) for stage in enc[1:]
+        )
+    if kind in ("bot", "fsv"):  # ⊥ / FS-branch values carry no pids
+        return enc
     raise ValueError(f"unknown assignment encoding {enc!r}")
 
 

@@ -17,8 +17,11 @@ from repro.chaos.targets import CLEAN_TARGETS, build_spec, violated_safety
 
 # The documented reference configuration for catching the mutant: the
 # aggressive knob profile opens a partition near t=0 within 12 rounds.
+# Campaign seed 1 (not 0): proposals went seed-derived and pid-free —
+# only odd per-case seeds carry a distinct proposal, the shape an
+# agreement violation needs — and seed 1's round mix fires first.
 MUTANT_CONFIG = dict(
-    targets=("submajority",), rounds=12, seed=0, n=4, horizon=20_000
+    targets=("submajority",), rounds=12, seed=1, n=4, horizon=20_000
 )
 
 
@@ -101,6 +104,8 @@ class TestMutantCampaign:
                     "submajority",
                     "--rounds",
                     "12",
+                    "--seed",
+                    "1",
                     "--horizon",
                     "20000",
                     "--no-shrink",

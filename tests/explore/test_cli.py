@@ -72,6 +72,30 @@ def test_reference_engine_and_both(capsys):
     assert "qc [indexed]" in out and "qc [reference]" in out
 
 
+def test_detector_switches_flag_widens_the_frontier(capsys):
+    base = ["--target", "qc", "--depth", "4", "--crashes", "1"]
+    assert main(base) == 0
+    constant = capsys.readouterr().out
+    assert main(base + ["--detector-switches"]) == 0
+    switched = capsys.readouterr().out
+
+    def roots(out):
+        return int(out.rsplit("roots=", 1)[1].split(":", 1)[0])
+
+    assert roots(switched) > roots(constant)
+
+
+def test_switch_mutant_auto_enables_the_dimension(capsys):
+    # No --detector-switches, no --crashes: the CLI turns both on for
+    # redcommit, whose bug is unreachable without them.
+    code = main(
+        ["--target", "redcommit", "--depth", "5",
+         "--expect-violation", "--stop-on-first"]
+    )
+    assert code == 0
+    assert "VIOLATION FOUND" in capsys.readouterr().out
+
+
 def test_unknown_target_rejected():
     with pytest.raises(SystemExit):
         main(["--target", "nonsense"])

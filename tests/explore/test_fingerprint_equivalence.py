@@ -28,8 +28,26 @@ CASES = [
     ExploreCase(target="nbac", n=2, depth=5, crashes=((1, 2),)),
     ExploreCase(target="register", n=2, depth=5),
     ExploreCase(target="paxos", n=2, depth=6),
+    # A scripted root: detector cursors ride in the fingerprint's
+    # trailing section, and the caches must stay honest across runs
+    # whose "detector" choices advance them at different ticks.
+    ExploreCase(
+        target="redcommit",
+        n=2,
+        depth=6,
+        seed=1,
+        crashes=((0, 3),),
+        assignment=(
+            (
+                "script",
+                ("pf", ("bot",), "green"),
+                ("pf", ("fsv", "red"), "red"),
+            ),
+        )
+        * 2,
+    ),
 ]
-IDS = ["ct", "nbac-seed1", "nbac-crash", "register", "paxos"]
+IDS = ["ct", "nbac-seed1", "nbac-crash", "register", "paxos", "fsred-script"]
 
 
 @pytest.mark.parametrize("case", CASES, ids=IDS)

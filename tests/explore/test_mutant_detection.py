@@ -67,6 +67,58 @@ def test_hastycommit_violation_found(engine):
     assert any(v.case.seed == 1 for v in hits)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
+def test_redcommit_needs_the_switch_dimension(engine):
+    """The tentpole's proof burden, both halves.
+
+    Without detector switches the red-commit mutant's broken branch is
+    dead code — every constant-assignment root exhausts clean.  With
+    switches, the FS-reddening script plus a crashed No voter reaches
+    the unilateral Commit and convicts it on Validity.
+    """
+    constant_roots = enumerate_roots(
+        "redcommit", 2, max_crashes=1, detector_switches=False
+    )
+    assert constant_roots, "no constant roots enumerated"
+    for root in constant_roots:
+        result = explore_case(root, engine=engine)
+        assert result.complete, "constant root did not exhaust"
+        assert not result.violations, (
+            "red-commit fired without switches — the coverage-gap "
+            "claim is wrong"
+        )
+
+    switch_roots = enumerate_roots(
+        "redcommit", 2, max_crashes=1, detector_switches=True
+    )
+    assert len(switch_roots) > len(constant_roots)
+    hits = []
+    for root in switch_roots:
+        result = explore_case(
+            root, engine=engine, stop_on_first_violation=True
+        )
+        hits.extend(result.violations)
+    assert hits, "seeded red-commit quit-path bug not detected"
+    violated = set().union(*(v.violated for v in hits))
+    assert "validity" in violated
+    # Every conviction rides a scripted root: the constant sweep above
+    # proved the constant subset can't produce one.
+    assert all(
+        any(enc[0] == "script" for enc in v.case.assignment) for v in hits
+    )
+
+
+def test_nbac_silent_under_redcommit_witness_roots():
+    """Clean NBAC explored over the same scripted roots stays clean —
+    the conviction comes from the seeded bug, not from the scripts."""
+    for root in enumerate_roots(
+        "nbac", 2, max_crashes=1, detector_switches=True
+    ):
+        result = explore_case(root)
+        assert result.complete
+        assert not result.violations
+
+
 def test_paxos_silent_under_submajority_witness_assignment():
     """Clean paxos, same adversarial root, same depth: no violation.
 

@@ -19,7 +19,12 @@ from repro.explore.artifact import EXPLORE_FORMAT
 
 DATA = Path(__file__).parent.parent / "data"
 ARTIFACTS = sorted(DATA.glob("explore-*.json"))
-EXPECTED = {"explore-submajority", "explore-eagerquit", "explore-hastycommit"}
+EXPECTED = {
+    "explore-submajority",
+    "explore-eagerquit",
+    "explore-hastycommit",
+    "explore-redcommit",  # scripted: detector choices ride in the trace
+}
 
 
 def test_one_artifact_per_mutant_is_committed():

@@ -11,6 +11,11 @@ pass as trivially sound.
 One clean root (ct — Chandra-Toueg under mutual suspicion, lots of
 genuinely concurrent message traffic) and one violating root
 (hastycommit — so soundness is also checked in the presence of bugs).
+Scripted roots join both matrices: the detector-switch dimension adds
+``"detector"`` choice points whose menus the POR's swap argument and
+the fingerprint's cursor section must treat correctly, so the same
+outcome-equality is asserted on roots where switches genuinely matter
+(redcommit's violation is unreachable without them).
 """
 
 import pytest
@@ -23,6 +28,14 @@ CONFIGS = [
     (False, True),
     (False, False),
 ]
+
+#: The (Ψ, FS) quit-path script: ⊥ → FS-branch red, both stages uniform
+#: across pids (pid-free, so the symmetry group stays nontrivial).
+FSRED_SCRIPT = (
+    "script",
+    ("pf", ("bot",), "green"),
+    ("pf", ("fsv", "red"), "red"),
+)
 
 
 def _outcomes(result):
@@ -42,8 +55,28 @@ def _outcomes(result):
             assignment=(("susp", (1,)), ("susp", (0,))),
         ),
         ExploreCase(target="hastycommit", n=2, depth=6, seed=1),
+        ExploreCase(
+            target="nbac",
+            n=2,
+            depth=6,
+            crashes=((0, 3),),
+            assignment=(FSRED_SCRIPT, FSRED_SCRIPT),
+        ),
+        ExploreCase(
+            target="redcommit",
+            n=2,
+            depth=6,
+            seed=1,
+            crashes=((0, 3),),
+            assignment=(FSRED_SCRIPT, FSRED_SCRIPT),
+        ),
     ],
-    ids=["ct-mutual-suspicion", "hastycommit-seed1"],
+    ids=[
+        "ct-mutual-suspicion",
+        "hastycommit-seed1",
+        "nbac-fsred-script",
+        "redcommit-fsred-script",
+    ],
 )
 def test_reductions_preserve_outcomes(case):
     results = {
@@ -82,16 +115,30 @@ def test_reductions_preserve_outcomes(case):
             ),
         ),
         ExploreCase(target="hastycommit", n=3, depth=5, seed=1),
+        ExploreCase(
+            target="nbac",
+            n=3,
+            depth=5,
+            crashes=((1, 1), (2, 1)),
+            assignment=(FSRED_SCRIPT,) * 3,
+        ),
     ],
-    ids=["nbac-identity-leaders", "hastycommit-n3-seed1"],
+    ids=[
+        "nbac-identity-leaders",
+        "hastycommit-n3-seed1",
+        "nbac-n3-fsred-script",
+    ],
 )
 def test_symmetry_dimension_preserves_outcomes(case):
     """The full matrix with the pid-symmetry reduction switched in.
 
     One clean root with a nontrivial group at n=2 (identity leaders —
-    the default all-0-leader assignment pins pid 0) and one violating
+    the default all-0-leader assignment pins pid 0), one violating
     root at n=3 (odd seed pins the No voter, leaving a 2-element
-    group), against the fully unreduced, symmetry-free baseline.  Both
+    group), and one *scripted* root at n=3 whose crash pair {1, 2}
+    leaves the 1↔2 swap admissible — the perm must commute with the
+    switch schedule, which the uniform pid-free script guarantees.
+    All against the fully unreduced, symmetry-free baseline.  Both
     engines are held to the same answer under full reduction.
     """
     baseline = _outcomes(explore_case(case, por=False, dedup=False))

@@ -1,0 +1,216 @@
+"""Differential tests: enumerator vs. oracle on detector admissibility.
+
+Two independent codifications of "admissible detector history" live in
+this repo: the chaos oracles (:mod:`repro.core.detectors`) *sample*
+histories, and the explorer's script enumerator
+(:mod:`repro.explore.assignments` + the
+:class:`~repro.explore.control.DetectorScript` advance rules)
+*enumerates* them.  The prefix predicates — ``psi_prefix_admissible``
+and friends, transcribed directly from the paper's Section 6.1 and
+Section 2 definitions — are the ground truth both sides are held to:
+
+* every history the oracles sample must satisfy the predicates
+  (otherwise the fuzzer tests algorithms against impossible worlds);
+* every history the script enumerator can reach — any script in any
+  family, advanced at any admissible combination of ticks — must
+  satisfy them too (otherwise the explorer convicts algorithms on
+  impossible worlds, and its "clean" verdicts mean nothing).
+
+Hypothesis drives both directions over random patterns, seeds, and
+advance schedules.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detectors.fs import FSOracle
+from repro.core.detectors.psi import PsiOracle
+from repro.core.failure_pattern import FailurePattern
+from repro.explore.assignments import (
+    assignments_for,
+    decode_value,
+    fs_prefix_admissible,
+    psi_fs_prefix_admissible,
+    psi_prefix_admissible,
+    script_requires_crash,
+    script_stages,
+    script_stages_coherent,
+    stage_requires_crash,
+    switch_scripts_for,
+)
+from repro.explore.control import DetectorScript
+from repro.nbac import psi_fs_oracle
+
+HORIZON = 32
+ALL_TARGETS = (
+    "paxos",
+    "ct",
+    "qc",
+    "nbac",
+    "submajority",
+    "eagerquit",
+    "hastycommit",
+    "redcommit",
+    "register",
+)
+#: Targets whose scripted values the Ψ / (Ψ, FS) predicates judge.
+PSI_TARGETS = ("qc", "eagerquit")
+PSI_FS_TARGETS = ("nbac", "hastycommit", "redcommit")
+
+
+@st.composite
+def patterns(draw):
+    """A failure pattern at n∈[2,4] with 0..n-1 crashes in-horizon."""
+    n = draw(st.integers(2, 4))
+    faulty = draw(
+        st.lists(st.integers(0, n - 1), unique=True, max_size=n - 1)
+    )
+    crashes = {
+        pid: draw(st.integers(0, HORIZON - 1)) for pid in faulty
+    }
+    return FailurePattern(n, crashes)
+
+
+def _prefix(history, pid):
+    return [history.value(pid, t) for t in range(HORIZON)]
+
+
+# -- oracle side: samples satisfy the predicates -----------------------
+@given(pattern=patterns(), seed=st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_psi_oracle_samples_are_admissible(pattern, seed):
+    history = PsiOracle().build_history(
+        pattern, HORIZON, random.Random(seed)
+    )
+    first_crash = pattern.first_crash_time()
+    for pid in range(pattern.n):
+        assert psi_prefix_admissible(_prefix(history, pid), first_crash)
+
+
+@given(pattern=patterns(), seed=st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_fs_oracle_samples_are_admissible(pattern, seed):
+    history = FSOracle().build_history(
+        pattern, HORIZON, random.Random(seed)
+    )
+    first_crash = pattern.first_crash_time()
+    for pid in range(pattern.n):
+        assert fs_prefix_admissible(_prefix(history, pid), first_crash)
+
+
+@given(pattern=patterns(), seed=st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_psi_fs_oracle_samples_are_admissible(pattern, seed):
+    history = psi_fs_oracle().build_history(
+        pattern, HORIZON, random.Random(seed)
+    )
+    first_crash = pattern.first_crash_time()
+    for pid in range(pattern.n):
+        assert psi_fs_prefix_admissible(_prefix(history, pid), first_crash)
+
+
+# -- enumerator side: every reachable script history is admissible -----
+def _drive(data, enc_assignment, first_crash, ticks=12):
+    """One arbitrary admissible advance schedule through a script
+    vector; returns each process's per-tick value sequence."""
+    n = len(enc_assignment)
+    script = DetectorScript(
+        values=[
+            tuple(decode_value(s) for s in script_stages(enc))
+            for enc in enc_assignment
+        ],
+        gated=[
+            tuple(stage_requires_crash(s) for s in script_stages(enc))
+            for enc in enc_assignment
+        ],
+        first_crash=first_crash,
+    )
+    seen = [[] for _ in range(n)]
+    for now in range(ticks):
+        for pid in range(n):
+            menu = script.targets(pid, now)
+            assert menu[0] == script.cursors[pid], "staying is option 0"
+            script.advance(pid, data.draw(st.sampled_from(menu)))
+            seen[pid].append(script.value(pid))
+    return seen
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_reachable_psi_script_histories_are_admissible(data):
+    target = data.draw(st.sampled_from(PSI_TARGETS))
+    assignment = data.draw(st.sampled_from(switch_scripts_for(target, 2)))
+    first_crash = data.draw(
+        st.one_of(st.none(), st.integers(0, 8)), label="first_crash"
+    )
+    for values in _drive(data, assignment, first_crash):
+        assert psi_prefix_admissible(values, first_crash)
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_reachable_psi_fs_script_histories_are_admissible(data):
+    target = data.draw(st.sampled_from(PSI_FS_TARGETS))
+    assignment = data.draw(st.sampled_from(switch_scripts_for(target, 2)))
+    first_crash = data.draw(
+        st.one_of(st.none(), st.integers(0, 8)), label="first_crash"
+    )
+    for values in _drive(data, assignment, first_crash):
+        assert psi_fs_prefix_admissible(values, first_crash)
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_gated_stages_never_advance_before_the_crash(data):
+    """The crash gate exactly: a crash-claiming stage is reachable at
+    tick t iff t >= first_crash — and never on a crash-free pattern."""
+    target = data.draw(st.sampled_from(PSI_FS_TARGETS))
+    assignment = data.draw(st.sampled_from(switch_scripts_for(target, 2)))
+    first_crash = data.draw(st.one_of(st.none(), st.integers(0, 8)))
+    script = DetectorScript(
+        values=[
+            tuple(decode_value(s) for s in script_stages(enc))
+            for enc in assignment
+        ],
+        gated=[
+            tuple(stage_requires_crash(s) for s in script_stages(enc))
+            for enc in assignment
+        ],
+        first_crash=first_crash,
+    )
+    for now in range(12):
+        for pid in range(len(assignment)):
+            for j in script.targets(pid, now):
+                if script.gated[pid][j]:
+                    assert first_crash is not None and now >= first_crash
+
+
+# -- family invariants -------------------------------------------------
+@pytest.mark.parametrize("target", ALL_TARGETS)
+@pytest.mark.parametrize("n", (2, 3))
+def test_script_families_are_coherent_and_decodable(target, n):
+    family = switch_scripts_for(target, n)
+    assert family, f"{target} has an empty script family"
+    for assignment in family:
+        assert len(assignment) == n
+        # Uniform: the same script at every pid (the cross-process
+        # branch-agreement argument rests on this).
+        assert len(set(assignment)) == 1
+        for enc in assignment:
+            stages = script_stages(enc)
+            assert len(stages) >= 2, "a script must actually switch"
+            assert script_stages_coherent(stages)
+            for stage in stages:
+                decode_value(stage)  # every stage decodes
+
+
+@pytest.mark.parametrize("target", ALL_TARGETS)
+def test_constant_families_never_claim_crashes(target):
+    """Constants stay what they always were: admissible on any pattern.
+    Crash-claiming values live only in the script families."""
+    for assignment in assignments_for(target, 2):
+        for enc in assignment:
+            assert not script_requires_crash(enc)

@@ -29,6 +29,26 @@ IDENTITY_LEADERS_2 = (
 )
 
 
+def test_safe_set_is_pinned():
+    """The widened gate: proposals went pid-free, so the whole
+    consensus family qualifies.  ct (rotating coordinator: round mod n)
+    and register (pid-tagged written values) stay out — widening to
+    either would merge states with genuinely different futures."""
+    assert SYMMETRY_SAFE_TARGETS == frozenset(
+        {
+            "paxos",
+            "qc",
+            "nbac",
+            "submajority",
+            "eagerquit",
+            "hastycommit",
+            "redcommit",
+        }
+    )
+    assert "ct" not in SYMMETRY_SAFE_TARGETS
+    assert "register" not in SYMMETRY_SAFE_TARGETS
+
+
 class TestGroup:
     def test_identity_always_first(self):
         case = ExploreCase(target="nbac", n=3, depth=4)
@@ -76,6 +96,56 @@ class TestRelabel:
             ("pf", ("os", 0, (0, 1)), "green"),
         )
         assert relabel_assignment(all_zero, (1, 0)) != all_zero
+
+
+class TestScriptedRoots:
+    """Admissible perms must commute with the switch schedule: the
+    relabeled root has to advance through the same stage values under
+    the same crash gates (module doc, case-level bullet)."""
+
+    PIDFREE_SCRIPT = ("script", ("pf", ("bot",), "green"), ("pf", ("fsv", "red"), "red"))
+    LEADER_SCRIPT = ("script", ("os", 0, (0, 1)), ("os", 1, (0, 1)))
+
+    def test_pidfree_script_is_fully_symmetric(self):
+        case = ExploreCase(
+            target="redcommit",
+            n=2,
+            depth=4,
+            assignment=(self.PIDFREE_SCRIPT,) * 2,
+        )
+        # ⊥/fsv stages carry no pids, so swapping processes maps the
+        # script vector onto itself.
+        assert admissible_perms(case) == ((0, 1), (1, 0))
+
+    def test_leader_script_pins_its_leaders(self):
+        case = ExploreCase(
+            target="paxos",
+            n=2,
+            depth=4,
+            assignment=(self.LEADER_SCRIPT,) * 2,
+        )
+        # Swapping relabels the staged leaders 0→1/1→0, producing the
+        # *other* churn script — a different root, so only identity
+        # commutes.
+        assert admissible_perms(case) == ((0, 1),)
+        swapped = relabel_assignment((self.LEADER_SCRIPT,) * 2, (1, 0))
+        assert swapped == (("script", ("os", 1, (0, 1)), ("os", 0, (0, 1))),) * 2
+
+    def test_collapse_reduces_the_scripted_crash_frontier(self):
+        # nbac enumerates seed 0 (nothing pinned), where a uniform
+        # script with a one-crash schedule is π-related to the same
+        # script with the other victim.  redcommit would show nothing:
+        # its only seed is odd, so pid 0 is always pinned.
+        roots = enumerate_roots(
+            "nbac", 2, max_crashes=1, detector_switches=True
+        )
+        scripted = [
+            r
+            for r in roots
+            if any(enc[0] == "script" for enc in r.assignment)
+        ]
+        collapsed = collapse_symmetric_roots(scripted)
+        assert len(collapsed) < len(scripted)
 
 
 class TestResolve:
