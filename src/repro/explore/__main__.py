@@ -92,7 +92,11 @@ def _parse_args(argv) -> argparse.Namespace:
         "--engine",
         choices=ENGINES + ("both",),
         default="indexed",
-        help="network engine to drive (default indexed)",
+        help=(
+            "network engine to drive (default indexed; 'both' = the "
+            "two pure-Python engines; 'native' needs the compiled core "
+            "or silently degrades to indexed)"
+        ),
     )
     parser.add_argument(
         "--workers",
@@ -314,7 +318,7 @@ def _emit_artifacts(
 
 def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
-    engines = list(ENGINES) if args.engine == "both" else [args.engine]
+    engines = ["indexed", "reference"] if args.engine == "both" else [args.engine]
     if args.cache_backend is not None:
         configure(cache_backend=args.cache_backend)
     if args.frontier == "dynamic" and (

@@ -50,13 +50,15 @@ from repro.explore.control import (
 )
 from repro.registers.workload import RegisterWorkload
 from repro.runner import call
-from repro.sim.network import ConstantDelay, Network, ReferenceNetwork
+from repro.sim.network import ConstantDelay, resolve_network_engine
 from repro.sim.system import System, network_implementation
 
-#: The two buffer engines the explorer can drive; the controlled runs
-#: are bit-identical across them (both hand ``choose`` the ready list
-#: in ascending msg_id order), which a tier-1 property test pins.
-ENGINES = ("indexed", "reference")
+#: The buffer engines the explorer can drive; the controlled runs are
+#: bit-identical across them (all hand ``choose`` the ready list in
+#: ascending msg_id order), which a tier-1 property test pins.
+#: ``native`` resolves to the compiled core when built, silently
+#: degrading to ``indexed`` otherwise (still digest-identical).
+ENGINES = ("indexed", "reference", "native")
 
 
 def explore_register_workload_factory(seed: int):
@@ -203,7 +205,7 @@ def build_system(
         raise ValueError(f"unknown engine {engine!r}; have {ENGINES}")
     if parts is None:
         parts = resolve_parts(case)
-    impl = Network if engine == "indexed" else ReferenceNetwork
+    impl = resolve_network_engine(engine)
     with network_implementation(impl):
         system = System(
             n=case.n,

@@ -72,9 +72,11 @@ from repro.sim.network import Message
 from repro.sim.perf import PerfCounters
 
 #: Fingerprint implementations ``explore_case`` accepts: the byte
-#: engine with and without its caches, and the PR 4 tuple/repr path
-#: (kept as the benchmark baseline).
-FINGERPRINT_MODES = ("incremental", "naive", "legacy")
+#: engine with and without its caches, the compiled-encoder variant
+#: (digest-identical to ``incremental``, silently degrading to it when
+#: the extension is unavailable), and the PR 4 tuple/repr path (kept as
+#: the benchmark baseline).
+FINGERPRINT_MODES = ("incremental", "naive", "native", "legacy")
 
 
 @dataclass
@@ -271,7 +273,7 @@ def explore_case(
     # the equivalence suite pins it).
     prev_taken: Tuple[int, ...] = ()
     prev_digests: List[Tuple[int, str]] = []
-    reuse_digests = dedup and fp_engine is not None and fp_engine.mode == "incremental"
+    reuse_digests = dedup and fp_engine is not None and fp_engine.cached
 
     while stack:
         if max_runs is not None and result.runs >= max_runs:

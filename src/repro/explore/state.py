@@ -235,7 +235,10 @@ def host_canonical(host: ProcessHost) -> Tuple[Any, ...]:
 
 
 def _buffered(network: Any, dest: int) -> List[Message]:
-    """Every in-flight message for ``dest``, either engine."""
+    """Every in-flight message for ``dest``, any engine."""
+    core = getattr(network, "_core", None)
+    if core is not None:  # native engine: buffers live in C
+        return core.in_flight(dest)
     if hasattr(network, "_buffers"):  # indexed engine
         buf = network._buffers[dest]
         return [m for _, _, m in buf.future] + list(buf.ready.values())
@@ -328,6 +331,23 @@ class EncodedUnit(NamedTuple):
     data: bytes
     ambiguous: FrozenSet[int]
     opaque: bool
+
+
+#: Interned ambiguity sets, keyed by the compiled encoder's bit mask.
+#: Real states mention only a handful of distinct pid subsets, so the
+#: native unit builders (which report ambiguity as an int mask) can
+#: share one frozenset per subset instead of materialising a set per
+#: unit.
+_MASK_SETS: Dict[int, FrozenSet[int]] = {0: frozenset()}
+
+
+def _mask_set(mask: int) -> FrozenSet[int]:
+    cached = _MASK_SETS.get(mask)
+    if cached is None:
+        cached = _MASK_SETS[mask] = frozenset(
+            bit for bit in range(mask.bit_length()) if mask >> bit & 1
+        )
+    return cached
 
 
 class _Encoder:
@@ -505,6 +525,12 @@ class FingerprintEngine:
       append-only; completed-operation encodings are frozen.
     * ``"naive"`` — the identical encoding with every cache disabled,
       the oracle the equivalence suite compares byte-for-byte against.
+    * ``"native"`` — incremental caching with the value encoder served
+      by the compiled core (:mod:`repro._native`).  The C encoder is a
+      byte-exact port of :class:`_Encoder`, so digests stay identical
+      to ``"incremental"``; when the extension is unavailable (not
+      built, or ``REPRO_NATIVE=0``) the mode silently degrades to the
+      pure incremental path — same digests, just slower.
 
     **Symmetry.** ``perms`` is the case's admissible permutation group
     (:func:`repro.explore.symmetry.admissible_perms`; identity-only
@@ -527,7 +553,7 @@ class FingerprintEngine:
     visible.
     """
 
-    MODES = ("incremental", "naive")
+    MODES = ("incremental", "naive", "native")
 
     def __init__(
         self,
@@ -540,12 +566,29 @@ class FingerprintEngine:
             raise ValueError(f"unknown fingerprint mode {mode!r}; have {self.MODES}")
         self.n = n
         self.mode = mode
+        #: Whether per-host/buffer/decision/operation caches are live
+        #: (everything but ``naive``; the caches are mode-independent
+        #: of *how* values get encoded).
+        self.cached = mode != "naive"
         self.counters = counters
         self.perms: Tuple[Tuple[int, ...], ...] = tuple(
             tuple(p) for p in (perms or [tuple(range(n))])
         )
-        self._encoder = _Encoder(n)
+        self.native = False
+        if mode == "native":
+            from repro import _native
+
+            encoder_cls = _native.encoder_class()
+            if encoder_cls is not None and n <= 64:
+                self._encoder = encoder_cls(n)
+                self.native = True
+            else:  # graceful degradation: same digests, pure Python
+                self._encoder = _Encoder(n)
+        else:
+            self._encoder = _Encoder(n)
         self._nodes_synced = 0
+        self._calls_synced = 0
+        self._bytes_synced = 0
         self._run_serial = 0
         self._system: Any = None
         # per-run caches (incremental mode)
@@ -584,6 +627,21 @@ class FingerprintEngine:
         return unit
 
     def _encode_host(self, host: ProcessHost) -> EncodedUnit:
+        if self.native:
+            # The tasklet name (``"comp@pid"``) is cosmetic and
+            # pid-derived, so it is excluded here exactly as in the
+            # pure build below.
+            data, mask, opaque = self._encoder.enc_host(
+                host._started,
+                sorted(host.components.items()),
+                [
+                    (task.started, task.wait, task.gen)
+                    for task in host._driver._tasklets
+                    if not task.done
+                ],
+            )
+            return EncodedUnit(data, _mask_set(mask), opaque)
+
         def build(enc: _Encoder) -> bytes:
             parts = [b"H", b"T;" if host._started else b"F;"]
             for name, comp in sorted(host.components.items()):
@@ -609,7 +667,7 @@ class FingerprintEngine:
         counters = self.counters
         units = []
         for pid, host in enumerate(self._system.hosts):
-            if self.mode == "incremental":
+            if self.cached:
                 version = (host.steps_taken, host._started)
                 cached = self._host_cache.get(pid)
                 if cached is not None and cached[0] == version:
@@ -627,11 +685,21 @@ class FingerprintEngine:
         return units
 
     def _buffer_entries(self, dest: int) -> List[Tuple[int, EncodedUnit]]:
-        if self.mode == "incremental" and dest not in self._dirty:
+        if self.cached and dest not in self._dirty:
             cached = self._buffer_cache.get(dest)
             if cached is not None:
                 return cached
         entries = []
+        if self.native:
+            enc_pair = self._encoder.enc_pair
+            for message in _buffered(self._system.network, dest):
+                data, mask, opaque = enc_pair(message.component, message.payload)
+                entries.append(
+                    (message.sender, EncodedUnit(data, _mask_set(mask), opaque))
+                )
+            if self.cached:
+                self._buffer_cache[dest] = entries
+            return entries
         for message in _buffered(self._system.network, dest):
             # The sender is kept outside the encoded bytes: it is a
             # *tagged* pid position, relabeled at assembly time.
@@ -639,29 +707,35 @@ class FingerprintEngine:
                 lambda enc, m=message: enc.enc(m.component) + enc.enc(m.payload)
             )
             entries.append((message.sender, unit))
-        if self.mode == "incremental":
+        if self.cached:
             self._buffer_cache[dest] = entries
         return entries
 
     def _decision_entries(self, first_crash: Optional[int]) -> List[Tuple[int, EncodedUnit]]:
         decisions = self._system.trace.decisions
-        cache = self._decision_cache if self.mode == "incremental" else []
+        cache = self._decision_cache if self.cached else []
         while len(cache) < len(decisions):  # append-only record
             decision = decisions[len(cache)]
             postcrash = first_crash is not None and decision.time >= first_crash
-            unit = self._unit(
-                lambda enc, d=decision, p=postcrash: (
-                    enc.enc(d.component)
-                    + enc.enc(d.value)
-                    + (b"T;" if p else b"F;")
+            if self.native:
+                data, mask, opaque = self._encoder.enc_decision(
+                    decision.component, decision.value, postcrash
                 )
-            )
+                unit = EncodedUnit(data, _mask_set(mask), opaque)
+            else:
+                unit = self._unit(
+                    lambda enc, d=decision, p=postcrash: (
+                        enc.enc(d.component)
+                        + enc.enc(d.value)
+                        + (b"T;" if p else b"F;")
+                    )
+                )
             cache.append((decision.pid, unit))
         return cache
 
     def _operation_entries(self) -> List[Tuple[int, EncodedUnit]]:
         operations = self._system.trace.operations
-        cache = self._operation_cache if self.mode == "incremental" else []
+        cache = self._operation_cache if self.cached else []
         while len(cache) < len(operations):
             cache.append(None)
         entries: List[Tuple[int, EncodedUnit]] = []
@@ -670,22 +744,33 @@ class FingerprintEngine:
             if cached is not None:
                 entries.append(cached)
                 continue
-            unit = self._unit(
-                lambda enc, o=op: (
-                    enc.enc(o.component)
-                    + enc.enc(o.kind)
-                    + enc.enc(o.args)
-                    + b"@%d;" % o.invoke_time  # timestamps, never pids
-                    + (
-                        b"@%d;" % o.response_time
-                        if o.response_time is not None
-                        else b"N;"
-                    )
-                    + enc.enc(o.result)
+            if self.native:
+                data, mask, opaque = self._encoder.enc_operation(
+                    op.component,
+                    op.kind,
+                    op.args,
+                    op.invoke_time,  # timestamps, never pids
+                    op.response_time,
+                    op.result,
                 )
-            )
+                unit = EncodedUnit(data, _mask_set(mask), opaque)
+            else:
+                unit = self._unit(
+                    lambda enc, o=op: (
+                        enc.enc(o.component)
+                        + enc.enc(o.kind)
+                        + enc.enc(o.args)
+                        + b"@%d;" % o.invoke_time  # timestamps, never pids
+                        + (
+                            b"@%d;" % o.response_time
+                            if o.response_time is not None
+                            else b"N;"
+                        )
+                        + enc.enc(o.result)
+                    )
+                )
             entry = (op.pid, unit)
-            if self.mode == "incremental" and not op.pending:
+            if self.cached and not op.pending:
                 cache[index] = entry  # records mutate until completion
             entries.append(entry)
         return entries
@@ -781,31 +866,40 @@ class FingerprintEngine:
         byte encoding, canonicalised under the valid subset of the
         engine's permutation group.
         """
-        if self.mode == "incremental":
+        if self.cached:
             if prev is not None:
                 self._dirty.add(prev)  # its buffer may have drained
             for message in fresh:
                 self._dirty.add(message.dest)
         host_units = self._host_units()
         buffer_entries = [self._buffer_entries(d) for d in range(self.n)]
-        if self.mode == "incremental":
+        if self.cached:
             self._dirty.clear()
         decision_entries = self._decision_entries(first_crash)
         operation_entries = self._operation_entries()
         time_part = b"|t%d;" % now if crashes_pending else b"|tN;"
         por_part = None
         if por:
-            fresh_entries = [
-                (
-                    m.sender,
-                    m.dest,
-                    self._unit(
-                        lambda enc, msg=m: enc.enc(msg.component)
-                        + enc.enc(msg.payload)
-                    ),
-                )
-                for m in fresh
-            ]
+            if self.native:
+                enc_pair = self._encoder.enc_pair
+                fresh_entries = []
+                for m in fresh:
+                    data, mask, opaque = enc_pair(m.component, m.payload)
+                    fresh_entries.append(
+                        (m.sender, m.dest, EncodedUnit(data, _mask_set(mask), opaque))
+                    )
+            else:
+                fresh_entries = [
+                    (
+                        m.sender,
+                        m.dest,
+                        self._unit(
+                            lambda enc, msg=m: enc.enc(msg.component)
+                            + enc.enc(msg.payload)
+                        ),
+                    )
+                    for m in fresh
+                ]
             por_part = (prev, boundary, fresh_entries)
 
         ambiguous: set = set()
@@ -853,4 +947,14 @@ class FingerprintEngine:
         if self.counters is not None:
             self.counters.explore_fp_nodes += self._encoder.nodes - self._nodes_synced
             self._nodes_synced = self._encoder.nodes
+            if self.native:
+                encoder = self._encoder
+                self.counters.explore_native_calls += (
+                    encoder.calls - self._calls_synced
+                )
+                self.counters.native_encode_bytes += (
+                    encoder.bytes_encoded - self._bytes_synced
+                )
+                self._calls_synced = encoder.calls
+                self._bytes_synced = encoder.bytes_encoded
         return hashlib.sha256(best).hexdigest()

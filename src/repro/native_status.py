@@ -1,0 +1,25 @@
+"""``python -m repro.native_status`` — is the compiled core loaded?
+
+Prints the :func:`repro._native.status` report as JSON and exits 0 when
+the extension is available, 1 when the process is running on the
+pure-Python fallbacks.  CI uses the exit code to fail builds where the
+extension silently failed to compile; humans use the ``reason`` field
+(``REPRO_NATIVE=0``, missing ``build_ext``, import error) to see why.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro import _native
+
+
+def main() -> int:
+    report = _native.status()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["available"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

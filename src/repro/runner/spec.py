@@ -30,7 +30,8 @@ from repro.runner.fingerprint import fingerprint
 #: Bump when run semantics change in a way that should invalidate every
 #: cached result regardless of source-hash salting.
 #: 2: RunSpec grew ``time_leap``; RunSummary grew ``perf``.
-SPEC_FORMAT = 2
+#: 3: RunSpec grew ``engine`` (buffer-engine pin; None = ambient).
+SPEC_FORMAT = 3
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,14 @@ class RunSpec:
     #: trace-neutral, so two specs differing only here produce equal
     #: stable digests — but distinct fingerprints/cache keys.
     time_leap: bool = False
+    #: Network buffer engine pin: ``"indexed"``, ``"reference"`` or
+    #: ``"native"`` (compiled core, silently degrading to indexed when
+    #: the extension is unavailable).  ``None`` keeps the ambient
+    #: implementation — golden suites that wrap construction in
+    #: ``network_implementation(...)`` keep working unchanged.  All
+    #: engines are trace-identical; this pins *performance*, so it is
+    #: still part of the fingerprint (distinct cache rows per engine).
+    engine: Optional[str] = None
     summarize: Optional[CallSpec] = None
     #: Free-form labels echoed into the summary (axis coordinates,
     #: row keys); part of the fingerprint so distinct cells never
@@ -78,6 +87,12 @@ class RunSpec:
             raise ValueError("give either a pattern or an environment, not both")
         if self.trace_mode not in ("full", "lite"):
             raise ValueError(f"unknown trace_mode {self.trace_mode!r}")
+        if self.engine is not None and self.engine not in (
+            "indexed",
+            "reference",
+            "native",
+        ):
+            raise ValueError(f"unknown engine {self.engine!r}")
         for name, slot in (
             ("scheduler", self.scheduler),
             ("delivery_policy", self.delivery_policy),

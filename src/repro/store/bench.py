@@ -29,11 +29,22 @@ TRACKED: Dict[str, Tuple[Tuple[str, str], ...]] = {
     "BENCH_sim": (
         ("sparse.indexed_leap.steps_per_second", "higher"),
         ("fanout.indexed.steps_per_second", "higher"),
+        ("fanout.indexed_leap.steps_per_second", "higher"),
         ("sparse.speedup_leap_vs_reference", "higher"),
+        # Native-core trends: absent from pure-only runs (extract_
+        # metrics skips missing paths), so forced-pure legs stay safe.
+        ("churn.speedup_native_vs_indexed", "higher"),
+        ("churn.native.sends_per_second", "higher"),
     ),
     "BENCH_explore": (
         ("min_fp_work_reduction", "higher"),
         ("min_wall_speedup", "higher"),
+        # Whole-search native ratio (Amdahl-limited, trend only) and
+        # the isolated unit-encoding pipeline (hard-gated ≥1.5x inside
+        # the bench under BENCH_NATIVE_STRICT); both skipped on pure
+        # runs.
+        ("min_native_wall_speedup", "higher"),
+        ("encoder.speedup_native_vs_pure", "higher"),
         ("sharded.dedup_recovered_states", "higher"),
         # Frontier coordination amortization: 1-worker wall over the
         # single-process walk must not creep back up, and 4 workers

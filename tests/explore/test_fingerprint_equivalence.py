@@ -14,6 +14,7 @@ are not comparable — for it the contract is outcome equality only.
 
 import pytest
 
+from repro import _native
 from repro.explore import ExploreCase, explore_case
 from repro.explore.state import _Encoder
 
@@ -68,6 +69,35 @@ def test_naive_and_incremental_digests_byte_identical(case):
     )
     # The caches must actually have saved encoder work, not just agreed.
     assert incr.counters.explore_fp_nodes < naive.counters.explore_fp_nodes
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+@pytest.mark.skipif(
+    not _native.available(),
+    reason=f"native core unavailable: {_native.reason()}",
+)
+def test_native_mode_digests_byte_identical(case):
+    """The compiled encoder rides the incremental caches; its digest
+    log must equal the pure engine's on every state of a real search
+    (the same contract the naive/incremental pair pins above)."""
+    incr_log, native_log = [], []
+    incr = explore_case(
+        case, fingerprint_mode="incremental", digest_log=incr_log
+    )
+    native = explore_case(case, fingerprint_mode="native", digest_log=native_log)
+    assert native_log, "no digests collected — dedup never ran"
+    assert native_log == incr_log
+    assert native.runs == incr.runs and native.states == incr.states
+    assert native.dedup_hits == incr.dedup_hits
+    assert native.decision_vectors == incr.decision_vectors
+    assert (
+        native.counters.explore_opaque_tokens
+        == incr.counters.explore_opaque_tokens
+    )
+    # The compiled encoder must actually have done the encoding work.
+    assert native.counters.explore_native_calls > 0
+    assert native.counters.native_encode_bytes > 0
+    assert incr.counters.explore_native_calls == 0
 
 
 @pytest.mark.parametrize("case", CASES[:2], ids=IDS[:2])
